@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Expensive artefacts (model graphs, the serving bench with its warm-up
+profiling) are built once per session, outside any timed region.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig12_serving_throughput import ServingBench
+from repro.models import bert_base, build_encoder_graph
+
+
+@pytest.fixture(scope="session")
+def bert_graph():
+    return build_encoder_graph(bert_base())
+
+
+@pytest.fixture(scope="session")
+def serving_bench() -> ServingBench:
+    """The Fig. 12 / Table 4 serving systems, warm-up profiling included."""
+    return ServingBench()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment that is too heavy for repeated rounds."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

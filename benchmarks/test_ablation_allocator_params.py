@@ -1,0 +1,84 @@
+"""Ablation: allocator chunk size, K_SCALE and release policy.
+
+DESIGN.md §5.3: the paper fixes chunks at 2 MB and K_SCALE at 1.2; we sweep
+both and compare the eager (Alg. 1-literal), TTL and never release
+policies on the Fig. 7 workload.
+"""
+
+import pytest
+
+from repro.experiments.fig7_allocator_comparison import workload_records
+from repro.experiments.tables import format_table
+from repro.memory import TurboAllocator, run_allocator_workload
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return workload_records(num_requests=40, seed=1)
+
+
+def test_ablation_chunk_size(benchmark, streams):
+    def run():
+        results = {}
+        for mb in (1, 2, 4, 8):
+            allocator = TurboAllocator(chunk_size=mb * 2**20)
+            results[mb] = run_allocator_workload(allocator, streams)
+        return results
+
+    results = benchmark(run)
+    print("\n[Ablation] chunk size on the Fig. 7 workload\n" + format_table(
+        ["chunk (MB)", "max footprint (MB)", "avg new MB/request"],
+        [[mb, f"{r.max_footprint_mb:.1f}", f"{r.avg_new_mb_per_request:.2f}"]
+         for mb, r in sorted(results.items())],
+    ))
+    # Bigger chunks trade footprint for fewer allocations.
+    assert results[8].allocation_events <= results[1].allocation_events
+    for r in results.values():
+        assert r.max_footprint_mb < 200
+
+
+def test_ablation_k_scale(benchmark, streams):
+    def run():
+        return {
+            k: run_allocator_workload(TurboAllocator(k_scale=k), streams)
+            for k in (1.0, 1.2, 1.5, 2.0)
+        }
+
+    results = benchmark(run)
+    print("\n[Ablation] K_SCALE on the Fig. 7 workload\n" + format_table(
+        ["K_SCALE", "max footprint (MB)", "avg new MB/request"],
+        [[k, f"{r.max_footprint_mb:.1f}", f"{r.avg_new_mb_per_request:.2f}"]
+         for k, r in sorted(results.items())],
+    ))
+    # K_SCALE trades chunk slack against reuse: larger values give oversized
+    # chunks headroom that later plans can reuse, so neither footprint nor
+    # allocation count is monotone — but all settings must stay sane.
+    for r in results.values():
+        assert 10 < r.max_footprint_mb < 200
+        assert r.avg_new_mb_per_request < 5.0
+    # The headroom at k=2.0 must not allocate more often than tight k=1.0.
+    assert results[2.0].allocation_events <= results[1.0].allocation_events + 2
+
+
+def test_ablation_release_policy(benchmark, streams):
+    def run():
+        return {
+            str(policy): run_allocator_workload(
+                TurboAllocator(release_after=policy), streams
+            )
+            for policy in (0, 8, None)
+        }
+
+    results = benchmark(run)
+    print("\n[Ablation] chunk release policy (Alg. 1 line 20)\n" + format_table(
+        ["release_after", "max footprint (MB)", "avg new MB/request", "stall (ms)"],
+        [[name, f"{r.max_footprint_mb:.1f}", f"{r.avg_new_mb_per_request:.2f}",
+          f"{r.total_stall_s * 1e3:.1f}"]
+         for name, r in results.items()],
+    ))
+    eager, ttl, never = results["0"], results["8"], results["None"]
+    # The paper's literal eager release minimizes footprint but churns.
+    assert eager.max_footprint_mb <= never.max_footprint_mb
+    assert eager.avg_new_mb_per_request > ttl.avg_new_mb_per_request
+    # The TTL default approaches never-release efficiency.
+    assert ttl.avg_new_mb_per_request <= never.avg_new_mb_per_request * 1.5

@@ -1,0 +1,31 @@
+"""Ablation: kernel fusion on/off in the Turbo runtime (DESIGN.md §5.6)."""
+
+from repro.experiments.tables import format_table
+from repro.runtime import turbo_runtime
+
+
+def test_ablation_fusion(benchmark, bert_graph):
+    def run():
+        fused = turbo_runtime(graph=bert_graph)
+        unfused = turbo_runtime(graph=bert_graph, enable_fusion=False)
+        rows = []
+        for batch, seq in ((1, 10), (1, 100), (1, 500), (20, 100)):
+            f = fused.latency(batch, seq)
+            u = unfused.latency(batch, seq)
+            rows.append((batch, seq, f, u))
+        return fused, unfused, rows
+
+    fused, unfused, rows = benchmark(run)
+    print("\n[Ablation] fusion on/off (Turbo runtime, RTX 2060)\n" + format_table(
+        ["(batch,seq)", "fused (ms)", "unfused (ms)", "fusion gain"],
+        [[f"({b},{s})", f"{f * 1e3:.2f}", f"{u * 1e3:.2f}", f"{u / f:.2f}x"]
+         for b, s, f, u in rows],
+    ))
+    assert fused.kernel_launch_count < unfused.kernel_launch_count
+    for _, _, f, u in rows:
+        assert f < u
+    # Fusion matters most where launches dominate: the smallest case gains
+    # at least as much as the largest.
+    small_gain = rows[0][3] / rows[0][2]
+    large_gain = rows[2][3] / rows[2][2]
+    assert small_gain >= large_gain * 0.95

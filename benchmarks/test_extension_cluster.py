@@ -1,0 +1,71 @@
+"""Extension: Nexus-style multi-server load balancing (paper §5 pointer).
+
+Sweeps cluster size and routing policy over the §6.2 workload served by the
+Turbo runtime + DP scheduler on every node.
+"""
+
+from repro.experiments.tables import format_table
+from repro.serving import (
+    DPBatchScheduler,
+    RoutingPolicy,
+    generate_requests,
+    simulate_cluster,
+)
+
+
+def test_extension_cluster_scaling(benchmark, serving_bench):
+    cost_fn = serving_bench.system("Turbo-DP-Batch").cost_fn
+
+    def run():
+        results = {}
+        for servers in (1, 2, 4):
+            requests = generate_requests(250, 6.0, seed=8)
+            results[servers] = simulate_cluster(
+                requests, servers, DPBatchScheduler, cost_fn,
+                policy=RoutingPolicy.LEAST_WORK, duration_s=6.0,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("\n[Extension] cluster scaling, Turbo-DP on every node, 250 req/s\n"
+          + format_table(
+              ["servers", "resp/s", "avg ms", "p95 ms", "stable"],
+              [[n, f"{m.serving.response_throughput:.0f}",
+                f"{m.serving.latency.avg_ms:.1f}",
+                f"{m.serving.latency.p95_ms:.1f}",
+                "yes" if m.serving.stable else "NO"]
+               for n, m in sorted(results.items())],
+          ))
+    assert results[4].serving.response_throughput > \
+        2 * results[1].serving.response_throughput
+    assert results[4].serving.stable
+
+
+def test_extension_routing_policies(benchmark, serving_bench):
+    cost_fn = serving_bench.system("Turbo-DP-Batch").cost_fn
+
+    def run():
+        results = {}
+        for policy in RoutingPolicy:
+            requests = generate_requests(200, 6.0, seed=9)
+            results[policy.value] = simulate_cluster(
+                requests, 4, DPBatchScheduler, cost_fn,
+                policy=policy, duration_s=6.0,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("\n[Extension] routing policies, 4 servers, 200 req/s\n"
+          + format_table(
+              ["policy", "resp/s", "avg ms", "p99 ms", "balance (max/min)"],
+              [[name, f"{m.serving.response_throughput:.0f}",
+                f"{m.serving.latency.avg_ms:.1f}",
+                f"{m.serving.latency.p99_ms:.1f}",
+                f"{m.balance_ratio:.2f}"]
+               for name, m in sorted(results.items())],
+          ))
+    # Work-aware routing keeps up; every policy completes the workload.
+    for metrics in results.values():
+        assert metrics.serving.completed == metrics.serving.offered
+    assert results["least_work"].serving.latency.avg_ms <= \
+        results["round_robin"].serving.latency.avg_ms * 1.1

@@ -1,0 +1,40 @@
+"""Extension: FP16 serving (beyond the paper's FP32 evaluation).
+
+Half-precision halves every tensor's traffic and footprint and doubles the
+arithmetic rate (packed half2 math), so the ideal end-to-end gain is bounded
+by 2x; fixed overheads and launch costs keep the realized gain below that,
+with the largest gains on the bandwidth-bound long-sequence cases.
+"""
+
+from repro.experiments.tables import format_table
+from repro.runtime import turbo_fp16_runtime, turbo_runtime
+
+
+def test_extension_fp16(benchmark, bert_graph):
+    def run():
+        fp32 = turbo_runtime(graph=bert_graph)
+        fp16 = turbo_fp16_runtime(graph=bert_graph)
+        rows = []
+        for batch, seq in ((1, 64), (1, 250), (1, 500), (20, 250)):
+            t32 = fp32.latency(batch, seq)
+            t16 = fp16.latency(batch, seq)
+            rows.append((batch, seq, t32, t16))
+        mem32 = fp32.infer(1, 250).allocation.footprint_mb
+        mem16 = fp16.infer(1, 250).allocation.footprint_mb
+        return rows, mem32, mem16
+
+    rows, mem32, mem16 = benchmark(run)
+    print("\n[Extension] FP16 vs FP32 Turbo runtime (RTX 2060)\n" + format_table(
+        ["(batch,seq)", "fp32 (ms)", "fp16 (ms)", "speedup"],
+        [[f"({b},{s})", f"{t32 * 1e3:.2f}", f"{t16 * 1e3:.2f}",
+          f"{t32 / t16:.2f}x"] for b, s, t32, t16 in rows],
+    ))
+    print(f"activation footprint at (1,250): {mem32:.1f} MB -> {mem16:.1f} MB")
+
+    for _, _, t32, t16 in rows:
+        assert 1.0 < t32 / t16 < 2.0
+    # Heavier cases gain more (bandwidth-bound fraction grows).
+    gain_small = rows[0][2] / rows[0][3]
+    gain_big = rows[3][2] / rows[3][3]
+    assert gain_big > gain_small
+    assert mem16 < 0.7 * mem32

@@ -1,0 +1,62 @@
+"""Extension: generative (GPT-style) serving — TTFT / per-token latency.
+
+The paper's intro motivates transformers with GPT2; generative serving is
+where the variable-length problem is most acute (the KV cache grows every
+step).  This bench reports the prefill/decode split and the Turbo-vs-
+PyTorch gap on both phases.
+"""
+
+from repro.experiments.tables import format_table
+from repro.gpusim import RTX_2060
+from repro.models import build_decode_step_graph, build_prefill_graph, gpt_small
+from repro.runtime import (
+    GenerationRuntime,
+    PYTORCH_CHARACTERISTICS,
+    TURBO_CHARACTERISTICS,
+)
+
+
+def test_extension_generation(benchmark):
+    config = gpt_small()
+    prefill = build_prefill_graph(config)
+    decode = build_decode_step_graph(config)
+
+    def run():
+        turbo = GenerationRuntime(prefill, decode, TURBO_CHARACTERISTICS,
+                                  RTX_2060, step_overhead_s=0.1e-3)
+        pytorch = GenerationRuntime(prefill, decode, PYTORCH_CHARACTERISTICS,
+                                    RTX_2060, step_overhead_s=2.5e-3)
+        rows = []
+        for prompt in (32, 128, 512):
+            rows.append((
+                prompt,
+                turbo.prefill_latency(1, prompt),
+                turbo.decode_step_latency(1, prompt),
+                pytorch.prefill_latency(1, prompt),
+                pytorch.decode_step_latency(1, prompt),
+            ))
+        return turbo, pytorch, rows
+
+    turbo, pytorch, rows = benchmark(run)
+    print("\n[Extension] generative serving: prefill (TTFT) / decode (TPOT)\n"
+          + format_table(
+              ["prompt", "turbo TTFT (ms)", "turbo TPOT (ms)",
+               "pytorch TTFT (ms)", "pytorch TPOT (ms)"],
+              [[p, f"{tp * 1e3:.2f}", f"{td * 1e3:.2f}",
+                f"{pp * 1e3:.2f}", f"{pd * 1e3:.2f}"]
+               for p, tp, td, pp, pd in rows],
+          ))
+
+    for prompt, turbo_ttft, turbo_tpot, pt_ttft, pt_tpot in rows:
+        # Turbo wins both phases decisively (decode steps are overhead-
+        # dominated; long prompts add the quadratic-softmax gap to prefill).
+        assert turbo_ttft < pt_ttft
+        assert pt_tpot / turbo_tpot > 1.5
+        # Decode steps are far cheaper than the prompt pass.
+        assert turbo_tpot < turbo_ttft
+
+    # End-to-end generation speedup in the decoder band of Fig. 10.
+    speedup = (pytorch.generate_latency(128, 64)
+               / turbo.generate_latency(128, 64))
+    print(f"end-to-end generate(128 -> +64): {speedup:.2f}x")
+    assert 1.5 < speedup < 3.5

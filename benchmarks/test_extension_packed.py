@@ -1,0 +1,87 @@
+"""Extension: padding-free ("smart") batching vs the paper's DP scheduler.
+
+The production TurboTransformers line later replaced zero-padding with
+sequence concatenation: token-proportional kernels process exactly
+``sum(lengths)`` tokens and only the attention core runs per request.
+This removes the padding/batching tradeoff that motivates Algorithm 3 —
+the comparison quantifies how much of the DP scheduler's win padding-free
+execution recovers by construction.
+"""
+
+from repro.experiments.tables import format_table
+from repro.models import bert_base, build_encoder_graph
+from repro.runtime import PackedRuntime, TURBO_CHARACTERISTICS, turbo_runtime
+from repro.gpusim import RTX_2060
+from repro.serving import (
+    DPBatchScheduler,
+    PackedBatchScheduler,
+    ServingConfig,
+    generate_requests,
+    simulate_serving,
+)
+
+
+def test_extension_packed_batch_cost(benchmark, bert_graph):
+    """Single-batch view: packed vs padded on mixed-length batches."""
+    def run():
+        packed = PackedRuntime(bert_graph, TURBO_CHARACTERISTICS, RTX_2060)
+        runtime = turbo_runtime(graph=bert_graph)
+        rows = []
+        for lengths in ([128] * 8, [17, 18, 52, 63, 77],
+                        [20, 480, 20, 480], [5, 100, 250, 400, 500]):
+            p = packed.packed_latency(lengths)
+            d = runtime.latency(len(lengths), max(lengths))
+            rows.append((lengths, p, d))
+        return rows
+
+    rows = benchmark(run)
+    print("\n[Extension] packed (no padding) vs padded batch latency\n"
+          + format_table(
+              ["lengths", "packed (ms)", "padded (ms)", "padded/packed"],
+              [[str(lengths), f"{p * 1e3:.2f}", f"{d * 1e3:.2f}",
+                f"{d / p:.2f}x"] for lengths, p, d in rows],
+          ))
+    uniform = rows[0]
+    mixed = rows[2]
+    assert mixed[2] / mixed[1] > 1.5       # big win on mixed lengths
+    assert uniform[2] / uniform[1] < 1.4   # little to win when uniform
+
+
+def test_extension_packed_serving(benchmark, bert_graph, serving_bench):
+    """Serving view: packed scheduler vs Alg. 3 DP on the §6.2 workload."""
+    packed_runtime = PackedRuntime(bert_graph, TURBO_CHARACTERISTICS, RTX_2060)
+    cost_fn = serving_bench.system("Turbo-DP-Batch").cost_fn
+
+    from repro.serving import NaiveBatchScheduler
+
+    def run():
+        results = {}
+        for name, scheduler in (
+            ("Turbo-Naive-Batch", NaiveBatchScheduler()),
+            ("Turbo-DP-Batch", DPBatchScheduler()),
+            ("Turbo-Packed", PackedBatchScheduler(packed_runtime.packed_latency)),
+        ):
+            requests = generate_requests(400, 8.0, seed=12)
+            results[name] = simulate_serving(
+                requests, scheduler, cost_fn,
+                ServingConfig(max_batch=20), duration_s=8.0, system_name=name,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("\n[Extension] packed vs padded serving at 400 req/s (overload)\n"
+          + format_table(
+              ["system", "resp/s", "avg ms"],
+              [[name, f"{m.response_throughput:.0f}",
+                f"{m.latency.avg_ms:.1f}"] for name, m in results.items()],
+          ))
+    # Against its apples-to-apples baseline (arrival-order padded batching)
+    # packing recovers the padding waste outright...
+    assert results["Turbo-Packed"].response_throughput > \
+        1.3 * results["Turbo-Naive-Batch"].response_throughput
+    # ...and lands near the DP scheduler without any sorting/reordering.
+    # (It stays slightly below DP here because our conservative model keeps
+    # per-request attention at single-request GEMM utilization, whereas a
+    # real varlen-attention kernel batches those tiles too.)
+    assert results["Turbo-Packed"].response_throughput >= \
+        0.8 * results["Turbo-DP-Batch"].response_throughput

@@ -1,0 +1,40 @@
+"""Extension: GPU utilization across the serving systems.
+
+§5's motivation — "small batch sizes lead to low GPU hardware utilization"
+— made measurable: at the same offered rate, how busy is the device, and
+how much of that busy time is useful?  TF-serving's pad-to-max runs hot on
+*wasted* work; Turbo-DP serves the same demand with the least busy time.
+"""
+
+from repro.experiments.tables import format_table
+from repro.serving import generate_requests
+
+
+def test_extension_utilization(benchmark, serving_bench):
+    rate = 40  # below everyone's capacity except TF-serving's
+
+    def run():
+        results = {}
+        for system in serving_bench.systems:
+            metrics = serving_bench.run_point(system, rate, duration_s=8.0)
+            results[system.name] = metrics
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print(f"\n[Extension] GPU utilization at {rate} req/s\n" + format_table(
+        ["system", "utilization", "resp/s", "avg ms"],
+        [[name, f"{m.utilization:.0%}", f"{m.response_throughput:.0f}",
+          f"{m.latency.avg_ms:.1f}"]
+         for name, m in results.items()],
+    ))
+
+    # Pad-to-max burns the device on padding at a rate others serve easily.
+    assert results["TF-serving"].utilization > \
+        2 * results["Turbo-DP-Batch"].utilization
+    # The optimized runtime needs less busy time than PyTorch for the
+    # same completed work.
+    assert results["Turbo-NoBatch"].utilization < \
+        results["PyTorch-NoBatch"].utilization
+    # Batching with the DP scheduler serves the demand with the least work.
+    assert results["Turbo-DP-Batch"].utilization <= \
+        results["Turbo-NoBatch"].utilization + 0.02

@@ -1,0 +1,41 @@
+"""Fig. 12: response throughput of the serving systems vs offered load.
+
+Paper reference (RTX 2060, BERT, normal lengths 5-500, Poisson arrivals):
+saturation points TF-serving << PyTorch-NoBatch (60) < Turbo-Naive-Batch
+(98) < Turbo-NoBatch (120) < Turbo-DP-Batch (144 resp/s); naive batching is
+*worse* than no batching because of zero-padding overhead.
+Shape: that ordering, Turbo-DP > Turbo-NoBatch by 15%+, and Turbo-DP at
+least 2x PyTorch-NoBatch (paper: +140%).
+"""
+
+from repro.experiments.fig12_serving_throughput import format_fig12
+
+
+def test_fig12_serving_throughput(benchmark, serving_bench):
+    def saturation(name):
+        return serving_bench.saturation_throughput(serving_bench.system(name))
+
+    capacities = benchmark.pedantic(
+        lambda: {name: saturation(name) for name in (
+            "TF-serving", "PyTorch-NoBatch", "Turbo-NoBatch",
+            "Turbo-Naive-Batch", "Turbo-DP-Batch",
+        )},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print("\n[Fig. 12] Response throughput vs offered load (resp/s)\n"
+          + format_fig12(serving_bench))
+    print("measured saturation capacities:",
+          {k: round(v) for k, v in capacities.items()})
+
+    # Saturation ordering of the paper.
+    assert capacities["TF-serving"] < capacities["PyTorch-NoBatch"]
+    assert capacities["PyTorch-NoBatch"] < capacities["Turbo-Naive-Batch"]
+    assert capacities["Turbo-Naive-Batch"] < capacities["Turbo-NoBatch"]
+    assert capacities["Turbo-NoBatch"] < capacities["Turbo-DP-Batch"]
+
+    # DP over NoBatch: paper reports +20%.
+    dp_gain = capacities["Turbo-DP-Batch"] / capacities["Turbo-NoBatch"] - 1
+    assert dp_gain > 0.15
+
+    # DP over PyTorch: paper reports +140%.
+    assert capacities["Turbo-DP-Batch"] > 2.0 * capacities["PyTorch-NoBatch"]

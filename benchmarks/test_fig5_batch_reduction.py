@@ -1,0 +1,27 @@
+"""Fig. 5: speedup of the Turbo batch-reduction kernels on Tesla V100.
+
+Paper shape: Turbo beats the FasterTransformer baseline in most cases with
+the gap growing with workload; the cuDNN softmax gap is much larger; the
+softmax boost is more significant than LayerNorm's (its batch dimension is
+``heads`` times larger).
+"""
+
+from repro.experiments.fig5_batch_reduction import format_fig5, run_fig5
+
+
+def test_fig5_batch_reduction(benchmark):
+    points = benchmark(run_fig5)
+    print("\n[Fig. 5] Batch-reduction kernel speedups (Tesla V100)\n"
+          + format_fig5())
+
+    ft_softmax = [p for p in points
+                  if p.kernel == "softmax" and p.baseline == "faster_transformer"]
+    losses = [p for p in ft_softmax if p.speedup < 0.98]
+    assert len(losses) <= 2, [f"({p.batch},{p.seq})" for p in losses]
+
+    heavy = max(p.speedup for p in ft_softmax if p.batch == 20)
+    light = next(p.speedup for p in ft_softmax if p.batch == 20 and p.seq == 10)
+    assert heavy > light
+
+    cudnn_peak = max(p.speedup for p in points if p.baseline == "cudnn")
+    assert cudnn_peak > 2.0  # the cuDNN gap is the figure's big bars

@@ -1,0 +1,19 @@
+"""Fig. 6: chunk layout as request length grows 200 -> 240.
+
+Paper: the allocator re-plans offsets inside cached chunks and appends one
+more chunk; only the delta is freshly allocated.
+"""
+
+from repro.experiments.fig6_allocation_example import format_fig6, run_fig6
+
+
+def test_fig6_allocation_example(benchmark):
+    snapshots = benchmark(run_fig6, 200, 240)
+    print("\n[Fig. 6] Allocation example (BERT, length 200 -> 240)\n"
+          + format_fig6())
+    first, second = snapshots
+    assert second.num_chunks >= first.num_chunks
+    assert 0 < second.new_mb < first.new_mb
+    # Offsets were re-planned: the second layout still covers all tensors.
+    assert sum(len(v) for v in second.chunk_tensors.values()) == \
+        sum(len(v) for v in first.chunk_tensors.values())

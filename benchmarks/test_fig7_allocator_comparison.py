@@ -1,0 +1,27 @@
+"""Fig. 7: allocator comparison over 50 variable-length BERT requests.
+
+Paper reference: Turbo allocates 0.70 MB of new memory per request on
+average vs 2.78 MB for GSOC; the PyTorch caching allocator's footprint is
+roughly double the planned allocators' (1.1 GB vs <=540 MB total).
+Shape: turbo <= gsoc on new-MB/request, caching's footprint largest, naive
+stalls the device hardest (the §4.2 M40 anecdote).
+"""
+
+from repro.experiments.fig7_allocator_comparison import format_fig7, run_fig7
+
+
+def test_fig7_allocator_comparison(benchmark):
+    result = benchmark(run_fig7, 50, 0)
+    print("\n[Fig. 7] Allocator comparison (50 variable-length requests)\n"
+          + format_fig7(50, 0))
+
+    assert result.avg_new_mb("turbo") <= result.avg_new_mb("gsoc")
+    assert result.footprint("caching") > 2 * result.footprint("gsoc")
+    assert result.footprint("turbo") < result.footprint("caching")
+
+    naive = result.results["naive"]
+    assert naive.total_stall_s > 10 * result.results["turbo"].total_stall_s
+
+    # Allocation efficiency: turbo rarely needs a fresh cudaMalloc.
+    assert result.results["turbo"].allocation_events < 15
+    assert naive.allocation_events == 50

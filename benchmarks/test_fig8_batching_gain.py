@@ -1,0 +1,22 @@
+"""Fig. 8: batching gain for BERT serving on the simulated RTX 2060.
+
+Paper shape: batching reduces normalized per-request latency everywhere,
+with by far the biggest gains for short sequences.
+"""
+
+from repro.experiments.fig8_batching_gain import format_fig8, run_fig8
+
+
+def test_fig8_batching_gain(benchmark):
+    points = benchmark(run_fig8)
+    print("\n[Fig. 8] Normalized per-request latency vs batch size (RTX 2060)\n"
+          + format_fig8())
+    gains = {(p.seq, p.batch): p.normalized for p in points}
+    for (seq, batch), normalized in gains.items():
+        if batch > 1:
+            assert normalized < 1.0, (seq, batch)
+    # Short sequences benefit the most (paper: "especially for short").
+    assert gains[(10, 20)] < 0.35
+    assert gains[(10, 20)] < gains[(100, 20)] < gains[(500, 20)]
+    # Long single requests already fill the device: modest gain.
+    assert gains[(500, 20)] > 0.75

@@ -1,0 +1,27 @@
+"""Fig. 9: the DP scheduler on the paper's {17,18,52,63,77} example.
+
+Paper: one padded batch of five is *less* efficient than no batching; the
+DP partition (three batches) improves throughput ~35% over the single
+batch.  Reproduced under the paper-regime cost model; the simulated-2060
+cost table is also reported (there, per-request fixed overheads make
+batching more forgiving — the DP schedule is optimal under both).
+"""
+
+from repro.experiments.fig9_scheduler_example import (
+    format_fig9,
+    run_fig9,
+    simulated_cost_table,
+)
+
+
+def test_fig9_scheduler_example(benchmark):
+    outcomes = {o.scheduler: o for o in benchmark(run_fig9)}
+    print("\n[Fig. 9] Batch scheduler example, lengths {17,18,52,63,77}\n"
+          + format_fig9())
+    print(format_fig9(cost_fn=simulated_cost_table().cost,
+                      title="simulated RTX 2060 cost table"))
+
+    assert outcomes["naive"].throughput_rps < outcomes["nobatch"].throughput_rps
+    improvement = outcomes["dp"].throughput_rps / outcomes["naive"].throughput_rps - 1
+    assert 0.20 < improvement < 0.60  # paper: 35%
+    assert 2 <= len(outcomes["dp"].batches) <= 4  # paper: 3 batches

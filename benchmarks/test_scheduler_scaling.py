@@ -1,0 +1,59 @@
+"""Wall-clock scaling of the DP scheduler (Alg. 3 is O(n^2), n = queue).
+
+The paper claims O(n^2); with the ``max_batch`` cap the inner loop is
+bounded, so the *implementation* is O(n * max_batch) per round — this
+bench measures the real Python wall-clock across queue sizes and checks
+the growth is near-linear in n (not quadratic), i.e. the cap works.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import DPBatchScheduler, Request
+from repro.serving.workload import uniform_lengths
+
+
+def make_queue(n, seed=0):
+    rng = np.random.default_rng(seed)
+    lengths = uniform_lengths(rng, n, 5, 500)
+    return [Request(req_id=i, seq_len=int(lengths[i]), arrival_s=0.0)
+            for i in range(n)]
+
+
+def cost(seq_len, batch):
+    return 0.002 + 0.00005 * seq_len * batch
+
+
+@pytest.mark.parametrize("n", [100, 400, 1600])
+def test_dp_schedule_wallclock(benchmark, n):
+    requests = make_queue(n)
+    scheduler = DPBatchScheduler()
+    batches = benchmark(scheduler.schedule, requests, cost, 20)
+    assert sum(b.size for b in batches) == n
+
+
+def test_dp_scaling_is_subquadratic(benchmark):
+    """Quadrupling the queue should grow runtime ~4x (capped inner loop),
+    far below the 16x a true O(n^2) would show."""
+    scheduler = DPBatchScheduler()
+
+    def measure(n, repeats=3):
+        requests = make_queue(n)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            scheduler.schedule(requests, cost, 20)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def run():
+        measure(400)  # warm up interpreter caches
+        return measure(800), measure(3200)
+
+    t1, t2 = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    ratio = t2 / t1
+    print(f"\nDP schedule wall-clock: n=800 {t1 * 1e3:.2f} ms, "
+          f"n=3200 {t2 * 1e3:.2f} ms (ratio {ratio:.1f}x for 4x input)")
+    assert ratio < 10  # comfortably below quadratic's 16x

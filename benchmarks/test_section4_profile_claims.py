@@ -1,0 +1,36 @@
+"""§4.1.1 motivating measurements, reproduced from the cost model.
+
+Paper (Tesla V100, PyTorch BERT):
+  * (batch 20, seq 128): 61.8% of time in GEMM, 38.2% in non-GEMM kernels.
+  * (batch 1, seq 40): GPU completely idle 80.64% of the time.
+Measured: 59.3% GEMM / 40.7% non-GEMM, and 69.6% idle — the two numbers
+that justify kernel fusion and overhead trimming.
+"""
+
+from repro.experiments.profile_breakdown import (
+    format_profile_breakdown,
+    run_profile_breakdown,
+)
+
+
+def test_section4_profile_claims(benchmark):
+    breakdowns = benchmark(run_profile_breakdown)
+    print("\n[§4.1.1] PyTorch/Turbo inference time breakdown (Tesla V100)\n"
+          + format_profile_breakdown())
+    by_key = {(b.runtime, b.batch, b.seq): b for b in breakdowns}
+
+    heavy_pt = by_key[("PyTorch", 20, 128)]
+    # Paper: 61.8% GEMM / 38.2% non-GEMM.
+    assert 0.50 < heavy_pt.gemm_fraction < 0.75
+    assert heavy_pt.non_gemm_fraction > 0.25
+
+    tiny_pt = by_key[("PyTorch", 1, 40)]
+    # Paper: GPU idle 80.64% at (1, 40).
+    assert tiny_pt.idle_fraction > 0.55
+
+    # Fusion shifts the mix decisively toward GEMM for Turbo.
+    heavy_turbo = by_key[("TurboTransformers", 20, 128)]
+    assert heavy_turbo.gemm_fraction > heavy_pt.gemm_fraction + 0.15
+    # And trims (but cannot eliminate) the tiny-workload idle time.
+    tiny_turbo = by_key[("TurboTransformers", 1, 40)]
+    assert tiny_turbo.idle_fraction < tiny_pt.idle_fraction

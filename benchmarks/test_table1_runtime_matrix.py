@@ -1,0 +1,14 @@
+"""Table 1: qualitative runtime feature matrix (derived, not asserted prose)."""
+
+from repro.experiments.table1_runtime_matrix import format_table1, run_table1
+
+
+def test_table1_runtime_matrix(benchmark):
+    rows = benchmark(run_table1)
+    print("\n[Table 1] Runtime comparison\n" + format_table1())
+    turbo = next(r for r in rows if "Turbo" in r.name)
+    assert turbo.variable_length and not turbo.needs_preprocess
+    fixed = [r for r in rows if not r.variable_length]
+    assert {r.name for r in fixed} == {
+        "TensorFlow-XLA", "TensorRT", "FasterTransformers"
+    }

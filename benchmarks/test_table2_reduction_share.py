@@ -1,0 +1,29 @@
+"""Table 2: Softmax/LayerNorm share of the attention layer, before/after.
+
+Paper reference (Tesla V100):
+  softmax before   26.23/24.73/34.41/3.04/29.4/90.68 %  ((1,10)...(20,500))
+  softmax after     3.44/ 3.18/11.56/2.46/5.50/15.46 %
+  layernorm before 29.20/21.72/18.96/10.61/52.59/83.38 %
+  layernorm after   4.96/ 4.40/ 4.08/ 5.14/6.44/ 4.24 %
+Shape requirement: the optimized share collapses, and the softmax share
+grows with workload before optimization.
+"""
+
+from repro.experiments.table2_reduction_share import format_table2, run_table2
+
+
+def test_table2_reduction_share(benchmark):
+    shares = benchmark(run_table2)
+    print("\n[Table 2] Batch-reduction share of attention (Tesla V100)\n"
+          + format_table2())
+    for s in shares:
+        assert s.after < s.before, (s.kernel, s.batch, s.seq)
+    heavy_softmax = next(
+        s for s in shares if s.kernel == "softmax" and (s.batch, s.seq) == (20, 500)
+    )
+    assert heavy_softmax.before > 0.5
+    assert heavy_softmax.after < 0.25
+    heavy_ln = next(
+        s for s in shares if s.kernel == "layernorm" and (s.batch, s.seq) == (20, 500)
+    )
+    assert heavy_ln.after < 0.06  # paper: 4.24%

@@ -1,0 +1,40 @@
+"""Table 4: avg (min, max) serving latency at each system's capacity.
+
+Paper reference (req/s = each system's saturation point):
+  60:  PyTorch 77.71 (10.61, 158.06) | others low
+  98:  PyTorch +inf | Turbo-Naive 16.68-38 | Turbo-NoBatch ok | DP ok
+  120: Turbo-NoBatch 32.91 | DP 23.18 (DP cuts avg/max ~30/36%)
+  144: only Turbo-DP-Batch stays finite (38.51 ms avg)
+Shape: at each measured capacity, every *slower* system has saturated
+(+inf) while the system that defines the rate stays finite, and DP yields
+lower latency than NoBatch at NoBatch's capacity.
+"""
+
+from repro.experiments.fig12_serving_throughput import format_table4, run_table4
+
+
+def test_table4_serving_latency(benchmark, serving_bench):
+    rates, metrics = benchmark.pedantic(
+        run_table4, args=(serving_bench,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print("\n[Table 4] Serving latency avg (min, max) ms at measured "
+          "saturation rates\n" + format_table4(serving_bench))
+
+    ordered = ["PyTorch-NoBatch", "Turbo-Naive-Batch", "Turbo-NoBatch",
+               "Turbo-DP-Batch"]
+    # Rates are each system's capacity: strictly increasing.
+    assert rates == sorted(rates)
+
+    # The defining system stays finite at its own rate; every slower system
+    # is saturated by the fastest system's rate.
+    for i, name in enumerate(ordered):
+        assert not metrics[name][i].saturated, (name, rates[i])
+    top_rate_idx = len(rates) - 1
+    for name in ordered[:-1]:
+        assert metrics[name][top_rate_idx].saturated, name
+
+    # DP beats NoBatch on latency at NoBatch's capacity (paper: -30% avg).
+    nobatch_rate_idx = ordered.index("Turbo-NoBatch")
+    dp = metrics["Turbo-DP-Batch"][nobatch_rate_idx].latency
+    nobatch = metrics["Turbo-NoBatch"][nobatch_rate_idx].latency
+    assert dp.avg_ms < nobatch.avg_ms

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Allocator walkthrough — the paper's Fig. 6 rendered as ASCII chunk maps.
+
+Plans a BERT inference at length 200, then re-plans at 240, printing where
+each of the largest tensors lands inside the 2 MB chunks, and compares the
+four allocators on a small variable-length stream (Fig. 7 in miniature).
+
+Run:  python examples/allocator_walkthrough.py
+"""
+
+from repro.graph import fuse_graph, tensor_usage_records
+from repro.memory import (
+    MB,
+    CachingAllocator,
+    GsocAllocator,
+    NaiveAllocator,
+    TurboAllocator,
+    run_allocator_workload,
+)
+from repro.models import bert_base, build_encoder_graph
+
+
+def render_chunks(allocator: TurboAllocator, top_n: int = 3) -> None:
+    for chunk in allocator.chunks:
+        header = f"   chunk {chunk.chunk_id} ({chunk.size / MB:.1f} MB): "
+        if chunk.is_unused:
+            print(header + "(idle)")
+            continue
+        largest = sorted(chunk.assignments, key=lambda a: -a.record.size)[:top_n]
+        parts = [
+            f"{a.record.name}@{a.offset // 1024}K ({a.record.size / MB:.2f} MB)"
+            for a in largest
+        ]
+        extra = len(chunk.assignments) - len(largest)
+        if extra > 0:
+            parts.append(f"+{extra} more")
+        print(header + ", ".join(parts))
+
+
+def fig6_walkthrough() -> None:
+    print("== Fig. 6 walkthrough: BERT request length 200 -> 240 ==")
+    graph = fuse_graph(build_encoder_graph(bert_base()))
+    allocator = TurboAllocator()
+    for seq_len in (200, 240):
+        records = tensor_usage_records(graph, {"batch": 1, "seq": seq_len})
+        result = allocator.process_request(records)
+        print(f"\n length {seq_len}: {len(records)} tensors, "
+              f"{len(allocator.chunks)} chunks, "
+              f"+{result.new_mb:.2f} MB newly allocated")
+        render_chunks(allocator)
+
+
+def allocator_faceoff() -> None:
+    print("\n== allocator face-off on 20 variable-length requests ==")
+    graph = fuse_graph(build_encoder_graph(bert_base()))
+    import numpy as np
+
+    rng = np.random.default_rng(5)
+    lengths = rng.integers(5, 501, size=20)
+    streams = [
+        tensor_usage_records(graph, {"batch": 1, "seq": int(length)})
+        for length in lengths
+    ]
+    print(f"   request lengths: {sorted(int(x) for x in lengths)}")
+    print(f"   {'allocator':<10} {'max footprint (MB)':>19} "
+          f"{'avg new MB/req':>15} {'stall (ms)':>11}")
+    for allocator in (TurboAllocator(), GsocAllocator(), CachingAllocator(),
+                      NaiveAllocator()):
+        result = run_allocator_workload(allocator, streams)
+        print(f"   {allocator.name:<10} {result.max_footprint_mb:>19.1f} "
+              f"{result.avg_new_mb_per_request:>15.2f} "
+              f"{result.total_stall_s * 1e3:>11.1f}")
+
+
+if __name__ == "__main__":
+    fig6_walkthrough()
+    allocator_faceoff()
+    print("\nallocator walkthrough complete.")

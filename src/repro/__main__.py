@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``report [--quick] [OUTPUT]``
+    Regenerate the full evaluation report (all tables/figures) to a
+    markdown file (default ``REPORT.md``); ``--quick`` skips the heavy
+    serving experiments.
+``selfcheck``
+    Fast sanity pass: build the BERT graph, run one simulated inference on
+    every runtime, verify fused-vs-reference numerics on a tiny model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import main as report_main
+
+    argv = (["--quick"] if args.quick else []) + (
+        [args.output] if args.output else []
+    )
+    return report_main(argv)
+
+
+def _cmd_selfcheck(_args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .models import (
+        bert_base,
+        build_encoder_graph,
+        encoder_forward,
+        init_encoder_weights,
+        tiny_bert,
+    )
+    from .runtime import RUNTIME_FACTORIES
+
+    print("building BERT graph ...", end=" ", flush=True)
+    graph = build_encoder_graph(bert_base())
+    print(f"ok ({len(graph.nodes)} nodes)")
+
+    print("runtime latencies at (batch 1, seq 128), simulated RTX 2060:")
+    for name, factory in RUNTIME_FACTORIES.items():
+        runtime = factory(graph=graph)
+        print(f"  {name:<18} {runtime.latency(1, 128) * 1e3:7.2f} ms")
+
+    print("numeric check (tiny BERT, fused vs reference) ...", end=" ",
+          flush=True)
+    config = tiny_bert()
+    weights = init_encoder_weights(config, seed=0)
+    ids = np.random.default_rng(0).integers(0, config.vocab_size, (2, 16))
+    fused = encoder_forward(config, weights, ids, fused=True)
+    reference = encoder_forward(config, weights, ids, fused=False)
+    error = float(np.abs(fused - reference).max())
+    if error > 1e-3:
+        print(f"FAILED (max error {error:.2e})")
+        return 1
+    print(f"ok (max error {error:.2e})")
+    print("selfcheck passed.")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TurboTransformers reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="regenerate the evaluation report")
+    report.add_argument("output", nargs="?", default=None,
+                        help="output markdown path (default REPORT.md)")
+    report.add_argument("--quick", action="store_true",
+                        help="skip the heavy serving experiments")
+    report.set_defaults(func=_cmd_report)
+
+    selfcheck = sub.add_parser("selfcheck", help="fast sanity pass")
+    selfcheck.set_defaults(func=_cmd_selfcheck)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI test
+    raise SystemExit(main())

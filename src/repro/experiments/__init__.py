@@ -1,0 +1,33 @@
+"""Experiment harnesses: one module per paper table/figure (DESIGN.md §4)."""
+
+from . import (
+    fig5_batch_reduction,
+    profile_breakdown,
+    report,
+    fig6_allocation_example,
+    fig7_allocator_comparison,
+    fig8_batching_gain,
+    fig9_scheduler_example,
+    fig10_variable_length,
+    fig11_fixed_length,
+    fig12_serving_throughput,
+    table1_runtime_matrix,
+    table2_reduction_share,
+)
+from .tables import format_table
+
+__all__ = [
+    "format_table",
+    "table1_runtime_matrix",
+    "table2_reduction_share",
+    "fig5_batch_reduction",
+    "fig6_allocation_example",
+    "fig7_allocator_comparison",
+    "fig8_batching_gain",
+    "fig9_scheduler_example",
+    "fig10_variable_length",
+    "fig11_fixed_length",
+    "fig12_serving_throughput",
+    "profile_breakdown",
+    "report",
+]

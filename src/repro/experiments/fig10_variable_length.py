@@ -1,0 +1,140 @@
+"""Fig. 10: latency on variable-length requests (BERT / ALBERT / Decoder).
+
+Sequential execution of randomly sampled lengths on the simulated RTX 2060:
+BERT and ALBERT sample lengths 5–500; the decoder (Chinese-English
+translation) samples source lengths 28–137 and generates a same-length
+target with beam 4.  BERT adds the onnxruntime series, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..gpusim import RTX_2060, DeviceSpec
+from ..models import (
+    albert_base,
+    bert_base,
+    build_albert_graph,
+    build_decoder_step_graph,
+    build_encoder_graph,
+    seq2seq_decoder,
+)
+from ..runtime import (
+    DecoderRuntime,
+    PYTORCH_CHARACTERISTICS,
+    TURBO_CHARACTERISTICS,
+    onnxruntime_runtime,
+    pytorch_runtime,
+    turbo_runtime,
+)
+from ..serving.workload import uniform_lengths
+from .tables import format_table
+
+#: Number of sampled requests per model in the sweep.
+NUM_SAMPLES = 30
+
+#: Per-decode-step host bookkeeping (beam top-k, cache reordering).
+TURBO_STEP_OVERHEAD_S = 0.1e-3
+PYTORCH_STEP_OVERHEAD_S = 2.5e-3
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    model: str
+    seq_len: int
+    latencies_s: Dict[str, float]  # runtime name -> seconds
+
+    def speedup(self, baseline: str, target: str = "TurboTransformers") -> float:
+        return self.latencies_s[baseline] / self.latencies_s[target]
+
+
+def _sample_lengths(lo: int, hi: int, n: int, seed: int) -> List[int]:
+    rng = np.random.default_rng(seed)
+    return [int(x) for x in uniform_lengths(rng, n, lo, hi)]
+
+
+def run_fig10_bert(
+    device: DeviceSpec = RTX_2060, n: int = NUM_SAMPLES, seed: int = 0
+) -> List[LatencyPoint]:
+    graph = build_encoder_graph(bert_base())
+    runtimes = {
+        "TurboTransformers": turbo_runtime(graph=graph, device=device),
+        "PyTorch": pytorch_runtime(graph=graph, device=device),
+        "onnxruntime": onnxruntime_runtime(graph=graph, device=device),
+    }
+    return [
+        LatencyPoint("bert", L, {name: rt.latency(1, L) for name, rt in runtimes.items()})
+        for L in sorted(_sample_lengths(5, 500, n, seed))
+    ]
+
+
+def run_fig10_albert(
+    device: DeviceSpec = RTX_2060, n: int = NUM_SAMPLES, seed: int = 1
+) -> List[LatencyPoint]:
+    graph = build_albert_graph(albert_base())
+    runtimes = {
+        "TurboTransformers": turbo_runtime(graph=graph, device=device),
+        "PyTorch": pytorch_runtime(graph=graph, device=device),
+    }
+    return [
+        LatencyPoint("albert", L, {name: rt.latency(1, L) for name, rt in runtimes.items()})
+        for L in sorted(_sample_lengths(5, 500, n, seed))
+    ]
+
+
+def run_fig10_decoder(
+    device: DeviceSpec = RTX_2060, n: int = 12, seed: int = 2
+) -> List[LatencyPoint]:
+    """Decoder translation latency: source 28-137, target length = source."""
+    config = seq2seq_decoder()
+    step_graph = build_decoder_step_graph(config)
+    # Per-step beam-search bookkeeping outside the graph (top-k, hypothesis
+    # management, KV-cache reordering): a Python loop pays milliseconds, the
+    # C++ serving loop microseconds.
+    runtimes = {
+        "TurboTransformers": DecoderRuntime(
+            step_graph, TURBO_CHARACTERISTICS, device, config.beam_size,
+            step_overhead_s=TURBO_STEP_OVERHEAD_S,
+        ),
+        "PyTorch": DecoderRuntime(
+            step_graph, PYTORCH_CHARACTERISTICS, device, config.beam_size,
+            step_overhead_s=PYTORCH_STEP_OVERHEAD_S,
+        ),
+    }
+    return [
+        LatencyPoint(
+            "decoder", L,
+            {name: rt.decode_latency(L, L) for name, rt in runtimes.items()},
+        )
+        for L in sorted(_sample_lengths(28, 137, n, seed))
+    ]
+
+
+def speedup_range(points: Sequence[LatencyPoint], baseline: str) -> tuple:
+    """(min, max) Turbo speedup over a baseline across the sweep."""
+    speedups = [p.speedup(baseline) for p in points]
+    return min(speedups), max(speedups)
+
+
+def format_fig10(device: DeviceSpec = RTX_2060) -> str:
+    sections = []
+    for name, run in (
+        ("bert", run_fig10_bert), ("albert", run_fig10_albert),
+        ("decoder", run_fig10_decoder),
+    ):
+        points = run(device)
+        systems = sorted(points[0].latencies_s)
+        rows = [
+            [p.seq_len] + [f"{p.latencies_s[s] * 1e3:.2f}" for s in systems]
+            + [f"{p.speedup('PyTorch'):.2f}x"]
+            for p in points
+        ]
+        table = format_table(
+            ["seq len"] + [f"{s} (ms)" for s in systems] + ["turbo vs pytorch"], rows
+        )
+        lo, hi = speedup_range(points, "PyTorch")
+        sections.append(f"[{name}] turbo vs PyTorch speedup: {lo:.2f}x - {hi:.2f}x\n{table}")
+    return "\n\n".join(sections)

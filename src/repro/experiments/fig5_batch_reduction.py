@@ -1,0 +1,86 @@
+"""Fig. 5: speedup of the Turbo batch-reduction kernels on Tesla V100.
+
+Softmax is compared against the FasterTransformer baseline and the cuDNN
+softmax routine; LayerNorm against the FasterTransformer baseline — the
+same pairings as the paper's figure.  Softmax rows come from attention
+scores (``batch*heads*seq`` rows of length ``seq``); LayerNorm rows from
+hidden states (``batch*seq`` rows of length 768).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..gpusim import TESLA_V100, DeviceSpec, ReductionImpl, layernorm_time, softmax_time
+from .tables import format_table
+
+HIDDEN, HEADS = 768, 12
+
+#: Sequence lengths swept in Fig. 5.
+FIG5_LENGTHS: Tuple[int, ...] = (10, 20, 40, 60, 80, 100, 200, 300, 400, 500)
+FIG5_BATCHES: Tuple[int, ...] = (1, 20)
+
+
+@dataclass(frozen=True)
+class KernelSpeedup:
+    """One Fig. 5 data point."""
+
+    kernel: str
+    baseline: str
+    batch: int
+    seq: int
+    turbo_s: float
+    baseline_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_s / self.turbo_s
+
+
+def run_fig5(
+    device: DeviceSpec = TESLA_V100,
+    lengths: Sequence[int] = FIG5_LENGTHS,
+    batches: Sequence[int] = FIG5_BATCHES,
+    x_elems: int = 2,
+) -> List[KernelSpeedup]:
+    points: List[KernelSpeedup] = []
+    for batch in batches:
+        for seq in lengths:
+            softmax_rows = batch * HEADS * seq
+            turbo_sm = softmax_time(device, softmax_rows, seq,
+                                    ReductionImpl.TURBO, x_elems).total_s
+            for baseline in (ReductionImpl.FASTER_TRANSFORMER, ReductionImpl.CUDNN):
+                base_s = softmax_time(device, softmax_rows, seq, baseline).total_s
+                points.append(
+                    KernelSpeedup("softmax", baseline.value, batch, seq,
+                                  turbo_sm, base_s)
+                )
+            ln_rows = batch * seq
+            turbo_ln = layernorm_time(device, ln_rows, HIDDEN,
+                                      ReductionImpl.TURBO).total_s
+            base_ln = layernorm_time(device, ln_rows, HIDDEN,
+                                     ReductionImpl.FASTER_TRANSFORMER).total_s
+            points.append(
+                KernelSpeedup("layernorm", "faster_transformer", batch, seq,
+                              turbo_ln, base_ln)
+            )
+    return points
+
+
+def format_fig5(device: DeviceSpec = TESLA_V100) -> str:
+    points = run_fig5(device)
+    series = sorted({(p.kernel, p.baseline, p.batch) for p in points})
+    rows = []
+    for kernel, baseline, batch in series:
+        cells: List[object] = [f"{kernel} vs {baseline}", batch]
+        for seq in FIG5_LENGTHS:
+            match = next(
+                p for p in points
+                if (p.kernel, p.baseline, p.batch, p.seq) == (kernel, baseline, batch, seq)
+            )
+            cells.append(f"{match.speedup:.2f}x")
+        rows.append(cells)
+    return format_table(
+        ["series", "batch"] + [str(s) for s in FIG5_LENGTHS], rows
+    )

@@ -1,0 +1,62 @@
+"""Fig. 6: the allocator's chunk layout as the request length changes.
+
+The paper illustrates a BERT inference whose input length grows from 200
+to 240: the allocator re-plans the offsets inside its cached chunks and
+appends one more chunk.  This module reproduces that walkthrough and
+exposes the layouts for rendering/assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..graph import fuse_graph, tensor_usage_records
+from ..memory import MB, RequestAllocation, TurboAllocator
+from ..models import bert_base, build_encoder_graph
+from .tables import format_table
+
+
+@dataclass(frozen=True)
+class AllocationSnapshot:
+    """Chunk layout after planning one request."""
+
+    seq_len: int
+    num_chunks: int
+    footprint_mb: float
+    new_mb: float
+    chunk_tensors: Dict[int, List[str]]
+
+
+def run_fig6(first_len: int = 200, second_len: int = 240, batch: int = 1
+             ) -> List[AllocationSnapshot]:
+    """Plan two consecutive BERT requests and snapshot the chunk layouts."""
+    if first_len <= 0 or second_len <= 0:
+        raise ValueError("lengths must be positive")
+    graph = fuse_graph(build_encoder_graph(bert_base()))
+    allocator = TurboAllocator()
+    snapshots: List[AllocationSnapshot] = []
+    for seq_len in (first_len, second_len):
+        records = tensor_usage_records(graph, {"batch": batch, "seq": seq_len})
+        result: RequestAllocation = allocator.process_request(records)
+        snapshots.append(
+            AllocationSnapshot(
+                seq_len=seq_len,
+                num_chunks=len(allocator.chunks),
+                footprint_mb=result.footprint_bytes / MB,
+                new_mb=result.new_mb,
+                chunk_tensors=allocator.chunk_layout(),
+            )
+        )
+    return snapshots
+
+
+def format_fig6() -> str:
+    snaps = run_fig6()
+    rows = [
+        [s.seq_len, s.num_chunks, f"{s.footprint_mb:.2f}", f"{s.new_mb:.2f}"]
+        for s in snaps
+    ]
+    return format_table(
+        ["seq_len", "chunks", "footprint (MB)", "newly allocated (MB)"], rows
+    )

@@ -1,0 +1,73 @@
+"""Fig. 8: batching brings performance gain for BERT serving on RTX 2060.
+
+For each sequence length, the per-request latency of a batch of size ``b``
+is normalized against serving the same request at batch size 1.  The gain
+is largest for short sequences (which underfill the GPU alone) — exactly
+the effect the DP batch scheduler exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..gpusim import RTX_2060, DeviceSpec
+from ..models import bert_base, build_encoder_graph
+from ..runtime import InferenceRuntime, turbo_runtime
+from .tables import format_table
+
+FIG8_LENGTHS: Tuple[int, ...] = (10, 50, 100, 200, 300, 400, 500)
+FIG8_BATCHES: Tuple[int, ...] = (1, 2, 4, 8, 16, 20)
+
+
+@dataclass(frozen=True)
+class BatchingGain:
+    """Per-request latency of (batch, seq) relative to batch 1."""
+
+    seq: int
+    batch: int
+    per_request_s: float
+    normalized: float  # per_request(batch) / per_request(1); < 1 is a gain
+
+    @property
+    def speedup(self) -> float:
+        return 1.0 / self.normalized
+
+
+def run_fig8(
+    device: DeviceSpec = RTX_2060,
+    lengths: Sequence[int] = FIG8_LENGTHS,
+    batches: Sequence[int] = FIG8_BATCHES,
+    runtime: InferenceRuntime = None,
+) -> List[BatchingGain]:
+    rt = runtime if runtime is not None else turbo_runtime(
+        graph=build_encoder_graph(bert_base()), device=device
+    )
+    points: List[BatchingGain] = []
+    for seq in lengths:
+        single = rt.latency(1, seq)
+        for batch in batches:
+            per_request = rt.latency(batch, seq) / batch
+            points.append(
+                BatchingGain(
+                    seq=seq, batch=batch, per_request_s=per_request,
+                    normalized=per_request / single,
+                )
+            )
+    return points
+
+
+def format_fig8(device: DeviceSpec = RTX_2060) -> str:
+    points = run_fig8(device)
+    by_seq: Dict[int, List[BatchingGain]] = {}
+    for p in points:
+        by_seq.setdefault(p.seq, []).append(p)
+    rows = []
+    for seq in sorted(by_seq):
+        cells: List[object] = [seq]
+        for p in sorted(by_seq[seq], key=lambda x: x.batch):
+            cells.append(f"{p.normalized:.2f}")
+        rows.append(cells)
+    return format_table(
+        ["seq len"] + [f"b={b}" for b in FIG8_BATCHES], rows
+    )

@@ -1,0 +1,110 @@
+"""Fig. 9: the batch scheduler example with lengths {17, 18, 52, 63, 77}.
+
+The paper's worked example: packing all five requests into one padded
+batch is *less* efficient than no batching, and the DP scheduler's
+partition improves response throughput ~35% over the single batch.
+
+That outcome presupposes the cost regime of the authors' measured
+``cached_cost`` table: per-batch latency roughly affine in padded length
+with sub-linear but weak batch scaling (``cost ~ F + k·len·batch^0.9``).
+:func:`paper_example_cost` encodes that regime, and under it the DP
+partition reproduces the paper's story.  Under our simulated RTX 2060 cost
+table the *per-request fixed overheads* are relatively larger, so batching
+is more forgiving and the single batch is no longer a loss — the bench
+reports both regimes, and the DP schedule is optimal under each (that is
+the property the algorithm guarantees; the best partition is workload- and
+hardware-dependent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..models import bert_base, build_encoder_graph
+from ..runtime import CostTable, turbo_runtime, warmup_profile
+from ..serving import (
+    CostFn,
+    DPBatchScheduler,
+    NaiveBatchScheduler,
+    NoBatchScheduler,
+    Request,
+    throughput_of_schedule,
+)
+from .tables import format_table
+
+#: The exact request lengths of the paper's example.
+FIG9_LENGTHS: Tuple[int, ...] = (17, 18, 52, 63, 77)
+
+#: Constants of the paper-regime cost model (seconds).
+_FIXED_S = 0.5e-3
+_PER_TOKEN_S = 0.05e-3
+_BATCH_EXPONENT = 0.9
+
+
+def paper_example_cost(seq_len: int, batch: int) -> float:
+    """Batch latency in the regime of the paper's Fig. 9 example."""
+    if seq_len <= 0 or batch <= 0:
+        raise ValueError(f"seq_len and batch must be positive, got {seq_len}, {batch}")
+    return _FIXED_S + _PER_TOKEN_S * seq_len * batch ** _BATCH_EXPONENT
+
+
+@dataclass(frozen=True)
+class SchedulerOutcome:
+    scheduler: str
+    batches: List[Tuple[int, ...]]  # lengths per batch
+    makespan_s: float
+    throughput_rps: float
+
+
+def _requests() -> List[Request]:
+    return [
+        Request(req_id=i, seq_len=length, arrival_s=0.0)
+        for i, length in enumerate(FIG9_LENGTHS)
+    ]
+
+
+def run_fig9(
+    max_batch: int = 20, cost_fn: Optional[CostFn] = None
+) -> List[SchedulerOutcome]:
+    """Schedule the example under ``cost_fn`` (paper regime by default)."""
+    if cost_fn is None:
+        cost_fn = paper_example_cost
+    outcomes: List[SchedulerOutcome] = []
+    for scheduler in (NoBatchScheduler(), NaiveBatchScheduler(), DPBatchScheduler()):
+        batches = scheduler.schedule(_requests(), cost_fn, max_batch)
+        outcomes.append(
+            SchedulerOutcome(
+                scheduler=scheduler.name,
+                batches=[tuple(r.seq_len for r in b.requests) for b in batches],
+                makespan_s=sum(cost_fn(b.padded_len, b.size) for b in batches),
+                throughput_rps=throughput_of_schedule(batches, cost_fn),
+            )
+        )
+    return outcomes
+
+
+def simulated_cost_table(max_batch: int = 20) -> CostTable:
+    """Warm-up cost table from the simulated RTX 2060 Turbo runtime."""
+    runtime = turbo_runtime(graph=build_encoder_graph(bert_base()))
+    return warmup_profile(runtime, max_batch=max_batch, lengths=range(8, 129, 8))
+
+
+def format_fig9(cost_fn: Optional[CostFn] = None, title: str = "paper regime") -> str:
+    outcomes = run_fig9(cost_fn=cost_fn)
+    baseline = next(o for o in outcomes if o.scheduler == "naive")
+    rows = []
+    for o in outcomes:
+        rows.append([
+            o.scheduler,
+            " ".join(str(list(b)) for b in o.batches),
+            f"{o.makespan_s * 1e3:.2f}",
+            f"{o.throughput_rps:.0f}",
+            f"{(o.throughput_rps / baseline.throughput_rps - 1) * 100:+.0f}%",
+        ])
+    table = format_table(
+        ["scheduler", "batches (lengths)", "makespan (ms)", "resp/s",
+         "vs single batch"],
+        rows,
+    )
+    return f"[{title}]\n{table}"

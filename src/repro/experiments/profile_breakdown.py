@@ -1,0 +1,103 @@
+"""§4.1.1 profiling claims: where PyTorch's inference time goes.
+
+The paper motivates kernel fusion with two measurements on a Tesla V100:
+
+* at (batch 20, seq 128), only 61.8% of PyTorch's time is spent in GEMM
+  kernels — 38.2% goes to the non-GEMM kernels Turbo fuses;
+* at (batch 1, seq 40), the GPU is idle 80.64% of the time (launch and
+  dispatch overheads dominate tiny workloads).
+
+This module recomputes both from the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..gpusim import TESLA_V100, DeviceSpec
+from ..models import bert_base, build_encoder_graph
+from ..runtime import InferenceRuntime, pytorch_runtime, turbo_runtime
+from .tables import format_table
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Kernel-category shares of one inference."""
+
+    runtime: str
+    batch: int
+    seq: int
+    gemm_fraction: float
+    reduction_fraction: float
+    elementwise_fraction: float
+    idle_fraction: float  # wall time not covered by device kernel time
+
+    @property
+    def non_gemm_fraction(self) -> float:
+        return 1.0 - self.gemm_fraction
+
+
+def _categorize(time_by_kernel: Dict[str, float]) -> Dict[str, float]:
+    buckets = {"gemm": 0.0, "reduction": 0.0, "elementwise": 0.0}
+    for name, seconds in time_by_kernel.items():
+        if name.startswith("gemm"):
+            buckets["gemm"] += seconds
+        elif "softmax" in name or "layernorm" in name:
+            buckets["reduction"] += seconds
+        else:
+            buckets["elementwise"] += seconds
+    return buckets
+
+
+def profile_inference(
+    runtime: InferenceRuntime, batch: int, seq: int
+) -> TimeBreakdown:
+    """Kernel-category breakdown of one inference on ``runtime``."""
+    result = runtime.infer(batch, seq)
+    buckets = _categorize(result.time_by_kernel)
+    kernel_total = sum(buckets.values())
+    device_total = sum(
+        timing.device_s
+        for timing in runtime.kernel_timings(batch, seq)
+    )
+    wall = result.latency_s
+    return TimeBreakdown(
+        runtime=runtime.name,
+        batch=batch,
+        seq=seq,
+        gemm_fraction=buckets["gemm"] / kernel_total,
+        reduction_fraction=buckets["reduction"] / kernel_total,
+        elementwise_fraction=buckets["elementwise"] / kernel_total,
+        idle_fraction=max(0.0, 1.0 - device_total / wall),
+    )
+
+
+def run_profile_breakdown(device: DeviceSpec = TESLA_V100):
+    """The two §4.1.1 data points for PyTorch plus Turbo for contrast."""
+    graph = build_encoder_graph(bert_base())
+    pytorch = pytorch_runtime(graph=graph, device=device)
+    turbo = turbo_runtime(graph=graph, device=device)
+    return [
+        profile_inference(pytorch, 20, 128),
+        profile_inference(pytorch, 1, 40),
+        profile_inference(turbo, 20, 128),
+        profile_inference(turbo, 1, 40),
+    ]
+
+
+def format_profile_breakdown(device: DeviceSpec = TESLA_V100) -> str:
+    rows = []
+    for b in run_profile_breakdown(device):
+        rows.append([
+            b.runtime, f"({b.batch},{b.seq})",
+            f"{b.gemm_fraction * 100:.1f}%",
+            f"{b.reduction_fraction * 100:.1f}%",
+            f"{b.elementwise_fraction * 100:.1f}%",
+            f"{b.idle_fraction * 100:.1f}%",
+        ])
+    return format_table(
+        ["runtime", "(batch,seq)", "GEMM", "reductions", "elementwise",
+         "GPU idle"],
+        rows,
+    )

@@ -1,0 +1,61 @@
+"""Table 1: qualitative comparison of the GPU inference runtimes.
+
+This table is descriptive in the paper; here the rows are *derived* from
+the implemented runtime characteristics, so the test suite can assert that
+the implementation actually has the properties the paper tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..runtime import (
+    FASTER_TRANSFORMER_CHARACTERISTICS,
+    ONNXRUNTIME_CHARACTERISTICS,
+    PYTORCH_CHARACTERISTICS,
+    TENSORRT_CHARACTERISTICS,
+    TURBO_CHARACTERISTICS,
+    XLA_CHARACTERISTICS,
+    RuntimeCharacteristics,
+)
+from .tables import format_table
+
+ALL_CHARACTERISTICS: List[RuntimeCharacteristics] = [
+    XLA_CHARACTERISTICS,
+    PYTORCH_CHARACTERISTICS,
+    TENSORRT_CHARACTERISTICS,
+    FASTER_TRANSFORMER_CHARACTERISTICS,
+    ONNXRUNTIME_CHARACTERISTICS,
+    TURBO_CHARACTERISTICS,
+]
+
+
+@dataclass(frozen=True)
+class RuntimeMatrixRow:
+    """One Table 1 row, derived from a runtime's characteristics."""
+
+    name: str
+    needs_preprocess: bool
+    variable_length: bool
+    usage: str
+
+
+def run_table1() -> List[RuntimeMatrixRow]:
+    return [
+        RuntimeMatrixRow(
+            name=c.name,
+            needs_preprocess=c.preprocess_s > 0,
+            variable_length=c.supports_variable_length,
+            usage=c.usage,
+        )
+        for c in ALL_CHARACTERISTICS
+    ]
+
+
+def format_table1() -> str:
+    rows = run_table1()
+    return format_table(
+        ["Runtime", "Preprocess", "Variable-Len", "Usage"],
+        [[r.name, r.needs_preprocess, r.variable_length, r.usage] for r in rows],
+    )

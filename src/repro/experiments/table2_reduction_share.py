@@ -1,0 +1,126 @@
+"""Table 2: share of batch-reduction kernels in the attention layer.
+
+Methodology follows the paper's footnote: attention-layer time is measured
+with the Turbo runtime, but with the Softmax (resp. LayerNorm) kernel
+replaced by PyTorch's implementation for the "before" rows and by Turbo's
+for the "after" rows.  The share is that kernel's fraction of the whole
+attention layer's time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..gpusim import (
+    TESLA_V100,
+    DeviceSpec,
+    ReductionImpl,
+    elementwise_time,
+    gemm_time,
+    layernorm_time,
+    softmax_time,
+)
+from .tables import format_table
+
+#: BERT-base attention geometry.
+HIDDEN, HEADS, HEAD_SIZE = 768, 12, 64
+
+#: The paper's (batch, seq) grid for Table 2.
+TABLE2_CASES: Tuple[Tuple[int, int], ...] = (
+    (1, 10), (1, 100), (1, 500), (20, 10), (20, 100), (20, 500),
+)
+
+
+def attention_layer_time(
+    device: DeviceSpec,
+    batch: int,
+    seq: int,
+    softmax_impl: ReductionImpl,
+    layernorm_impl: ReductionImpl,
+) -> Dict[str, float]:
+    """Per-kernel seconds of one fused attention layer.
+
+    Keys: ``gemm``, ``elementwise``, ``softmax``, ``layernorm``.
+    """
+    tokens = batch * seq
+    gemm_s = (
+        3 * gemm_time(device, tokens, HIDDEN, HIDDEN).total_s  # QKV
+        + gemm_time(device, seq, seq, HEAD_SIZE, batch=batch * HEADS).total_s
+        + gemm_time(device, seq, HEAD_SIZE, seq, batch=batch * HEADS).total_s
+        + gemm_time(device, tokens, HIDDEN, HIDDEN).total_s  # output proj
+    )
+    elementwise_s = (
+        elementwise_time(device, 3 * tokens * HIDDEN).total_s  # bias+transpose
+        + elementwise_time(device, tokens * HIDDEN).total_s  # merge heads
+        + elementwise_time(device, tokens * HIDDEN, reads=2).total_s  # residual
+    )
+    softmax_s = softmax_time(device, batch * HEADS * seq, seq, softmax_impl).total_s
+    layernorm_s = layernorm_time(device, tokens, HIDDEN, layernorm_impl).total_s
+    return {
+        "gemm": gemm_s,
+        "elementwise": elementwise_s,
+        "softmax": softmax_s,
+        "layernorm": layernorm_s,
+    }
+
+
+@dataclass(frozen=True)
+class ReductionShare:
+    """One Table 2 cell pair: kernel share before and after optimizing."""
+
+    batch: int
+    seq: int
+    kernel: str  # "softmax" | "layernorm"
+    before: float
+    after: float
+
+    @property
+    def improvement(self) -> float:
+        """How much of the attention layer the optimization reclaimed."""
+        return self.before - self.after
+
+
+def _share(parts: Dict[str, float], kernel: str) -> float:
+    total = sum(parts.values())
+    return parts[kernel] / total
+
+
+def run_table2(device: DeviceSpec = TESLA_V100) -> List[ReductionShare]:
+    results: List[ReductionShare] = []
+    for batch, seq in TABLE2_CASES:
+        for kernel in ("softmax", "layernorm"):
+            before_impl = ReductionImpl.PYTORCH
+            sm_before = before_impl if kernel == "softmax" else ReductionImpl.TURBO
+            ln_before = before_impl if kernel == "layernorm" else ReductionImpl.TURBO
+            before = _share(
+                attention_layer_time(device, batch, seq, sm_before, ln_before), kernel
+            )
+            after = _share(
+                attention_layer_time(
+                    device, batch, seq, ReductionImpl.TURBO, ReductionImpl.TURBO
+                ),
+                kernel,
+            )
+            results.append(
+                ReductionShare(batch=batch, seq=seq, kernel=kernel,
+                               before=before, after=after)
+            )
+    return results
+
+
+def format_table2(device: DeviceSpec = TESLA_V100) -> str:
+    results = run_table2(device)
+    rows = []
+    for kernel in ("softmax", "layernorm"):
+        for stage in ("before", "after"):
+            cells: List[object] = [f"{kernel}/attention", stage]
+            for batch, seq in TABLE2_CASES:
+                match = next(
+                    r for r in results
+                    if r.kernel == kernel and (r.batch, r.seq) == (batch, seq)
+                )
+                cells.append(f"{getattr(match, stage) * 100:.2f}%")
+            rows.append(cells)
+    headers = ["kernel", "stage"] + [f"({b},{s})" for b, s in TABLE2_CASES]
+    return format_table(headers, rows)

@@ -1,0 +1,176 @@
+"""Device specifications for the simulated GPU.
+
+The reproduction has no physical GPU, so every latency in this repository is
+derived from a :class:`DeviceSpec`: a small, published-spec-sheet description
+of a CUDA device (streaming multiprocessors, clock, memory bandwidth, peak
+FLOP rate, launch overhead and a handful of micro-architectural constants
+used by the warp-level reduction model).
+
+The three presets correspond to the three cards used in the paper's
+evaluation: Tesla V100 (kernel experiments, Fig. 5 / Table 2 / Fig. 11),
+GeForce RTX 2060 (runtime + serving experiments, Fig. 8/10/11/12, Table 4)
+and Tesla M40 (the allocation-stall anecdote in Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Immutable description of a simulated CUDA device.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, used in experiment output.
+    num_sms:
+        Number of streaming multiprocessors.
+    clock_ghz:
+        Sustained SM clock in GHz; converts cycles to seconds.
+    mem_bandwidth_gbs:
+        Achievable global-memory bandwidth in GB/s (we use ~80% of the
+        spec-sheet peak, which is what well-tuned kernels reach).
+    peak_fp32_tflops:
+        Peak single-precision throughput in TFLOP/s.
+    kernel_launch_us:
+        Host-side latency of launching one CUDA kernel, in microseconds.
+        This term dominates small-workload inference (the paper reports the
+        GPU 80.64% idle for batch 1 / seq 40 under PyTorch).
+    warp_size:
+        Threads per warp (32 on every NVIDIA architecture).
+    max_threads_per_sm:
+        Resident-thread capacity of one SM; bounds occupancy.
+    shuffle_latency_cycles:
+        Result latency of one ``__shfl_down_sync``: the number of cycles
+        before a dependent instruction may consume its output register.
+    alu_latency_cycles:
+        Result latency of one FP32 add (FADD).
+    issue_cycles:
+        Cycles needed to *issue* one instruction from a warp scheduler.
+        Independent instructions can be issued back-to-back at this rate,
+        which is the property the paper's XElem batching exploits.
+    sync_cycles:
+        Cost of a block-wide ``__syncthreads`` barrier.
+    smem_latency_cycles:
+        Shared-memory access latency (load or store).
+    divergence_penalty_cycles:
+        Extra cycles charged when a warp's lanes diverge at a row boundary
+        that is not 32-aligned.
+    """
+
+    name: str
+    num_sms: int
+    clock_ghz: float
+    mem_bandwidth_gbs: float
+    peak_fp32_tflops: float
+    kernel_launch_us: float = 5.0
+    warp_size: int = 32
+    max_threads_per_sm: int = 2048
+    shuffle_latency_cycles: int = 22
+    alu_latency_cycles: int = 4
+    issue_cycles: int = 1
+    sync_cycles: int = 40
+    smem_latency_cycles: int = 25
+    divergence_penalty_cycles: int = 12
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError(f"num_sms must be positive, got {self.num_sms}")
+        if self.clock_ghz <= 0:
+            raise ValueError(f"clock_ghz must be positive, got {self.clock_ghz}")
+        if self.mem_bandwidth_gbs <= 0:
+            raise ValueError(
+                f"mem_bandwidth_gbs must be positive, got {self.mem_bandwidth_gbs}"
+            )
+        if self.peak_fp32_tflops <= 0:
+            raise ValueError(
+                f"peak_fp32_tflops must be positive, got {self.peak_fp32_tflops}"
+            )
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ValueError(f"warp_size must be a power of two, got {self.warp_size}")
+
+    # -- unit helpers ------------------------------------------------------
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert SM cycles to wall-clock seconds."""
+        return cycles / (self.clock_ghz * 1e9)
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert wall-clock seconds to SM cycles."""
+        return seconds * self.clock_ghz * 1e9
+
+    @property
+    def launch_overhead_s(self) -> float:
+        """Kernel launch overhead in seconds."""
+        return self.kernel_launch_us * 1e-6
+
+    @property
+    def peak_fp32_flops(self) -> float:
+        """Peak FP32 rate in FLOP/s."""
+        return self.peak_fp32_tflops * 1e12
+
+    @property
+    def mem_bandwidth_bytes(self) -> float:
+        """Memory bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbs * 1e9
+
+    def with_overrides(self, **kwargs: object) -> "DeviceSpec":
+        """Return a copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: Tesla V100-SXM2 (Volta): the paper's kernel-benchmark device.
+TESLA_V100 = DeviceSpec(
+    name="Tesla V100",
+    num_sms=80,
+    clock_ghz=1.53,
+    mem_bandwidth_gbs=720.0,  # ~80% of the 900 GB/s HBM2 peak
+    peak_fp32_tflops=15.7,
+    kernel_launch_us=4.0,
+)
+
+#: GeForce RTX 2060 (Turing): the paper's runtime/serving device.
+RTX_2060 = DeviceSpec(
+    name="RTX 2060",
+    num_sms=30,
+    clock_ghz=1.68,
+    mem_bandwidth_gbs=270.0,  # ~80% of the 336 GB/s GDDR6 peak
+    peak_fp32_tflops=6.5,
+    kernel_launch_us=5.0,
+)
+
+#: Tesla M40 (Maxwell): used for the allocation-stall measurement in §4.2.
+TESLA_M40 = DeviceSpec(
+    name="Tesla M40",
+    num_sms=24,
+    clock_ghz=1.11,
+    mem_bandwidth_gbs=230.0,  # ~80% of the 288 GB/s GDDR5 peak
+    peak_fp32_tflops=6.8,
+    kernel_launch_us=6.0,
+)
+
+_PRESETS = {
+    "v100": TESLA_V100,
+    "tesla_v100": TESLA_V100,
+    "rtx2060": RTX_2060,
+    "rtx_2060": RTX_2060,
+    "2060": RTX_2060,
+    "m40": TESLA_M40,
+    "tesla_m40": TESLA_M40,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by a case-insensitive short name.
+
+    >>> get_device("V100").num_sms
+    80
+    """
+    key = name.strip().lower().replace(" ", "_").replace("-", "_")
+    try:
+        return _PRESETS[key]
+    except KeyError:
+        known = sorted(set(_PRESETS))
+        raise KeyError(f"unknown device {name!r}; known presets: {known}") from None

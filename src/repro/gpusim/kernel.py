@@ -1,0 +1,173 @@
+"""Roofline-style kernel cost model.
+
+Each simulated CUDA kernel is priced as::
+
+    total = launch_overhead + max(compute_time, memory_time)
+
+which is the classical roofline: a kernel is either compute-bound or
+bandwidth-bound, and every kernel pays the host launch latency.  GEMM
+efficiency additionally degrades for small problems that cannot fill the
+device (this is what makes batching profitable, Fig. 8, and what makes the
+per-kernel launch overhead dominate tiny inferences, §4.1.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+#: Bytes per FP32 element; the paper's systems serve FP32 models.
+FP32_BYTES = 4
+
+#: Fraction of peak FLOPs a well-tuned large GEMM sustains (cuBLAS-like).
+GEMM_PEAK_EFFICIENCY = 0.75
+
+#: GEMM tile edge used for utilization estimates (threadblock tile).
+GEMM_TILE = 64
+
+#: Fraction of peak FLOPs elementwise kernels can sustain (no FMA chains).
+ELEMENTWISE_PEAK_EFFICIENCY = 0.25
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Cost breakdown of one simulated kernel launch.
+
+    ``total_s`` is what callers should accumulate; the components are kept
+    for profiling experiments (Table 2 attributes time per kernel kind).
+    """
+
+    name: str
+    launch_s: float
+    compute_s: float
+    memory_s: float
+
+    def __post_init__(self) -> None:
+        for field in ("launch_s", "compute_s", "memory_s"):
+            value = getattr(self, field)
+            if value < 0 or not math.isfinite(value):
+                raise ValueError(f"{field} must be finite and >= 0, got {value}")
+
+    @property
+    def device_s(self) -> float:
+        """On-device execution time (roofline max of compute and memory)."""
+        return max(self.compute_s, self.memory_s)
+
+    @property
+    def total_s(self) -> float:
+        """Launch overhead plus on-device time."""
+        return self.launch_s + self.device_s
+
+    @property
+    def is_memory_bound(self) -> bool:
+        return self.memory_s >= self.compute_s
+
+    def scaled(self, factor: float) -> "KernelTiming":
+        """Return a copy with device time scaled (used for baseline derates)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return KernelTiming(
+            name=self.name,
+            launch_s=self.launch_s,
+            compute_s=self.compute_s * factor,
+            memory_s=self.memory_s * factor,
+        )
+
+
+def gemm_utilization(device: DeviceSpec, m: int, n: int, batch: int = 1) -> float:
+    """Fraction of peak a GEMM of output shape (m, n) x batch achieves.
+
+    A GEMM is decomposed into ``GEMM_TILE``-square output tiles; one SM
+    keeps roughly two tiles in flight.  Efficiency rises with the square
+    root of the fill ratio (partial waves still overlap memory and math)
+    and saturates at 1 — this soft curve is what makes batching profitable
+    for short sequences (Fig. 8) while long single requests already run
+    near peak.
+    """
+    tiles = math.ceil(m / GEMM_TILE) * math.ceil(n / GEMM_TILE) * batch
+    slots = 2 * device.num_sms
+    return min(1.0, math.sqrt(tiles / slots))
+
+
+def gemm_time(
+    device: DeviceSpec,
+    m: int,
+    n: int,
+    k: int,
+    batch: int = 1,
+    name: str = "gemm",
+    elem_bytes: int = FP32_BYTES,
+) -> KernelTiming:
+    """Price a (possibly batched) GEMM: C[m,n] += A[m,k] @ B[k,n].
+
+    ``elem_bytes`` selects the precision: 4 for FP32 (the paper's serving
+    mode), 2 for FP16 — halving traffic and doubling the arithmetic rate
+    (packed half2 math), the extension benchmarked in
+    ``benchmarks/test_extension_fp16.py``.
+    """
+    if min(m, n, k, batch) <= 0:
+        raise ValueError(f"GEMM dims must be positive, got m={m} n={n} k={k} batch={batch}")
+    _check_elem_bytes(elem_bytes)
+    flops = 2.0 * m * n * k * batch
+    bytes_moved = elem_bytes * batch * (m * k + k * n + m * n)
+    efficiency = GEMM_PEAK_EFFICIENCY * gemm_utilization(device, m, n, batch)
+    rate = device.peak_fp32_flops * (FP32_BYTES / elem_bytes)
+    compute_s = flops / (rate * efficiency)
+    memory_s = bytes_moved / device.mem_bandwidth_bytes
+    return KernelTiming(
+        name=name,
+        launch_s=device.launch_overhead_s,
+        compute_s=compute_s,
+        memory_s=memory_s,
+    )
+
+
+def _check_elem_bytes(elem_bytes: int) -> None:
+    if elem_bytes not in (2, 4):
+        raise ValueError(f"elem_bytes must be 2 (FP16) or 4 (FP32), got {elem_bytes}")
+
+
+def elementwise_time(
+    device: DeviceSpec,
+    nelems: int,
+    reads: int = 1,
+    writes: int = 1,
+    flops_per_elem: float = 1.0,
+    name: str = "elementwise",
+    elem_bytes: int = FP32_BYTES,
+) -> KernelTiming:
+    """Price an elementwise kernel touching ``nelems`` values.
+
+    ``reads``/``writes`` count full passes over the data; fusing kernels is
+    modeled exactly as reducing these pass counts (and the launch count).
+    """
+    if nelems <= 0:
+        raise ValueError(f"nelems must be positive, got {nelems}")
+    if reads < 0 or writes < 0 or reads + writes == 0:
+        raise ValueError(f"need at least one memory pass, got reads={reads} writes={writes}")
+    _check_elem_bytes(elem_bytes)
+    bytes_moved = elem_bytes * nelems * (reads + writes)
+    compute_s = (nelems * flops_per_elem) / (
+        device.peak_fp32_flops * ELEMENTWISE_PEAK_EFFICIENCY
+    )
+    memory_s = bytes_moved / device.mem_bandwidth_bytes
+    return KernelTiming(
+        name=name,
+        launch_s=device.launch_overhead_s,
+        compute_s=compute_s,
+        memory_s=memory_s,
+    )
+
+
+def memcpy_time(device: DeviceSpec, nbytes: int, name: str = "memcpy") -> KernelTiming:
+    """Price a device-to-device copy of ``nbytes`` (read + write traffic)."""
+    if nbytes <= 0:
+        raise ValueError(f"nbytes must be positive, got {nbytes}")
+    return KernelTiming(
+        name=name,
+        launch_s=device.launch_overhead_s,
+        compute_s=0.0,
+        memory_s=2.0 * nbytes / device.mem_bandwidth_bytes,
+    )

@@ -1,0 +1,90 @@
+"""CUDA occupancy calculator.
+
+Formalizes the block-geometry choices the reduction model makes: given a
+kernel's per-thread register use, per-block shared memory and block size,
+how many blocks can one SM keep resident?  The limiting resource explains
+*why* the framework kernels run at one block per SM (shared-memory bound)
+while the Turbo kernels reach full thread occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+#: Volta/Turing per-SM resource pools.
+REGISTERS_PER_SM = 65536
+SHARED_MEMORY_PER_SM = 96 * 1024
+MAX_BLOCKS_PER_SM = 32
+#: Register allocation granularity (per warp).
+REGISTER_GRANULARITY = 256
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-kernel resource requirements."""
+
+    block_threads: int
+    registers_per_thread: int = 32
+    shared_memory_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_threads <= 0:
+            raise ValueError(f"block_threads must be positive, got {self.block_threads}")
+        if self.registers_per_thread <= 0:
+            raise ValueError(
+                f"registers_per_thread must be positive, got {self.registers_per_thread}"
+            )
+        if self.shared_memory_bytes < 0:
+            raise ValueError(
+                f"shared_memory_bytes must be >= 0, got {self.shared_memory_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency outcome with the limiting resource identified."""
+
+    blocks_per_sm: int
+    limiter: str  # "threads" | "registers" | "shared_memory" | "blocks"
+    active_threads: int
+    occupancy: float  # active threads / max threads
+
+
+def occupancy(device: DeviceSpec, kernel: KernelResources) -> OccupancyResult:
+    """Blocks of ``kernel`` one SM can keep resident, and what limits it."""
+    warps = -(-kernel.block_threads // device.warp_size)
+    regs_per_warp = (
+        -(-kernel.registers_per_thread * device.warp_size // REGISTER_GRANULARITY)
+        * REGISTER_GRANULARITY
+    )
+    regs_per_block = regs_per_warp * warps
+
+    limits = {
+        "threads": device.max_threads_per_sm // kernel.block_threads,
+        "registers": REGISTERS_PER_SM // regs_per_block,
+        "blocks": MAX_BLOCKS_PER_SM,
+    }
+    if kernel.shared_memory_bytes > 0:
+        limits["shared_memory"] = SHARED_MEMORY_PER_SM // kernel.shared_memory_bytes
+    blocks = min(limits.values())
+    # Deterministic limiter attribution (ties broken by a fixed order).
+    limiter = min(
+        sorted(limits),
+        key=lambda name: (limits[name], ["threads", "registers",
+                                         "shared_memory", "blocks"].index(name)),
+    )
+    blocks = max(0, blocks)
+    active = blocks * kernel.block_threads
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        limiter=limiter,
+        active_threads=active,
+        occupancy=active / device.max_threads_per_sm,
+    )
+
+
+def device_resident_blocks(device: DeviceSpec, kernel: KernelResources) -> int:
+    """Device-wide concurrent blocks (per-SM residency x SM count)."""
+    return occupancy(device, kernel).blocks_per_sm * device.num_sms

@@ -1,0 +1,107 @@
+"""Roofline analysis helpers: arithmetic intensity and kernel reports.
+
+The optimization workflow the guides prescribe — measure before optimizing
+— applied to the simulated device: classify every kernel of an inference
+by arithmetic intensity against the device's roofline ridge point, and
+report where the time goes.  Used by the profiling experiments and handy
+for interactive exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .device import DeviceSpec
+from .kernel import KernelTiming
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the roofline."""
+
+    name: str
+    time_s: float
+    arithmetic_intensity: float  # useful FLOPs per byte (model-implied)
+    memory_bound: bool
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.memory_bound else "compute"
+
+
+def ridge_point(device: DeviceSpec) -> float:
+    """Arithmetic intensity (FLOP/byte) where compute and bandwidth meet."""
+    return device.peak_fp32_flops / device.mem_bandwidth_bytes
+
+
+def classify_kernels(
+    device: DeviceSpec, timings: Sequence[KernelTiming]
+) -> List[RooflinePoint]:
+    """Place each kernel on the roofline.
+
+    The model stores compute and memory *times*, so the implied intensity
+    is ``(compute_s · peak) / (memory_s · bandwidth)`` scaled to the ridge:
+    a kernel with compute_s == memory_s sits exactly at the ridge point.
+    """
+    points: List[RooflinePoint] = []
+    for timing in timings:
+        if timing.memory_s > 0:
+            intensity = ridge_point(device) * (timing.compute_s / timing.memory_s)
+        else:
+            intensity = float("inf")
+        points.append(
+            RooflinePoint(
+                name=timing.name,
+                time_s=timing.total_s,
+                arithmetic_intensity=intensity,
+                memory_bound=timing.is_memory_bound,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class RooflineReport:
+    """Aggregate roofline view of one inference."""
+
+    points: List[RooflinePoint]
+
+    @property
+    def total_s(self) -> float:
+        return sum(p.time_s for p in self.points)
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """Share of total time spent in memory-bound kernels."""
+        if not self.points:
+            return 0.0
+        memory = sum(p.time_s for p in self.points if p.memory_bound)
+        return memory / self.total_s
+
+    def top_kernels(self, k: int = 5) -> List[RooflinePoint]:
+        """The k most expensive kernels, descending."""
+        return sorted(self.points, key=lambda p: -p.time_s)[:k]
+
+    def render(self, k: int = 8) -> str:
+        lines = [
+            f"{'kernel':<42} {'time (us)':>10} {'AI (F/B)':>9} {'bound':>7}",
+            "-" * 72,
+        ]
+        for p in self.top_kernels(k):
+            ai = "inf" if p.arithmetic_intensity == float("inf") else \
+                f"{p.arithmetic_intensity:.1f}"
+            lines.append(
+                f"{p.name[:42]:<42} {p.time_s * 1e6:>10.1f} {ai:>9} {p.bound:>7}"
+            )
+        lines.append(
+            f"total {self.total_s * 1e3:.3f} ms, "
+            f"{self.memory_bound_fraction * 100:.0f}% in memory-bound kernels"
+        )
+        return "\n".join(lines)
+
+
+def roofline_report(device: DeviceSpec, timings: Sequence[KernelTiming]
+                    ) -> RooflineReport:
+    """Build a roofline report from one inference's kernel timings."""
+    return RooflineReport(points=classify_kernels(device, timings))

@@ -1,0 +1,51 @@
+"""A CUDA-stream-like serial timeline.
+
+Kernels enqueued on a stream execute back to back; the stream accumulates
+simulated time and keeps a per-kernel trace so experiments can attribute
+time to kernel categories (Table 2) or count launches (fusion ablation).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .kernel import KernelTiming
+
+
+@dataclass
+class Stream:
+    """Serial execution timeline for simulated kernels."""
+
+    trace_enabled: bool = True
+    elapsed_s: float = 0.0
+    launches: int = 0
+    trace: List[KernelTiming] = field(default_factory=list)
+    _by_name: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def submit(self, timing: KernelTiming) -> None:
+        """Enqueue one kernel; advances the stream clock by its total time."""
+        self.elapsed_s += timing.total_s
+        self.launches += 1
+        self._by_name[timing.name] += timing.total_s
+        if self.trace_enabled:
+            self.trace.append(timing)
+
+    def extend(self, timings: List[KernelTiming]) -> None:
+        for timing in timings:
+            self.submit(timing)
+
+    def time_by_kernel(self) -> Dict[str, float]:
+        """Total seconds attributed to each kernel name."""
+        return dict(self._by_name)
+
+    def time_matching(self, substring: str) -> float:
+        """Total seconds over kernels whose name contains ``substring``."""
+        return sum(t for name, t in self._by_name.items() if substring in name)
+
+    def reset(self) -> None:
+        self.elapsed_s = 0.0
+        self.launches = 0
+        self.trace.clear()
+        self._by_name.clear()

@@ -1,0 +1,31 @@
+"""Computation-graph representation, fusion pass and lifetime analysis."""
+
+from .fusion import count_kernels, eliminated_tensor_names, fuse_graph
+from .graph import ComputationGraph, GraphError
+from .lifetime import tensor_usage_records
+from .node import OpNode, OpType
+from .serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .tensor import Dim, DimBindings, TensorKind, TensorSpec, resolve_dim
+from .transform import cast_graph_precision, graph_weight_bytes
+
+__all__ = [
+    "ComputationGraph",
+    "GraphError",
+    "OpNode",
+    "OpType",
+    "TensorSpec",
+    "TensorKind",
+    "Dim",
+    "DimBindings",
+    "resolve_dim",
+    "fuse_graph",
+    "count_kernels",
+    "eliminated_tensor_names",
+    "tensor_usage_records",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "cast_graph_precision",
+    "graph_weight_bytes",
+]

@@ -1,0 +1,136 @@
+"""Kernel fusion pass (paper §4.1.1, Fig. 3).
+
+The transformer graph is reorganized by fusing *every* run of non-GEMM
+nodes between two GEMM barriers into a single kernel.  Fusion has two
+effects, both modeled downstream:
+
+* fewer kernel launches and fewer memory passes (priced by
+  :mod:`repro.runtime.cost`), and
+* tensors that are produced *and* fully consumed inside one fused region
+  never materialize in global memory at all, so they disappear from the
+  allocation plan (observed by the Fig. 7 experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from .graph import ComputationGraph
+from .node import OpNode, OpType
+from .tensor import TensorKind
+
+
+def _external_io(
+    run: Sequence[OpNode], consumers_after: Dict[str, bool], tensors: ComputationGraph
+) -> tuple:
+    """Split a run's tensors into external inputs, external outputs and
+    internal (eliminated) tensors."""
+    produced: Set[str] = set()
+    for node in run:
+        produced.update(node.outputs)
+    ext_inputs: List[str] = []
+    for node in run:
+        for inp in node.inputs:
+            if inp not in produced and inp not in ext_inputs:
+                ext_inputs.append(inp)
+    ext_outputs: List[str] = []
+    internal: List[str] = []
+    for node in run:
+        for out in node.outputs:
+            spec = tensors.tensors[out]
+            escapes = consumers_after.get(out, False) or spec.kind is TensorKind.OUTPUT
+            if escapes:
+                if out not in ext_outputs:
+                    ext_outputs.append(out)
+            else:
+                internal.append(out)
+    return ext_inputs, ext_outputs, internal
+
+
+def fuse_graph(graph: ComputationGraph) -> ComputationGraph:
+    """Return a new graph with non-GEMM runs collapsed into FUSED nodes.
+
+    Runs of length 1 are left as-is (nothing to fuse).  The input graph is
+    not modified.
+    """
+    graph.validate()
+    # For each tensor, does any node *outside* a candidate run consume it?
+    # We compute, for every tensor, the set of consuming node indices, and
+    # during the scan check whether a consumer lies beyond the current run.
+    consumers = graph.consumer_indices()
+
+    fused = ComputationGraph(name=f"{graph.name}.fused")
+    runs: List[List[int]] = []
+    current: List[int] = []
+    for i, node in enumerate(graph.nodes):
+        if node.is_fusion_barrier:
+            if current:
+                runs.append(current)
+                current = []
+            runs.append([i])  # barrier as singleton run
+        else:
+            current.append(i)
+    if current:
+        runs.append(current)
+
+    # Determine which tensors survive, then register them.
+    eliminated: Set[str] = set()
+    new_nodes: List[OpNode] = []
+    for run_indices in runs:
+        run = [graph.nodes[i] for i in run_indices]
+        if len(run) == 1:
+            # Barriers and fusable runs of one pass through unchanged.
+            new_nodes.append(run[0])
+            continue
+        last_idx = run_indices[-1]
+        consumers_after = {
+            out: any(c > last_idx for c in consumers[out])
+            for node in run
+            for out in node.outputs
+        }
+        ext_in, ext_out, internal = _external_io(run, consumers_after, graph)
+        eliminated.update(internal)
+        fused_attrs = {
+            "fused_ops": [
+                {
+                    "name": n.name,
+                    "op_type": n.op_type.value,
+                    "attrs": dict(n.attrs),
+                    "inputs": list(n.inputs),
+                    "outputs": list(n.outputs),
+                }
+                for n in run
+            ],
+            "eliminated_tensors": list(internal),
+        }
+        new_nodes.append(
+            OpNode(
+                name="fused(" + "+".join(n.name for n in run) + ")",
+                op_type=OpType.FUSED,
+                inputs=tuple(ext_in),
+                outputs=tuple(ext_out),
+                attrs=fused_attrs,
+            )
+        )
+
+    for name, spec in graph.tensors.items():
+        if name not in eliminated:
+            fused.add_tensor(spec)
+    for node in new_nodes:
+        fused.nodes.append(node)
+    fused.validate()
+    return fused
+
+
+def count_kernels(graph: ComputationGraph) -> int:
+    """Number of kernel launches one inference through this graph costs."""
+    return len(graph.nodes)
+
+
+def eliminated_tensor_names(graph: ComputationGraph) -> List[str]:
+    """Tensors removed by fusion (for memory-plan assertions in tests)."""
+    names: List[str] = []
+    for node in graph.nodes:
+        if node.op_type is OpType.FUSED:
+            names.extend(node.attrs.get("eliminated_tensors", []))
+    return names

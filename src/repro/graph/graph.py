@@ -1,0 +1,153 @@
+"""Computation graph container: nodes are operators, edges are tensors."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .node import OpNode, OpType
+from .tensor import Dim, TensorKind, TensorSpec
+
+
+class GraphError(ValueError):
+    """Structural problem with a computation graph."""
+
+
+@dataclass
+class ComputationGraph:
+    """A DAG of :class:`OpNode` connected by named :class:`TensorSpec` edges.
+
+    Builders append nodes in execution order; :meth:`validate` checks that
+    this order is a topological order (every input is an INPUT/WEIGHT tensor
+    or produced by an earlier node) and that tensors have unique producers.
+    """
+
+    name: str
+    nodes: List[OpNode] = field(default_factory=list)
+    tensors: Dict[str, TensorSpec] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    def add_tensor(self, spec: TensorSpec) -> TensorSpec:
+        if spec.name in self.tensors:
+            raise GraphError(f"duplicate tensor {spec.name!r} in graph {self.name!r}")
+        self.tensors[spec.name] = spec
+        return spec
+
+    def tensor(
+        self,
+        name: str,
+        dims: Tuple[Dim, ...],
+        kind: TensorKind = TensorKind.INTERMEDIATE,
+        dtype_bytes: int = 4,
+    ) -> TensorSpec:
+        """Convenience constructor + registration."""
+        return self.add_tensor(TensorSpec(name, dims, kind, dtype_bytes))
+
+    def add_node(
+        self,
+        name: str,
+        op_type: OpType,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        **attrs: Any,
+    ) -> OpNode:
+        node = OpNode(name, op_type, tuple(inputs), tuple(outputs), attrs)
+        for t in node.inputs + node.outputs:
+            if t not in self.tensors:
+                raise GraphError(f"op {name!r} references unknown tensor {t!r}")
+        if any(n.name == name for n in self.nodes):
+            raise GraphError(f"duplicate op name {name!r} in graph {self.name!r}")
+        self.nodes.append(node)
+        return node
+
+    # -- queries -----------------------------------------------------------
+
+    def producer_index(self) -> Dict[str, int]:
+        """Map tensor name -> index of the node that produces it."""
+        producers: Dict[str, int] = {}
+        for i, node in enumerate(self.nodes):
+            for out in node.outputs:
+                if out in producers:
+                    raise GraphError(
+                        f"tensor {out!r} produced by both node "
+                        f"{self.nodes[producers[out]].name!r} and {node.name!r}"
+                    )
+                producers[out] = i
+        return producers
+
+    def consumer_indices(self) -> Dict[str, List[int]]:
+        """Map tensor name -> sorted indices of consuming nodes."""
+        consumers: Dict[str, List[int]] = {name: [] for name in self.tensors}
+        for i, node in enumerate(self.nodes):
+            for inp in node.inputs:
+                consumers[inp].append(i)
+        return consumers
+
+    def validate(self) -> None:
+        """Check topological node order and tensor kinds; raises GraphError."""
+        produced: set = set()
+        producers = self.producer_index()
+        for name, spec in self.tensors.items():
+            if spec.kind is TensorKind.INTERMEDIATE and name not in producers:
+                raise GraphError(f"intermediate tensor {name!r} has no producer")
+        for node in self.nodes:
+            for inp in node.inputs:
+                spec = self.tensors[inp]
+                if spec.kind in (TensorKind.INPUT, TensorKind.WEIGHT):
+                    continue
+                if inp not in produced:
+                    raise GraphError(
+                        f"op {node.name!r} consumes {inp!r} before it is produced "
+                        f"(node order is not topological)"
+                    )
+            produced.update(node.outputs)
+
+    def topo_sort(self) -> List[int]:
+        """Kahn topological sort; returns node indices.
+
+        The builders already emit nodes in order, but the allocator's
+        tensor-lifetime indices are defined against *the* topological order
+        (Alg. 1), so we recompute it rather than trust insertion order.
+        """
+        producers = self.producer_index()
+        n = len(self.nodes)
+        adj: List[List[int]] = [[] for _ in range(n)]
+        indeg = [0] * n
+        for i, node in enumerate(self.nodes):
+            for inp in node.inputs:
+                j = producers.get(inp)
+                if j is not None and j != i:
+                    adj[j].append(i)
+                    indeg[i] += 1
+        ready = deque(i for i in range(n) if indeg[i] == 0)
+        order: List[int] = []
+        while ready:
+            i = ready.popleft()
+            order.append(i)
+            for k in adj[i]:
+                indeg[k] -= 1
+                if indeg[k] == 0:
+                    ready.append(k)
+        if len(order) != n:
+            raise GraphError(f"graph {self.name!r} contains a cycle")
+        return order
+
+    def intermediates(self) -> List[TensorSpec]:
+        return [t for t in self.tensors.values() if t.kind is TensorKind.INTERMEDIATE]
+
+    def weights(self) -> List[TensorSpec]:
+        return [t for t in self.tensors.values() if t.kind is TensorKind.WEIGHT]
+
+    def find_node(self, name: str) -> Optional[OpNode]:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        return None
+
+    def gemm_nodes(self) -> List[OpNode]:
+        return [n for n in self.nodes if n.op_type.is_gemm]
+
+    def __len__(self) -> int:
+        return len(self.nodes)

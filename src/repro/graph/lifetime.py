@@ -1,0 +1,48 @@
+"""Tensor lifetime analysis: graph + request dims -> usage records.
+
+This is the bridge between the computation graph and the sequence-length-
+aware allocator: once the request's ``(batch, seq_len)`` is known, every
+intermediate tensor's byte size becomes concrete and its ``[first_op,
+last_op]`` interval follows from the topological order (paper §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..memory.records import TensorUsageRecord
+from .graph import ComputationGraph
+from .tensor import DimBindings, TensorKind
+
+
+def tensor_usage_records(
+    graph: ComputationGraph, bindings: DimBindings
+) -> List[TensorUsageRecord]:
+    """Compute usage records for every intermediate tensor of ``graph``.
+
+    ``first_op`` is the producer's position in the topological order;
+    ``last_op`` is the last consumer's position (or the producer's, for
+    graph outputs that no later node reads).
+    """
+    graph.validate()
+    order = graph.topo_sort()
+    position: Dict[int, int] = {node_idx: pos for pos, node_idx in enumerate(order)}
+    producers = graph.producer_index()
+    consumers = graph.consumer_indices()
+
+    records: List[TensorUsageRecord] = []
+    for spec in graph.tensors.values():
+        if spec.kind is not TensorKind.INTERMEDIATE:
+            continue
+        first = position[producers[spec.name]]
+        uses = [position[c] for c in consumers[spec.name]]
+        last = max(uses) if uses else first
+        records.append(
+            TensorUsageRecord(
+                name=spec.name,
+                first_op=first,
+                last_op=last,
+                size=spec.nbytes(bindings),
+            )
+        )
+    return records

@@ -1,0 +1,59 @@
+"""Operator nodes of the computation graph."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+class OpType(enum.Enum):
+    """Kernel category of a node.
+
+    GEMM nodes are fusion *barriers* (they map to cuBLAS); everything else
+    is a fusion candidate.  ``FUSED`` nodes are produced by the fusion pass
+    and carry their constituent ops in ``attrs["fused_ops"]``.
+    """
+
+    GEMM = "gemm"
+    BATCHED_GEMM = "batched_gemm"
+    SOFTMAX = "softmax"
+    LAYERNORM = "layernorm"
+    ELEMENTWISE = "elementwise"
+    TRANSPOSE = "transpose"
+    EMBEDDING = "embedding"
+    FUSED = "fused"
+
+    @property
+    def is_gemm(self) -> bool:
+        return self in (OpType.GEMM, OpType.BATCHED_GEMM)
+
+
+@dataclass(frozen=True)
+class OpNode:
+    """One operator: consumes input tensors, produces output tensors.
+
+    ``attrs`` carries cost-relevant parameters, e.g. GEMM ``m/n/k`` dims
+    (symbolic, resolved per request), softmax row shapes, elementwise pass
+    counts.  Attrs are free-form by design: the cost model in
+    :mod:`repro.runtime.cost` interprets them per ``op_type``.
+    """
+
+    name: str
+    op_type: OpType
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("op name must be non-empty")
+        if not self.outputs:
+            raise ValueError(f"op {self.name!r} must produce at least one tensor")
+        if len(set(self.outputs)) != len(self.outputs):
+            raise ValueError(f"op {self.name!r} lists duplicate outputs")
+
+    @property
+    def is_fusion_barrier(self) -> bool:
+        """GEMMs and embeddings are not fused (cuBLAS / gather kernels)."""
+        return self.op_type.is_gemm or self.op_type is OpType.EMBEDDING

@@ -1,0 +1,133 @@
+"""Computation-graph serialization (an onnx-like interchange format).
+
+The real TurboTransformers loads pre-trained framework models and rewrites
+their graphs; this module provides the equivalent persistence layer for
+the reproduction: a stable JSON schema for :class:`ComputationGraph` so
+graphs can be exported, versioned and reloaded without rebuilding from the
+model definition.  Weight *values* are stored separately (see
+:mod:`repro.models.io`) — the graph carries structure only.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .graph import ComputationGraph, GraphError
+from .node import OpNode, OpType
+from .tensor import TensorKind, TensorSpec
+
+#: Schema version; bump on breaking format changes.
+SCHEMA_VERSION = 1
+
+
+def graph_to_dict(graph: ComputationGraph) -> Dict[str, Any]:
+    """Serialize a graph to plain JSON-compatible structures."""
+    graph.validate()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": graph.name,
+        "tensors": [
+            {
+                "name": spec.name,
+                "dims": list(spec.dims),
+                "kind": spec.kind.value,
+                "dtype_bytes": spec.dtype_bytes,
+            }
+            for spec in graph.tensors.values()
+        ],
+        "nodes": [
+            {
+                "name": node.name,
+                "op_type": node.op_type.value,
+                "inputs": list(node.inputs),
+                "outputs": list(node.outputs),
+                "attrs": _encode_attrs(node.attrs),
+            }
+            for node in graph.nodes
+        ],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> ComputationGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output (validated)."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise GraphError(
+            f"unsupported graph schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    graph = ComputationGraph(name=payload["name"])
+    for t in payload["tensors"]:
+        graph.add_tensor(
+            TensorSpec(
+                name=t["name"],
+                dims=tuple(t["dims"]),
+                kind=TensorKind(t["kind"]),
+                dtype_bytes=t["dtype_bytes"],
+            )
+        )
+    for n in payload["nodes"]:
+        graph.nodes.append(
+            OpNode(
+                name=n["name"],
+                op_type=OpType(n["op_type"]),
+                inputs=tuple(n["inputs"]),
+                outputs=tuple(n["outputs"]),
+                attrs=_decode_attrs(n["attrs"]),
+            )
+        )
+        for tensor_name in graph.nodes[-1].inputs + graph.nodes[-1].outputs:
+            if tensor_name not in graph.tensors:
+                raise GraphError(
+                    f"node {n['name']!r} references unknown tensor {tensor_name!r}"
+                )
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: ComputationGraph, path: Union[str, Path]) -> None:
+    """Write the graph as JSON to ``path``."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=1))
+
+
+def load_graph(path: Union[str, Path]) -> ComputationGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- attr encoding -----------------------------------------------------------
+#
+# Attrs are JSON-safe except tuples (symbolic dim products), which JSON
+# would silently flatten into lists; tag them so round-trips are exact.
+
+
+def _encode_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _encode_value(value) for key, value in attrs.items()}
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"attr value {value!r} is not serializable")
+
+
+def _decode_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _decode_value(value) for key, value in attrs.items()}
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__tuple__"}:
+            return tuple(_decode_value(v) for v in value["__tuple__"])
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value

@@ -1,0 +1,104 @@
+"""Symbolic tensor specs with variable-length dimensions.
+
+The whole point of the paper is that intermediate tensor shapes depend on
+the *request's* batch size and sequence length, which are only known when
+the request arrives.  A :class:`TensorSpec` therefore stores each dimension
+as either a concrete ``int`` or a symbol name (``"batch"``, ``"seq"``, …);
+:meth:`TensorSpec.shape` resolves it against a binding such as
+``{"batch": 20, "seq": 128}`` supplied per request.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Mapping, Tuple, Union
+
+Dim = Union[int, str]
+DimBindings = Mapping[str, int]
+
+
+class TensorKind(enum.Enum):
+    """Lifetime class of a tensor; the allocator only plans INTERMEDIATEs."""
+
+    INPUT = "input"
+    WEIGHT = "weight"
+    INTERMEDIATE = "intermediate"
+    OUTPUT = "output"
+
+
+def resolve_dim(dim: Dim, bindings: DimBindings) -> int:
+    """Resolve one symbolic dimension against request bindings."""
+    if isinstance(dim, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("dimension cannot be a bool")
+    if isinstance(dim, int):
+        if dim <= 0:
+            raise ValueError(f"concrete dims must be positive, got {dim}")
+        return dim
+    try:
+        value = bindings[dim]
+    except KeyError:
+        raise KeyError(f"unbound symbolic dimension {dim!r}; have {sorted(bindings)}") from None
+    if value <= 0:
+        raise ValueError(f"binding {dim!r}={value} must be positive")
+    return value
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Named tensor with (possibly symbolic) dimensions.
+
+    Attributes
+    ----------
+    name: unique within a graph.
+    dims: tuple of ints and/or symbol names.
+    kind: lifetime class (inputs/weights persist; intermediates are planned).
+    dtype_bytes: element width (4 for the FP32 models served by the paper).
+    """
+
+    name: str
+    dims: Tuple[Dim, ...]
+    kind: TensorKind = TensorKind.INTERMEDIATE
+    dtype_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if not self.dims:
+            raise ValueError(f"tensor {self.name!r} needs at least one dim")
+        if self.dtype_bytes <= 0:
+            raise ValueError(f"dtype_bytes must be positive, got {self.dtype_bytes}")
+        for dim in self.dims:
+            if not isinstance(dim, (int, str)) or isinstance(dim, bool):
+                raise TypeError(f"dim {dim!r} of {self.name!r} must be int or str")
+            if isinstance(dim, int) and dim <= 0:
+                raise ValueError(f"dim {dim} of {self.name!r} must be positive")
+            if isinstance(dim, str) and not dim:
+                raise ValueError(f"symbolic dim of {self.name!r} must be non-empty")
+
+    @property
+    def symbols(self) -> Tuple[str, ...]:
+        """Symbol names this tensor's shape depends on (deduplicated, ordered)."""
+        seen = []
+        for dim in self.dims:
+            if isinstance(dim, str) and dim not in seen:
+                seen.append(dim)
+        return tuple(seen)
+
+    @property
+    def is_variable(self) -> bool:
+        """True if any dimension is symbolic (changes per request)."""
+        return bool(self.symbols)
+
+    def shape(self, bindings: DimBindings) -> Tuple[int, ...]:
+        """Concrete shape under the given request bindings."""
+        return tuple(resolve_dim(d, bindings) for d in self.dims)
+
+    def numel(self, bindings: DimBindings) -> int:
+        """Element count under the given bindings."""
+        return math.prod(self.shape(bindings))
+
+    def nbytes(self, bindings: DimBindings) -> int:
+        """Byte size under the given bindings."""
+        return self.numel(bindings) * self.dtype_bytes

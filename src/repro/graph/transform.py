@@ -1,0 +1,50 @@
+"""Whole-graph transformations beyond fusion.
+
+Currently: precision casting (the FP16 extension).  The paper serves FP32;
+casting the graph to FP16 halves every activation/weight tensor and lets
+the cost model price half-precision kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from .graph import ComputationGraph
+from .tensor import TensorKind
+
+#: Tensor kinds affected by a precision cast (integer inputs keep their width).
+_CASTABLE = (TensorKind.INTERMEDIATE, TensorKind.OUTPUT, TensorKind.WEIGHT)
+
+
+def cast_graph_precision(
+    graph: ComputationGraph,
+    dtype_bytes: int,
+    kinds: Tuple[TensorKind, ...] = _CASTABLE,
+) -> ComputationGraph:
+    """Return a copy of ``graph`` with float tensors at ``dtype_bytes`` wide.
+
+    Only tensors of the given ``kinds`` are re-typed; INPUT tensors (token
+    ids) keep their integer width.  Node structure and attrs are shared
+    with the original (they are immutable).
+    """
+    if dtype_bytes not in (2, 4):
+        raise ValueError(f"dtype_bytes must be 2 or 4, got {dtype_bytes}")
+    cast = ComputationGraph(name=f"{graph.name}.fp{dtype_bytes * 8}")
+    for spec in graph.tensors.values():
+        if spec.kind in kinds:
+            cast.add_tensor(replace(spec, dtype_bytes=dtype_bytes))
+        else:
+            cast.add_tensor(spec)
+    cast.nodes.extend(graph.nodes)
+    cast.validate()
+    return cast
+
+
+def graph_weight_bytes(graph: ComputationGraph) -> int:
+    """Total parameter bytes of the graph's WEIGHT tensors (all concrete)."""
+    total = 0
+    for spec in graph.tensors.values():
+        if spec.kind is TensorKind.WEIGHT:
+            total += spec.nbytes({})
+    return total

@@ -1,0 +1,55 @@
+"""NumPy numeric kernels: reference (un-fused) and fused variants.
+
+These carry the *numerics* of the reproduction; timing of the corresponding
+CUDA kernels lives in :mod:`repro.gpusim`.  Fused variants use in-place
+passes and combined sweeps exactly where the paper's fused CUDA kernels do.
+"""
+
+from .activation import add_bias, add_bias_gelu, add_bias_relu, gelu, relu
+from .attention import (
+    AttentionWeights,
+    multi_head_attention,
+    padding_mask_from_lengths,
+    scaled_dot_product_attention,
+)
+from .embedding import bert_embeddings, embedding_lookup
+from .gemm import gemm, linear
+from .layernorm import add_bias_layernorm, layernorm_one_pass, layernorm_reference
+from .quantize import (
+    INT8_MAX,
+    QuantizedLinear,
+    dequantize,
+    quantization_error,
+    quantize_symmetric,
+)
+from .softmax import softmax_fused, softmax_reference
+from .transpose import add_bias_transpose_for_heads, merge_heads, split_heads
+
+__all__ = [
+    "gelu",
+    "relu",
+    "add_bias",
+    "add_bias_gelu",
+    "add_bias_relu",
+    "softmax_reference",
+    "softmax_fused",
+    "layernorm_reference",
+    "layernorm_one_pass",
+    "add_bias_layernorm",
+    "quantize_symmetric",
+    "dequantize",
+    "QuantizedLinear",
+    "quantization_error",
+    "INT8_MAX",
+    "gemm",
+    "linear",
+    "embedding_lookup",
+    "bert_embeddings",
+    "split_heads",
+    "merge_heads",
+    "add_bias_transpose_for_heads",
+    "AttentionWeights",
+    "scaled_dot_product_attention",
+    "multi_head_attention",
+    "padding_mask_from_lengths",
+]

@@ -1,0 +1,81 @@
+"""Activation and bias kernels (the element-wise fusion targets of Fig. 3)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: sqrt(2/pi), the tanh-GELU constant used by BERT.
+_GELU_C = 0.7978845608028654
+_GELU_A = 0.044715
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated GELU, the BERT feed-forward activation."""
+    x = np.asarray(x)
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + _GELU_A * x * x * x)))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x), 0.0)
+
+
+def add_bias(x: np.ndarray, bias: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """``x + bias`` with broadcast over the last axis."""
+    x = np.asarray(x)
+    _check_bias(x, bias)
+    if out is None:
+        return x + bias
+    np.add(x, bias, out=out)
+    return out
+
+
+def add_bias_gelu(x: np.ndarray, bias: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Fused ``GELU(x + bias)`` — one sweep instead of two kernels.
+
+    ``out`` may alias ``x``; the computation is performed in-place to match
+    the single-pass fused CUDA kernel.
+    """
+    x = np.asarray(x)
+    _check_bias(x, bias)
+    if out is None:
+        out = np.empty_like(x, dtype=np.result_type(x.dtype, np.float32))
+    elif out.shape != x.shape:
+        raise ValueError(f"out shape {out.shape} != input shape {x.shape}")
+    np.add(x, bias, out=out)
+    # In-place tanh GELU: t = tanh(c * (y + a*y^3)); out = 0.5*y*(1+t).
+    y = out.copy()
+    np.multiply(out, out, out=out)          # y^2
+    out *= y                                # y^3
+    out *= _GELU_A
+    out += y                                # y + a*y^3
+    out *= _GELU_C
+    np.tanh(out, out=out)
+    out += 1.0
+    out *= y
+    out *= 0.5
+    return out
+
+
+def add_bias_relu(x: np.ndarray, bias: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Fused ``ReLU(x + bias)``."""
+    x = np.asarray(x)
+    _check_bias(x, bias)
+    if out is None:
+        out = np.empty_like(x, dtype=np.result_type(x.dtype, np.float32))
+    elif out.shape != x.shape:
+        raise ValueError(f"out shape {out.shape} != input shape {x.shape}")
+    np.add(x, bias, out=out)
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def _check_bias(x: np.ndarray, bias: np.ndarray) -> None:
+    bias = np.asarray(bias)
+    if bias.ndim != 1 or x.ndim < 1 or bias.shape[0] != x.shape[-1]:
+        raise ValueError(
+            f"bias must be 1-D matching the last axis of x; "
+            f"got bias {bias.shape} vs x {x.shape}"
+        )

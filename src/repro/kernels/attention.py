@@ -1,0 +1,134 @@
+"""Scaled dot-product and multi-head attention built from the kernel set.
+
+Two execution paths mirror the runtimes:
+
+* :func:`multi_head_attention` with ``fused=False`` composes the un-fused
+  reference kernels (separate bias add, separate transpose, reference
+  softmax) — the PyTorch-like path.
+* ``fused=True`` uses the fused kernels (add-bias-transpose, fused softmax,
+  one-pass LayerNorm elsewhere) — the Turbo path.
+
+Both produce identical numerics to within FP rounding, which the test suite
+asserts; the *timing* difference lives in :mod:`repro.gpusim`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .activation import add_bias
+from .gemm import gemm, linear
+from .softmax import softmax_fused, softmax_reference
+from .transpose import add_bias_transpose_for_heads, merge_heads, split_heads
+
+
+@dataclass(frozen=True)
+class AttentionWeights:
+    """Parameters of one multi-head attention block (weights are [in, out])."""
+
+    wq: np.ndarray
+    bq: np.ndarray
+    wk: np.ndarray
+    bk: np.ndarray
+    wv: np.ndarray
+    bv: np.ndarray
+    wo: np.ndarray
+    bo: np.ndarray
+
+    def __post_init__(self) -> None:
+        hidden = self.wq.shape[0]
+        for name in ("wq", "wk", "wv", "wo"):
+            w = getattr(self, name)
+            if w.shape != (hidden, hidden):
+                raise ValueError(f"{name} must be square [{hidden},{hidden}], got {w.shape}")
+        for name in ("bq", "bk", "bv", "bo"):
+            b = getattr(self, name)
+            if b.shape != (hidden,):
+                raise ValueError(f"{name} must be ({hidden},), got {b.shape}")
+
+
+def scaled_dot_product_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    fused: bool = True,
+) -> np.ndarray:
+    """Attention over ``[batch, heads, seq, head_size]`` operands.
+
+    ``mask`` is additive (``-inf``-style for padded keys), broadcastable to
+    the score tensor ``[batch, heads, seq_q, seq_k]``.
+    """
+    q, k, v = np.asarray(q), np.asarray(k), np.asarray(v)
+    if q.ndim != 4 or k.ndim != 4 or v.ndim != 4:
+        raise ValueError(
+            f"q/k/v must be [batch, heads, seq, head], got {q.shape} {k.shape} {v.shape}"
+        )
+    if k.shape != v.shape or q.shape[-1] != k.shape[-1]:
+        raise ValueError(f"incompatible q/k/v shapes: {q.shape} {k.shape} {v.shape}")
+    head_size = q.shape[-1]
+    scores = gemm(q, k, transpose_b=True)
+    scores *= 1.0 / math.sqrt(head_size)
+    if fused:
+        probs = softmax_fused(scores, mask=mask, out=scores)
+    else:
+        probs = softmax_reference(scores, mask=mask)
+    return gemm(probs, v)
+
+
+def multi_head_attention(
+    hidden_states: np.ndarray,
+    weights: AttentionWeights,
+    num_heads: int,
+    mask: Optional[np.ndarray] = None,
+    kv_states: Optional[np.ndarray] = None,
+    fused: bool = True,
+    add_output_bias: bool = True,
+) -> np.ndarray:
+    """Full multi-head attention block: QKV projections, attention, output.
+
+    ``kv_states`` enables encoder-decoder cross attention (keys/values from
+    the encoder memory); self-attention when omitted.  ``add_output_bias``
+    can be disabled when the caller fuses the output bias into a following
+    add-bias-layernorm kernel (the Turbo path).
+    """
+    hidden_states = np.asarray(hidden_states)
+    if hidden_states.ndim != 3:
+        raise ValueError(f"expected [batch, seq, hidden], got {hidden_states.shape}")
+    kv = hidden_states if kv_states is None else np.asarray(kv_states)
+    q_proj = gemm(hidden_states, weights.wq)
+    k_proj = gemm(kv, weights.wk)
+    v_proj = gemm(kv, weights.wv)
+    if fused:
+        q = add_bias_transpose_for_heads(q_proj, weights.bq, num_heads)
+        k = add_bias_transpose_for_heads(k_proj, weights.bk, num_heads)
+        v = add_bias_transpose_for_heads(v_proj, weights.bv, num_heads)
+    else:
+        q = split_heads(add_bias(q_proj, weights.bq), num_heads)
+        k = split_heads(add_bias(k_proj, weights.bk), num_heads)
+        v = split_heads(add_bias(v_proj, weights.bv), num_heads)
+    context = scaled_dot_product_attention(q, k, v, mask=mask, fused=fused)
+    merged = merge_heads(context)
+    return linear(merged, weights.wo, weights.bo if add_output_bias else None)
+
+
+def padding_mask_from_lengths(lengths: np.ndarray, max_len: int) -> np.ndarray:
+    """Additive attention mask from per-sequence valid lengths.
+
+    Returns ``[batch, 1, 1, max_len]`` with 0 on valid keys and a large
+    negative value on padding — the standard BERT masking convention used
+    when variable-length requests are padded into a batch.
+    """
+    lengths = np.asarray(lengths)
+    if lengths.ndim != 1:
+        raise ValueError(f"lengths must be 1-D, got {lengths.shape}")
+    if lengths.size and (lengths.min() < 1 or lengths.max() > max_len):
+        raise ValueError(f"lengths must be in [1, {max_len}], got {lengths}")
+    positions = np.arange(max_len)[None, :]
+    valid = positions < lengths[:, None]
+    mask = np.where(valid, 0.0, -1e9).astype(np.float32)
+    return mask[:, None, None, :]

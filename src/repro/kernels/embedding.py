@@ -1,0 +1,54 @@
+"""Embedding lookup kernels (token + position + segment, fused)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def embedding_lookup(table: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Gather rows of ``table`` by integer ``ids``.
+
+    ``table`` is ``[vocab, hidden]``; ``ids`` any integer shape; returns
+    ``ids.shape + (hidden,)``.
+    """
+    table = np.asarray(table)
+    ids = np.asarray(ids)
+    if table.ndim != 2:
+        raise ValueError(f"embedding table must be 2-D, got {table.shape}")
+    if not np.issubdtype(ids.dtype, np.integer):
+        raise TypeError(f"ids must be integers, got dtype {ids.dtype}")
+    if ids.size and (ids.min() < 0 or ids.max() >= table.shape[0]):
+        raise IndexError(
+            f"ids out of range [0, {table.shape[0]}): min={ids.min()} max={ids.max()}"
+        )
+    return table[ids]
+
+
+def bert_embeddings(
+    token_table: np.ndarray,
+    position_table: np.ndarray,
+    segment_table: np.ndarray,
+    token_ids: np.ndarray,
+    segment_ids: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Fused BERT embedding: token + position + segment in one sweep.
+
+    ``token_ids`` is ``[batch, seq]``.  Sequence length must not exceed the
+    position table; segment ids default to zeros.
+    """
+    token_ids = np.asarray(token_ids)
+    if token_ids.ndim != 2:
+        raise ValueError(f"token_ids must be [batch, seq], got {token_ids.shape}")
+    batch, seq = token_ids.shape
+    if seq > position_table.shape[0]:
+        raise ValueError(
+            f"sequence length {seq} exceeds position table {position_table.shape[0]}"
+        )
+    if segment_ids is None:
+        segment_ids = np.zeros_like(token_ids)
+    out = embedding_lookup(token_table, token_ids).astype(np.float32, copy=True)
+    out += position_table[:seq][None, :, :]
+    out += embedding_lookup(segment_table, np.asarray(segment_ids))
+    return out

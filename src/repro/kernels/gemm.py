@@ -1,0 +1,59 @@
+"""GEMM wrappers.
+
+On the real system these are cuBLAS calls; here they are NumPy ``matmul``
+with shape validation and optional output buffers, so the runtimes can
+execute real numerics while timing comes from the simulated roofline model
+(:func:`repro.gpusim.gemm_time`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    transpose_b: bool = False,
+) -> np.ndarray:
+    """Matrix multiply with optional B transpose and output buffer.
+
+    Supports stacked (batched) operands with NumPy broadcasting semantics on
+    the leading axes, matching cuBLAS strided-batched GEMM.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim < 2 or b.ndim < 2:
+        raise ValueError(f"gemm operands must be >=2-D, got {a.shape} and {b.shape}")
+    if transpose_b:
+        b = np.swapaxes(b, -1, -2)
+    if a.shape[-1] != b.shape[-2]:
+        raise ValueError(f"inner dims differ: {a.shape} @ {b.shape}")
+    if out is None:
+        return a @ b
+    np.matmul(a, b, out=out)
+    return out
+
+
+def linear(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``x @ weight (+ bias)`` with weight stored ``[in, out]``."""
+    x = np.asarray(x)
+    weight = np.asarray(weight)
+    if weight.ndim != 2:
+        raise ValueError(f"weight must be 2-D [in, out], got {weight.shape}")
+    if x.shape[-1] != weight.shape[0]:
+        raise ValueError(f"x last dim {x.shape[-1]} != weight in dim {weight.shape[0]}")
+    y = x @ weight
+    if bias is not None:
+        bias = np.asarray(bias)
+        if bias.shape != (weight.shape[1],):
+            raise ValueError(f"bias {bias.shape} must be ({weight.shape[1]},)")
+        y += bias
+    return y

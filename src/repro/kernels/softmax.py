@@ -1,0 +1,63 @@
+"""Numerically-stable softmax kernels.
+
+Two variants mirror the simulated-GPU implementations:
+
+* :func:`softmax_reference` — the textbook multi-pass formulation
+  (materializes every intermediate; analogue of the un-fused PyTorch path).
+* :func:`softmax_fused` — single sweep using in-place operations and a
+  pre-allocated output (analogue of the Turbo fused kernel).
+
+Both reduce over the last axis and support an additive mask (used for
+attention padding), and both are exact to within floating-point
+re-association error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def softmax_reference(x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Multi-pass softmax over the last axis.
+
+    ``mask`` (broadcastable to ``x``) is added to the logits before the
+    exponential; use large negative values to exclude padded positions.
+    """
+    x = np.asarray(x, dtype=np.float64 if x.dtype == np.float64 else np.float32)
+    if x.size == 0:
+        raise ValueError("softmax of an empty array is undefined")
+    if mask is not None:
+        x = x + mask
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=-1, keepdims=True)
+
+
+def softmax_fused(
+    x: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Fused softmax: one output buffer, in-place passes, no temporaries
+    beyond the per-row reduction results.
+
+    ``out`` may alias ``x`` (in-place softmax), matching the fused CUDA
+    kernel which never round-trips intermediates through global memory.
+    """
+    x = np.asarray(x)
+    if x.size == 0:
+        raise ValueError("softmax of an empty array is undefined")
+    if out is None:
+        out = np.empty_like(x, dtype=np.result_type(x.dtype, np.float32))
+    elif out.shape != x.shape:
+        raise ValueError(f"out shape {out.shape} != input shape {x.shape}")
+    if mask is not None:
+        np.add(x, mask, out=out)
+    elif out is not x:
+        np.copyto(out, x)
+    out -= np.max(out, axis=-1, keepdims=True)
+    np.exp(out, out=out)
+    out /= np.sum(out, axis=-1, keepdims=True)
+    return out

@@ -1,0 +1,63 @@
+"""Head split/merge transposes and the add-bias-transpose fusion.
+
+Multi-head attention reshapes ``[batch, seq, hidden]`` activations into
+``[batch, heads, seq, head_size]`` and back.  The paper notes there is no
+cuDNN API combining the bias add with this transpose, which is why Turbo
+ships a custom fused kernel; :func:`add_bias_transpose_for_heads` is its
+NumPy analogue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """``[B, S, H] -> [B, heads, S, H/heads]`` (copying, like the kernel)."""
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"expected [batch, seq, hidden], got shape {x.shape}")
+    batch, seq, hidden = x.shape
+    if hidden % num_heads:
+        raise ValueError(f"hidden {hidden} not divisible by num_heads {num_heads}")
+    head_size = hidden // num_heads
+    return np.ascontiguousarray(
+        x.reshape(batch, seq, num_heads, head_size).transpose(0, 2, 1, 3)
+    )
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """``[B, heads, S, head_size] -> [B, S, heads*head_size]``."""
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"expected [batch, heads, seq, head_size], got {x.shape}")
+    batch, heads, seq, head_size = x.shape
+    return np.ascontiguousarray(
+        x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_size)
+    )
+
+
+def add_bias_transpose_for_heads(
+    x: np.ndarray, bias: np.ndarray, num_heads: int
+) -> np.ndarray:
+    """Fused ``split_heads(x + bias)`` — one pass over the data.
+
+    Equivalent to ``split_heads(add_bias(x, bias), num_heads)`` but with a
+    single materialization, mirroring Turbo's fused CUDA kernel.
+    """
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"expected [batch, seq, hidden], got shape {x.shape}")
+    bias = np.asarray(bias)
+    if bias.ndim != 1 or bias.shape[0] != x.shape[-1]:
+        raise ValueError(f"bias {bias.shape} must match hidden axis of {x.shape}")
+    batch, seq, hidden = x.shape
+    if hidden % num_heads:
+        raise ValueError(f"hidden {hidden} not divisible by num_heads {num_heads}")
+    head_size = hidden // num_heads
+    out = np.empty((batch, num_heads, seq, head_size), dtype=np.result_type(x, bias))
+    biased_view = bias.reshape(num_heads, head_size)
+    src = x.reshape(batch, seq, num_heads, head_size)
+    # Single fused sweep: the add lands directly in the transposed layout.
+    np.add(src.transpose(0, 2, 1, 3), biased_view[None, :, None, :], out=out)
+    return out

@@ -1,0 +1,38 @@
+"""Memory management: the paper's allocator (Alg. 1+2) and its baselines."""
+
+from .base import BaseAllocator, RequestAllocation
+from .caching import CachingAllocator, round_block_size
+from .chunk import DEFAULT_CHUNK_SIZE, K_SCALE, Chunk, ChunkAssignment, new_chunk_size
+from .gsoc import GsocAllocator, gsoc_offsets
+from .naive import NaiveAllocator
+from .plan import AllocationPlan, Placement, PlanError, plan_from_chunks, validate_plan
+from .records import TensorUsageRecord, peak_live_bytes, sort_by_size
+from .stats import MB, AllocatorWorkloadResult, run_allocator_workload
+from .turbo import TurboAllocator
+
+__all__ = [
+    "TensorUsageRecord",
+    "sort_by_size",
+    "peak_live_bytes",
+    "Chunk",
+    "ChunkAssignment",
+    "DEFAULT_CHUNK_SIZE",
+    "K_SCALE",
+    "new_chunk_size",
+    "AllocationPlan",
+    "Placement",
+    "PlanError",
+    "validate_plan",
+    "plan_from_chunks",
+    "BaseAllocator",
+    "RequestAllocation",
+    "TurboAllocator",
+    "GsocAllocator",
+    "gsoc_offsets",
+    "CachingAllocator",
+    "round_block_size",
+    "NaiveAllocator",
+    "MB",
+    "AllocatorWorkloadResult",
+    "run_allocator_workload",
+]

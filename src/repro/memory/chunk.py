@@ -1,0 +1,110 @@
+"""Memory chunks and the best-gap search (paper Algorithm 2).
+
+A chunk is a cached block of device memory (2 MB by default).  Tensors are
+placed at offsets inside chunks; two tensors may share overlapping byte
+ranges iff their lifetimes do not overlap.  ``Chunk.find_gap`` is a faithful
+implementation of the paper's ``FindGapFromChunk`` — a best-fit scan over
+the chunk's time-overlapping residents, a special case of 2-D strip packing
+solved greedily in O(n) per tensor (O(n²) over a request's plan).
+
+Note: line 17 of the paper's Algorithm 2 reads ``chunk_size − prev_offset ≤
+size_t``, which would only accept tensors *larger* than the remaining tail;
+the surrounding prose and Algorithm 1 make clear the intended condition is
+``≥`` (the tail gap fits the tensor).  We implement the corrected form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .records import TensorUsageRecord
+
+#: Paper §4.2: chunks default to 2 MB.
+DEFAULT_CHUNK_SIZE = 2 * 1024 * 1024
+
+#: Paper Alg. 1 line 14: oversize tensors get a chunk of size * K_SCALE.
+K_SCALE = 1.2
+
+
+@dataclass(frozen=True)
+class ChunkAssignment:
+    """One tensor placed at ``offset`` within a chunk."""
+
+    record: TensorUsageRecord
+    offset: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.record.size
+
+
+@dataclass
+class Chunk:
+    """A cached device-memory block holding offset-assigned tensors."""
+
+    chunk_id: int
+    size: int
+    handle: Optional[int] = None  # DeviceMemory handle, if backed
+    assignments: List[ChunkAssignment] = field(default_factory=list)
+    unused_streak: int = 0  # consecutive plans that left this chunk empty
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"chunk size must be positive, got {self.size}")
+
+    def clear(self) -> None:
+        """Drop all assignments (start of a new request's plan)."""
+        self.assignments.clear()
+
+    def assign(self, record: TensorUsageRecord, offset: int) -> ChunkAssignment:
+        """Place ``record`` at ``offset``; keeps assignments offset-sorted."""
+        if offset < 0 or offset + record.size > self.size:
+            raise ValueError(
+                f"tensor {record.name!r} ({record.size} B at {offset}) "
+                f"does not fit chunk {self.chunk_id} of {self.size} B"
+            )
+        assignment = ChunkAssignment(record, offset)
+        self.assignments.append(assignment)
+        self.assignments.sort(key=lambda a: a.offset)
+        return assignment
+
+    def find_gap(self, record: TensorUsageRecord) -> Optional[int]:
+        """Paper Algorithm 2: best-fit offset for ``record`` or None.
+
+        Scans residents in offset order; only residents whose lifetime
+        overlaps ``record`` constrain placement.  Returns the offset of the
+        smallest gap that fits, preferring interior gaps, else the tail.
+        """
+        smallest_gap = float("inf")
+        prev_offset = 0
+        best_offset: Optional[int] = None
+        for assignment in self.assignments:  # offset-sorted
+            x = assignment.record
+            # L6-L8: ignore residents that never coexist with the target.
+            if record.overlaps(x):
+                gap = assignment.offset - prev_offset
+                if record.size <= gap < smallest_gap:
+                    smallest_gap = gap
+                    best_offset = prev_offset
+                prev_offset = max(prev_offset, assignment.end)
+        if best_offset is None and self.size - prev_offset >= record.size:
+            best_offset = prev_offset
+        return best_offset
+
+    @property
+    def used_bytes(self) -> int:
+        """High-water offset of the current plan (not a live-byte count)."""
+        return max((a.end for a in self.assignments), default=0)
+
+    @property
+    def is_unused(self) -> bool:
+        return not self.assignments
+
+
+def new_chunk_size(tensor_size: int, default_size: int = DEFAULT_CHUNK_SIZE,
+                   k_scale: float = K_SCALE) -> int:
+    """Size for a freshly appended chunk (Alg. 1 line 14)."""
+    if tensor_size <= 0:
+        raise ValueError(f"tensor_size must be positive, got {tensor_size}")
+    return max(default_size, int(tensor_size * k_scale))

@@ -1,0 +1,40 @@
+"""Naive allocator baseline: raw cudaMalloc/cudaFree per tensor.
+
+Optimal footprint (only live tensors occupy memory) but every allocation
+stalls the device stream — the paper measures 50% compute idle on a Tesla
+M40 at (batch 20, seq 128) from exactly this pattern (§4.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from .base import BaseAllocator, RequestAllocation
+from .records import TensorUsageRecord
+
+
+class NaiveAllocator(BaseAllocator):
+    """Allocate at first use, free at last use, no caching whatsoever."""
+
+    name = "naive"
+
+    def process_request(self, records: Sequence[TensorUsageRecord]) -> RequestAllocation:
+        self._begin_request()
+        before_alloc = self.device_memory.total_alloc_bytes
+        before_stall = self.device_memory.stall_s
+        if records:
+            last_op = max(r.last_op for r in records)
+            by_first: Dict[int, List[TensorUsageRecord]] = defaultdict(list)
+            by_last: Dict[int, List[TensorUsageRecord]] = defaultdict(list)
+            for r in records:
+                by_first[r.first_op].append(r)
+                by_last[r.last_op].append(r)
+            live: Dict[str, int] = {}
+            for op in range(last_op + 1):
+                for r in by_first.get(op, ()):
+                    live[r.name] = self.device_memory.malloc(r.size)
+                for r in by_last.get(op, ()):
+                    self.device_memory.free(live.pop(r.name))
+            assert not live, f"leaked tensors: {sorted(live)}"
+        return self._snapshot(before_alloc, before_stall)

@@ -1,0 +1,96 @@
+"""Allocation plans: tensor -> (chunk, offset) maps, with validation.
+
+A plan is correct iff (a) every tensor lies inside its chunk and (b) no two
+tensors whose lifetimes overlap also overlap in bytes within one chunk.
+:func:`validate_plan` checks both and is used by the property-based tests
+as the ground-truth invariant for every allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .chunk import Chunk
+from .records import TensorUsageRecord
+
+
+class PlanError(ValueError):
+    """An allocation plan violates a safety invariant."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one tensor lives for the duration of a request."""
+
+    chunk_id: int
+    offset: int
+
+
+@dataclass
+class AllocationPlan:
+    """Result of planning one request's intermediate tensors."""
+
+    placements: Dict[str, Placement]
+    chunk_sizes: Dict[int, int]
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes of all chunks the plan uses."""
+        return sum(self.chunk_sizes.values())
+
+    def chunk_of(self, name: str) -> Placement:
+        try:
+            return self.placements[name]
+        except KeyError:
+            raise PlanError(f"tensor {name!r} has no placement") from None
+
+
+def validate_plan(plan: AllocationPlan, records: Sequence[TensorUsageRecord]) -> None:
+    """Raise :class:`PlanError` on any bounds or aliasing violation."""
+    by_name = {r.name: r for r in records}
+    if set(plan.placements) != set(by_name):
+        missing = set(by_name) - set(plan.placements)
+        extra = set(plan.placements) - set(by_name)
+        raise PlanError(f"plan/records mismatch: missing={missing} extra={extra}")
+
+    by_chunk: Dict[int, List[Tuple[TensorUsageRecord, Placement]]] = {}
+    for name, placement in plan.placements.items():
+        record = by_name[name]
+        if placement.chunk_id not in plan.chunk_sizes:
+            raise PlanError(f"{name!r} placed in unknown chunk {placement.chunk_id}")
+        size = plan.chunk_sizes[placement.chunk_id]
+        if placement.offset < 0 or placement.offset + record.size > size:
+            raise PlanError(
+                f"{name!r} ({record.size} B at {placement.offset}) exceeds "
+                f"chunk {placement.chunk_id} of {size} B"
+            )
+        by_chunk.setdefault(placement.chunk_id, []).append((record, placement))
+
+    for chunk_id, entries in by_chunk.items():
+        for i, (rec_a, place_a) in enumerate(entries):
+            for rec_b, place_b in entries[i + 1 :]:
+                if not rec_a.overlaps(rec_b):
+                    continue  # disjoint lifetimes may alias
+                a0, a1 = place_a.offset, place_a.offset + rec_a.size
+                b0, b1 = place_b.offset, place_b.offset + rec_b.size
+                if a0 < b1 and b0 < a1:
+                    raise PlanError(
+                        f"live tensors {rec_a.name!r} and {rec_b.name!r} "
+                        f"overlap in chunk {chunk_id}: [{a0},{a1}) vs [{b0},{b1})"
+                    )
+
+
+def plan_from_chunks(chunks: Sequence[Chunk]) -> AllocationPlan:
+    """Snapshot a chunk list's current assignments into a plan."""
+    placements: Dict[str, Placement] = {}
+    chunk_sizes: Dict[int, int] = {}
+    for chunk in chunks:
+        if chunk.is_unused:
+            continue
+        chunk_sizes[chunk.chunk_id] = chunk.size
+        for assignment in chunk.assignments:
+            placements[assignment.record.name] = Placement(
+                chunk.chunk_id, assignment.offset
+            )
+    return AllocationPlan(placements=placements, chunk_sizes=chunk_sizes)

@@ -1,0 +1,59 @@
+"""Tensor usage records — the allocator's input (paper Alg. 1).
+
+A record is the tuple ``{first_op, last_op, size}``: the indices (in the
+graph's topological order) of the first and last operator that touch the
+tensor, plus its byte size under the current request's sequence length.
+Two tensors may share memory iff their ``[first_op, last_op]`` intervals do
+not overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class TensorUsageRecord:
+    """Lifetime + size of one intermediate tensor for one request."""
+
+    name: str
+    first_op: int
+    last_op: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.first_op < 0:
+            raise ValueError(f"{self.name}: first_op must be >= 0, got {self.first_op}")
+        if self.last_op < self.first_op:
+            raise ValueError(
+                f"{self.name}: last_op {self.last_op} < first_op {self.first_op}"
+            )
+        if self.size <= 0:
+            raise ValueError(f"{self.name}: size must be positive, got {self.size}")
+
+    def overlaps(self, other: "TensorUsageRecord") -> bool:
+        """True if the two tensors are live simultaneously (Alg. 2 L6-L8)."""
+        return max(self.first_op, other.first_op) <= min(self.last_op, other.last_op)
+
+
+def sort_by_size(records: Iterable[TensorUsageRecord]) -> List[TensorUsageRecord]:
+    """Non-increasing size order (Alg. 1 line 1); name breaks ties so the
+    plan is deterministic."""
+    return sorted(records, key=lambda r: (-r.size, r.name))
+
+
+def peak_live_bytes(records: Sequence[TensorUsageRecord]) -> int:
+    """Lower bound on any allocation plan: max over ops of live-tensor bytes."""
+    if not records:
+        return 0
+    events: List[tuple] = []
+    for r in records:
+        events.append((r.first_op, r.size))
+        events.append((r.last_op + 1, -r.size))
+    events.sort()
+    live = peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak

@@ -1,0 +1,84 @@
+"""Transformer models evaluated by the paper: BERT, ALBERT, Seq2Seq decoder."""
+
+from .albert import albert_forward, build_albert_graph, init_albert_weights
+from .bert import build_encoder_graph, encoder_forward
+from .config import (
+    AlbertConfig,
+    BertConfig,
+    Seq2SeqConfig,
+    TransformerConfig,
+    albert_base,
+    bert_base,
+    seq2seq_decoder,
+    tiny_albert,
+    tiny_bert,
+    tiny_seq2seq,
+)
+from .decoder import BeamHypothesis, beam_search, build_decoder_step_graph
+from .gpt import (
+    GptConfig,
+    GptWeights,
+    build_decode_step_graph,
+    build_prefill_graph,
+    generate,
+    gpt_small,
+    init_gpt_weights,
+    tiny_gpt,
+)
+from .io import (
+    load_decoder_weights,
+    load_encoder_weights,
+    save_decoder_weights,
+    save_encoder_weights,
+)
+from .seq2seq import Seq2SeqLatencyModel, Seq2SeqModel, encoder_config_for
+from .weights import (
+    DecoderLayerWeights,
+    DecoderWeights,
+    LayerWeights,
+    ModelWeights,
+    init_decoder_weights,
+    init_encoder_weights,
+)
+
+__all__ = [
+    "TransformerConfig",
+    "BertConfig",
+    "AlbertConfig",
+    "Seq2SeqConfig",
+    "bert_base",
+    "albert_base",
+    "seq2seq_decoder",
+    "tiny_bert",
+    "tiny_albert",
+    "tiny_seq2seq",
+    "build_encoder_graph",
+    "encoder_forward",
+    "build_albert_graph",
+    "albert_forward",
+    "init_albert_weights",
+    "build_decoder_step_graph",
+    "beam_search",
+    "BeamHypothesis",
+    "ModelWeights",
+    "LayerWeights",
+    "DecoderWeights",
+    "DecoderLayerWeights",
+    "init_encoder_weights",
+    "init_decoder_weights",
+    "save_encoder_weights",
+    "load_encoder_weights",
+    "save_decoder_weights",
+    "load_decoder_weights",
+    "Seq2SeqModel",
+    "Seq2SeqLatencyModel",
+    "encoder_config_for",
+    "GptConfig",
+    "GptWeights",
+    "gpt_small",
+    "tiny_gpt",
+    "build_prefill_graph",
+    "build_decode_step_graph",
+    "init_gpt_weights",
+    "generate",
+]

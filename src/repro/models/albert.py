@@ -1,0 +1,41 @@
+"""ALBERT: BERT geometry with cross-layer parameter sharing.
+
+Structurally the graph equals BERT's (the builder in :mod:`.bert` registers
+shared weight tensors once); the differences that matter to a *serving*
+system are (a) the factorized embedding adds one projection GEMM and (b)
+the parameter footprint is ~1/12th, which the memory experiments can
+observe through :attr:`ModelWeights.parameter_bytes`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph import ComputationGraph
+from .bert import build_encoder_graph, encoder_forward
+from .config import AlbertConfig
+from .weights import ModelWeights, init_encoder_weights
+
+
+def build_albert_graph(config: Optional[AlbertConfig] = None) -> ComputationGraph:
+    """ALBERT encoder graph (shared weights, factorized embedding)."""
+    return build_encoder_graph(config or AlbertConfig())
+
+
+def albert_forward(
+    config: AlbertConfig,
+    weights: ModelWeights,
+    token_ids: np.ndarray,
+    lengths: Optional[np.ndarray] = None,
+    fused: bool = True,
+) -> np.ndarray:
+    """Numeric ALBERT forward; see :func:`repro.models.bert.encoder_forward`."""
+    if weights.embedding_projection is None:
+        raise ValueError("ALBERT weights require an embedding projection")
+    return encoder_forward(config, weights, token_ids, lengths=lengths, fused=fused)
+
+
+def init_albert_weights(config: Optional[AlbertConfig] = None, seed: int = 0) -> ModelWeights:
+    return init_encoder_weights(config or AlbertConfig(), seed=seed)

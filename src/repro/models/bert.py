@@ -1,0 +1,282 @@
+"""BERT encoder: symbolic computation graph + NumPy forward pass.
+
+The graph builder emits *fine-grained* nodes (every bias add, transpose,
+activation and reduction is its own operator).  This is exactly what a
+training framework executes; the Turbo runtime obtains its kernel schedule
+by running :func:`repro.graph.fuse_graph` over it (Fig. 3), so one builder
+serves both the baseline and the optimized runtimes.
+
+Graph dimensions are symbolic over ``batch`` and ``seq`` — the whole point
+of the paper's variable-length design: the same graph is re-planned per
+request once the sequence length is known.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph import ComputationGraph, OpType, TensorKind
+from ..kernels import (
+    add_bias,
+    add_bias_gelu,
+    add_bias_layernorm,
+    bert_embeddings,
+    gelu,
+    layernorm_one_pass,
+    layernorm_reference,
+    linear,
+    multi_head_attention,
+    padding_mask_from_lengths,
+)
+from .config import AlbertConfig, TransformerConfig
+from .weights import ModelWeights
+
+BATCH = "batch"
+SEQ = "seq"
+
+
+def build_encoder_graph(config: TransformerConfig) -> ComputationGraph:
+    """Fine-grained encoder graph for BERT (and ALBERT) configurations.
+
+    ALBERT shares weights across layers; structurally the graph is the same
+    (weight tensors are registered once and referenced by every layer),
+    plus the factorized-embedding projection GEMM.
+    """
+    g = ComputationGraph(name=config.name)
+    hidden = config.hidden_size
+    heads = config.num_heads
+    head_size = config.head_size
+    inner = config.intermediate_size
+    is_albert = isinstance(config, AlbertConfig)
+    embed_dim = config.embedding_size if is_albert else hidden
+
+    g.tensor("input_ids", (BATCH, SEQ), TensorKind.INPUT, dtype_bytes=8)
+    g.tensor("embed_table", (config.vocab_size, embed_dim), TensorKind.WEIGHT)
+
+    g.tensor("embed_sum", (BATCH, SEQ, embed_dim))
+    g.add_node(
+        "embedding", OpType.EMBEDDING,
+        inputs=("input_ids", "embed_table"), outputs=("embed_sum",),
+        nelems=(BATCH, SEQ, embed_dim),
+    )
+    g.tensor("embed_norm", (BATCH, SEQ, embed_dim))
+    g.add_node(
+        "embedding_ln", OpType.LAYERNORM,
+        inputs=("embed_sum",), outputs=("embed_norm",),
+        rows=(BATCH, SEQ), row_len=embed_dim,
+    )
+    hidden_name = "embed_norm"
+    if is_albert:
+        g.tensor("embed_proj_w", (embed_dim, hidden), TensorKind.WEIGHT)
+        g.tensor("embed_proj", (BATCH, SEQ, hidden))
+        g.add_node(
+            "embedding_projection", OpType.GEMM,
+            inputs=(hidden_name, "embed_proj_w"), outputs=("embed_proj",),
+            m=(BATCH, SEQ), n=hidden, k=embed_dim,
+        )
+        hidden_name = "embed_proj"
+
+    def weight(name: str, *dims: int, layer: int) -> str:
+        """Register a weight tensor; ALBERT reuses layer 0's tensors."""
+        if is_albert:
+            shared = f"shared.{name}"
+            if shared not in g.tensors:
+                g.tensor(shared, dims, TensorKind.WEIGHT)
+            return shared
+        full = f"l{layer}.{name}"
+        g.tensor(full, dims, TensorKind.WEIGHT)
+        return full
+
+    for layer in range(config.num_layers):
+        p = f"l{layer}"
+        residual_in = hidden_name
+
+        # -- multi-head attention: QKV projections -------------------------
+        for proj in ("q", "k", "v"):
+            w = weight(f"w{proj}", hidden, hidden, layer=layer)
+            g.tensor(f"{p}.{proj}_proj", (BATCH, SEQ, hidden))
+            g.add_node(
+                f"{p}.{proj}_gemm", OpType.GEMM,
+                inputs=(hidden_name, w), outputs=(f"{p}.{proj}_proj",),
+                m=(BATCH, SEQ), n=hidden, k=hidden,
+            )
+        # bias add + split-heads transpose for each of q/k/v (fusable run).
+        for proj in ("q", "k", "v"):
+            g.tensor(f"{p}.{proj}_biased", (BATCH, SEQ, hidden))
+            g.add_node(
+                f"{p}.{proj}_bias", OpType.ELEMENTWISE,
+                inputs=(f"{p}.{proj}_proj",), outputs=(f"{p}.{proj}_biased",),
+                nelems=(BATCH, SEQ, hidden), reads=1, writes=1, flops_per_elem=1,
+            )
+            g.tensor(f"{p}.{proj}_heads", (BATCH, heads, SEQ, head_size))
+            g.add_node(
+                f"{p}.{proj}_transpose", OpType.TRANSPOSE,
+                inputs=(f"{p}.{proj}_biased",), outputs=(f"{p}.{proj}_heads",),
+                nelems=(BATCH, SEQ, hidden),
+            )
+
+        # -- scaled dot-product attention ----------------------------------
+        g.tensor(f"{p}.scores", (BATCH, heads, SEQ, SEQ))
+        g.add_node(
+            f"{p}.scores_gemm", OpType.BATCHED_GEMM,
+            inputs=(f"{p}.q_heads", f"{p}.k_heads"), outputs=(f"{p}.scores",),
+            m=SEQ, n=SEQ, k=head_size, batch=(BATCH, heads),
+        )
+        g.tensor(f"{p}.scaled", (BATCH, heads, SEQ, SEQ))
+        g.add_node(
+            f"{p}.scale", OpType.ELEMENTWISE,
+            inputs=(f"{p}.scores",), outputs=(f"{p}.scaled",),
+            nelems=(BATCH, heads, SEQ, SEQ), reads=1, writes=1, flops_per_elem=1,
+        )
+        g.tensor(f"{p}.probs", (BATCH, heads, SEQ, SEQ))
+        g.add_node(
+            f"{p}.softmax", OpType.SOFTMAX,
+            inputs=(f"{p}.scaled",), outputs=(f"{p}.probs",),
+            rows=(BATCH, heads, SEQ), row_len=SEQ,
+        )
+        g.tensor(f"{p}.context", (BATCH, heads, SEQ, head_size))
+        g.add_node(
+            f"{p}.context_gemm", OpType.BATCHED_GEMM,
+            inputs=(f"{p}.probs", f"{p}.v_heads"), outputs=(f"{p}.context",),
+            m=SEQ, n=head_size, k=SEQ, batch=(BATCH, heads),
+        )
+        g.tensor(f"{p}.context_merged", (BATCH, SEQ, hidden))
+        g.add_node(
+            f"{p}.merge_heads", OpType.TRANSPOSE,
+            inputs=(f"{p}.context",), outputs=(f"{p}.context_merged",),
+            nelems=(BATCH, SEQ, hidden),
+        )
+        wo = weight("wo", hidden, hidden, layer=layer)
+        g.tensor(f"{p}.attn_out", (BATCH, SEQ, hidden))
+        g.add_node(
+            f"{p}.out_gemm", OpType.GEMM,
+            inputs=(f"{p}.context_merged", wo), outputs=(f"{p}.attn_out",),
+            m=(BATCH, SEQ), n=hidden, k=hidden,
+        )
+        # bias + residual + layernorm (the post-GEMM fusable run of Fig. 3).
+        g.tensor(f"{p}.attn_residual", (BATCH, SEQ, hidden))
+        g.add_node(
+            f"{p}.attn_add", OpType.ELEMENTWISE,
+            inputs=(f"{p}.attn_out", residual_in), outputs=(f"{p}.attn_residual",),
+            nelems=(BATCH, SEQ, hidden), reads=2, writes=1, flops_per_elem=2,
+        )
+        g.tensor(f"{p}.attn_norm", (BATCH, SEQ, hidden))
+        g.add_node(
+            f"{p}.attn_ln", OpType.LAYERNORM,
+            inputs=(f"{p}.attn_residual",), outputs=(f"{p}.attn_norm",),
+            rows=(BATCH, SEQ), row_len=hidden,
+        )
+
+        # -- feed-forward network ------------------------------------------
+        w1 = weight("ffn_w1", hidden, inner, layer=layer)
+        g.tensor(f"{p}.ffn_inner", (BATCH, SEQ, inner))
+        g.add_node(
+            f"{p}.ffn1_gemm", OpType.GEMM,
+            inputs=(f"{p}.attn_norm", w1), outputs=(f"{p}.ffn_inner",),
+            m=(BATCH, SEQ), n=inner, k=hidden,
+        )
+        g.tensor(f"{p}.ffn_act", (BATCH, SEQ, inner))
+        g.add_node(
+            f"{p}.ffn_bias_gelu", OpType.ELEMENTWISE,
+            inputs=(f"{p}.ffn_inner",), outputs=(f"{p}.ffn_act",),
+            nelems=(BATCH, SEQ, inner), reads=1, writes=1, flops_per_elem=12,
+        )
+        w2 = weight("ffn_w2", inner, hidden, layer=layer)
+        g.tensor(f"{p}.ffn_out", (BATCH, SEQ, hidden))
+        g.add_node(
+            f"{p}.ffn2_gemm", OpType.GEMM,
+            inputs=(f"{p}.ffn_act", w2), outputs=(f"{p}.ffn_out",),
+            m=(BATCH, SEQ), n=hidden, k=inner,
+        )
+        is_last = layer == config.num_layers - 1
+        out_kind = TensorKind.OUTPUT if is_last else TensorKind.INTERMEDIATE
+        g.tensor(f"{p}.ffn_residual", (BATCH, SEQ, hidden))
+        g.add_node(
+            f"{p}.ffn_add", OpType.ELEMENTWISE,
+            inputs=(f"{p}.ffn_out", f"{p}.attn_norm"), outputs=(f"{p}.ffn_residual",),
+            nelems=(BATCH, SEQ, hidden), reads=2, writes=1, flops_per_elem=2,
+        )
+        g.tensor(f"{p}.output", (BATCH, SEQ, hidden), kind=out_kind)
+        g.add_node(
+            f"{p}.ffn_ln", OpType.LAYERNORM,
+            inputs=(f"{p}.ffn_residual",), outputs=(f"{p}.output",),
+            rows=(BATCH, SEQ), row_len=hidden,
+        )
+        hidden_name = f"{p}.output"
+
+    g.validate()
+    return g
+
+
+def encoder_forward(
+    config: TransformerConfig,
+    weights: ModelWeights,
+    token_ids: np.ndarray,
+    lengths: Optional[np.ndarray] = None,
+    fused: bool = True,
+) -> np.ndarray:
+    """Numeric forward pass matching :func:`build_encoder_graph`.
+
+    ``fused`` toggles between the fused kernel path (Turbo) and the
+    reference kernel path (framework); outputs agree to FP rounding.
+    Returns final hidden states ``[batch, seq, hidden]``.
+    """
+    token_ids = np.asarray(token_ids)
+    if token_ids.ndim != 2:
+        raise ValueError(f"token_ids must be [batch, seq], got {token_ids.shape}")
+    mask = None
+    if lengths is not None:
+        mask = padding_mask_from_lengths(np.asarray(lengths), token_ids.shape[1])
+
+    x = bert_embeddings(
+        weights.token_embedding,
+        weights.position_embedding,
+        weights.segment_embedding,
+        token_ids,
+    )
+    if fused:
+        x = layernorm_one_pass(x, weights.embedding_ln_gamma, weights.embedding_ln_beta,
+                               eps=config.layer_norm_eps)
+    else:
+        x = layernorm_reference(x, weights.embedding_ln_gamma, weights.embedding_ln_beta,
+                                eps=config.layer_norm_eps)
+    if weights.embedding_projection is not None:
+        x = x @ weights.embedding_projection
+
+    for layer_weights in weights.layers:
+        attn = multi_head_attention(
+            x, layer_weights.attention, config.num_heads, mask=mask, fused=fused,
+            add_output_bias=not fused,
+        )
+        if fused:
+            x = add_bias_layernorm(
+                attn, x, layer_weights.attention.bo,
+                layer_weights.attn_ln_gamma, layer_weights.attn_ln_beta,
+                eps=config.layer_norm_eps,
+            )
+        else:
+            x = layernorm_reference(
+                attn + x, layer_weights.attn_ln_gamma, layer_weights.attn_ln_beta,
+                eps=config.layer_norm_eps,
+            )
+        inner = linear(x, layer_weights.ffn_w1)
+        if fused:
+            inner = add_bias_gelu(inner, layer_weights.ffn_b1, out=inner)
+        else:
+            inner = gelu(add_bias(inner, layer_weights.ffn_b1))
+        ffn_out = linear(inner, layer_weights.ffn_w2)
+        if fused:
+            x = add_bias_layernorm(
+                ffn_out, x, layer_weights.ffn_b2,
+                layer_weights.ffn_ln_gamma, layer_weights.ffn_ln_beta,
+                eps=config.layer_norm_eps,
+            )
+        else:
+            x = layernorm_reference(
+                ffn_out + layer_weights.ffn_b2 + x,
+                layer_weights.ffn_ln_gamma, layer_weights.ffn_ln_beta,
+                eps=config.layer_norm_eps,
+            )
+    return x

@@ -1,0 +1,133 @@
+"""Model configurations (paper Table 3).
+
+The paper's ``hidden_size=64`` is the per-head size (the standard BERT-base
+geometry: 12 heads x 64 = 768 model dim).  ``tiny()`` constructors give
+shrunk configs for numeric tests where full-size NumPy forwards would be
+slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Shared hyper-parameters of an encoder or decoder stack."""
+
+    name: str
+    num_layers: int
+    num_heads: int
+    head_size: int
+    intermediate_ratio: int = 4
+    vocab_size: int = 30522
+    max_position: int = 512
+    type_vocab_size: int = 2
+    layer_norm_eps: float = 1e-5
+
+    def __post_init__(self) -> None:
+        for field_name in ("num_layers", "num_heads", "head_size"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+        if self.intermediate_ratio <= 0:
+            raise ValueError(
+                f"intermediate_ratio must be positive, got {self.intermediate_ratio}"
+            )
+
+    @property
+    def hidden_size(self) -> int:
+        """Model dimension: heads * per-head size."""
+        return self.num_heads * self.head_size
+
+    @property
+    def intermediate_size(self) -> int:
+        """Feed-forward inner dimension."""
+        return self.hidden_size * self.intermediate_ratio
+
+    def scaled(self, **overrides: object) -> "TransformerConfig":
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class BertConfig(TransformerConfig):
+    """BERT encoder (Table 3: 12 layers, 12 heads, head size 64)."""
+
+    name: str = "bert"
+    num_layers: int = 12
+    num_heads: int = 12
+    head_size: int = 64
+
+
+@dataclass(frozen=True)
+class AlbertConfig(TransformerConfig):
+    """ALBERT: BERT geometry with cross-layer weight sharing and a
+    factorized embedding (embedding_size < hidden_size)."""
+
+    name: str = "albert"
+    num_layers: int = 12
+    num_heads: int = 12
+    head_size: int = 64
+    embedding_size: int = 128
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.embedding_size <= 0:
+            raise ValueError(f"embedding_size must be positive, got {self.embedding_size}")
+
+
+@dataclass(frozen=True)
+class Seq2SeqConfig(TransformerConfig):
+    """Transformer decoder for translation (Table 3: 6 layers, 16 heads,
+    head size 64, beam 4, max target length 500)."""
+
+    name: str = "seq2seq_decoder"
+    num_layers: int = 6
+    num_heads: int = 16
+    head_size: int = 64
+    beam_size: int = 4
+    max_target_len: int = 500
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.beam_size <= 0:
+            raise ValueError(f"beam_size must be positive, got {self.beam_size}")
+        if self.max_target_len <= 0:
+            raise ValueError(f"max_target_len must be positive, got {self.max_target_len}")
+
+
+def bert_base() -> BertConfig:
+    """The paper's evaluated BERT configuration."""
+    return BertConfig()
+
+
+def albert_base() -> AlbertConfig:
+    """The paper's evaluated ALBERT configuration."""
+    return AlbertConfig()
+
+
+def seq2seq_decoder() -> Seq2SeqConfig:
+    """The paper's evaluated Seq2Seq decoder configuration."""
+    return Seq2SeqConfig()
+
+
+def tiny_bert() -> BertConfig:
+    """Two-layer, two-head miniature for fast numeric tests."""
+    return BertConfig(
+        name="bert-tiny", num_layers=2, num_heads=2, head_size=8,
+        vocab_size=100, max_position=64,
+    )
+
+
+def tiny_albert() -> AlbertConfig:
+    return AlbertConfig(
+        name="albert-tiny", num_layers=2, num_heads=2, head_size=8,
+        vocab_size=100, max_position=64, embedding_size=8,
+    )
+
+
+def tiny_seq2seq() -> Seq2SeqConfig:
+    return Seq2SeqConfig(
+        name="seq2seq-tiny", num_layers=2, num_heads=2, head_size=8,
+        vocab_size=100, max_position=64, beam_size=2, max_target_len=16,
+    )

@@ -1,0 +1,346 @@
+"""Seq2Seq transformer decoder with beam search (paper Table 3, Fig. 10).
+
+The paper evaluates a 6-layer, 16-head decoder on Chinese-English
+translation with beam size 4.  Decoding is autoregressive: step ``t``
+attends over ``t`` cached target positions (self-attention) and over the
+``src_len`` encoder memory (cross-attention), and ends with the
+vocabulary projection — so per-step cost *grows with t*, and total latency
+is the sum over generated steps.
+
+Two artefacts are provided:
+
+* :func:`build_decoder_step_graph` — a symbolic graph of ONE decode step,
+  parameterized over ``beam``, ``tgt_pos`` (current target length) and
+  ``src_len``; runtimes integrate it over steps for end-to-end cost.
+* :func:`beam_search` — a real NumPy beam-search decode (full-prefix
+  recompute; numerics only, used by tests/examples on tiny configs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph import ComputationGraph, OpType, TensorKind
+from ..kernels import multi_head_attention, layernorm_one_pass, linear, add_bias_gelu
+from ..kernels.softmax import softmax_reference
+from .config import Seq2SeqConfig
+from .weights import DecoderWeights
+
+BEAM = "beam"
+TGT = "tgt_pos"  # number of target positions attended (includes current)
+SRC = "src_len"
+
+
+def build_decoder_step_graph(config: Seq2SeqConfig) -> ComputationGraph:
+    """Symbolic graph of one beam-search decode step (query length 1).
+
+    Cross-attention K/V are projected once per request (not per step), so
+    they appear here as persistent INPUT tensors.  Nodes are fine-grained
+    (each bias add, transpose, activation and reduction is its own
+    operator) just like the encoder builder — the Turbo runtime collapses
+    them via the fusion pass, the PyTorch-like baseline launches each one.
+    Per-step cost grows with ``tgt_pos`` (the KV cache length).
+    """
+    g = ComputationGraph(name=f"{config.name}.step")
+    hidden = config.hidden_size
+    heads = config.num_heads
+    head_size = config.head_size
+    inner = config.intermediate_size
+
+    g.tensor("step_input", (BEAM, 1, hidden), TensorKind.INPUT)
+    g.tensor("memory_k", (BEAM, heads, SRC, head_size), TensorKind.INPUT)
+    g.tensor("memory_v", (BEAM, heads, SRC, head_size), TensorKind.INPUT)
+    hidden_name = "step_input"
+
+    def attention_core(p: str, query: str, kv_k: str, kv_v: str, kv_len,
+                       out_prefix: str) -> str:
+        """Scores -> scale -> softmax -> context -> merge -> output GEMM
+        -> bias -> residual -> layernorm.  Returns the normalized output."""
+        g.tensor(f"{out_prefix}.scores", (BEAM, heads, 1, kv_len))
+        g.add_node(
+            f"{out_prefix}.scores_gemm", OpType.BATCHED_GEMM,
+            inputs=(query, kv_k), outputs=(f"{out_prefix}.scores",),
+            m=1, n=kv_len, k=head_size, batch=(BEAM, heads),
+        )
+        g.tensor(f"{out_prefix}.scaled", (BEAM, heads, 1, kv_len))
+        g.add_node(
+            f"{out_prefix}.scale", OpType.ELEMENTWISE,
+            inputs=(f"{out_prefix}.scores",), outputs=(f"{out_prefix}.scaled",),
+            nelems=(BEAM, heads, kv_len), reads=1, writes=1, flops_per_elem=1,
+        )
+        g.tensor(f"{out_prefix}.probs", (BEAM, heads, 1, kv_len))
+        g.add_node(
+            f"{out_prefix}.softmax", OpType.SOFTMAX,
+            inputs=(f"{out_prefix}.scaled",), outputs=(f"{out_prefix}.probs",),
+            rows=(BEAM, heads), row_len=kv_len,
+        )
+        g.tensor(f"{out_prefix}.context", (BEAM, heads, 1, head_size))
+        g.add_node(
+            f"{out_prefix}.context_gemm", OpType.BATCHED_GEMM,
+            inputs=(f"{out_prefix}.probs", kv_v), outputs=(f"{out_prefix}.context",),
+            m=1, n=head_size, k=kv_len, batch=(BEAM, heads),
+        )
+        g.tensor(f"{out_prefix}.merged", (BEAM, 1, hidden))
+        g.add_node(
+            f"{out_prefix}.merge_heads", OpType.TRANSPOSE,
+            inputs=(f"{out_prefix}.context",), outputs=(f"{out_prefix}.merged",),
+            nelems=(BEAM, hidden),
+        )
+        g.tensor(f"{out_prefix}.wo", (hidden, hidden), TensorKind.WEIGHT)
+        g.tensor(f"{out_prefix}.out", (BEAM, 1, hidden))
+        g.add_node(
+            f"{out_prefix}.out_gemm", OpType.GEMM,
+            inputs=(f"{out_prefix}.merged", f"{out_prefix}.wo"),
+            outputs=(f"{out_prefix}.out",),
+            m=(BEAM,), n=hidden, k=hidden,
+        )
+        g.tensor(f"{out_prefix}.biased", (BEAM, 1, hidden))
+        g.add_node(
+            f"{out_prefix}.out_bias", OpType.ELEMENTWISE,
+            inputs=(f"{out_prefix}.out",), outputs=(f"{out_prefix}.biased",),
+            nelems=(BEAM, hidden), reads=1, writes=1, flops_per_elem=1,
+        )
+        g.tensor(f"{out_prefix}.residual", (BEAM, 1, hidden))
+        g.add_node(
+            f"{out_prefix}.residual_add", OpType.ELEMENTWISE,
+            inputs=(f"{out_prefix}.biased", query if False else hidden_ref[0]),
+            outputs=(f"{out_prefix}.residual",),
+            nelems=(BEAM, hidden), reads=2, writes=1, flops_per_elem=1,
+        )
+        g.tensor(f"{out_prefix}.norm", (BEAM, 1, hidden))
+        g.add_node(
+            f"{out_prefix}.ln", OpType.LAYERNORM,
+            inputs=(f"{out_prefix}.residual",), outputs=(f"{out_prefix}.norm",),
+            rows=(BEAM,), row_len=hidden,
+        )
+        return f"{out_prefix}.norm"
+
+    hidden_ref = [hidden_name]
+    for layer in range(config.num_layers):
+        p = f"l{layer}"
+        g.tensor(f"{p}.self_kcache", (BEAM, heads, TGT, head_size), TensorKind.INPUT)
+        g.tensor(f"{p}.self_vcache", (BEAM, heads, TGT, head_size), TensorKind.INPUT)
+
+        # Self-attention QKV projections of the single new position.
+        for proj in ("q", "k", "v"):
+            g.tensor(f"{p}.self_w{proj}", (hidden, hidden), TensorKind.WEIGHT)
+            g.tensor(f"{p}.self_{proj}", (BEAM, 1, hidden))
+            g.add_node(
+                f"{p}.self_{proj}_gemm", OpType.GEMM,
+                inputs=(hidden_ref[0], f"{p}.self_w{proj}"),
+                outputs=(f"{p}.self_{proj}",),
+                m=(BEAM,), n=hidden, k=hidden,
+            )
+        for proj in ("q", "k", "v"):
+            g.tensor(f"{p}.self_{proj}_biased", (BEAM, 1, hidden))
+            g.add_node(
+                f"{p}.self_{proj}_bias", OpType.ELEMENTWISE,
+                inputs=(f"{p}.self_{proj}",), outputs=(f"{p}.self_{proj}_biased",),
+                nelems=(BEAM, hidden), reads=1, writes=1, flops_per_elem=1,
+            )
+            g.tensor(f"{p}.self_{proj}_heads", (BEAM, heads, 1, head_size))
+            g.add_node(
+                f"{p}.self_{proj}_transpose", OpType.TRANSPOSE,
+                inputs=(f"{p}.self_{proj}_biased",),
+                outputs=(f"{p}.self_{proj}_heads",),
+                nelems=(BEAM, hidden),
+            )
+        self_out = attention_core(
+            p, f"{p}.self_q_heads", f"{p}.self_kcache", f"{p}.self_vcache",
+            TGT, f"{p}.self",
+        )
+        hidden_ref[0] = self_out
+
+        # Cross-attention over the encoder memory (K/V precomputed).
+        g.tensor(f"{p}.cross_wq", (hidden, hidden), TensorKind.WEIGHT)
+        g.tensor(f"{p}.cross_q", (BEAM, 1, hidden))
+        g.add_node(
+            f"{p}.cross_q_gemm", OpType.GEMM,
+            inputs=(self_out, f"{p}.cross_wq"), outputs=(f"{p}.cross_q",),
+            m=(BEAM,), n=hidden, k=hidden,
+        )
+        g.tensor(f"{p}.cross_q_biased", (BEAM, 1, hidden))
+        g.add_node(
+            f"{p}.cross_q_bias", OpType.ELEMENTWISE,
+            inputs=(f"{p}.cross_q",), outputs=(f"{p}.cross_q_biased",),
+            nelems=(BEAM, hidden), reads=1, writes=1, flops_per_elem=1,
+        )
+        g.tensor(f"{p}.cross_q_heads", (BEAM, heads, 1, head_size))
+        g.add_node(
+            f"{p}.cross_q_transpose", OpType.TRANSPOSE,
+            inputs=(f"{p}.cross_q_biased",), outputs=(f"{p}.cross_q_heads",),
+            nelems=(BEAM, hidden),
+        )
+        cross_out = attention_core(
+            p, f"{p}.cross_q_heads", "memory_k", "memory_v", SRC, f"{p}.cross",
+        )
+        hidden_ref[0] = cross_out
+
+        # Feed-forward network.
+        g.tensor(f"{p}.ffn_w1", (hidden, inner), TensorKind.WEIGHT)
+        g.tensor(f"{p}.ffn_inner", (BEAM, 1, inner))
+        g.add_node(
+            f"{p}.ffn1_gemm", OpType.GEMM,
+            inputs=(cross_out, f"{p}.ffn_w1"), outputs=(f"{p}.ffn_inner",),
+            m=(BEAM,), n=inner, k=hidden,
+        )
+        g.tensor(f"{p}.ffn_biased", (BEAM, 1, inner))
+        g.add_node(
+            f"{p}.ffn_bias", OpType.ELEMENTWISE,
+            inputs=(f"{p}.ffn_inner",), outputs=(f"{p}.ffn_biased",),
+            nelems=(BEAM, inner), reads=1, writes=1, flops_per_elem=1,
+        )
+        g.tensor(f"{p}.ffn_act", (BEAM, 1, inner))
+        g.add_node(
+            f"{p}.ffn_gelu", OpType.ELEMENTWISE,
+            inputs=(f"{p}.ffn_biased",), outputs=(f"{p}.ffn_act",),
+            nelems=(BEAM, inner), reads=1, writes=1, flops_per_elem=12,
+        )
+        g.tensor(f"{p}.ffn_w2", (inner, hidden), TensorKind.WEIGHT)
+        g.tensor(f"{p}.ffn_out", (BEAM, 1, hidden))
+        g.add_node(
+            f"{p}.ffn2_gemm", OpType.GEMM,
+            inputs=(f"{p}.ffn_act", f"{p}.ffn_w2"), outputs=(f"{p}.ffn_out",),
+            m=(BEAM,), n=hidden, k=inner,
+        )
+        g.tensor(f"{p}.ffn_residual", (BEAM, 1, hidden))
+        g.add_node(
+            f"{p}.ffn_add", OpType.ELEMENTWISE,
+            inputs=(f"{p}.ffn_out", cross_out), outputs=(f"{p}.ffn_residual",),
+            nelems=(BEAM, hidden), reads=2, writes=1, flops_per_elem=2,
+        )
+        g.tensor(f"{p}.output", (BEAM, 1, hidden))
+        g.add_node(
+            f"{p}.ffn_ln", OpType.LAYERNORM,
+            inputs=(f"{p}.ffn_residual",), outputs=(f"{p}.output",),
+            rows=(BEAM,), row_len=hidden,
+        )
+        hidden_ref[0] = f"{p}.output"
+
+    # Vocabulary projection + softmax over the vocab — the per-step cost
+    # leader for small beams.
+    g.tensor("logit_w", (hidden, config.vocab_size), TensorKind.WEIGHT)
+    g.tensor("logits", (BEAM, 1, config.vocab_size))
+    g.add_node(
+        "logit_gemm", OpType.GEMM,
+        inputs=(hidden_ref[0], "logit_w"), outputs=("logits",),
+        m=(BEAM,), n=config.vocab_size, k=hidden,
+    )
+    g.tensor("log_probs", (BEAM, 1, config.vocab_size), kind=TensorKind.OUTPUT)
+    g.add_node(
+        "vocab_softmax", OpType.SOFTMAX,
+        inputs=("logits",), outputs=("log_probs",),
+        rows=(BEAM,), row_len=config.vocab_size,
+    )
+    g.validate()
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Numeric beam search (full-prefix recompute; for tests and examples).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BeamHypothesis:
+    """One finished (or running) beam: generated tokens and its log-prob."""
+
+    tokens: List[int]
+    score: float
+
+
+def _decoder_forward(
+    config: Seq2SeqConfig,
+    weights: DecoderWeights,
+    target_ids: np.ndarray,
+    memory: np.ndarray,
+) -> np.ndarray:
+    """Forward the full target prefix; returns logits of the last position.
+
+    ``target_ids`` is ``[beam, t]``; ``memory`` is ``[beam, src, hidden]``.
+    Causality holds trivially because we only read the final position.
+    """
+    beam, t = target_ids.shape
+    x = weights.token_embedding[target_ids] + weights.position_embedding[:t][None]
+    # Causal mask over the prefix: position i may attend to j <= i.
+    causal = np.triu(np.full((t, t), -1e9, dtype=np.float32), k=1)[None, None]
+    for lw in weights.layers:
+        attn = multi_head_attention(
+            x, lw.self_attention, config.num_heads, mask=causal, fused=True
+        )
+        x = layernorm_one_pass(attn + x, lw.self_ln_gamma, lw.self_ln_beta,
+                               eps=config.layer_norm_eps)
+        cross = multi_head_attention(
+            x, lw.cross_attention, config.num_heads, kv_states=memory, fused=True
+        )
+        x = layernorm_one_pass(cross + x, lw.cross_ln_gamma, lw.cross_ln_beta,
+                               eps=config.layer_norm_eps)
+        inner = linear(x, lw.ffn_w1)
+        inner = add_bias_gelu(inner, lw.ffn_b1, out=inner)
+        ffn = linear(inner, lw.ffn_w2, lw.ffn_b2)
+        x = layernorm_one_pass(ffn + x, lw.ffn_ln_gamma, lw.ffn_ln_beta,
+                               eps=config.layer_norm_eps)
+    return linear(x[:, -1, :], weights.output_projection)
+
+
+def beam_search(
+    config: Seq2SeqConfig,
+    weights: DecoderWeights,
+    memory: np.ndarray,
+    bos_id: int = 1,
+    eos_id: int = 2,
+    max_len: Optional[int] = None,
+) -> BeamHypothesis:
+    """Standard length-capped beam search over the decoder.
+
+    ``memory`` is the encoder output ``[src_len, hidden]`` for one source
+    sentence; returns the best hypothesis (tokens exclude BOS).
+    """
+    memory = np.asarray(memory)
+    if memory.ndim != 2 or memory.shape[1] != config.hidden_size:
+        raise ValueError(
+            f"memory must be [src_len, {config.hidden_size}], got {memory.shape}"
+        )
+    beam = config.beam_size
+    limit = max_len if max_len is not None else config.max_target_len
+    limit = min(limit, config.max_position - 1)
+
+    sequences = np.full((1, 1), bos_id, dtype=np.int64)
+    scores = np.zeros(1, dtype=np.float64)
+    finished: List[BeamHypothesis] = []
+
+    for _ in range(limit):
+        mem = np.broadcast_to(memory, (sequences.shape[0],) + memory.shape)
+        logits = _decoder_forward(config, weights, sequences, mem)
+        log_probs = np.log(softmax_reference(logits.astype(np.float64)) + 1e-12)
+        total = scores[:, None] + log_probs  # [live_beams, vocab]
+        flat = total.ravel()
+        k = min(beam, flat.size)
+        top = np.argpartition(-flat, k - 1)[:k]
+        top = top[np.argsort(-flat[top])]
+        next_sequences: List[np.ndarray] = []
+        next_scores: List[float] = []
+        for idx in top:
+            parent, token = divmod(int(idx), log_probs.shape[1])
+            candidate = np.append(sequences[parent], token)
+            if token == eos_id:
+                finished.append(
+                    BeamHypothesis(tokens=candidate[1:].tolist(), score=float(flat[idx]))
+                )
+            else:
+                next_sequences.append(candidate)
+                next_scores.append(float(flat[idx]))
+        if not next_sequences or len(finished) >= beam:
+            break
+        sequences = np.stack(next_sequences)
+        scores = np.asarray(next_scores)
+
+    if not finished:
+        finished = [
+            BeamHypothesis(tokens=sequences[i, 1:].tolist(), score=float(scores[i]))
+            for i in range(sequences.shape[0])
+        ]
+    return max(finished, key=lambda h: h.score)

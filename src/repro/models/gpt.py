@@ -1,0 +1,284 @@
+"""GPT-style decoder-only language model (the paper's intro cites GPT2).
+
+Generative serving splits into two phases with very different profiles:
+
+* **prefill** — one parallel pass over the prompt (compute-bound, like a
+  BERT encoder with a causal mask);
+* **decode** — one token at a time against a growing KV cache
+  (bandwidth/launch-bound, like the Seq2Seq decoder without cross
+  attention).
+
+Both phases get symbolic graphs for the cost model, and the numeric side
+implements greedy/temperature sampling for tests and demos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph import ComputationGraph, OpType, TensorKind
+from ..kernels import (
+    add_bias_gelu,
+    layernorm_one_pass,
+    linear,
+    multi_head_attention,
+)
+from ..kernels.softmax import softmax_reference
+from .config import TransformerConfig
+from .weights import ModelWeights, init_encoder_weights
+
+
+@dataclass(frozen=True)
+class GptConfig(TransformerConfig):
+    """GPT2-small-like geometry by default."""
+
+    name: str = "gpt"
+    num_layers: int = 12
+    num_heads: int = 12
+    head_size: int = 64
+    vocab_size: int = 50257
+    max_position: int = 1024
+
+
+def gpt_small() -> GptConfig:
+    return GptConfig()
+
+
+def tiny_gpt() -> GptConfig:
+    return GptConfig(name="gpt-tiny", num_layers=2, num_heads=2, head_size=8,
+                     vocab_size=100, max_position=64)
+
+
+BATCH = "batch"
+SEQ = "seq"       # prompt length (prefill)
+PAST = "past"     # KV-cache length at a decode step
+
+
+def build_prefill_graph(config: GptConfig) -> ComputationGraph:
+    """Parallel prompt pass: identical structure to the encoder graph
+    (the causal mask changes numerics, not cost), plus the LM head."""
+    from .bert import build_encoder_graph
+
+    graph = build_encoder_graph(config)
+    # Append the language-model head over the final position(s).
+    graph.tensor("lm_w", (config.hidden_size, config.vocab_size),
+                 TensorKind.WEIGHT)
+    last = f"l{config.num_layers - 1}.output"
+    graph.tensor("lm_logits", (BATCH, config.vocab_size),
+                 kind=TensorKind.OUTPUT)
+    graph.add_node(
+        "lm_head", OpType.GEMM,
+        inputs=(last, "lm_w"), outputs=("lm_logits",),
+        m=(BATCH,), n=config.vocab_size, k=config.hidden_size,
+    )
+    graph.validate()
+    return graph
+
+
+def build_decode_step_graph(config: GptConfig) -> ComputationGraph:
+    """One generation step against a KV cache of ``past`` tokens.
+
+    Like the Seq2Seq decoder step minus cross attention.  Fine-grained
+    nodes, so fusion and baseline comparisons behave as elsewhere.
+    """
+    g = ComputationGraph(name=f"{config.name}.decode")
+    hidden = config.hidden_size
+    heads = config.num_heads
+    head_size = config.head_size
+    inner = config.intermediate_size
+
+    g.tensor("step_input", (BATCH, 1, hidden), TensorKind.INPUT)
+    current = "step_input"
+    for layer in range(config.num_layers):
+        p = f"l{layer}"
+        g.tensor(f"{p}.kcache", (BATCH, heads, PAST, head_size), TensorKind.INPUT)
+        g.tensor(f"{p}.vcache", (BATCH, heads, PAST, head_size), TensorKind.INPUT)
+        for proj in ("q", "k", "v"):
+            g.tensor(f"{p}.w{proj}", (hidden, hidden), TensorKind.WEIGHT)
+            g.tensor(f"{p}.{proj}", (BATCH, 1, hidden))
+            g.add_node(
+                f"{p}.{proj}_gemm", OpType.GEMM,
+                inputs=(current, f"{p}.w{proj}"), outputs=(f"{p}.{proj}",),
+                m=(BATCH,), n=hidden, k=hidden,
+            )
+            g.tensor(f"{p}.{proj}_biased", (BATCH, 1, hidden))
+            g.add_node(
+                f"{p}.{proj}_bias", OpType.ELEMENTWISE,
+                inputs=(f"{p}.{proj}",), outputs=(f"{p}.{proj}_biased",),
+                nelems=(BATCH, hidden), reads=1, writes=1, flops_per_elem=1,
+            )
+        g.tensor(f"{p}.q_heads", (BATCH, heads, 1, head_size))
+        g.add_node(
+            f"{p}.q_transpose", OpType.TRANSPOSE,
+            inputs=(f"{p}.q_biased",), outputs=(f"{p}.q_heads",),
+            nelems=(BATCH, hidden),
+        )
+        g.tensor(f"{p}.scores", (BATCH, heads, 1, PAST))
+        g.add_node(
+            f"{p}.scores_gemm", OpType.BATCHED_GEMM,
+            inputs=(f"{p}.q_heads", f"{p}.kcache"), outputs=(f"{p}.scores",),
+            m=1, n=PAST, k=head_size, batch=(BATCH, heads),
+        )
+        g.tensor(f"{p}.probs", (BATCH, heads, 1, PAST))
+        g.add_node(
+            f"{p}.softmax", OpType.SOFTMAX,
+            inputs=(f"{p}.scores",), outputs=(f"{p}.probs",),
+            rows=(BATCH, heads), row_len=PAST,
+        )
+        g.tensor(f"{p}.context", (BATCH, heads, 1, head_size))
+        g.add_node(
+            f"{p}.context_gemm", OpType.BATCHED_GEMM,
+            inputs=(f"{p}.probs", f"{p}.vcache"), outputs=(f"{p}.context",),
+            m=1, n=head_size, k=PAST, batch=(BATCH, heads),
+        )
+        g.tensor(f"{p}.merged", (BATCH, 1, hidden))
+        g.add_node(
+            f"{p}.merge", OpType.TRANSPOSE,
+            inputs=(f"{p}.context",), outputs=(f"{p}.merged",),
+            nelems=(BATCH, hidden),
+        )
+        g.tensor(f"{p}.wo", (hidden, hidden), TensorKind.WEIGHT)
+        g.tensor(f"{p}.attn_out", (BATCH, 1, hidden))
+        g.add_node(
+            f"{p}.out_gemm", OpType.GEMM,
+            inputs=(f"{p}.merged", f"{p}.wo"), outputs=(f"{p}.attn_out",),
+            m=(BATCH,), n=hidden, k=hidden,
+        )
+        g.tensor(f"{p}.attn_residual", (BATCH, 1, hidden))
+        g.add_node(
+            f"{p}.attn_add", OpType.ELEMENTWISE,
+            inputs=(f"{p}.attn_out", current), outputs=(f"{p}.attn_residual",),
+            nelems=(BATCH, hidden), reads=2, writes=1, flops_per_elem=2,
+        )
+        g.tensor(f"{p}.attn_norm", (BATCH, 1, hidden))
+        g.add_node(
+            f"{p}.attn_ln", OpType.LAYERNORM,
+            inputs=(f"{p}.attn_residual",), outputs=(f"{p}.attn_norm",),
+            rows=(BATCH,), row_len=hidden,
+        )
+        g.tensor(f"{p}.ffn_w1", (hidden, inner), TensorKind.WEIGHT)
+        g.tensor(f"{p}.ffn_inner", (BATCH, 1, inner))
+        g.add_node(
+            f"{p}.ffn1_gemm", OpType.GEMM,
+            inputs=(f"{p}.attn_norm", f"{p}.ffn_w1"), outputs=(f"{p}.ffn_inner",),
+            m=(BATCH,), n=inner, k=hidden,
+        )
+        g.tensor(f"{p}.ffn_act", (BATCH, 1, inner))
+        g.add_node(
+            f"{p}.ffn_gelu", OpType.ELEMENTWISE,
+            inputs=(f"{p}.ffn_inner",), outputs=(f"{p}.ffn_act",),
+            nelems=(BATCH, inner), reads=1, writes=1, flops_per_elem=12,
+        )
+        g.tensor(f"{p}.ffn_w2", (inner, hidden), TensorKind.WEIGHT)
+        g.tensor(f"{p}.ffn_out", (BATCH, 1, hidden))
+        g.add_node(
+            f"{p}.ffn2_gemm", OpType.GEMM,
+            inputs=(f"{p}.ffn_act", f"{p}.ffn_w2"), outputs=(f"{p}.ffn_out",),
+            m=(BATCH,), n=inner, k=hidden,
+        )
+        g.tensor(f"{p}.ffn_residual", (BATCH, 1, hidden))
+        g.add_node(
+            f"{p}.ffn_add", OpType.ELEMENTWISE,
+            inputs=(f"{p}.ffn_out", f"{p}.attn_norm"),
+            outputs=(f"{p}.ffn_residual",),
+            nelems=(BATCH, hidden), reads=2, writes=1, flops_per_elem=2,
+        )
+        g.tensor(f"{p}.output", (BATCH, 1, hidden))
+        g.add_node(
+            f"{p}.ffn_ln", OpType.LAYERNORM,
+            inputs=(f"{p}.ffn_residual",), outputs=(f"{p}.output",),
+            rows=(BATCH,), row_len=hidden,
+        )
+        current = f"{p}.output"
+
+    g.tensor("lm_w", (hidden, config.vocab_size), TensorKind.WEIGHT)
+    g.tensor("logits", (BATCH, 1, config.vocab_size), kind=TensorKind.OUTPUT)
+    g.add_node(
+        "lm_head", OpType.GEMM,
+        inputs=(current, "lm_w"), outputs=("logits",),
+        m=(BATCH,), n=config.vocab_size, k=hidden,
+    )
+    g.validate()
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Numeric generation (full-prefix recompute; tiny configs only).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GptWeights:
+    """GPT reuses the encoder parameter layout plus an LM head."""
+
+    encoder: ModelWeights
+    lm_head: np.ndarray  # [hidden, vocab]
+
+
+def init_gpt_weights(config: GptConfig, seed: int = 0) -> GptWeights:
+    rng = np.random.default_rng(seed + 1000)
+    return GptWeights(
+        encoder=init_encoder_weights(config, seed=seed),
+        lm_head=rng.normal(0, 0.02, (config.hidden_size, config.vocab_size))
+        .astype(np.float32),
+    )
+
+
+def _causal_forward(config: GptConfig, weights: GptWeights,
+                    token_ids: np.ndarray) -> np.ndarray:
+    """Causally-masked forward; returns last-position logits [batch, vocab]."""
+    batch, t = token_ids.shape
+    enc = weights.encoder
+    x = enc.token_embedding[token_ids] + enc.position_embedding[:t][None]
+    x = layernorm_one_pass(x, enc.embedding_ln_gamma, enc.embedding_ln_beta)
+    causal = np.triu(np.full((t, t), -1e9, dtype=np.float32), k=1)[None, None]
+    for lw in enc.layers:
+        attn = multi_head_attention(x, lw.attention, config.num_heads,
+                                    mask=causal, fused=True)
+        x = layernorm_one_pass(attn + x, lw.attn_ln_gamma, lw.attn_ln_beta)
+        inner = linear(x, lw.ffn_w1)
+        inner = add_bias_gelu(inner, lw.ffn_b1, out=inner)
+        x = layernorm_one_pass(linear(inner, lw.ffn_w2, lw.ffn_b2) + x,
+                               lw.ffn_ln_gamma, lw.ffn_ln_beta)
+    return linear(x[:, -1, :], weights.lm_head)
+
+
+def generate(
+    config: GptConfig,
+    weights: GptWeights,
+    prompt_ids: np.ndarray,
+    max_new_tokens: int,
+    temperature: float = 0.0,
+    seed: int = 0,
+    eos_id: Optional[int] = None,
+) -> List[int]:
+    """Autoregressive generation: greedy at temperature 0, else sampling."""
+    prompt_ids = np.asarray(prompt_ids)
+    if prompt_ids.ndim != 1 or prompt_ids.size == 0:
+        raise ValueError(f"prompt_ids must be a non-empty 1-D array, got "
+                         f"{prompt_ids.shape}")
+    if max_new_tokens <= 0:
+        raise ValueError(f"max_new_tokens must be positive, got {max_new_tokens}")
+    if temperature < 0:
+        raise ValueError(f"temperature must be >= 0, got {temperature}")
+    rng = np.random.default_rng(seed)
+    tokens = prompt_ids.tolist()
+    limit = config.max_position - 1
+    for _ in range(max_new_tokens):
+        if len(tokens) > limit:
+            break
+        logits = _causal_forward(
+            config, weights, np.asarray([tokens], dtype=np.int64)
+        )[0].astype(np.float64)
+        if temperature == 0.0:
+            token = int(np.argmax(logits))
+        else:
+            probs = softmax_reference(logits / temperature)
+            token = int(rng.choice(len(probs), p=probs / probs.sum()))
+        tokens.append(token)
+        if eos_id is not None and token == eos_id:
+            break
+    return tokens[prompt_ids.size:]

@@ -1,0 +1,143 @@
+"""Checkpoint persistence: save/load model weights as ``.npz`` archives.
+
+The paper's runtime "loads a pre-trained model" before serving; this is the
+reproduction's checkpoint layer.  Weights are stored flat with dotted keys
+(``layers.3.ffn_w1``); ALBERT's shared layers are stored once and re-linked
+on load, preserving both the footprint advantage and object identity.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..kernels.attention import AttentionWeights
+from .weights import (
+    DecoderLayerWeights,
+    DecoderWeights,
+    LayerWeights,
+    ModelWeights,
+)
+
+_ATTN_FIELDS = ("wq", "bq", "wk", "bk", "wv", "bv", "wo", "bo")
+_LAYER_FIELDS = (
+    "attn_ln_gamma", "attn_ln_beta", "ffn_w1", "ffn_b1", "ffn_w2", "ffn_b2",
+    "ffn_ln_gamma", "ffn_ln_beta",
+)
+_DECODER_LAYER_FIELDS = (
+    "self_ln_gamma", "self_ln_beta", "cross_ln_gamma", "cross_ln_beta",
+    "ffn_w1", "ffn_b1", "ffn_w2", "ffn_b2", "ffn_ln_gamma", "ffn_ln_beta",
+)
+
+
+def _flatten_encoder(weights: ModelWeights) -> Dict[str, np.ndarray]:
+    arrays: Dict[str, np.ndarray] = {
+        "token_embedding": weights.token_embedding,
+        "position_embedding": weights.position_embedding,
+        "segment_embedding": weights.segment_embedding,
+        "embedding_ln_gamma": weights.embedding_ln_gamma,
+        "embedding_ln_beta": weights.embedding_ln_beta,
+    }
+    if weights.embedding_projection is not None:
+        arrays["embedding_projection"] = weights.embedding_projection
+    shared = len(weights.layers) > 1 and all(
+        layer is weights.layers[0] for layer in weights.layers
+    )
+    layers = weights.layers[:1] if shared else weights.layers
+    arrays["__shared_layers__"] = np.array(shared)
+    arrays["__num_layers__"] = np.array(len(weights.layers))
+    for i, layer in enumerate(layers):
+        prefix = f"layers.{i}."
+        for field in _ATTN_FIELDS:
+            arrays[prefix + "attention." + field] = getattr(layer.attention, field)
+        for field in _LAYER_FIELDS:
+            arrays[prefix + field] = getattr(layer, field)
+    return arrays
+
+
+def save_encoder_weights(weights: ModelWeights, path: Union[str, Path]) -> None:
+    """Persist encoder weights (BERT or ALBERT) to an ``.npz`` archive."""
+    np.savez_compressed(str(path), **_flatten_encoder(weights))
+
+
+def load_encoder_weights(path: Union[str, Path]) -> ModelWeights:
+    """Load weights written by :func:`save_encoder_weights`."""
+    with np.load(str(path)) as archive:
+        data = {key: archive[key] for key in archive.files}
+    shared = bool(data.pop("__shared_layers__"))
+    num_layers = int(data.pop("__num_layers__"))
+    stored = 1 if shared else num_layers
+    layers = []
+    for i in range(stored):
+        prefix = f"layers.{i}."
+        attention = AttentionWeights(
+            **{f: data[prefix + "attention." + f] for f in _ATTN_FIELDS}
+        )
+        layers.append(
+            LayerWeights(
+                attention=attention,
+                **{f: data[prefix + f] for f in _LAYER_FIELDS},
+            )
+        )
+    if shared:
+        layers = [layers[0]] * num_layers
+    return ModelWeights(
+        token_embedding=data["token_embedding"],
+        position_embedding=data["position_embedding"],
+        segment_embedding=data["segment_embedding"],
+        embedding_ln_gamma=data["embedding_ln_gamma"],
+        embedding_ln_beta=data["embedding_ln_beta"],
+        layers=layers,
+        embedding_projection=data.get("embedding_projection"),
+    )
+
+
+def save_decoder_weights(weights: DecoderWeights, path: Union[str, Path]) -> None:
+    """Persist Seq2Seq decoder weights to an ``.npz`` archive."""
+    arrays: Dict[str, np.ndarray] = {
+        "token_embedding": weights.token_embedding,
+        "position_embedding": weights.position_embedding,
+        "output_projection": weights.output_projection,
+        "__num_layers__": np.array(len(weights.layers)),
+    }
+    for i, layer in enumerate(weights.layers):
+        prefix = f"layers.{i}."
+        for field in _ATTN_FIELDS:
+            arrays[prefix + "self_attention." + field] = getattr(
+                layer.self_attention, field
+            )
+            arrays[prefix + "cross_attention." + field] = getattr(
+                layer.cross_attention, field
+            )
+        for field in _DECODER_LAYER_FIELDS:
+            arrays[prefix + field] = getattr(layer, field)
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_decoder_weights(path: Union[str, Path]) -> DecoderWeights:
+    """Load weights written by :func:`save_decoder_weights`."""
+    with np.load(str(path)) as archive:
+        data = {key: archive[key] for key in archive.files}
+    num_layers = int(data.pop("__num_layers__"))
+    layers = []
+    for i in range(num_layers):
+        prefix = f"layers.{i}."
+        layers.append(
+            DecoderLayerWeights(
+                self_attention=AttentionWeights(
+                    **{f: data[prefix + "self_attention." + f] for f in _ATTN_FIELDS}
+                ),
+                cross_attention=AttentionWeights(
+                    **{f: data[prefix + "cross_attention." + f] for f in _ATTN_FIELDS}
+                ),
+                **{f: data[prefix + f] for f in _DECODER_LAYER_FIELDS},
+            )
+        )
+    return DecoderWeights(
+        token_embedding=data["token_embedding"],
+        position_embedding=data["position_embedding"],
+        layers=layers,
+        output_projection=data["output_projection"],
+    )

@@ -1,0 +1,182 @@
+"""Deterministic random weight initialization.
+
+The paper serves pre-trained checkpoints; serving *performance* is
+independent of the weight values, so the reproduction initializes weights
+from a seeded generator (truncated-normal-ish scaling as in BERT) and the
+correctness tests compare fused-vs-reference numerics on those weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..kernels.attention import AttentionWeights
+from .config import AlbertConfig, Seq2SeqConfig, TransformerConfig
+
+
+@dataclass(frozen=True)
+class LayerWeights:
+    """Parameters of one transformer layer (attention + FFN + two LNs)."""
+
+    attention: AttentionWeights
+    attn_ln_gamma: np.ndarray
+    attn_ln_beta: np.ndarray
+    ffn_w1: np.ndarray
+    ffn_b1: np.ndarray
+    ffn_w2: np.ndarray
+    ffn_b2: np.ndarray
+    ffn_ln_gamma: np.ndarray
+    ffn_ln_beta: np.ndarray
+
+
+@dataclass(frozen=True)
+class DecoderLayerWeights:
+    """One decoder layer: self-attention, cross-attention, FFN."""
+
+    self_attention: AttentionWeights
+    self_ln_gamma: np.ndarray
+    self_ln_beta: np.ndarray
+    cross_attention: AttentionWeights
+    cross_ln_gamma: np.ndarray
+    cross_ln_beta: np.ndarray
+    ffn_w1: np.ndarray
+    ffn_b1: np.ndarray
+    ffn_w2: np.ndarray
+    ffn_b2: np.ndarray
+    ffn_ln_gamma: np.ndarray
+    ffn_ln_beta: np.ndarray
+
+
+@dataclass(frozen=True)
+class ModelWeights:
+    """Full parameter set of an encoder-style model."""
+
+    token_embedding: np.ndarray
+    position_embedding: np.ndarray
+    segment_embedding: np.ndarray
+    embedding_ln_gamma: np.ndarray
+    embedding_ln_beta: np.ndarray
+    layers: List[LayerWeights]
+    embedding_projection: np.ndarray | None = None  # ALBERT factorization
+
+    @property
+    def parameter_bytes(self) -> int:
+        """Total FP32 parameter bytes (the 440 MB figure of §4.2 for BERT)."""
+        total = 0
+        seen: set = set()
+        for arr in _iter_arrays(self):
+            if id(arr) in seen:  # shared layers (ALBERT) counted once
+                continue
+            seen.add(id(arr))
+            total += arr.nbytes
+        return total
+
+
+def _iter_arrays(obj: object):
+    if isinstance(obj, np.ndarray):
+        yield obj
+    elif isinstance(obj, (list, tuple)):
+        for item in obj:
+            yield from _iter_arrays(item)
+    elif hasattr(obj, "__dataclass_fields__"):
+        for name in obj.__dataclass_fields__:
+            yield from _iter_arrays(getattr(obj, name))
+
+
+def _normal(rng: np.random.Generator, *shape: int, std: float = 0.02) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def _attention_weights(rng: np.random.Generator, hidden: int) -> AttentionWeights:
+    return AttentionWeights(
+        wq=_normal(rng, hidden, hidden), bq=_normal(rng, hidden),
+        wk=_normal(rng, hidden, hidden), bk=_normal(rng, hidden),
+        wv=_normal(rng, hidden, hidden), bv=_normal(rng, hidden),
+        wo=_normal(rng, hidden, hidden), bo=_normal(rng, hidden),
+    )
+
+
+def _layer_weights(rng: np.random.Generator, config: TransformerConfig) -> LayerWeights:
+    hidden, inner = config.hidden_size, config.intermediate_size
+    return LayerWeights(
+        attention=_attention_weights(rng, hidden),
+        attn_ln_gamma=np.ones(hidden, dtype=np.float32),
+        attn_ln_beta=np.zeros(hidden, dtype=np.float32),
+        ffn_w1=_normal(rng, hidden, inner),
+        ffn_b1=_normal(rng, inner),
+        ffn_w2=_normal(rng, inner, hidden),
+        ffn_b2=_normal(rng, hidden),
+        ffn_ln_gamma=np.ones(hidden, dtype=np.float32),
+        ffn_ln_beta=np.zeros(hidden, dtype=np.float32),
+    )
+
+
+def init_encoder_weights(
+    config: TransformerConfig, seed: int = 0
+) -> ModelWeights:
+    """BERT-style weights; ALBERT configs share one layer across the stack
+    and factorize the embedding through ``embedding_projection``."""
+    rng = np.random.default_rng(seed)
+    hidden = config.hidden_size
+    is_albert = isinstance(config, AlbertConfig)
+    embed_dim = config.embedding_size if is_albert else hidden
+    token = _normal(rng, config.vocab_size, embed_dim)
+    position = _normal(rng, config.max_position, embed_dim)
+    segment = _normal(rng, config.type_vocab_size, embed_dim)
+    projection = _normal(rng, embed_dim, hidden) if is_albert else None
+    if is_albert:
+        shared = _layer_weights(rng, config)
+        layers = [shared] * config.num_layers  # the same object: shared weights
+    else:
+        layers = [_layer_weights(rng, config) for _ in range(config.num_layers)]
+    return ModelWeights(
+        token_embedding=token,
+        position_embedding=position,
+        segment_embedding=segment,
+        embedding_ln_gamma=np.ones(embed_dim, dtype=np.float32),
+        embedding_ln_beta=np.zeros(embed_dim, dtype=np.float32),
+        layers=layers,
+        embedding_projection=projection,
+    )
+
+
+@dataclass(frozen=True)
+class DecoderWeights:
+    """Parameters of the Seq2Seq decoder stack plus output projection."""
+
+    token_embedding: np.ndarray
+    position_embedding: np.ndarray
+    layers: List[DecoderLayerWeights]
+    output_projection: np.ndarray  # [hidden, vocab]
+
+
+def init_decoder_weights(config: Seq2SeqConfig, seed: int = 0) -> DecoderWeights:
+    rng = np.random.default_rng(seed)
+    hidden, inner = config.hidden_size, config.intermediate_size
+    layers = []
+    for _ in range(config.num_layers):
+        layers.append(
+            DecoderLayerWeights(
+                self_attention=_attention_weights(rng, hidden),
+                self_ln_gamma=np.ones(hidden, dtype=np.float32),
+                self_ln_beta=np.zeros(hidden, dtype=np.float32),
+                cross_attention=_attention_weights(rng, hidden),
+                cross_ln_gamma=np.ones(hidden, dtype=np.float32),
+                cross_ln_beta=np.zeros(hidden, dtype=np.float32),
+                ffn_w1=_normal(rng, hidden, inner),
+                ffn_b1=_normal(rng, inner),
+                ffn_w2=_normal(rng, inner, hidden),
+                ffn_b2=_normal(rng, hidden),
+                ffn_ln_gamma=np.ones(hidden, dtype=np.float32),
+                ffn_ln_beta=np.zeros(hidden, dtype=np.float32),
+            )
+        )
+    return DecoderWeights(
+        token_embedding=_normal(rng, config.vocab_size, hidden),
+        position_embedding=_normal(rng, config.max_position, hidden),
+        layers=layers,
+        output_projection=_normal(rng, hidden, config.vocab_size),
+    )

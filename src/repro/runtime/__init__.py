@@ -1,0 +1,63 @@
+"""Inference runtimes: Turbo plus the five baselines of Table 1."""
+
+from .base import DecoderRuntime, InferenceResult, InferenceRuntime
+from .capacity import max_feasible_batch, safe_max_batch, serving_batch_limits
+from .cost import RuntimeCharacteristics, graph_cost, node_cost, resolve_product
+from .fastertransformer_like import (
+    FASTER_TRANSFORMER_CHARACTERISTICS,
+    fastertransformer_runtime,
+)
+from .onnxruntime_like import ONNXRUNTIME_CHARACTERISTICS, onnxruntime_runtime
+from .executor import ExecutionError, PlannedGraphExecutor
+from .generation import GenerationRuntime
+from .packed import PackedRuntime, is_quadratic_in_seq, seq_occurrences
+from .profiler import CostTable, warmup_profile
+from .pytorch_like import PYTORCH_CHARACTERISTICS, pytorch_runtime
+from .tensorrt_like import TENSORRT_CHARACTERISTICS, tensorrt_runtime
+from .turbo import TURBO_CHARACTERISTICS, turbo_fp16_runtime, turbo_runtime
+from .xla_like import XLA_CHARACTERISTICS, xla_runtime
+
+#: All runtime factories keyed by short name (used by experiment sweeps).
+RUNTIME_FACTORIES = {
+    "turbo": turbo_runtime,
+    "pytorch": pytorch_runtime,
+    "onnxruntime": onnxruntime_runtime,
+    "xla": xla_runtime,
+    "fastertransformer": fastertransformer_runtime,
+    "tensorrt": tensorrt_runtime,
+}
+
+__all__ = [
+    "InferenceRuntime",
+    "InferenceResult",
+    "DecoderRuntime",
+    "RuntimeCharacteristics",
+    "node_cost",
+    "graph_cost",
+    "resolve_product",
+    "max_feasible_batch",
+    "serving_batch_limits",
+    "safe_max_batch",
+    "CostTable",
+    "GenerationRuntime",
+    "PlannedGraphExecutor",
+    "ExecutionError",
+    "PackedRuntime",
+    "is_quadratic_in_seq",
+    "seq_occurrences",
+    "warmup_profile",
+    "turbo_runtime",
+    "turbo_fp16_runtime",
+    "pytorch_runtime",
+    "onnxruntime_runtime",
+    "xla_runtime",
+    "fastertransformer_runtime",
+    "tensorrt_runtime",
+    "TURBO_CHARACTERISTICS",
+    "PYTORCH_CHARACTERISTICS",
+    "ONNXRUNTIME_CHARACTERISTICS",
+    "XLA_CHARACTERISTICS",
+    "FASTER_TRANSFORMER_CHARACTERISTICS",
+    "TENSORRT_CHARACTERISTICS",
+    "RUNTIME_FACTORIES",
+]

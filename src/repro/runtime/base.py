@@ -1,0 +1,237 @@
+"""Inference runtimes: a graph + characteristics + device = a latency model.
+
+An :class:`InferenceRuntime` owns a model graph (fused or not, per the
+runtime's characteristics), prices a request ``(batch, seq_len)`` through
+the gpusim cost model, and charges memory-management overhead through its
+allocator.  Numeric execution is deliberately decoupled — the models in
+:mod:`repro.models` compute real outputs; runtimes compute *time* — so the
+benchmark sweeps stay fast and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..gpusim import DeviceSpec, KernelTiming, Stream
+from ..graph import ComputationGraph, fuse_graph, tensor_usage_records
+from ..memory import BaseAllocator, RequestAllocation
+from .cost import RuntimeCharacteristics, graph_cost
+
+#: Host cost coefficients for Turbo's per-request offset planning (Alg. 1 is
+#: O(n^2) in the number of usage records with a tiny constant).
+PLAN_HOST_LINEAR_S = 0.5e-6
+PLAN_HOST_QUADRATIC_S = 2e-9
+
+#: Host cost of one cache-hit allocation in an eager caching allocator.
+EAGER_ALLOC_HOST_S = 1e-6
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Cost breakdown of one simulated inference."""
+
+    latency_s: float
+    batch: int
+    seq_len: int
+    padded_seq_len: int
+    kernel_launches: int
+    kernel_s: float
+    memory_overhead_s: float
+    time_by_kernel: Dict[str, float] = field(default_factory=dict)
+    allocation: Optional[RequestAllocation] = None
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def memory_overhead_fraction(self) -> float:
+        """Share of latency spent on memory management (paper: <6%)."""
+        return self.memory_overhead_s / self.latency_s if self.latency_s else 0.0
+
+
+class InferenceRuntime:
+    """Latency model of one (runtime, model, device) triple.
+
+    Parameters
+    ----------
+    graph:
+        Fine-grained model graph (from :mod:`repro.models`); the fusion
+        pass is applied here when the characteristics say so.
+    chars:
+        The runtime's execution characteristics.
+    device:
+        Simulated device.
+    allocator_factory:
+        Builds the runtime's intermediate-tensor allocator; ``None``
+        disables memory accounting (pure kernel time).
+    """
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        chars: RuntimeCharacteristics,
+        device: DeviceSpec,
+        allocator_factory: Optional[Callable[[], BaseAllocator]] = None,
+    ) -> None:
+        self.base_graph = graph
+        self.graph = fuse_graph(graph) if chars.fuse_kernels else graph
+        self.chars = chars
+        self.device = device
+        self.allocator = allocator_factory() if allocator_factory else None
+        self.preprocess_total_s = 0.0
+        self._tuned_lengths: set = set()
+        self._latency_cache: Dict[Tuple[int, int], float] = {}
+
+    # -- core ---------------------------------------------------------------
+
+    def _bindings(self, batch: int, seq_len: int) -> Dict[str, int]:
+        return {"batch": batch, "seq": seq_len}
+
+    def kernel_timings(self, batch: int, seq_len: int) -> List[KernelTiming]:
+        """Per-kernel cost of one inference at the *executed* (padded) length."""
+        if batch <= 0 or seq_len <= 0:
+            raise ValueError(f"batch and seq_len must be positive, got {batch}, {seq_len}")
+        padded = self.chars.padded_length(seq_len)
+        return graph_cost(
+            self.graph.nodes, self._bindings(batch, padded), self.chars, self.device
+        )
+
+    def _memory_overhead(self, batch: int, padded: int) -> Tuple[float, Optional[RequestAllocation]]:
+        if self.allocator is None:
+            return 0.0, None
+        records = tensor_usage_records(self.graph, self._bindings(batch, padded))
+        allocation = self.allocator.process_request(records)
+        n = len(records)
+        if getattr(self.allocator, "name", "") == "turbo":
+            host_s = PLAN_HOST_LINEAR_S * n + PLAN_HOST_QUADRATIC_S * n * n
+        else:
+            host_s = EAGER_ALLOC_HOST_S * n
+        return host_s + allocation.stall_s, allocation
+
+    def infer(self, batch: int, seq_len: int) -> InferenceResult:
+        """Full-cost inference of one (possibly padded) batch."""
+        padded = self.chars.padded_length(seq_len)
+        if not self.chars.supports_variable_length and padded not in self._tuned_lengths:
+            # Fixed-length runtimes tune per new input dimension (offline).
+            self._tuned_lengths.add(padded)
+            self.preprocess_total_s += self.chars.preprocess_s
+        stream = Stream(trace_enabled=False)
+        stream.extend(self.kernel_timings(batch, seq_len))
+        # Async dispatch: the host either keeps ahead of the device or is
+        # the bottleneck — whichever side is slower bounds the wall clock.
+        host_s = self.chars.host_dispatch_s * stream.launches
+        kernel_s = max(stream.elapsed_s, host_s)
+        memory_s, allocation = self._memory_overhead(batch, padded)
+        return InferenceResult(
+            latency_s=kernel_s + memory_s + self.chars.fixed_overhead_s,
+            batch=batch,
+            seq_len=seq_len,
+            padded_seq_len=padded,
+            kernel_launches=stream.launches,
+            kernel_s=kernel_s,
+            memory_overhead_s=memory_s,
+            time_by_kernel=stream.time_by_kernel(),
+            allocation=allocation,
+        )
+
+    def latency(self, batch: int, seq_len: int) -> float:
+        """Memoized steady-state latency in seconds (used by serving).
+
+        The first inference at a new shape pays cold allocator stalls
+        (cudaMalloc cache misses); a long-running service does not, so the
+        memoized value is the *second* (warm) run at that shape.
+        """
+        padded = self.chars.padded_length(seq_len)
+        key = (batch, padded)
+        cached = self._latency_cache.get(key)
+        if cached is None:
+            if self.allocator is not None:
+                self.infer(batch, seq_len)  # warm the allocator caches
+            cached = self.infer(batch, seq_len).latency_s
+            self._latency_cache[key] = cached
+        return cached
+
+    @property
+    def name(self) -> str:
+        return self.chars.name
+
+    @property
+    def kernel_launch_count(self) -> int:
+        """Kernel launches per inference (fusion reduces this)."""
+        return len(self.graph.nodes)
+
+
+class DecoderRuntime:
+    """Latency model for autoregressive decoding (Fig. 10's Decoder case).
+
+    Per-step cost grows with the number of cached target positions; total
+    latency integrates the symbolic step graph over generated steps.  Steps
+    are sampled every ``stride`` positions and the strided samples weighted,
+    which bounds evaluation cost while tracking the (near-linear) growth.
+    """
+
+    def __init__(
+        self,
+        step_graph: ComputationGraph,
+        chars: RuntimeCharacteristics,
+        device: DeviceSpec,
+        beam_size: int,
+        stride: int = 8,
+        step_overhead_s: float = 0.0,
+    ) -> None:
+        """``step_overhead_s`` is per-step beam-search bookkeeping outside
+        the graph: top-k selection, hypothesis management and KV-cache
+        reordering.  A Python loop (PyTorch) pays milliseconds here; a C++
+        serving loop (Turbo) pays almost nothing."""
+        if beam_size <= 0:
+            raise ValueError(f"beam_size must be positive, got {beam_size}")
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        if step_overhead_s < 0:
+            raise ValueError(f"step_overhead_s must be >= 0, got {step_overhead_s}")
+        self.step_graph = fuse_graph(step_graph) if chars.fuse_kernels else step_graph
+        self.chars = chars
+        self.device = device
+        self.beam_size = beam_size
+        self.stride = stride
+        self.step_overhead_s = step_overhead_s
+        self._step_cache: Dict[Tuple[int, int], float] = {}
+
+    def step_latency(self, tgt_pos: int, src_len: int) -> float:
+        """Cost of decode step attending ``tgt_pos`` cached positions."""
+        if tgt_pos <= 0 or src_len <= 0:
+            raise ValueError(f"tgt_pos and src_len must be positive, got {tgt_pos}, {src_len}")
+        padded_src = self.chars.padded_length(src_len)
+        key = (tgt_pos, padded_src)
+        cached = self._step_cache.get(key)
+        if cached is None:
+            bindings = {"beam": self.beam_size, "tgt_pos": tgt_pos, "src_len": padded_src}
+            stream = Stream(trace_enabled=False)
+            stream.extend(
+                graph_cost(self.step_graph.nodes, bindings, self.chars, self.device)
+            )
+            # Beam search syncs on the logits every step, so the host can
+            # only run ahead within one step: dispatch binds per step.
+            host_s = self.chars.host_dispatch_s * stream.launches
+            cached = max(stream.elapsed_s, host_s) + self.step_overhead_s
+            self._step_cache[key] = cached
+        return cached
+
+    def decode_latency(self, src_len: int, tgt_len: int) -> float:
+        """Total latency of generating ``tgt_len`` tokens."""
+        if tgt_len <= 0:
+            raise ValueError(f"tgt_len must be positive, got {tgt_len}")
+        total = self.chars.fixed_overhead_s  # once per decode request
+
+        step = 1
+        while step <= tgt_len:
+            span = min(self.stride, tgt_len - step + 1)
+            total += self.step_latency(step, src_len) * span
+            step += self.stride
+        return total
+
+    @property
+    def name(self) -> str:
+        return self.chars.name

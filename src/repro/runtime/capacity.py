@@ -1,0 +1,78 @@
+"""Device-memory capacity planning for serving.
+
+The paper notes the memory footprint "affects the possible size of the
+model as well as the maximum batch size of requests" (§4.2).  This module
+closes that loop: given a device memory budget, compute the largest batch
+the allocator can actually plan at each sequence length, and derive the
+serving-safe ``max_batch`` for the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..gpusim.memory import DeviceMemory, OutOfDeviceMemoryError
+from ..graph import ComputationGraph, fuse_graph, tensor_usage_records
+from ..memory import TurboAllocator
+
+
+def max_feasible_batch(
+    graph: ComputationGraph,
+    seq_len: int,
+    activation_budget_bytes: int,
+    max_batch: int = 64,
+    fused: bool = True,
+) -> int:
+    """Largest batch whose intermediate-tensor plan fits the budget.
+
+    Returns 0 if even batch 1 does not fit.  Each candidate batch is
+    planned with a fresh allocator against a capacity-limited device, so
+    chunk quantization and packing fragmentation are fully accounted.
+    """
+    if seq_len <= 0:
+        raise ValueError(f"seq_len must be positive, got {seq_len}")
+    if activation_budget_bytes <= 0:
+        raise ValueError(
+            f"activation_budget_bytes must be positive, got {activation_budget_bytes}"
+        )
+    if max_batch <= 0:
+        raise ValueError(f"max_batch must be positive, got {max_batch}")
+    planned = fuse_graph(graph) if fused else graph
+    feasible = 0
+    for batch in range(1, max_batch + 1):
+        records = tensor_usage_records(planned, {"batch": batch, "seq": seq_len})
+        allocator = TurboAllocator(
+            device_memory=DeviceMemory(capacity_bytes=activation_budget_bytes)
+        )
+        try:
+            allocator.plan(records)
+        except OutOfDeviceMemoryError:
+            break
+        feasible = batch
+    return feasible
+
+
+def serving_batch_limits(
+    graph: ComputationGraph,
+    activation_budget_bytes: int,
+    lengths: Iterable[int],
+    max_batch: int = 64,
+) -> Dict[int, int]:
+    """Per-length feasible batch caps (monotone non-increasing in length)."""
+    return {
+        int(length): max_feasible_batch(
+            graph, int(length), activation_budget_bytes, max_batch
+        )
+        for length in lengths
+    }
+
+
+def safe_max_batch(
+    graph: ComputationGraph,
+    activation_budget_bytes: int,
+    max_seq_len: int = 512,
+    max_batch: int = 64,
+) -> int:
+    """A single scheduler-wide ``max_batch`` that is safe at every length
+    up to ``max_seq_len`` (the worst case is the longest padded batch)."""
+    return max_feasible_batch(graph, max_seq_len, activation_budget_bytes, max_batch)

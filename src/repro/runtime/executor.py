@@ -1,0 +1,234 @@
+"""Numeric graph executor over allocator-planned memory.
+
+This is the end-to-end proof that the sequence-length-aware allocator is
+*safe*: the fine-grained encoder graph is executed numerically with every
+intermediate tensor living at its planned ``(chunk, offset)`` — tensors
+with disjoint lifetimes genuinely share bytes — and the output must match
+the straight-line NumPy forward bit-for-bit in spirit (FP rounding).
+
+If the plan ever aliased two live tensors, execution through the arena
+would corrupt activations and the comparison tests would fail loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graph import ComputationGraph, OpNode, OpType, TensorKind, tensor_usage_records
+from ..kernels import (
+    add_bias_gelu,
+    bert_embeddings,
+    layernorm_one_pass,
+    merge_heads,
+    softmax_fused,
+    split_heads,
+)
+from ..memory import AllocationPlan, TurboAllocator, validate_plan
+from ..models.config import TransformerConfig
+from ..models.weights import ModelWeights
+
+
+class ExecutionError(RuntimeError):
+    """The executor met a node it cannot interpret."""
+
+
+class PlannedGraphExecutor:
+    """Interpret a fine-grained encoder graph with planned buffers.
+
+    Parameters come from ``weights`` (graph nodes carry structure and cost
+    attrs; parameter *values* live in the checkpoint, as in any runtime).
+    """
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        config: TransformerConfig,
+        weights: ModelWeights,
+        allocator: Optional[TurboAllocator] = None,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.config = config
+        self.weights = weights
+        self.allocator = allocator if allocator is not None else TurboAllocator()
+        self.last_plan: Optional[AllocationPlan] = None
+
+    # -- buffer management ---------------------------------------------------
+
+    def _arena_views(self, bindings: Dict[str, int]):
+        """Plan this request and build numpy views into the chunk arenas."""
+        records = tensor_usage_records(self.graph, bindings)
+        plan = self.allocator.plan(records)
+        validate_plan(plan, records)
+        self.last_plan = plan
+        arenas = {
+            chunk_id: np.zeros(size, dtype=np.uint8)
+            for chunk_id, size in plan.chunk_sizes.items()
+        }
+        views: Dict[str, np.ndarray] = {}
+        for record in records:
+            placement = plan.placements[record.name]
+            spec = self.graph.tensors[record.name]
+            shape = spec.shape(bindings)
+            count = math.prod(shape)
+            view = np.frombuffer(
+                arenas[placement.chunk_id], dtype=np.float32,
+                count=count, offset=placement.offset,
+            ).reshape(shape)
+            views[record.name] = view
+        return views
+
+    # -- node semantics --------------------------------------------------------
+
+    def run(self, token_ids: np.ndarray) -> np.ndarray:
+        """Execute the graph for ``token_ids`` ([batch, seq]); returns the
+        final hidden states."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ValueError(f"token_ids must be [batch, seq], got {token_ids.shape}")
+        batch, seq = token_ids.shape
+        bindings = {"batch": int(batch), "seq": int(seq)}
+        views = self._arena_views(bindings)
+        # Tensors outside the plan (graph OUTPUTs) live on the side.
+        side: Dict[str, np.ndarray] = {}
+
+        def read(name: str) -> np.ndarray:
+            if name in views:
+                return views[name]
+            return side[name]
+
+        def write(name: str, value: np.ndarray) -> None:
+            spec = self.graph.tensors[name]
+            if spec.kind is TensorKind.INTERMEDIATE:
+                np.copyto(views[name], value.astype(np.float32, copy=False))
+            else:
+                side[name] = value.astype(np.float32, copy=False)
+
+        order = self.graph.topo_sort()
+        final_name = None
+        for idx in order:
+            node = self.graph.nodes[idx]
+            final_name = self._execute_node(node, token_ids, read, write)
+        assert final_name is not None
+        return read(final_name).copy()
+
+    def _layer_weights(self, name: str):
+        """Resolve 'l{i}.' prefixes to the layer's weight struct."""
+        layer = int(name.split(".", 1)[0][1:])
+        return self.weights.layers[layer]
+
+    def _execute_node(self, node, token_ids, read, write) -> str:
+        name = node.name
+        out = node.outputs[0]
+        scale = 1.0 / math.sqrt(self.config.head_size)
+
+        if node.op_type is OpType.FUSED:
+            # Execute constituents in order; tensors fusion eliminated never
+            # reached the plan, so they live in a transient overlay exactly
+            # as a fused CUDA kernel keeps them in registers/shared memory.
+            overlay: Dict[str, np.ndarray] = {}
+
+            def overlay_read(tensor: str) -> np.ndarray:
+                if tensor in overlay:
+                    return overlay[tensor]
+                return read(tensor)
+
+            def overlay_write(tensor: str, value: np.ndarray) -> None:
+                if tensor in self.graph.tensors:
+                    write(tensor, value)
+                else:
+                    overlay[tensor] = value.astype(np.float32, copy=False)
+
+            last = out
+            for op in node.attrs["fused_ops"]:
+                constituent = OpNode(
+                    name=op["name"],
+                    op_type=OpType(op["op_type"]),
+                    inputs=tuple(op["inputs"]),
+                    outputs=tuple(op["outputs"]),
+                    attrs=op["attrs"],
+                )
+                last = self._execute_node(
+                    constituent, token_ids, overlay_read, overlay_write
+                )
+            return node.outputs[-1] if node.outputs else last
+
+        if name == "embedding":
+            write(out, bert_embeddings(
+                self.weights.token_embedding,
+                self.weights.position_embedding,
+                self.weights.segment_embedding,
+                token_ids,
+            ))
+        elif name == "embedding_ln":
+            write(out, layernorm_one_pass(
+                read(node.inputs[0]),
+                self.weights.embedding_ln_gamma, self.weights.embedding_ln_beta,
+                eps=self.config.layer_norm_eps,
+            ))
+        elif name == "embedding_projection":
+            if self.weights.embedding_projection is None:
+                raise ExecutionError("graph has a projection but weights do not")
+            write(out, read(node.inputs[0]) @ self.weights.embedding_projection)
+        elif name.endswith(("q_gemm", "k_gemm", "v_gemm")):
+            lw = self._layer_weights(name).attention
+            w = {"q": lw.wq, "k": lw.wk, "v": lw.wv}[name[-6]]
+            write(out, read(node.inputs[0]) @ w)
+        elif name.endswith(("q_bias", "k_bias", "v_bias")):
+            lw = self._layer_weights(name).attention
+            b = {"q": lw.bq, "k": lw.bk, "v": lw.bv}[name[-6]]
+            write(out, read(node.inputs[0]) + b)
+        elif name.endswith("_transpose"):
+            write(out, split_heads(read(node.inputs[0]), self.config.num_heads))
+        elif name.endswith("scores_gemm"):
+            q, k = read(node.inputs[0]), read(node.inputs[1])
+            write(out, q @ np.swapaxes(k, -1, -2))
+        elif name.endswith(".scale"):
+            write(out, read(node.inputs[0]) * scale)
+        elif name.endswith(".softmax"):
+            write(out, softmax_fused(read(node.inputs[0])))
+        elif name.endswith("context_gemm"):
+            write(out, read(node.inputs[0]) @ read(node.inputs[1]))
+        elif name.endswith("merge_heads"):
+            write(out, merge_heads(read(node.inputs[0])))
+        elif name.endswith("out_gemm"):
+            write(out, read(node.inputs[0]) @ self._layer_weights(name).attention.wo)
+        elif name.endswith("attn_add"):
+            lw = self._layer_weights(name)
+            write(out, read(node.inputs[0]) + lw.attention.bo + read(node.inputs[1]))
+        elif name.endswith("attn_ln"):
+            lw = self._layer_weights(name)
+            write(out, layernorm_one_pass(
+                read(node.inputs[0]), lw.attn_ln_gamma, lw.attn_ln_beta,
+                eps=self.config.layer_norm_eps,
+            ))
+        elif name.endswith("ffn1_gemm"):
+            write(out, read(node.inputs[0]) @ self._layer_weights(name).ffn_w1)
+        elif name.endswith("ffn_bias_gelu"):
+            lw = self._layer_weights(name)
+            write(out, add_bias_gelu(read(node.inputs[0]).copy(), lw.ffn_b1))
+        elif name.endswith("ffn2_gemm"):
+            write(out, read(node.inputs[0]) @ self._layer_weights(name).ffn_w2)
+        elif name.endswith("ffn_add"):
+            lw = self._layer_weights(name)
+            write(out, read(node.inputs[0]) + lw.ffn_b2 + read(node.inputs[1]))
+        elif name.endswith("ffn_ln"):
+            lw = self._layer_weights(name)
+            write(out, layernorm_one_pass(
+                read(node.inputs[0]), lw.ffn_ln_gamma, lw.ffn_ln_beta,
+                eps=self.config.layer_norm_eps,
+            ))
+        else:
+            raise ExecutionError(f"no numeric interpretation for node {name!r}")
+        return out
+
+    # -- introspection ---------------------------------------------------------
+
+    def arena_bytes(self) -> int:
+        """Total planned arena bytes of the last run."""
+        if self.last_plan is None:
+            raise ExecutionError("run() has not been called yet")
+        return self.last_plan.footprint_bytes

@@ -1,0 +1,42 @@
+"""NVIDIA FasterTransformer-like baseline.
+
+Hand-fused CUDA kernels like Turbo's, but with the *classical* shuffle
+batch-reduction (the "before" algorithm of Fig. 4), no memory manager of
+its own (it rides TensorFlow's caching allocator), and a per-dimension
+profile step that makes it fixed-length only (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gpusim import RTX_2060, DeviceSpec, ReductionImpl
+from ..graph import ComputationGraph
+from ..memory import CachingAllocator
+from ..models import bert_base, build_encoder_graph
+from .base import InferenceRuntime
+from .cost import RuntimeCharacteristics
+
+FASTER_TRANSFORMER_CHARACTERISTICS = RuntimeCharacteristics(
+    name="FasterTransformers",
+    fuse_kernels=True,
+    reduction_impl=ReductionImpl.FASTER_TRANSFORMER,
+    gemm_tuning=1.0,
+    host_dispatch_s=6e-6,  # dispatched as a TensorFlow custom op
+    fixed_overhead_s=1.0e-3,
+    supports_variable_length=False,
+    preprocess_s=5.0,
+    usage="hard",
+)
+
+
+def fastertransformer_runtime(
+    graph: Optional[ComputationGraph] = None,
+    device: DeviceSpec = RTX_2060,
+) -> InferenceRuntime:
+    return InferenceRuntime(
+        graph=graph if graph is not None else build_encoder_graph(bert_base()),
+        chars=FASTER_TRANSFORMER_CHARACTERISTICS,
+        device=device,
+        allocator_factory=CachingAllocator,
+    )

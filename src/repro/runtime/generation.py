@@ -1,0 +1,96 @@
+"""Latency model for autoregressive generation (GPT-style serving).
+
+Generation cost splits into the *prefill* pass over the prompt and the
+per-token *decode* steps against a growing KV cache — the two quantities
+generative serving systems report as time-to-first-token (TTFT) and
+per-token latency (TPOT).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..gpusim import DeviceSpec, Stream
+from ..graph import ComputationGraph, fuse_graph
+from .cost import RuntimeCharacteristics, graph_cost
+
+
+class GenerationRuntime:
+    """Prices prefill + decode for a decoder-only model."""
+
+    def __init__(
+        self,
+        prefill_graph: ComputationGraph,
+        decode_graph: ComputationGraph,
+        chars: RuntimeCharacteristics,
+        device: DeviceSpec,
+        stride: int = 8,
+        step_overhead_s: float = 0.0,
+    ) -> None:
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        if step_overhead_s < 0:
+            raise ValueError(f"step_overhead_s must be >= 0, got {step_overhead_s}")
+        if chars.fuse_kernels:
+            prefill_graph = fuse_graph(prefill_graph)
+            decode_graph = fuse_graph(decode_graph)
+        self.prefill_graph = prefill_graph
+        self.decode_graph = decode_graph
+        self.chars = chars
+        self.device = device
+        self.stride = stride
+        self.step_overhead_s = step_overhead_s
+        self._prefill_cache: Dict[Tuple[int, int], float] = {}
+        self._decode_cache: Dict[Tuple[int, int], float] = {}
+
+    def _run(self, graph: ComputationGraph, bindings: Dict[str, int]) -> float:
+        stream = Stream(trace_enabled=False)
+        stream.extend(graph_cost(graph.nodes, bindings, self.chars, self.device))
+        host_s = self.chars.host_dispatch_s * stream.launches
+        return max(stream.elapsed_s, host_s)
+
+    def prefill_latency(self, batch: int, prompt_len: int) -> float:
+        """Time-to-first-token: one parallel pass over the prompt."""
+        if batch <= 0 or prompt_len <= 0:
+            raise ValueError(
+                f"batch and prompt_len must be positive, got {batch}, {prompt_len}"
+            )
+        key = (batch, prompt_len)
+        if key not in self._prefill_cache:
+            self._prefill_cache[key] = (
+                self._run(self.prefill_graph, {"batch": batch, "seq": prompt_len})
+                + self.chars.fixed_overhead_s
+            )
+        return self._prefill_cache[key]
+
+    def decode_step_latency(self, batch: int, past: int) -> float:
+        """One generated token against ``past`` cached positions."""
+        if batch <= 0 or past <= 0:
+            raise ValueError(f"batch and past must be positive, got {batch}, {past}")
+        key = (batch, past)
+        if key not in self._decode_cache:
+            self._decode_cache[key] = (
+                self._run(self.decode_graph, {"batch": batch, "past": past})
+                + self.step_overhead_s
+            )
+        return self._decode_cache[key]
+
+    def generate_latency(
+        self, prompt_len: int, new_tokens: int, batch: int = 1
+    ) -> float:
+        """End-to-end: prefill + ``new_tokens`` decode steps (strided sum)."""
+        if new_tokens <= 0:
+            raise ValueError(f"new_tokens must be positive, got {new_tokens}")
+        total = self.prefill_latency(batch, prompt_len)
+        step = 0
+        while step < new_tokens:
+            span = min(self.stride, new_tokens - step)
+            total += self.decode_step_latency(batch, prompt_len + step) * span
+            step += self.stride
+        return total
+
+    def tokens_per_second(self, prompt_len: int, new_tokens: int,
+                          batch: int = 1) -> float:
+        """Aggregate decode throughput over one generation."""
+        total = self.generate_latency(prompt_len, new_tokens, batch)
+        return batch * new_tokens / total

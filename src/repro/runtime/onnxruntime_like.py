@@ -1,0 +1,42 @@
+"""ONNX-Runtime-like baseline.
+
+The only existing runtime the paper credits with variable-length support
+(dynamic axes, >= 1.3).  Graph-level fusion comparable to Turbo's, but its
+reduction kernels are generic (cuDNN-grade) and session setup performs a
+one-time graph optimization.  Host dispatch is a thin C++ layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gpusim import RTX_2060, DeviceSpec, ReductionImpl
+from ..graph import ComputationGraph
+from ..memory import CachingAllocator
+from ..models import bert_base, build_encoder_graph
+from .base import InferenceRuntime
+from .cost import RuntimeCharacteristics
+
+ONNXRUNTIME_CHARACTERISTICS = RuntimeCharacteristics(
+    name="onnxruntime",
+    fuse_kernels=True,
+    reduction_impl=ReductionImpl.CUDNN,
+    gemm_tuning=0.97,
+    host_dispatch_s=6e-6,
+    fixed_overhead_s=1.0e-3,
+    supports_variable_length=True,
+    preprocess_s=10.0,  # offline session optimization, not per-request
+    usage="medium",
+)
+
+
+def onnxruntime_runtime(
+    graph: Optional[ComputationGraph] = None,
+    device: DeviceSpec = RTX_2060,
+) -> InferenceRuntime:
+    return InferenceRuntime(
+        graph=graph if graph is not None else build_encoder_graph(bert_base()),
+        chars=ONNXRUNTIME_CHARACTERISTICS,
+        device=device,
+        allocator_factory=CachingAllocator,
+    )

@@ -1,0 +1,122 @@
+"""Warm-up cost profiling: the ``cached_cost`` table of Algorithm 3.
+
+After a service starts, the paper runs the runtime across all feasible
+(sequence length, batch size) pairs and persists the measured latencies;
+the DP batch scheduler then prices candidate batches from this table.  Here
+the table wraps :meth:`InferenceRuntime.latency` with length bucketing
+(rounding a length *up* to the nearest profiled one is safe: padded
+execution cost is monotone in length) and optional JSON persistence —
+mirroring the paper's store-on-disk/database behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .base import InferenceRuntime
+
+
+class CostTable:
+    """``cached_cost[seq_len][batch_size] -> seconds`` (paper Alg. 3 input).
+
+    ``interpolate=True`` prices lengths between profiled grid points by
+    linear interpolation instead of rounding up to the next bucket —
+    tighter estimates at the cost of a weaker guarantee (the bucketed
+    value is a safe overestimate because padded execution cost is
+    monotone in length).
+    """
+
+    def __init__(self, lengths: Iterable[int], max_batch: int,
+                 interpolate: bool = False) -> None:
+        self.lengths: List[int] = sorted(set(int(x) for x in lengths))
+        if not self.lengths or self.lengths[0] <= 0:
+            raise ValueError(f"lengths must be positive, got {self.lengths[:3]}...")
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        self.max_batch = max_batch
+        self.interpolate = interpolate
+        self._table: Dict[int, Dict[int, float]] = {}
+
+    def bucket(self, seq_len: int) -> int:
+        """Smallest profiled length >= seq_len (padding is monotone-safe)."""
+        if seq_len <= 0:
+            raise ValueError(f"seq_len must be positive, got {seq_len}")
+        for length in self.lengths:
+            if length >= seq_len:
+                return length
+        return self.lengths[-1]
+
+    def set(self, seq_len: int, batch: int, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError(f"cost must be positive, got {seconds}")
+        self._table.setdefault(seq_len, {})[batch] = seconds
+
+    def cost(self, seq_len: int, batch: int) -> float:
+        """Latency of a batch of ``batch`` requests padded to ``seq_len``."""
+        if batch <= 0 or batch > self.max_batch:
+            raise ValueError(f"batch must be in [1, {self.max_batch}], got {batch}")
+        if not self.interpolate:
+            return self._entry(self.bucket(seq_len), batch)
+        upper = self.bucket(seq_len)
+        if seq_len >= upper or upper == self.lengths[0]:
+            return self._entry(upper, batch)
+        lower = max(l for l in self.lengths if l < upper)
+        if seq_len <= lower:
+            return self._entry(lower, batch)
+        low_cost = self._entry(lower, batch)
+        high_cost = self._entry(upper, batch)
+        t = (seq_len - lower) / (upper - lower)
+        return low_cost + t * (high_cost - low_cost)
+
+    def _entry(self, length: int, batch: int) -> float:
+        try:
+            return self._table[length][batch]
+        except KeyError:
+            raise KeyError(
+                f"cost table has no entry for length {length}, batch {batch}; "
+                f"run warm-up profiling first"
+            ) from None
+
+    # -- persistence (the paper stores the table in a database/disk) --------
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        payload = {
+            "lengths": self.lengths,
+            "max_batch": self.max_batch,
+            "table": {str(k): {str(b): v for b, v in row.items()}
+                      for k, row in self._table.items()},
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "CostTable":
+        payload = json.loads(Path(path).read_text())
+        table = cls(payload["lengths"], payload["max_batch"])
+        for length, row in payload["table"].items():
+            for batch, seconds in row.items():
+                table.set(int(length), int(batch), float(seconds))
+        return table
+
+
+def warmup_profile(
+    runtime: InferenceRuntime,
+    max_batch: int = 20,
+    lengths: Optional[Iterable[int]] = None,
+    max_length: int = 512,
+    length_step: int = 16,
+) -> CostTable:
+    """Run the warm-up sweep and build the cost table.
+
+    Default grid: lengths ``{step, 2*step, ..., max_length}`` x batches
+    ``1..max_batch``, matching the paper's "all possible batch sizes and
+    sequence lengths" at a practical granularity.
+    """
+    if lengths is None:
+        lengths = range(length_step, max_length + 1, length_step)
+    table = CostTable(lengths, max_batch)
+    for length in table.lengths:
+        for batch in range(1, max_batch + 1):
+            table.set(length, batch, runtime.latency(batch, length))
+    return table

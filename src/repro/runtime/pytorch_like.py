@@ -1,0 +1,43 @@
+"""PyTorch-like baseline runtime.
+
+Eager execution of the fine-grained graph: every primitive is its own
+kernel (no fusion), reductions use the framework's generic shared-memory
+kernels, each op pays Python dispatch (~15 µs host), and intermediates go
+through the caching CUDA allocator.  Variable-length capable — this is the
+strongest property PyTorch has in Table 1 — but slow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gpusim import RTX_2060, DeviceSpec, ReductionImpl
+from ..graph import ComputationGraph
+from ..memory import CachingAllocator
+from ..models import bert_base, build_encoder_graph
+from .base import InferenceRuntime
+from .cost import RuntimeCharacteristics
+
+PYTORCH_CHARACTERISTICS = RuntimeCharacteristics(
+    name="PyTorch",
+    fuse_kernels=False,
+    reduction_impl=ReductionImpl.PYTORCH,
+    gemm_tuning=1.0,
+    host_dispatch_s=15e-6,
+    fixed_overhead_s=1.2e-3,
+    supports_variable_length=True,
+    preprocess_s=0.0,
+    usage="easy",
+)
+
+
+def pytorch_runtime(
+    graph: Optional[ComputationGraph] = None,
+    device: DeviceSpec = RTX_2060,
+) -> InferenceRuntime:
+    return InferenceRuntime(
+        graph=graph if graph is not None else build_encoder_graph(bert_base()),
+        chars=PYTORCH_CHARACTERISTICS,
+        device=device,
+        allocator_factory=CachingAllocator,
+    )

@@ -1,0 +1,70 @@
+"""The TurboTransformers runtime (paper §4).
+
+Fused non-GEMM kernels, the XElem batch-reduction implementation, the
+sequence-length-aware chunk allocator, no per-dimension preprocessing, and
+a thin C++ dispatch layer (~2 µs/op host overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gpusim import RTX_2060, DeviceSpec, ReductionImpl
+from ..graph import ComputationGraph
+from ..memory import TurboAllocator
+from ..models import bert_base, build_encoder_graph
+from .base import InferenceRuntime
+from .cost import RuntimeCharacteristics
+
+TURBO_CHARACTERISTICS = RuntimeCharacteristics(
+    name="TurboTransformers",
+    fuse_kernels=True,
+    reduction_impl=ReductionImpl.TURBO,
+    reduction_x_elems=2,
+    gemm_tuning=1.0,
+    host_dispatch_s=2e-6,
+    fixed_overhead_s=1.0e-3,
+    supports_variable_length=True,
+    preprocess_s=0.0,
+    usage="easy",
+)
+
+
+def turbo_runtime(
+    graph: Optional[ComputationGraph] = None,
+    device: DeviceSpec = RTX_2060,
+    enable_fusion: bool = True,
+    enable_memory_manager: bool = True,
+    x_elems: int = 2,
+    precision_bytes: int = 4,
+) -> InferenceRuntime:
+    """Build a Turbo runtime; flags exist for the DESIGN.md ablations and
+    the FP16 extension (``precision_bytes=2``)."""
+    chars = TURBO_CHARACTERISTICS
+    if (not enable_fusion or x_elems != chars.reduction_x_elems
+            or precision_bytes != chars.precision_bytes):
+        from dataclasses import replace
+
+        chars = replace(chars, fuse_kernels=enable_fusion,
+                        reduction_x_elems=x_elems,
+                        precision_bytes=precision_bytes)
+    if graph is None:
+        graph = build_encoder_graph(bert_base())
+    if precision_bytes != 4:
+        from ..graph import cast_graph_precision
+
+        graph = cast_graph_precision(graph, precision_bytes)
+    return InferenceRuntime(
+        graph=graph,
+        chars=chars,
+        device=device,
+        allocator_factory=TurboAllocator if enable_memory_manager else None,
+    )
+
+
+def turbo_fp16_runtime(
+    graph: Optional[ComputationGraph] = None,
+    device: DeviceSpec = RTX_2060,
+) -> InferenceRuntime:
+    """The FP16 extension: half traffic, double math rate, half footprint."""
+    return turbo_runtime(graph=graph, device=device, precision_bytes=2)

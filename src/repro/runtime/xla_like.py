@@ -1,0 +1,48 @@
+"""TensorFlow-XLA-like baseline.
+
+Whole-graph compilation fuses elementwise chains well, but the generated
+reduction code is generic, generated GEMM schedules are slightly below
+hand-tuned cuBLAS, and — decisive for serving — every new input shape
+triggers a recompile, so the runtime is fixed-length only (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gpusim import RTX_2060, DeviceSpec, ReductionImpl
+from ..graph import ComputationGraph
+from ..memory import CachingAllocator
+from ..models import bert_base, build_encoder_graph
+from .base import InferenceRuntime
+from .cost import RuntimeCharacteristics
+
+XLA_CHARACTERISTICS = RuntimeCharacteristics(
+    name="TensorFlow-XLA",
+    fuse_kernels=True,
+    reduction_impl=ReductionImpl.CUDNN,
+    gemm_tuning=0.92,
+    host_dispatch_s=5e-6,
+    fixed_overhead_s=1.0e-3,
+    supports_variable_length=False,
+    preprocess_s=30.0,  # per-shape JIT compile
+    usage="easy",
+)
+
+
+def xla_runtime(
+    graph: Optional[ComputationGraph] = None,
+    device: DeviceSpec = RTX_2060,
+    pad_to_multiple: int = 1,
+) -> InferenceRuntime:
+    chars = XLA_CHARACTERISTICS
+    if pad_to_multiple != 1:
+        from dataclasses import replace
+
+        chars = replace(chars, pad_to_multiple=pad_to_multiple)
+    return InferenceRuntime(
+        graph=graph if graph is not None else build_encoder_graph(bert_base()),
+        chars=chars,
+        device=device,
+        allocator_factory=CachingAllocator,
+    )

@@ -1,0 +1,108 @@
+"""Serving framework: MQ, response cache, batch schedulers, event-driven server."""
+
+from .adaptive import AdaptiveBatchScheduler
+from .cache import ResponseCache
+from .ebird import simulate_ebird_serving
+from .cluster import (
+    ClusterMetrics,
+    ClusterRouter,
+    RoutingPolicy,
+    ServerState,
+    simulate_cluster,
+)
+from .metrics import (
+    LatencyStats,
+    ServingMetrics,
+    completed_requests,
+    response_throughput,
+)
+from .mq import MessageQueue
+from .packed import PackedBatchScheduler, PackedCostFn
+from .priority import PriorityBatchScheduler
+from .policies import HungryPolicy, LazyPolicy, TriggerPolicy
+from .request import Batch, Request, make_batch
+from .scheduler import (
+    BatchScheduler,
+    CostFn,
+    DPBatchScheduler,
+    FixedPadScheduler,
+    NaiveBatchScheduler,
+    NoBatchScheduler,
+    batch_execution_cost,
+    brute_force_optimal_makespan,
+    schedule_makespan,
+    throughput_of_schedule,
+)
+from .server import ServingConfig, simulate_serving
+from .shedding import SheddingMetrics, simulate_serving_with_shedding
+from .trace import TRACE_SCHEMA_VERSION, load_trace, save_trace
+from .service import (
+    InferenceService,
+    ModelRegistry,
+    ModelRegistryError,
+    ModelVersion,
+    ensemble_cost_fn,
+)
+from .workload import (
+    MAX_LEN,
+    MIN_LEN,
+    bursty_arrivals,
+    generate_requests,
+    normal_lengths,
+    poisson_arrivals,
+    uniform_lengths,
+)
+
+__all__ = [
+    "AdaptiveBatchScheduler",
+    "RoutingPolicy",
+    "ClusterRouter",
+    "ClusterMetrics",
+    "ServerState",
+    "simulate_cluster",
+    "PackedBatchScheduler",
+    "PriorityBatchScheduler",
+    "simulate_ebird_serving",
+    "bursty_arrivals",
+    "PackedCostFn",
+    "Request",
+    "Batch",
+    "make_batch",
+    "MessageQueue",
+    "ResponseCache",
+    "BatchScheduler",
+    "DPBatchScheduler",
+    "NaiveBatchScheduler",
+    "NoBatchScheduler",
+    "FixedPadScheduler",
+    "CostFn",
+    "batch_execution_cost",
+    "schedule_makespan",
+    "throughput_of_schedule",
+    "brute_force_optimal_makespan",
+    "TriggerPolicy",
+    "HungryPolicy",
+    "LazyPolicy",
+    "ServingConfig",
+    "SheddingMetrics",
+    "simulate_serving_with_shedding",
+    "InferenceService",
+    "ModelRegistry",
+    "ModelRegistryError",
+    "ModelVersion",
+    "ensemble_cost_fn",
+    "save_trace",
+    "load_trace",
+    "TRACE_SCHEMA_VERSION",
+    "simulate_serving",
+    "LatencyStats",
+    "ServingMetrics",
+    "response_throughput",
+    "completed_requests",
+    "generate_requests",
+    "normal_lengths",
+    "uniform_lengths",
+    "poisson_arrivals",
+    "MIN_LEN",
+    "MAX_LEN",
+]

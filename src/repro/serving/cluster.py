@@ -1,0 +1,202 @@
+"""Multi-server serving: a Nexus-style upper-level load balancer.
+
+The paper (§5) assumes "a multi-server environment [where] an upper-level
+load balancer as the one in Nexus can ensure that the requests assigned to
+each server will not be overloaded".  This module builds that layer: a
+cluster of independent GPU servers, each running its own batch scheduler
+over its own queue, fed by a routing policy.
+
+Routing policies
+----------------
+``round_robin``      cycle through servers.
+``least_queued``     fewest pending requests.
+``least_work``       least estimated pending work (queue cost + remaining
+                     busy time) — the Nexus-style choice.
+``length_aware``     partition servers by sequence-length band, so each
+                     server sees near-homogeneous lengths and padding waste
+                     collapses even under naive batching (the clustering
+                     effect the DP scheduler achieves within one server).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .metrics import LatencyStats, ServingMetrics, response_throughput
+from .request import Request
+from .scheduler import BatchScheduler, CostFn, batch_execution_cost
+
+
+class RoutingPolicy(str, enum.Enum):
+    ROUND_ROBIN = "round_robin"
+    LEAST_QUEUED = "least_queued"
+    LEAST_WORK = "least_work"
+    LENGTH_AWARE = "length_aware"
+
+
+@dataclass
+class ServerState:
+    """One GPU server: private queue + busy horizon + its own scheduler."""
+
+    server_id: int
+    scheduler: BatchScheduler
+    queue: List[Request] = field(default_factory=list)
+    busy_until: float = 0.0
+    completed: int = 0
+
+    def pending_work_s(self, cost_fn: CostFn, now: float) -> float:
+        """Remaining busy time plus a no-batching estimate of the queue."""
+        queued = sum(cost_fn(r.seq_len, 1) for r in self.queue)
+        return max(0.0, self.busy_until - now) + queued
+
+
+class ClusterRouter:
+    """Assigns arriving requests to servers per the routing policy."""
+
+    def __init__(
+        self,
+        policy: RoutingPolicy,
+        num_servers: int,
+        cost_fn: CostFn,
+        max_len: int = 512,
+    ) -> None:
+        if num_servers <= 0:
+            raise ValueError(f"num_servers must be positive, got {num_servers}")
+        self.policy = policy
+        self.num_servers = num_servers
+        self.cost_fn = cost_fn
+        self.max_len = max_len
+        self._next = 0
+
+    def route(self, request: Request, servers: Sequence[ServerState],
+              now: float) -> int:
+        if self.policy is RoutingPolicy.ROUND_ROBIN:
+            chosen = self._next % self.num_servers
+            self._next += 1
+            return chosen
+        if self.policy is RoutingPolicy.LEAST_QUEUED:
+            return min(range(self.num_servers), key=lambda i: len(servers[i].queue))
+        if self.policy is RoutingPolicy.LEAST_WORK:
+            return min(
+                range(self.num_servers),
+                key=lambda i: servers[i].pending_work_s(self.cost_fn, now),
+            )
+        if self.policy is RoutingPolicy.LENGTH_AWARE:
+            band = min(
+                self.num_servers - 1,
+                request.seq_len * self.num_servers // (self.max_len + 1),
+            )
+            return band
+        raise ValueError(f"unknown routing policy {self.policy}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """Cluster-wide outcome plus per-server balance statistics."""
+
+    serving: ServingMetrics
+    per_server_completed: List[int]
+
+    @property
+    def balance_ratio(self) -> float:
+        """max/min completed per server (1.0 = perfectly balanced)."""
+        low = min(self.per_server_completed)
+        return max(self.per_server_completed) / max(low, 1)
+
+
+def simulate_cluster(
+    requests: Sequence[Request],
+    num_servers: int,
+    scheduler_factory: Callable[[], BatchScheduler],
+    cost_fn: CostFn,
+    policy: RoutingPolicy = RoutingPolicy.LEAST_WORK,
+    max_batch: int = 20,
+    duration_s: Optional[float] = None,
+    max_len: int = 512,
+) -> ClusterMetrics:
+    """Event-driven simulation of a multi-server cluster.
+
+    Each server batches its own queue with its own scheduler whenever it
+    goes idle (hungry policy); the router assigns requests on arrival.
+    """
+    if not requests:
+        raise ValueError("need at least one request to simulate")
+    arrivals = sorted(requests, key=lambda r: r.arrival_s)
+    horizon = duration_s if duration_s is not None else arrivals[-1].arrival_s
+    if horizon <= 0:
+        raise ValueError(f"duration must be positive, got {horizon}")
+
+    servers = [ServerState(i, scheduler_factory()) for i in range(num_servers)]
+    router = ClusterRouter(policy, num_servers, cost_fn, max_len=max_len)
+
+    # Event heap holds (time, seq, kind, payload); kinds: arrival, idle.
+    events: List[tuple] = []
+    seq = 0
+    for request in arrivals:
+        events.append((request.arrival_s, seq, "arrival", request))
+        seq += 1
+    heapq.heapify(events)
+    backlog_at_horizon: Optional[int] = None
+    arrivals_left = len(arrivals)
+
+    def run_server(server: ServerState, now: float) -> None:
+        """If idle with work queued, batch-and-execute the whole queue."""
+        nonlocal seq
+        if server.busy_until > now or not server.queue:
+            return
+        taken, server.queue = server.queue, []
+        batches = server.scheduler.schedule(taken, cost_fn, max_batch)
+        clock = now
+        for batch in batches:
+            exec_s = batch_execution_cost(batch, cost_fn)
+            for r in batch.requests:
+                r.start_s = clock
+            clock += exec_s
+            for r in batch.requests:
+                r.completion_s = clock
+            server.completed += batch.size
+        server.busy_until = clock
+        heapq.heappush(events, (clock, seq, "idle", server.server_id))
+        seq += 1
+
+    while events:
+        now, _, kind, payload = heapq.heappop(events)
+        if kind == "arrival":
+            request = payload
+            target = router.route(request, servers, now)
+            servers[target].queue.append(request)
+            arrivals_left -= 1
+            run_server(servers[target], now)
+        else:  # idle
+            run_server(servers[payload], now)
+        if backlog_at_horizon is None and arrivals_left == 0 and now >= horizon:
+            backlog_at_horizon = sum(len(s.queue) for s in servers)
+
+    if backlog_at_horizon is None:
+        backlog_at_horizon = 0
+
+    throughput = response_throughput(arrivals, horizon * 0.1, horizon)
+    # Cluster servers drain their queue into in-flight batches immediately,
+    # so queued-request counts understate pressure; saturation is judged by
+    # how long past the arrival horizon the cluster needs to finish.
+    last_completion = max(
+        (r.completion_s for r in arrivals if r.completion_s is not None),
+        default=0.0,
+    )
+    serving = ServingMetrics(
+        system=f"cluster[{policy.value}x{num_servers}]",
+        request_rate=len(arrivals) / horizon,
+        response_throughput=throughput,
+        latency=LatencyStats.from_requests(arrivals),
+        saturated=(last_completion - horizon) > 0.5,
+        completed=sum(1 for r in arrivals if r.completion_s is not None),
+        offered=len(arrivals),
+        backlog_at_end=backlog_at_horizon,
+    )
+    return ClusterMetrics(
+        serving=serving,
+        per_server_completed=[s.completed for s in servers],
+    )

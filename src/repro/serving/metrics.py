@@ -1,0 +1,107 @@
+"""Latency/throughput statistics for serving runs (Fig. 12, Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .request import Request
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """avg (min, max) latency in milliseconds — Table 4's cell format —
+    plus tail percentiles for SLO analysis (p50/p95/p99)."""
+
+    avg_ms: float
+    min_ms: float
+    max_ms: float
+    count: int
+    p50_ms: float = float("inf")
+    p95_ms: float = float("inf")
+    p99_ms: float = float("inf")
+
+    @staticmethod
+    def _percentile(sorted_values: List[float], q: float) -> float:
+        """Nearest-rank percentile on a pre-sorted list."""
+        if not sorted_values:
+            return float("inf")
+        rank = max(0, min(len(sorted_values) - 1,
+                          int(round(q * (len(sorted_values) - 1)))))
+        return sorted_values[rank]
+
+    @classmethod
+    def from_requests(cls, requests: Sequence[Request]) -> "LatencyStats":
+        completed = [r for r in requests if r.completion_s is not None]
+        if not completed:
+            return cls(float("inf"), float("inf"), float("inf"), 0)
+        latencies = sorted(r.latency_s * 1e3 for r in completed)
+        return cls(
+            avg_ms=sum(latencies) / len(latencies),
+            min_ms=latencies[0],
+            max_ms=latencies[-1],
+            count=len(latencies),
+            p50_ms=cls._percentile(latencies, 0.50),
+            p95_ms=cls._percentile(latencies, 0.95),
+            p99_ms=cls._percentile(latencies, 0.99),
+        )
+
+    def meets_slo(self, slo_ms: float, quantile: float = 0.95) -> bool:
+        """True if the given latency quantile is within the SLO."""
+        if quantile >= 0.99:
+            value = self.p99_ms
+        elif quantile >= 0.95:
+            value = self.p95_ms
+        else:
+            value = self.p50_ms
+        return value <= slo_ms
+
+    def format_cell(self) -> str:
+        """Render like the paper: ``avg (min, max)``."""
+        if self.count == 0 or self.avg_ms == float("inf"):
+            return "+inf"
+        return f"{self.avg_ms:.2f} ({self.min_ms:.2f}, {self.max_ms:.2f})"
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Outcome of one serving simulation.
+
+    ``utilization`` is the fraction of the offered-load horizon the GPU
+    spent executing batches — the quantity batching exists to raise
+    ("small batch sizes lead to low GPU hardware utilization", §5).
+    """
+
+    system: str
+    request_rate: float
+    response_throughput: float
+    latency: LatencyStats
+    saturated: bool
+    completed: int
+    offered: int
+    backlog_at_end: int
+    utilization: float = 0.0
+
+    @property
+    def stable(self) -> bool:
+        """True when the system keeps up with the offered load."""
+        return not self.saturated
+
+
+def response_throughput(
+    requests: Sequence[Request], window_start_s: float, window_end_s: float
+) -> float:
+    """Responses completed per second inside a measurement window."""
+    if window_end_s <= window_start_s:
+        raise ValueError(
+            f"empty window [{window_start_s}, {window_end_s}]"
+        )
+    done = [
+        r for r in requests
+        if r.completion_s is not None and window_start_s <= r.completion_s < window_end_s
+    ]
+    return len(done) / (window_end_s - window_start_s)
+
+
+def completed_requests(requests: Sequence[Request]) -> List[Request]:
+    return [r for r in requests if r.completion_s is not None]

@@ -1,0 +1,39 @@
+"""Message queue front-end of the serving framework (Fig. 2)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .request import Request
+
+
+class MessageQueue:
+    """FIFO of pending requests with arrival-order accounting."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Request] = deque()
+        self.total_enqueued = 0
+        self.peak_depth = 0
+
+    def push(self, request: Request) -> None:
+        self._queue.append(request)
+        self.total_enqueued += 1
+        self.peak_depth = max(self.peak_depth, len(self._queue))
+
+    def drain(self, limit: Optional[int] = None) -> List[Request]:
+        """Pop up to ``limit`` requests in arrival order (all if None)."""
+        if limit is not None and limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        count = len(self._queue) if limit is None else min(limit, len(self._queue))
+        return [self._queue.popleft() for _ in range(count)]
+
+    def front(self) -> Optional[Request]:
+        """Oldest pending request (the lazy policy checks its age)."""
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)

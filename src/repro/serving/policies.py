@@ -1,0 +1,95 @@
+"""Scheduler trigger policies (paper §5, last paragraph).
+
+*Hungry*: the moment the runtime goes idle and the queue is non-empty,
+schedule whatever is queued.  Best when request pressure is high and the
+GPU should never sit idle.
+
+*Lazy*: like Clipper's delayed batching — wait for ``max_batch`` requests
+or a timeout, whichever first; additionally, if the front request's age
+plus the estimated execution time of the current batch would exceed half
+the latency SLO, fire immediately.  Best when small batches are very
+inefficient on the runtime.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from .mq import MessageQueue
+
+
+class TriggerPolicy(abc.ABC):
+    """Decides, at a given idle moment, whether to run the batch scheduler."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def should_schedule(self, queue: MessageQueue, now_s: float) -> bool:
+        """True if the scheduler should fire now."""
+
+    def next_decision_time(self, queue: MessageQueue, now_s: float) -> float:
+        """Earliest future time the decision could flip (for the simulator).
+
+        Defaults to "re-ask on the next arrival" (infinity here; the
+        simulator always re-asks on arrivals)."""
+        return float("inf")
+
+
+@dataclass
+class HungryPolicy(TriggerPolicy):
+    """Schedule whenever there is anything to schedule."""
+
+    name: str = "hungry"
+
+    def should_schedule(self, queue: MessageQueue, now_s: float) -> bool:
+        return bool(queue)
+
+
+@dataclass
+class LazyPolicy(TriggerPolicy):
+    """Clipper-style delayed batching with an SLO escape hatch.
+
+    Parameters
+    ----------
+    timeout_s: maximum time the oldest request may wait before firing.
+    max_batch: fire as soon as this many requests are queued.
+    latency_slo_s: service latency objective; fire if the front request's
+        age plus ``estimated_exec_s`` exceeds half of it.
+    estimated_exec_s: rough execution time of the pending batch (updated by
+        the server from its cost table).
+    """
+
+    timeout_s: float = 0.010
+    max_batch: int = 20
+    latency_slo_s: float = 0.1
+    estimated_exec_s: float = 0.0
+    name: str = "lazy"
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if self.latency_slo_s <= 0:
+            raise ValueError(f"latency_slo_s must be positive, got {self.latency_slo_s}")
+
+    def should_schedule(self, queue: MessageQueue, now_s: float) -> bool:
+        if not queue:
+            return False
+        if len(queue) >= self.max_batch:
+            return True
+        front = queue.front()
+        assert front is not None
+        age = now_s - front.arrival_s
+        if age >= self.timeout_s:
+            return True
+        return age + self.estimated_exec_s >= self.latency_slo_s / 2.0
+
+    def next_decision_time(self, queue: MessageQueue, now_s: float) -> float:
+        front = queue.front()
+        if front is None:
+            return float("inf")
+        by_timeout = front.arrival_s + self.timeout_s
+        by_slo = front.arrival_s + self.latency_slo_s / 2.0 - self.estimated_exec_s
+        return min(by_timeout, by_slo)

@@ -1,0 +1,102 @@
+"""Requests and batches flowing through the serving framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Request:
+    """One inference request: a variable-length input arriving at a time.
+
+    ``payload`` is an optional cache key (e.g. token ids); ``priority``
+    orders multi-tenant traffic (0 = interactive/highest, larger = more
+    batch-tolerant).  The serving simulation only needs ``seq_len`` and
+    ``arrival_s``.
+    """
+
+    req_id: int
+    seq_len: int
+    arrival_s: float
+    payload: Optional[Tuple[int, ...]] = None
+    priority: int = 0
+    start_s: Optional[float] = None
+    completion_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.seq_len <= 0:
+            raise ValueError(f"seq_len must be positive, got {self.seq_len}")
+        if self.arrival_s < 0:
+            raise ValueError(f"arrival_s must be >= 0, got {self.arrival_s}")
+        if self.priority < 0:
+            raise ValueError(f"priority must be >= 0, got {self.priority}")
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-response latency; raises if not yet completed."""
+        if self.completion_s is None:
+            raise ValueError(f"request {self.req_id} has not completed")
+        return self.completion_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A set of requests executed together, zero-padded to the longest.
+
+    ``cost_override``: execution latency fixed by the scheduler (used by
+    padding-free packed batching, whose cost the ``(len, batch)`` tables
+    cannot express); ``None`` means price via the cost function.
+    """
+
+    requests: Tuple[Request, ...]
+    padded_len: int
+    execution_size: Optional[int] = None  # fixed-size schedulers pad the batch dim too
+    cost_override: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a batch must contain at least one request")
+        longest = max(r.seq_len for r in self.requests)
+        if self.padded_len < longest:
+            raise ValueError(
+                f"padded_len {self.padded_len} shorter than longest request {longest}"
+            )
+        if self.execution_size is not None and self.execution_size < len(self.requests):
+            raise ValueError(
+                f"execution_size {self.execution_size} < batch of {len(self.requests)}"
+            )
+        if self.cost_override is not None and self.cost_override <= 0:
+            raise ValueError(
+                f"cost_override must be positive, got {self.cost_override}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of real requests in the batch."""
+        return len(self.requests)
+
+    @property
+    def cost_batch_size(self) -> int:
+        """Batch dimension actually executed (>= size for fixed-size pads)."""
+        return self.execution_size if self.execution_size is not None else self.size
+
+    @property
+    def padding_waste(self) -> int:
+        """Zero-padded tokens: the quantity the DP scheduler trades off."""
+        return sum(self.padded_len - r.seq_len for r in self.requests) + (
+            (self.cost_batch_size - self.size) * self.padded_len
+        )
+
+
+def make_batch(requests: List[Request], execution_size: Optional[int] = None,
+               padded_len: Optional[int] = None,
+               cost_override: Optional[float] = None) -> Batch:
+    """Batch a request list, padding to its longest member by default."""
+    longest = max(r.seq_len for r in requests)
+    return Batch(
+        requests=tuple(requests),
+        padded_len=padded_len if padded_len is not None else longest,
+        execution_size=execution_size,
+        cost_override=cost_override,
+    )

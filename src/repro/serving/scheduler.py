@@ -1,0 +1,219 @@
+"""Batch schedulers, including the paper's DP scheduler (Algorithm 3).
+
+Given the requests currently in the message queue and a profiled cost
+function ``cost(seq_len, batch_size) -> seconds`` (the ``cached_cost`` table
+from warm-up), a scheduler partitions the requests into padded batches.
+
+The paper's formulation writes the cost term as a per-request average times
+the batch size; we use the equivalent whole-batch latency directly.  Sorting
+by length first means every candidate batch is a *contiguous* slice of the
+sorted list padded to its last (longest) element — the key insight that
+makes the O(n²) DP optimal over this family of schedules.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional, Sequence
+
+from .request import Batch, Request, make_batch
+
+CostFn = Callable[[int, int], float]
+
+
+class BatchScheduler(abc.ABC):
+    """Partition pending requests into executable batches."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def schedule(
+        self, requests: Sequence[Request], cost_fn: CostFn, max_batch: int
+    ) -> List[Batch]:
+        """Return batches covering every request exactly once."""
+
+    @staticmethod
+    def _check_args(requests: Sequence[Request], max_batch: int) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if not requests:
+            raise ValueError("cannot schedule an empty request list")
+
+
+class DPBatchScheduler(BatchScheduler):
+    """Paper Algorithm 3: throughput-optimal batching via dynamic programming.
+
+    ``states[i]`` is the minimum time to process the first ``i`` requests of
+    the length-sorted list; the transition considers every batch ending at
+    request ``i`` (up to ``max_batch`` long, padded to request ``i``'s
+    length).  Reconstruction walks ``start_idx_list`` backwards.
+    """
+
+    name = "dp"
+
+    def __init__(self, order_batches: str = "fifo") -> None:
+        """``order_batches``: execution order of the optimal partition.
+        ``"fifo"`` keeps length order (the paper's behaviour); ``"spt"``
+        runs shortest batches first, which provably minimizes the round's
+        mean completion time without changing its makespan."""
+        if order_batches not in ("fifo", "spt"):
+            raise ValueError(
+                f"order_batches must be 'fifo' or 'spt', got {order_batches!r}"
+            )
+        self.order_batches = order_batches
+
+    def schedule(
+        self, requests: Sequence[Request], cost_fn: CostFn, max_batch: int
+    ) -> List[Batch]:
+        self._check_args(requests, max_batch)
+        # L1: sort in increasing order of sequence length (stable: FIFO ties).
+        order = sorted(requests, key=lambda r: r.seq_len)
+        n = len(order)
+        states = [0.0] * (n + 1)
+        start_idx = [0] * (n + 1)
+        for i in range(1, n + 1):
+            cur_length = order[i - 1].seq_len  # longest request in any batch ending at i
+            best_cost = cost_fn(cur_length, 1) + states[i - 1]
+            best_start = i - 1
+            j = i - 1
+            lower = max(0, i - max_batch)
+            while j > lower:
+                batch_size = i - j + 1
+                tmp = states[j - 1] + cost_fn(cur_length, batch_size)
+                if tmp < best_cost:
+                    best_cost = tmp
+                    best_start = j - 1
+                j -= 1
+            states[i] = best_cost
+            start_idx[i] = best_start
+        # L21-L26: reconstruct the optimal partition.
+        batches: List[Batch] = []
+        i = n
+        while i > 0:
+            start = start_idx[i]
+            batches.append(make_batch(list(order[start:i])))
+            i = start
+        batches.reverse()
+        if self.order_batches == "spt":
+            batches.sort(key=lambda b: cost_fn(b.padded_len, b.size))
+        return batches
+
+    def optimal_makespan(
+        self, requests: Sequence[Request], cost_fn: CostFn, max_batch: int
+    ) -> float:
+        """Total processing time of the optimal schedule (for tests)."""
+        batches = self.schedule(requests, cost_fn, max_batch)
+        return sum(cost_fn(b.padded_len, b.size) for b in batches)
+
+
+class NaiveBatchScheduler(BatchScheduler):
+    """Turbo-Naive-Batch baseline: everything in the queue into one batch
+    (chunked at ``max_batch``), padded to the longest member."""
+
+    name = "naive"
+
+    def schedule(
+        self, requests: Sequence[Request], cost_fn: CostFn, max_batch: int
+    ) -> List[Batch]:
+        self._check_args(requests, max_batch)
+        return [
+            make_batch(list(requests[i : i + max_batch]))
+            for i in range(0, len(requests), max_batch)
+        ]
+
+
+class NoBatchScheduler(BatchScheduler):
+    """No batching: one request per inference (Turbo/PyTorch-NoBatch)."""
+
+    name = "nobatch"
+
+    def schedule(
+        self, requests: Sequence[Request], cost_fn: CostFn, max_batch: int
+    ) -> List[Batch]:
+        self._check_args(requests, max_batch)
+        return [make_batch([r]) for r in requests]
+
+
+class FixedPadScheduler(BatchScheduler):
+    """TF-serving baseline: static batch size, every sequence padded to the
+    model's maximum length, zero-request slots padded too."""
+
+    name = "fixedpad"
+
+    def __init__(self, pad_len: int, batch_size: int) -> None:
+        if pad_len <= 0 or batch_size <= 0:
+            raise ValueError(
+                f"pad_len and batch_size must be positive, got {pad_len}, {batch_size}"
+            )
+        self.pad_len = pad_len
+        self.batch_size = batch_size
+
+    def schedule(
+        self, requests: Sequence[Request], cost_fn: CostFn, max_batch: int
+    ) -> List[Batch]:
+        self._check_args(requests, max_batch)
+        too_long = [r for r in requests if r.seq_len > self.pad_len]
+        if too_long:
+            raise ValueError(
+                f"requests longer than the static pad length {self.pad_len}: "
+                f"{[r.req_id for r in too_long[:3]]}"
+            )
+        return [
+            make_batch(
+                list(requests[i : i + self.batch_size]),
+                execution_size=self.batch_size,
+                padded_len=self.pad_len,
+            )
+            for i in range(0, len(requests), self.batch_size)
+        ]
+
+
+def batch_execution_cost(batch: Batch, cost_fn: CostFn) -> float:
+    """Latency of executing one batch under the profiled cost function
+    (schedulers with their own cost model may pin it via cost_override)."""
+    if batch.cost_override is not None:
+        return batch.cost_override
+    return cost_fn(batch.padded_len, batch.cost_batch_size)
+
+
+def schedule_makespan(
+    batches: Sequence[Batch], cost_fn: CostFn
+) -> float:
+    """Total serial execution time of a schedule."""
+    return sum(batch_execution_cost(b, cost_fn) for b in batches)
+
+
+def throughput_of_schedule(
+    batches: Sequence[Batch], cost_fn: CostFn
+) -> float:
+    """Responses per second the schedule achieves (Fig. 9's metric)."""
+    total_requests = sum(b.size for b in batches)
+    makespan = schedule_makespan(batches, cost_fn)
+    if makespan <= 0:
+        raise ValueError("schedule has non-positive makespan")
+    return total_requests / makespan
+
+
+def brute_force_optimal_makespan(
+    requests: Sequence[Request], cost_fn: CostFn, max_batch: Optional[int] = None
+) -> float:
+    """Exponential-time reference optimum over contiguous partitions of the
+    length-sorted list; used by tests to certify DP optimality (n <= ~15)."""
+    order = sorted(requests, key=lambda r: r.seq_len)
+    n = len(order)
+    if n > 20:
+        raise ValueError("brute force is for small instances only")
+    cap = max_batch if max_batch is not None else n
+    best = {0: 0.0}
+
+    def solve(i: int) -> float:
+        if i in best:
+            return best[i]
+        result = float("inf")
+        for j in range(max(0, i - cap), i):
+            cost = cost_fn(order[i - 1].seq_len, i - j) + solve(j)
+            result = min(result, cost)
+        best[i] = result
+        return result
+
+    return solve(n)

@@ -1,0 +1,166 @@
+"""Discrete-event serving simulation (Fig. 12 / Table 4 substrate).
+
+Replaces the paper's gRPC/HTTP stack with virtual time: requests arrive by
+timestamp into the message queue; whenever the simulated GPU is idle and
+the trigger policy fires, the batch scheduler partitions the queued
+requests and the batches execute back-to-back, each costing its profiled
+latency.  Everything is deterministic given the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .metrics import LatencyStats, ServingMetrics, response_throughput
+from .mq import MessageQueue
+from .policies import HungryPolicy, LazyPolicy, TriggerPolicy
+from .request import Request
+from .scheduler import BatchScheduler, CostFn, batch_execution_cost
+
+
+@dataclass
+class ServingConfig:
+    """Knobs of the serving loop."""
+
+    max_batch: int = 20
+    policy: TriggerPolicy = field(default_factory=HungryPolicy)
+    round_limit: Optional[int] = None  # max requests per scheduling round
+    warmup_fraction: float = 0.1  # excluded from the throughput window
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+
+
+def simulate_serving(
+    requests: Sequence[Request],
+    scheduler: BatchScheduler,
+    cost_fn: CostFn,
+    config: Optional[ServingConfig] = None,
+    duration_s: Optional[float] = None,
+    system_name: Optional[str] = None,
+    cache=None,
+) -> ServingMetrics:
+    """Run one serving simulation to completion.
+
+    ``duration_s`` is the offered-load horizon (defaults to the last
+    arrival); the simulation always drains the backlog so every request
+    completes, and saturation is judged by whether the backlog at the end
+    of the horizon kept growing.
+
+    ``cache`` (a :class:`~repro.serving.cache.ResponseCache`) enables the
+    Fig. 2 ``Resp Cache``: requests whose payload has a cached response
+    complete at arrival without touching the model; model responses are
+    cached on completion.
+    """
+    if not requests:
+        raise ValueError("need at least one request to simulate")
+    config = config or ServingConfig()
+    arrivals: List[Request] = sorted(requests, key=lambda r: r.arrival_s)
+    horizon = duration_s if duration_s is not None else arrivals[-1].arrival_s
+    if horizon <= 0:
+        raise ValueError(f"duration must be positive, got {horizon}")
+
+    queue = MessageQueue()
+    clock = 0.0
+    next_arrival = 0
+    n = len(arrivals)
+    backlog_at_horizon: Optional[int] = None
+    busy_in_horizon = 0.0
+
+    def ingest(now: float) -> None:
+        nonlocal next_arrival, backlog_at_horizon
+        while next_arrival < n and arrivals[next_arrival].arrival_s <= now:
+            request = arrivals[next_arrival]
+            next_arrival += 1
+            if (cache is not None and request.payload is not None
+                    and cache.get(request.payload) is not None):
+                # Resp Cache hit: answered without evaluating the model.
+                request.start_s = request.arrival_s
+                request.completion_s = request.arrival_s
+                continue
+            queue.push(request)
+        if backlog_at_horizon is None and now >= horizon and next_arrival >= n:
+            backlog_at_horizon = len(queue)
+
+    def execute(batches, with_ingest: bool = True) -> None:
+        nonlocal clock, busy_in_horizon
+        for batch in batches:
+            exec_s = batch_execution_cost(batch, cost_fn)
+            for r in batch.requests:
+                r.start_s = clock
+            busy_in_horizon += max(
+                0.0, min(clock + exec_s, horizon) - min(clock, horizon)
+            )
+            clock += exec_s
+            for r in batch.requests:
+                r.completion_s = clock
+                if cache is not None and r.payload is not None:
+                    cache.put(r.payload, r.req_id)
+            # Feedback hook for adaptive (Clipper-style AIMD) schedulers.
+            observe = getattr(scheduler, "observe", None)
+            if observe is not None:
+                observe(batch, exec_s)
+            if with_ingest:
+                ingest(clock)
+
+    ingest(clock)
+    while next_arrival < n or queue:
+        if queue and config.policy.should_schedule(queue, clock):
+            if isinstance(config.policy, LazyPolicy) and queue:
+                front = queue.front()
+                assert front is not None
+                config.policy.estimated_exec_s = cost_fn(front.seq_len, 1)
+            taken = queue.drain(config.round_limit)
+            execute(scheduler.schedule(taken, cost_fn, config.max_batch))
+            continue
+        # Idle: jump to the next arrival or the policy's next trigger time.
+        next_times = []
+        if next_arrival < n:
+            next_times.append(arrivals[next_arrival].arrival_s)
+        trigger = config.policy.next_decision_time(queue, clock)
+        if trigger != float("inf"):
+            next_times.append(trigger)
+        if not next_times:
+            if queue:
+                # Policy will never fire again (e.g. degenerate config):
+                # flush the remainder so the simulation terminates.
+                execute(scheduler.schedule(queue.drain(None), cost_fn,
+                                           config.max_batch), with_ingest=False)
+            break
+        advance = max(min(next_times), clock)
+        if advance == clock and next_arrival >= n:
+            # No time progress possible: force a flush round.
+            execute(scheduler.schedule(queue.drain(config.round_limit),
+                                       cost_fn, config.max_batch))
+            continue
+        clock = advance if advance > clock else clock + 1e-9
+        ingest(clock)
+
+    if backlog_at_horizon is None:
+        backlog_at_horizon = 0
+
+    window_start = horizon * config.warmup_fraction
+    throughput = response_throughput(arrivals, window_start, horizon)
+    offered_rate = n / horizon
+    # Saturated: the server could not keep up with the offered load — the
+    # backlog remaining when arrivals stopped takes more than half a second
+    # of service capacity to drain.
+    drain_seconds = backlog_at_horizon / max(throughput, 1e-9)
+    saturated = drain_seconds > 0.5
+    return ServingMetrics(
+        system=system_name or scheduler.name,
+        request_rate=offered_rate,
+        response_throughput=throughput,
+        latency=LatencyStats.from_requests(arrivals),
+        saturated=saturated,
+        completed=sum(1 for r in arrivals if r.completion_s is not None),
+        offered=n,
+        backlog_at_end=backlog_at_horizon,
+        utilization=min(1.0, busy_in_horizon / horizon),
+    )

@@ -1,0 +1,56 @@
+"""Request-trace persistence.
+
+Serving experiments become comparable across machines and code versions
+when the exact request stream is pinned down; traces store arrivals,
+lengths, priorities and payload keys as versioned JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from .request import Request
+
+TRACE_SCHEMA_VERSION = 1
+
+
+def save_trace(requests: Sequence[Request], path: Union[str, Path]) -> None:
+    """Write a request stream (pre-serving state only) as JSON."""
+    payload = {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "requests": [
+            {
+                "req_id": r.req_id,
+                "seq_len": r.seq_len,
+                "arrival_s": r.arrival_s,
+                "priority": r.priority,
+                "payload": list(r.payload) if r.payload is not None else None,
+            }
+            for r in requests
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_trace(path: Union[str, Path]) -> List[Request]:
+    """Read a trace written by :func:`save_trace`; requests come back
+    fresh (no completion state)."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {version!r} "
+            f"(expected {TRACE_SCHEMA_VERSION})"
+        )
+    return [
+        Request(
+            req_id=r["req_id"],
+            seq_len=r["seq_len"],
+            arrival_s=r["arrival_s"],
+            priority=r.get("priority", 0),
+            payload=tuple(r["payload"]) if r.get("payload") is not None else None,
+        )
+        for r in payload["requests"]
+    ]

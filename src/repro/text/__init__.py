@@ -1,0 +1,27 @@
+"""Text substrate: WordPiece tokenizer + classification head (§6.2 app)."""
+
+from .classifier import ClassifierHead, TextClassifier, init_classifier_head
+from .tokenizer import (
+    CLS,
+    PAD,
+    SEP,
+    SPECIAL_TOKENS,
+    UNK,
+    WordPieceTokenizer,
+    basic_tokenize,
+    pad_batch,
+)
+
+__all__ = [
+    "WordPieceTokenizer",
+    "basic_tokenize",
+    "pad_batch",
+    "PAD",
+    "UNK",
+    "CLS",
+    "SEP",
+    "SPECIAL_TOKENS",
+    "ClassifierHead",
+    "TextClassifier",
+    "init_classifier_head",
+]

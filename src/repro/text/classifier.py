@@ -1,0 +1,105 @@
+"""Text classification head on the BERT encoder (the §6.2 application).
+
+The paper's serving evaluation targets "a BERT service used to classify a
+paragraph of text"; this module supplies the model side: a pooled
+classification head over the encoder output, plus an end-to-end
+``TextClassifier`` that goes text -> tokens -> encoder -> label, using the
+variable-length padding mask so batched classification matches
+one-at-a-time classification exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..kernels.softmax import softmax_reference
+from ..models.bert import encoder_forward
+from ..models.config import TransformerConfig
+from ..models.weights import ModelWeights
+from .tokenizer import WordPieceTokenizer, pad_batch
+
+
+@dataclass(frozen=True)
+class ClassifierHead:
+    """Tanh-pooled [CLS] head: pool -> dense -> softmax over labels."""
+
+    pooler_w: np.ndarray  # [hidden, hidden]
+    pooler_b: np.ndarray  # [hidden]
+    output_w: np.ndarray  # [hidden, num_labels]
+    output_b: np.ndarray  # [num_labels]
+
+    def __post_init__(self) -> None:
+        hidden = self.pooler_w.shape[0]
+        if self.pooler_w.shape != (hidden, hidden):
+            raise ValueError(f"pooler_w must be square, got {self.pooler_w.shape}")
+        if self.output_w.shape[0] != hidden:
+            raise ValueError(
+                f"output_w rows {self.output_w.shape[0]} != hidden {hidden}"
+            )
+
+    @property
+    def num_labels(self) -> int:
+        return self.output_w.shape[1]
+
+    def __call__(self, hidden_states: np.ndarray) -> np.ndarray:
+        """Encoder output [batch, seq, hidden] -> label probabilities."""
+        cls_vec = hidden_states[:, 0, :]  # [CLS] position
+        pooled = np.tanh(cls_vec @ self.pooler_w + self.pooler_b)
+        logits = pooled @ self.output_w + self.output_b
+        return softmax_reference(logits)
+
+
+def init_classifier_head(
+    hidden_size: int, num_labels: int, seed: int = 0
+) -> ClassifierHead:
+    rng = np.random.default_rng(seed + 500)
+    return ClassifierHead(
+        pooler_w=rng.normal(0, 0.02, (hidden_size, hidden_size)).astype(np.float32),
+        pooler_b=np.zeros(hidden_size, dtype=np.float32),
+        output_w=rng.normal(0, 0.02, (hidden_size, num_labels)).astype(np.float32),
+        output_b=np.zeros(num_labels, dtype=np.float32),
+    )
+
+
+@dataclass
+class TextClassifier:
+    """Tokenizer + encoder + head: classify raw text end to end."""
+
+    tokenizer: WordPieceTokenizer
+    config: TransformerConfig
+    weights: ModelWeights
+    head: ClassifierHead
+
+    def __post_init__(self) -> None:
+        if self.tokenizer.vocab_size > self.config.vocab_size:
+            raise ValueError(
+                f"tokenizer vocab ({self.tokenizer.vocab_size}) exceeds the "
+                f"model's embedding table ({self.config.vocab_size})"
+            )
+
+    def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
+        """Label probabilities [n, num_labels] for a batch of texts.
+
+        Texts are padded to the batch's longest member with the attention
+        mask excluding padded keys, so batching never changes predictions.
+        """
+        if not texts:
+            raise ValueError("need at least one text")
+        encoded = [
+            self.tokenizer.encode(t, max_len=self.config.max_position)
+            for t in texts
+        ]
+        padded, lengths = pad_batch(encoded, self.tokenizer.pad_id)
+        ids = np.asarray(padded, dtype=np.int64)
+        hidden = encoder_forward(
+            self.config, self.weights, ids,
+            lengths=np.asarray(lengths), fused=True,
+        )
+        return self.head(hidden)
+
+    def classify(self, texts: Sequence[str]) -> List[int]:
+        """Hard labels for a batch of texts."""
+        return np.argmax(self.predict_proba(texts), axis=-1).tolist()

@@ -1,0 +1,163 @@
+"""A small WordPiece-style tokenizer.
+
+The paper's BERT service "classif[ies] a paragraph of text": requests enter
+as text and must become token ids.  This is a self-contained, deterministic
+WordPiece implementation — build a vocabulary from a corpus (greedy
+frequency-based subword merging in the BPE spirit), then tokenize with
+longest-match-first and ``##`` continuation pieces, exactly the scheme
+BERT uses.  No external vocab files are needed, keeping the repository
+fully offline.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+PAD, UNK, CLS, SEP = "[PAD]", "[UNK]", "[CLS]", "[SEP]"
+SPECIAL_TOKENS = (PAD, UNK, CLS, SEP)
+
+_WORD_RE = re.compile(r"[a-z0-9]+|[^\sa-z0-9]")
+
+
+def basic_tokenize(text: str) -> List[str]:
+    """Lowercase + split into words and standalone punctuation."""
+    return _WORD_RE.findall(text.lower())
+
+
+def _subword_candidates(words: Counter, max_len: int = 8) -> Counter:
+    """Frequency of every character n-gram (by position) across the corpus."""
+    counts: Counter = Counter()
+    for word, freq in words.items():
+        for start in range(len(word)):
+            for end in range(start + 1, min(len(word), start + max_len) + 1):
+                piece = word[start:end]
+                if start > 0:
+                    piece = "##" + piece
+                counts[piece] += freq
+    return counts
+
+
+@dataclass
+class WordPieceTokenizer:
+    """Greedy longest-match-first WordPiece over a learned vocabulary."""
+
+    vocab: Dict[str, int]
+    max_word_len: int = 32
+    _inverse: Dict[int, str] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for token in SPECIAL_TOKENS:
+            if token not in self.vocab:
+                raise ValueError(f"vocabulary is missing special token {token}")
+        self._inverse = {idx: tok for tok, idx in self.vocab.items()}
+
+    # -- training -----------------------------------------------------------
+
+    @classmethod
+    def train(cls, corpus: Iterable[str], vocab_size: int = 1000,
+              max_piece_len: int = 8) -> "WordPieceTokenizer":
+        """Build a vocabulary: all single characters (guaranteeing full
+        coverage) plus the most frequent longer subword pieces."""
+        if vocab_size < len(SPECIAL_TOKENS) + 30:
+            raise ValueError(f"vocab_size {vocab_size} too small")
+        words: Counter = Counter()
+        for text in corpus:
+            words.update(basic_tokenize(text))
+        candidates = _subword_candidates(words, max_piece_len)
+
+        vocab: Dict[str, int] = {tok: i for i, tok in enumerate(SPECIAL_TOKENS)}
+        # Single characters first (both word-initial and continuation forms).
+        chars = sorted({c for word in words for c in word})
+        for c in chars:
+            for form in (c, "##" + c):
+                if form not in vocab:
+                    vocab[form] = len(vocab)
+        # Then the highest-frequency multi-character pieces.
+        multi = [
+            (piece, freq) for piece, freq in candidates.items()
+            if len(piece.lstrip("#")) > 1
+        ]
+        multi.sort(key=lambda item: (-item[1], item[0]))
+        for piece, _ in multi:
+            if len(vocab) >= vocab_size:
+                break
+            if piece not in vocab:
+                vocab[piece] = len(vocab)
+        return cls(vocab=vocab)
+
+    # -- tokenization ---------------------------------------------------------
+
+    def _wordpiece(self, word: str) -> List[str]:
+        if len(word) > self.max_word_len:
+            return [UNK]
+        pieces: List[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while end > start:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in self.vocab:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return [UNK]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    def tokenize(self, text: str) -> List[str]:
+        """Text -> wordpiece strings (no special tokens)."""
+        pieces: List[str] = []
+        for word in basic_tokenize(text):
+            pieces.extend(self._wordpiece(word))
+        return pieces
+
+    def encode(self, text: str, max_len: int = 512,
+               add_special: bool = True) -> List[int]:
+        """Text -> token ids, [CLS] ... [SEP], truncated to ``max_len``."""
+        if max_len < 3:
+            raise ValueError(f"max_len must be >= 3, got {max_len}")
+        pieces = self.tokenize(text)
+        if add_special:
+            pieces = [CLS] + pieces[: max_len - 2] + [SEP]
+        else:
+            pieces = pieces[:max_len]
+        return [self.vocab.get(p, self.vocab[UNK]) for p in pieces]
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Token ids -> text (continuation pieces joined, specials dropped)."""
+        words: List[str] = []
+        for idx in ids:
+            token = self._inverse.get(int(idx), UNK)
+            if token in SPECIAL_TOKENS:
+                continue
+            if token.startswith("##") and words:
+                words[-1] += token[2:]
+            else:
+                words.append(token)
+        return " ".join(words)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    @property
+    def pad_id(self) -> int:
+        return self.vocab[PAD]
+
+
+def pad_batch(encoded: List[List[int]], pad_id: int) -> Tuple[List[List[int]], List[int]]:
+    """Pad a ragged batch to its longest member; returns (ids, lengths)."""
+    if not encoded:
+        raise ValueError("cannot pad an empty batch")
+    lengths = [len(ids) for ids in encoded]
+    width = max(lengths)
+    padded = [ids + [pad_id] * (width - len(ids)) for ids in encoded]
+    return padded, lengths

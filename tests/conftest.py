@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import RTX_2060, TESLA_V100, DeviceSpec
+from repro.models import (
+    bert_base,
+    build_encoder_graph,
+    init_encoder_weights,
+    tiny_bert,
+)
+
+
+@pytest.fixture(scope="session")
+def v100() -> DeviceSpec:
+    return TESLA_V100
+
+
+@pytest.fixture(scope="session")
+def rtx2060() -> DeviceSpec:
+    return RTX_2060
+
+
+@pytest.fixture(scope="session")
+def bert_graph():
+    """Full-size fine-grained BERT graph (structure only; cheap to build)."""
+    return build_encoder_graph(bert_base())
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return tiny_bert()
+
+
+@pytest.fixture(scope="session")
+def tiny_weights(tiny_config):
+    return init_encoder_weights(tiny_config, seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,28 @@
+"""Report generator (python -m repro.experiments.report)."""
+
+from repro.experiments.report import generate_report, main
+
+
+class TestGenerateReport:
+    def test_quick_report_covers_all_cheap_experiments(self):
+        report = generate_report(include_serving=False)
+        for marker in (
+            "Table 1", "Table 2", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8",
+            "Fig. 9", "Fig. 10", "Fig. 11",
+        ):
+            assert marker in report, marker
+        # Serving excluded in quick mode.
+        assert "Fig. 12" not in report
+
+    def test_report_contains_measured_values(self):
+        report = generate_report(include_serving=False)
+        assert "TurboTransformers" in report
+        assert "x" in report  # speedup cells
+
+    def test_cli_writes_file(self, tmp_path):
+        out = tmp_path / "report.md"
+        code = main(["--quick", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# TurboTransformers reproduction")
+        assert "Fig. 11" in text

@@ -1,0 +1,170 @@
+"""Qualitative shape checks for the cheap experiment harnesses.
+
+Each test asserts the property the paper's table/figure demonstrates
+(who wins, direction of trends), not absolute numbers.  The expensive
+serving experiments (Fig. 10-12, Table 4) are shape-checked inside their
+benchmark targets instead.
+"""
+
+import pytest
+
+from repro.experiments.fig5_batch_reduction import run_fig5
+from repro.experiments.fig6_allocation_example import run_fig6
+from repro.experiments.fig7_allocator_comparison import run_fig7
+from repro.experiments.fig8_batching_gain import run_fig8
+from repro.experiments.fig9_scheduler_example import (
+    paper_example_cost,
+    run_fig9,
+)
+from repro.experiments.table1_runtime_matrix import format_table1, run_table1
+from repro.experiments.table2_reduction_share import run_table2
+
+
+class TestTable1:
+    def test_six_runtimes(self):
+        rows = run_table1()
+        assert len(rows) == 6
+
+    def test_turbo_row_matches_paper(self):
+        turbo = next(r for r in run_table1() if "Turbo" in r.name)
+        assert not turbo.needs_preprocess
+        assert turbo.variable_length
+        assert turbo.usage == "easy"
+
+    def test_variable_length_column(self):
+        """Only PyTorch, onnxruntime and Turbo handle variable length."""
+        rows = run_table1()
+        capable = {r.name for r in rows if r.variable_length}
+        assert capable == {"PyTorch", "onnxruntime", "TurboTransformers"}
+
+    def test_renders(self):
+        assert "TurboTransformers" in format_table1()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def shares(self):
+        return run_table2()
+
+    def test_optimization_always_shrinks_share(self, shares):
+        for s in shares:
+            assert s.after < s.before
+
+    def test_softmax_dominates_before_at_heavy_load(self, shares):
+        heavy = next(s for s in shares
+                     if s.kernel == "softmax" and (s.batch, s.seq) == (20, 500))
+        assert heavy.before > 0.5  # paper: 90.68%
+        assert heavy.after < 0.25  # paper: 15.46%
+
+    def test_layernorm_share_small_after(self, shares):
+        for s in shares:
+            if s.kernel == "layernorm":
+                assert s.after < 0.10  # paper: 1.9%-7.2% after
+
+    def test_softmax_share_grows_with_seq(self, shares):
+        before = {
+            s.seq: s.before for s in shares
+            if s.kernel == "softmax" and s.batch == 20
+        }
+        assert before[10] < before[100] < before[500]
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_fig5()
+
+    def test_turbo_wins_almost_everywhere(self, points):
+        losses = [p for p in points if p.speedup < 0.98]
+        assert len(losses) <= 2  # only the launch-bound tiny cases
+
+    def test_speedup_grows_with_length(self, points):
+        series = [p for p in points
+                  if p.kernel == "softmax" and p.baseline == "faster_transformer"
+                  and p.batch == 20]
+        by_seq = sorted(series, key=lambda p: p.seq)
+        assert by_seq[-1].speedup > by_seq[0].speedup
+
+    def test_cudnn_gap_larger_than_ft_gap(self, points):
+        cudnn = max(p.speedup for p in points if p.baseline == "cudnn")
+        ft = max(p.speedup for p in points
+                 if p.kernel == "softmax" and p.baseline == "faster_transformer")
+        assert cudnn > ft
+
+    def test_batch20_speedup_at_least_batch1(self, points):
+        for seq in (100, 500):
+            b1 = next(p.speedup for p in points
+                      if (p.kernel, p.baseline, p.batch, p.seq)
+                      == ("softmax", "faster_transformer", 1, seq))
+            b20 = next(p.speedup for p in points
+                       if (p.kernel, p.baseline, p.batch, p.seq)
+                       == ("softmax", "faster_transformer", 20, seq))
+            assert b20 >= b1 * 0.95
+
+
+class TestFig6:
+    def test_longer_request_adds_chunk(self):
+        first, second = run_fig6(200, 240)
+        assert second.num_chunks >= first.num_chunks
+        assert second.new_mb < first.new_mb  # only the delta is allocated
+
+    def test_footprint_grows_modestly(self):
+        first, second = run_fig6(200, 240)
+        assert second.footprint_mb < 1.5 * first.footprint_mb
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(num_requests=30, seed=0)
+
+    def test_turbo_allocates_least_new_memory(self, result):
+        """The paper's headline: 0.70 MB/request vs 2.78 MB for GSOC."""
+        assert result.avg_new_mb("turbo") <= result.avg_new_mb("gsoc")
+        assert result.avg_new_mb("turbo") < result.avg_new_mb("caching")
+        assert result.avg_new_mb("turbo") < result.avg_new_mb("naive")
+
+    def test_caching_footprint_is_largest(self, result):
+        assert result.footprint("caching") > result.footprint("turbo")
+        assert result.footprint("caching") > result.footprint("gsoc")
+
+    def test_naive_stalls_most(self, result):
+        naive = result.results["naive"].total_stall_s
+        for name in ("turbo", "gsoc", "caching"):
+            assert naive > result.results[name].total_stall_s
+
+    def test_turbo_footprint_within_factor_of_optimal(self, result):
+        assert result.footprint("turbo") < 3 * result.footprint("gsoc")
+
+
+class TestFig8:
+    def test_batching_always_helps(self):
+        points = run_fig8()
+        for p in points:
+            if p.batch > 1:
+                assert p.normalized < 1.0
+
+    def test_gain_largest_for_short_sequences(self):
+        points = run_fig8()
+        at_20 = {p.seq: p.normalized for p in points if p.batch == 20}
+        assert at_20[10] < at_20[100] < at_20[500]
+
+
+class TestFig9:
+    def test_paper_story_reproduced(self):
+        outcomes = {o.scheduler: o for o in run_fig9()}
+        # Single padded batch loses to no batching in the paper's regime...
+        assert outcomes["naive"].throughput_rps < outcomes["nobatch"].throughput_rps
+        # ...and the DP partition beats both.
+        assert outcomes["dp"].throughput_rps >= outcomes["nobatch"].throughput_rps
+        improvement = (outcomes["dp"].throughput_rps
+                       / outcomes["naive"].throughput_rps - 1)
+        assert 0.2 < improvement < 0.6  # paper: ~35%
+
+    def test_dp_splits_into_multiple_batches(self):
+        dp = next(o for o in run_fig9() if o.scheduler == "dp")
+        assert 2 <= len(dp.batches) <= 4  # paper shows 3
+
+    def test_cost_model_validates(self):
+        with pytest.raises(ValueError):
+            paper_example_cost(0, 1)

@@ -1,0 +1,78 @@
+"""DeviceSpec validation, presets, and unit conversions."""
+
+import pytest
+
+from repro.gpusim import RTX_2060, TESLA_M40, TESLA_V100, DeviceSpec, get_device
+
+
+class TestPresets:
+    def test_v100_geometry(self):
+        assert TESLA_V100.num_sms == 80
+        assert TESLA_V100.warp_size == 32
+
+    def test_rtx2060_geometry(self):
+        assert RTX_2060.num_sms == 30
+
+    def test_presets_are_distinct(self):
+        names = {TESLA_V100.name, RTX_2060.name, TESLA_M40.name}
+        assert len(names) == 3
+
+    def test_v100_is_fastest(self):
+        assert TESLA_V100.peak_fp32_tflops > RTX_2060.peak_fp32_tflops
+        assert TESLA_V100.mem_bandwidth_gbs > RTX_2060.mem_bandwidth_gbs
+
+    @pytest.mark.parametrize("name,expected", [
+        ("v100", TESLA_V100),
+        ("V100", TESLA_V100),
+        ("Tesla-V100", TESLA_V100),
+        ("rtx2060", RTX_2060),
+        ("RTX 2060", RTX_2060),
+        ("m40", TESLA_M40),
+    ])
+    def test_lookup(self, name, expected):
+        assert get_device(name) is expected
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("a100")
+
+
+class TestUnits:
+    def test_cycle_round_trip(self):
+        cycles = 12345.0
+        seconds = TESLA_V100.cycles_to_seconds(cycles)
+        assert TESLA_V100.seconds_to_cycles(seconds) == pytest.approx(cycles)
+
+    def test_one_second_of_cycles(self):
+        assert RTX_2060.seconds_to_cycles(1.0) == pytest.approx(1.68e9)
+
+    def test_launch_overhead_in_seconds(self):
+        assert RTX_2060.launch_overhead_s == pytest.approx(5e-6)
+
+    def test_bandwidth_bytes(self):
+        assert TESLA_V100.mem_bandwidth_bytes == pytest.approx(720e9)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("num_sms", 0),
+        ("num_sms", -4),
+        ("clock_ghz", 0.0),
+        ("mem_bandwidth_gbs", -1.0),
+        ("peak_fp32_tflops", 0.0),
+        ("warp_size", 33),
+    ])
+    def test_bad_fields_rejected(self, field, value):
+        kwargs = dict(
+            name="bad", num_sms=10, clock_ghz=1.0,
+            mem_bandwidth_gbs=100.0, peak_fp32_tflops=1.0,
+        )
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            DeviceSpec(**kwargs)
+
+    def test_with_overrides_returns_new_spec(self):
+        slower = TESLA_V100.with_overrides(clock_ghz=1.0)
+        assert slower.clock_ghz == 1.0
+        assert TESLA_V100.clock_ghz == 1.53  # original untouched
+        assert slower.num_sms == TESLA_V100.num_sms

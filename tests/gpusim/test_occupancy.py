@@ -1,0 +1,92 @@
+"""CUDA occupancy calculator."""
+
+import pytest
+
+from repro.gpusim import (
+    RTX_2060,
+    TESLA_V100,
+    KernelResources,
+    device_resident_blocks,
+    occupancy,
+)
+
+
+class TestOccupancy:
+    def test_lean_kernel_reaches_full_occupancy(self):
+        result = occupancy(TESLA_V100, KernelResources(512, registers_per_thread=32))
+        assert result.occupancy == 1.0
+        assert result.limiter == "threads"
+        assert result.blocks_per_sm == 4
+
+    def test_shared_memory_bound_kernel(self):
+        """A 48 KB smem kernel fits twice into the 96 KB pool — the
+        framework-kernel pathology the reduction model encodes."""
+        result = occupancy(
+            TESLA_V100,
+            KernelResources(128, registers_per_thread=32,
+                            shared_memory_bytes=48 * 1024),
+        )
+        assert result.blocks_per_sm == 2
+        assert result.limiter == "shared_memory"
+        assert result.occupancy < 0.2
+
+    def test_register_bound_kernel(self):
+        result = occupancy(
+            TESLA_V100, KernelResources(1024, registers_per_thread=128)
+        )
+        assert result.limiter == "registers"
+        assert result.occupancy < 1.0
+
+    def test_block_cap_limits_tiny_blocks(self):
+        result = occupancy(TESLA_V100, KernelResources(32, registers_per_thread=16))
+        assert result.limiter == "blocks"
+        assert result.blocks_per_sm == 32
+
+    def test_more_registers_never_raise_occupancy(self):
+        light = occupancy(TESLA_V100, KernelResources(256, registers_per_thread=32))
+        heavy = occupancy(TESLA_V100, KernelResources(256, registers_per_thread=96))
+        assert heavy.blocks_per_sm <= light.blocks_per_sm
+
+    def test_device_wide_blocks(self):
+        kernel = KernelResources(512, registers_per_thread=32)
+        per_sm = occupancy(RTX_2060, kernel).blocks_per_sm
+        assert device_resident_blocks(RTX_2060, kernel) == per_sm * 30
+
+    @pytest.mark.parametrize("kwargs", [
+        {"block_threads": 0},
+        {"block_threads": 32, "registers_per_thread": 0},
+        {"block_threads": 32, "shared_memory_bytes": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            KernelResources(**kwargs)
+
+
+class TestRoofline:
+    def test_ridge_point_positive(self):
+        from repro.gpusim import ridge_point
+
+        assert ridge_point(TESLA_V100) > ridge_point(RTX_2060) * 0.5
+
+    def test_report_classifies_and_ranks(self, bert_graph):
+        from repro.gpusim import roofline_report
+        from repro.runtime import turbo_runtime
+
+        runtime = turbo_runtime(graph=bert_graph)
+        report = roofline_report(RTX_2060, runtime.kernel_timings(1, 250))
+        assert report.total_s > 0
+        top = report.top_kernels(3)
+        assert top[0].time_s >= top[1].time_s >= top[2].time_s
+        # BERT at seq 250 is GEMM-heavy: mostly compute-bound time.
+        assert report.memory_bound_fraction < 0.5
+        rendered = report.render()
+        assert "bound" in rendered and "total" in rendered
+
+    def test_short_sequences_more_memory_bound(self, bert_graph):
+        from repro.gpusim import roofline_report
+        from repro.runtime import turbo_runtime
+
+        runtime = turbo_runtime(graph=bert_graph)
+        short = roofline_report(RTX_2060, runtime.kernel_timings(1, 10))
+        long = roofline_report(RTX_2060, runtime.kernel_timings(1, 500))
+        assert short.memory_bound_fraction > long.memory_bound_fraction

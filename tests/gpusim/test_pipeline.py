@@ -1,0 +1,87 @@
+"""Scoreboard simulator, and its agreement with the warp cost model."""
+
+import pytest
+
+from repro.gpusim import TESLA_V100, RTX_2060, warp_allreduce_cycles
+from repro.gpusim.pipeline import (
+    Instruction,
+    schedule,
+    simulate_warp_allreduce,
+    warp_allreduce_program,
+)
+from repro.gpusim.warp import warp_allreduce_cycles_bound
+
+
+class TestScoreboard:
+    def test_independent_instructions_pipeline(self):
+        program = [
+            Instruction("OP", f"r{i}", (), latency=10) for i in range(4)
+        ]
+        result = schedule(program, issue_cycles=1)
+        # Issue at 0,1,2,3; last completes at 3 + 10.
+        assert result.total_cycles == 13
+        assert result.issue_cycle == [0, 1, 2, 3]
+
+    def test_dependent_chain_serializes(self):
+        program = [
+            Instruction("OP", "a", (), latency=10),
+            Instruction("OP", "b", ("a",), latency=10),
+            Instruction("OP", "c", ("b",), latency=10),
+        ]
+        result = schedule(program, issue_cycles=1)
+        assert result.total_cycles == 30
+
+    def test_issue_width_bounds_throughput(self):
+        program = [Instruction("OP", f"r{i}", (), latency=1) for i in range(8)]
+        wide = schedule(program, issue_cycles=1).total_cycles
+        narrow = schedule(program, issue_cycles=4).total_cycles
+        assert narrow > wide
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Instruction("OP", "a", (), latency=0)
+        with pytest.raises(ValueError):
+            Instruction("OP", "", (), latency=1)
+        with pytest.raises(ValueError):
+            schedule([], issue_cycles=0)
+
+
+class TestWarpProgram:
+    def test_program_shape(self):
+        program = warp_allreduce_program(TESLA_V100, 2)
+        # 5 levels x (2 SHFL + 2 FADD) = 20 instructions.
+        assert len(program) == 20
+        assert program[0].opcode == "SHFL_DOWN"
+        assert program[2].opcode == "FADD"
+
+    def test_classical_matches_closed_form_exactly(self):
+        """X = 1 is a pure dependence chain: both models agree exactly."""
+        for device in (TESLA_V100, RTX_2060):
+            assert simulate_warp_allreduce(device, 1) == \
+                warp_allreduce_cycles_bound(device, 1)
+
+    @pytest.mark.parametrize("x", [2, 3, 4, 8, 16])
+    def test_closed_form_is_a_valid_upper_bound(self, x):
+        sim = simulate_warp_allreduce(TESLA_V100, x)
+        bound = warp_allreduce_cycles_bound(TESLA_V100, x)
+        assert sim <= bound
+
+    @pytest.mark.parametrize("x", [1, 2, 4, 8])
+    def test_cost_model_is_scoreboard_backed(self, x):
+        assert warp_allreduce_cycles(TESLA_V100, x) == \
+            simulate_warp_allreduce(TESLA_V100, x)
+
+    def test_interleaving_amortizes_per_row(self):
+        per_row = [simulate_warp_allreduce(TESLA_V100, x) / x for x in (1, 2, 4, 8)]
+        assert per_row == sorted(per_row, reverse=True)
+        assert per_row[1] < 0.6 * per_row[0]
+
+    def test_issue_bound_asymptote(self):
+        """For very large X, per-row cost approaches the issue-rate floor:
+        2 instructions per level per row."""
+        device = TESLA_V100
+        levels = 5
+        floor = 2 * levels * device.issue_cycles
+        per_row_big = simulate_warp_allreduce(device, 64) / 64
+        assert per_row_big < 1.5 * floor
+        assert per_row_big >= floor

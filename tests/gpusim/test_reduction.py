@@ -1,0 +1,133 @@
+"""Batch-reduction kernel timing: the Fig. 5 / Table 2 substrate."""
+
+import pytest
+
+from repro.gpusim import (
+    RTX_2060,
+    TESLA_V100,
+    ReductionImpl,
+    layernorm_time,
+    reduction_speedup,
+    softmax_time,
+)
+
+
+class TestSoftmaxOrdering:
+    """Turbo <= FasterTransformer <= cuDNN <= PyTorch across workloads."""
+
+    @pytest.mark.parametrize("rows,row_len", [
+        (12 * 100, 100), (240 * 500, 500), (12 * 500, 500),
+    ])
+    def test_implementation_ordering(self, rows, row_len):
+        times = {
+            impl: softmax_time(TESLA_V100, rows, row_len, impl).total_s
+            for impl in ReductionImpl
+        }
+        assert times[ReductionImpl.TURBO] <= times[ReductionImpl.FASTER_TRANSFORMER]
+        assert times[ReductionImpl.FASTER_TRANSFORMER] < times[ReductionImpl.CUDNN]
+        assert times[ReductionImpl.CUDNN] < times[ReductionImpl.PYTORCH]
+
+    def test_tiny_workload_is_launch_bound(self):
+        """At (1, 10) every implementation collapses to launch overhead;
+        Turbo may not win (Fig. 5's flat left edge)."""
+        turbo = softmax_time(TESLA_V100, 120, 10, ReductionImpl.TURBO).total_s
+        classical = softmax_time(
+            TESLA_V100, 120, 10, ReductionImpl.FASTER_TRANSFORMER
+        ).total_s
+        assert turbo <= classical * 1.05
+        assert turbo < 3 * TESLA_V100.launch_overhead_s
+
+    def test_speedup_grows_with_workload(self):
+        """Fig. 5: longer sequences / bigger batches -> bigger speedup."""
+        light = reduction_speedup(TESLA_V100, 12 * 10, 10, "softmax",
+                                  ReductionImpl.FASTER_TRANSFORMER)
+        heavy = reduction_speedup(TESLA_V100, 240 * 500, 500, "softmax",
+                                  ReductionImpl.FASTER_TRANSFORMER)
+        assert heavy > light
+
+    def test_turbo_beats_ft_on_heavy_workload(self):
+        speedup = reduction_speedup(TESLA_V100, 240 * 500, 500, "softmax",
+                                    ReductionImpl.FASTER_TRANSFORMER)
+        assert 1.1 < speedup < 3.0
+
+    def test_cudnn_speedup_larger_than_ft_speedup(self):
+        """Fig. 5 shows a much larger gap against cuDNN."""
+        vs_ft = reduction_speedup(TESLA_V100, 240 * 300, 300, "softmax",
+                                  ReductionImpl.FASTER_TRANSFORMER)
+        vs_cudnn = reduction_speedup(TESLA_V100, 240 * 300, 300, "softmax",
+                                     ReductionImpl.CUDNN)
+        assert vs_cudnn > vs_ft
+
+
+class TestXElem:
+    def test_more_chains_help_until_issue_bound(self):
+        times = [
+            softmax_time(TESLA_V100, 24000, 500, ReductionImpl.TURBO, x).total_s
+            for x in (1, 2, 4)
+        ]
+        assert times[1] < times[0]
+        assert times[2] <= times[1]
+
+    def test_x1_turbo_still_beats_classical(self):
+        """Even without batching, Turbo's single-read-cached layout (3 vs 4
+        memory passes) wins."""
+        turbo_x1 = softmax_time(TESLA_V100, 24000, 500, ReductionImpl.TURBO, 1)
+        classical = softmax_time(TESLA_V100, 24000, 500,
+                                 ReductionImpl.FASTER_TRANSFORMER)
+        assert turbo_x1.total_s <= classical.total_s
+
+    def test_invalid_x_rejected(self):
+        with pytest.raises(ValueError):
+            softmax_time(TESLA_V100, 10, 10, ReductionImpl.TURBO, 0)
+
+
+class TestLayerNorm:
+    @pytest.mark.parametrize("rows", [10, 2000, 10000])
+    def test_implementation_ordering(self, rows):
+        times = {
+            impl: layernorm_time(TESLA_V100, rows, 768, impl).total_s
+            for impl in ReductionImpl
+        }
+        assert times[ReductionImpl.TURBO] <= times[ReductionImpl.FASTER_TRANSFORMER]
+        assert times[ReductionImpl.FASTER_TRANSFORMER] < times[ReductionImpl.PYTORCH]
+
+    def test_one_pass_variance_trick_wins(self):
+        """Eq. 1: reducing (x, x^2) together beats two sequential passes."""
+        one = layernorm_time(TESLA_V100, 10000, 768, ReductionImpl.TURBO,
+                             one_pass_variance=True)
+        two = layernorm_time(TESLA_V100, 10000, 768, ReductionImpl.TURBO,
+                             one_pass_variance=False)
+        assert one.total_s < two.total_s
+
+    def test_trick_also_helps_classical(self):
+        one = layernorm_time(TESLA_V100, 10000, 768,
+                             ReductionImpl.FASTER_TRANSFORMER, one_pass_variance=True)
+        two = layernorm_time(TESLA_V100, 10000, 768,
+                             ReductionImpl.FASTER_TRANSFORMER, one_pass_variance=False)
+        assert one.total_s < two.total_s
+
+
+class TestDeviceScaling:
+    def test_v100_faster_than_rtx2060(self):
+        for impl in ReductionImpl:
+            v = softmax_time(TESLA_V100, 24000, 500, impl).total_s
+            r = softmax_time(RTX_2060, 24000, 500, impl).total_s
+            assert v < r, impl
+
+    def test_additive_stall_model(self):
+        """Reduction device time is traffic + stall, strictly above pure
+        traffic (the barriers cannot overlap memory)."""
+        t = softmax_time(TESLA_V100, 24000, 500, ReductionImpl.FASTER_TRANSFORMER)
+        assert t.device_s > t.memory_s
+
+    @pytest.mark.parametrize("rows,row_len", [(0, 10), (10, 0), (-1, 5)])
+    def test_validation(self, rows, row_len):
+        with pytest.raises(ValueError):
+            softmax_time(TESLA_V100, rows, row_len)
+        with pytest.raises(ValueError):
+            layernorm_time(TESLA_V100, rows, row_len)
+
+    def test_speedup_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            reduction_speedup(TESLA_V100, 10, 10, "conv",
+                              ReductionImpl.FASTER_TRANSFORMER)

@@ -1,0 +1,48 @@
+"""Stream timeline accumulation."""
+
+import pytest
+
+from repro.gpusim import KernelTiming, Stream
+
+
+def timing(name: str, total_device: float = 1e-6) -> KernelTiming:
+    return KernelTiming(name, launch_s=1e-6, compute_s=total_device, memory_s=0.0)
+
+
+class TestStream:
+    def test_elapsed_accumulates(self):
+        s = Stream()
+        s.submit(timing("a", 2e-6))
+        s.submit(timing("b", 3e-6))
+        assert s.elapsed_s == pytest.approx(7e-6)  # two launches + device
+        assert s.launches == 2
+
+    def test_time_by_kernel_aggregates_same_name(self):
+        s = Stream()
+        s.submit(timing("gemm", 2e-6))
+        s.submit(timing("gemm", 2e-6))
+        s.submit(timing("softmax", 1e-6))
+        by = s.time_by_kernel()
+        assert by["gemm"] == pytest.approx(6e-6)
+        assert set(by) == {"gemm", "softmax"}
+
+    def test_time_matching_substring(self):
+        s = Stream()
+        s.submit(timing("softmax[turbo]:l0", 1e-6))
+        s.submit(timing("softmax[turbo]:l1", 1e-6))
+        s.submit(timing("gemm:q", 5e-6))
+        assert s.time_matching("softmax") == pytest.approx(4e-6)
+
+    def test_trace_disabled_still_counts(self):
+        s = Stream(trace_enabled=False)
+        s.extend([timing("a"), timing("b")])
+        assert s.launches == 2
+        assert s.trace == []
+
+    def test_reset(self):
+        s = Stream()
+        s.submit(timing("a"))
+        s.reset()
+        assert s.elapsed_s == 0.0
+        assert s.launches == 0
+        assert s.time_by_kernel() == {}

@@ -1,0 +1,97 @@
+"""Warp-level timing model: the paper's XElem batching claims."""
+
+import pytest
+
+from repro.gpusim import (
+    TESLA_V100,
+    boundary_divergence_cycles,
+    reduction_levels,
+    smem_tree_reduce_cycles,
+    warp_allreduce_cycles,
+    warp_allreduce_cycles_per_row,
+)
+
+
+class TestReductionLevels:
+    def test_warp32_has_5_levels(self):
+        assert reduction_levels(32) == 5
+
+    @pytest.mark.parametrize("size,levels", [(2, 1), (4, 2), (16, 4), (64, 6)])
+    def test_power_of_two_sizes(self, size, levels):
+        assert reduction_levels(size) == levels
+
+    @pytest.mark.parametrize("bad", [0, -1, 3, 33])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(ValueError):
+            reduction_levels(bad)
+
+
+class TestWarpAllReduce:
+    def test_classical_is_latency_bound(self):
+        """X=1 pays the full SHFL->FADD chain latency at every level."""
+        device = TESLA_V100
+        expected = 5 * (device.shuffle_latency_cycles + device.alu_latency_cycles)
+        assert warp_allreduce_cycles(device, 1) == expected
+
+    def test_batching_amortizes_latency(self):
+        """The paper's key claim: per-row cost drops roughly as 1/X."""
+        device = TESLA_V100
+        per_row = [warp_allreduce_cycles_per_row(device, x) for x in (1, 2, 4, 8)]
+        assert per_row == sorted(per_row, reverse=True)
+        # X=2 should roughly halve the per-row cost (issue slots are cheap).
+        assert per_row[1] < 0.62 * per_row[0]
+
+    def test_total_grows_sublinearly_in_x(self):
+        device = TESLA_V100
+        t1 = warp_allreduce_cycles(device, 1)
+        t4 = warp_allreduce_cycles(device, 4)
+        assert t1 < t4 < 4 * t1
+
+    def test_diminishing_returns(self):
+        """Once issue-bound, adding more chains stops helping much."""
+        device = TESLA_V100
+        gain_2 = (warp_allreduce_cycles_per_row(device, 1)
+                  / warp_allreduce_cycles_per_row(device, 2))
+        gain_32 = (warp_allreduce_cycles_per_row(device, 16)
+                   / warp_allreduce_cycles_per_row(device, 32))
+        assert gain_2 > gain_32
+
+    def test_invalid_x(self):
+        with pytest.raises(ValueError):
+            warp_allreduce_cycles(TESLA_V100, 0)
+
+
+class TestSmemTree:
+    def test_tree_scales_with_log_threads(self):
+        device = TESLA_V100
+        t128 = smem_tree_reduce_cycles(device, 128)
+        t512 = smem_tree_reduce_cycles(device, 512)
+        assert t512 == pytest.approx(t128 * 9 / 7)
+
+    def test_tree_slower_than_shuffle(self):
+        """Shared-memory trees pay barriers every level; shuffles don't."""
+        device = TESLA_V100
+        assert smem_tree_reduce_cycles(device, 32) > warp_allreduce_cycles(device, 1)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            smem_tree_reduce_cycles(TESLA_V100, 0)
+
+
+class TestDivergence:
+    def test_aligned_rows_free(self):
+        assert boundary_divergence_cycles(TESLA_V100, 256) == 0.0
+
+    def test_misaligned_rows_pay(self):
+        assert boundary_divergence_cycles(TESLA_V100, 100) > 0.0
+
+    def test_merging_amortizes(self):
+        """XElem merges X boundary regions into one (paper §4.1.2)."""
+        single = boundary_divergence_cycles(TESLA_V100, 100, rows_merged=1)
+        merged = boundary_divergence_cycles(TESLA_V100, 100, rows_merged=4)
+        assert merged == pytest.approx(single / 4)
+
+    @pytest.mark.parametrize("row_len,rows", [(0, 1), (10, 0), (-5, 1)])
+    def test_validation(self, row_len, rows):
+        with pytest.raises(ValueError):
+            boundary_divergence_cycles(TESLA_V100, row_len, rows)

@@ -1,0 +1,115 @@
+"""Kernel fusion pass (Fig. 3)."""
+
+import pytest
+
+from repro.graph import (
+    ComputationGraph,
+    OpType,
+    TensorKind,
+    count_kernels,
+    eliminated_tensor_names,
+    fuse_graph,
+)
+
+
+def chain_graph() -> ComputationGraph:
+    """gemm -> bias -> gelu -> gemm -> bias -> ln  (two fusable runs)."""
+    g = ComputationGraph("chain")
+    g.tensor("in", ("batch", 8), TensorKind.INPUT)
+    g.tensor("w1", (8, 8), TensorKind.WEIGHT)
+    g.tensor("w2", (8, 8), TensorKind.WEIGHT)
+    g.tensor("h1", ("batch", 8))
+    g.tensor("h2", ("batch", 8))
+    g.tensor("h3", ("batch", 8))
+    g.tensor("h4", ("batch", 8))
+    g.tensor("h5", ("batch", 8))
+    g.tensor("out", ("batch", 8), TensorKind.OUTPUT)
+    g.add_node("gemm1", OpType.GEMM, ["in", "w1"], ["h1"], m=("batch",), n=8, k=8)
+    g.add_node("bias1", OpType.ELEMENTWISE, ["h1"], ["h2"], nelems=("batch", 8))
+    g.add_node("gelu", OpType.ELEMENTWISE, ["h2"], ["h3"], nelems=("batch", 8))
+    g.add_node("gemm2", OpType.GEMM, ["h3", "w2"], ["h4"], m=("batch",), n=8, k=8)
+    g.add_node("bias2", OpType.ELEMENTWISE, ["h4"], ["h5"], nelems=("batch", 8))
+    g.add_node("ln", OpType.LAYERNORM, ["h5"], ["out"], rows=("batch",), row_len=8)
+    return g
+
+
+class TestFusion:
+    def test_runs_between_gemms_collapse(self):
+        fused = fuse_graph(chain_graph())
+        # gemm1, fused(bias1+gelu), gemm2, fused(bias2+ln)
+        assert count_kernels(fused) == 4
+        types = [n.op_type for n in fused.nodes]
+        assert types == [OpType.GEMM, OpType.FUSED, OpType.GEMM, OpType.FUSED]
+
+    def test_internal_tensors_eliminated(self):
+        fused = fuse_graph(chain_graph())
+        gone = set(eliminated_tensor_names(fused))
+        # h2 is internal to (bias1+gelu); h5 internal to (bias2+ln)
+        assert gone == {"h2", "h5"}
+        assert "h2" not in fused.tensors
+        assert "h5" not in fused.tensors
+
+    def test_outputs_survive(self):
+        fused = fuse_graph(chain_graph())
+        assert "out" in fused.tensors
+        assert fused.tensors["out"].kind is TensorKind.OUTPUT
+
+    def test_fused_graph_validates(self):
+        fuse_graph(chain_graph()).validate()
+
+    def test_original_untouched(self):
+        g = chain_graph()
+        fuse_graph(g)
+        assert count_kernels(g) == 6
+        assert "h2" in g.tensors
+
+    def test_fused_ops_recorded(self):
+        fused = fuse_graph(chain_graph())
+        node = fused.nodes[1]
+        names = [op["name"] for op in node.attrs["fused_ops"]]
+        assert names == ["bias1", "gelu"]
+
+    def test_singleton_run_left_alone(self):
+        g = ComputationGraph("single")
+        g.tensor("in", (4,), TensorKind.INPUT)
+        g.tensor("w", (4, 4), TensorKind.WEIGHT)
+        g.tensor("h", (4,))
+        g.tensor("out", (4,), TensorKind.OUTPUT)
+        g.add_node("gemm", OpType.GEMM, ["in", "w"], ["h"], m=4, n=4, k=4)
+        g.add_node("act", OpType.ELEMENTWISE, ["h"], ["out"], nelems=(4,))
+        fused = fuse_graph(g)
+        assert count_kernels(fused) == 2
+        assert fused.nodes[1].op_type is OpType.ELEMENTWISE
+
+    def test_tensor_consumed_after_run_survives(self):
+        """A tensor read by a later node must not be eliminated."""
+        g = ComputationGraph("escape")
+        g.tensor("in", (4,), TensorKind.INPUT)
+        g.tensor("w", (4, 4), TensorKind.WEIGHT)
+        g.tensor("a", (4,))
+        g.tensor("b", (4,))
+        g.tensor("c", (4,))
+        g.tensor("out", (4,), TensorKind.OUTPUT)
+        g.add_node("e1", OpType.ELEMENTWISE, ["in"], ["a"], nelems=(4,))
+        g.add_node("e2", OpType.ELEMENTWISE, ["a"], ["b"], nelems=(4,))
+        g.add_node("gemm", OpType.GEMM, ["b", "w"], ["c"], m=4, n=4, k=4)
+        # 'a' escapes the fused run: consumed by the final residual add.
+        g.add_node("resid", OpType.ELEMENTWISE, ["c", "a"], ["out"], nelems=(4,))
+        fused = fuse_graph(g)
+        assert "a" in fused.tensors
+        assert "b" in fused.tensors  # consumed by the GEMM outside the run
+
+    def test_bert_fusion_reduces_kernels_substantially(self, bert_graph):
+        fused = fuse_graph(bert_graph)
+        assert count_kernels(fused) < 0.7 * count_kernels(bert_graph)
+
+    def test_embedding_is_barrier(self):
+        g = ComputationGraph("emb")
+        g.tensor("ids", (4,), TensorKind.INPUT)
+        g.tensor("table", (10, 4), TensorKind.WEIGHT)
+        g.tensor("e", (4, 4))
+        g.tensor("out", (4, 4), TensorKind.OUTPUT)
+        g.add_node("embed", OpType.EMBEDDING, ["ids", "table"], ["e"], nelems=(4, 4))
+        g.add_node("ln", OpType.LAYERNORM, ["e"], ["out"], rows=(4,), row_len=4)
+        fused = fuse_graph(g)
+        assert fused.nodes[0].op_type is OpType.EMBEDDING

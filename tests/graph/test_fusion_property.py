@@ -1,0 +1,121 @@
+"""Property-based tests: fusion and serialization on random DAGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    ComputationGraph,
+    OpType,
+    TensorKind,
+    count_kernels,
+    eliminated_tensor_names,
+    fuse_graph,
+    graph_from_dict,
+    graph_to_dict,
+    tensor_usage_records,
+)
+
+#: Fusable op types the generator draws from (plus GEMM barriers).
+_FUSABLE = [OpType.ELEMENTWISE, OpType.TRANSPOSE, OpType.LAYERNORM, OpType.SOFTMAX]
+
+
+@st.composite
+def random_chain_graph(draw, max_nodes: int = 14):
+    """A random single-chain graph with GEMM barriers sprinkled in, plus
+    random skip connections (tensors consumed again later)."""
+    n = draw(st.integers(2, max_nodes))
+    g = ComputationGraph("random")
+    g.tensor("in", ("batch", 8), TensorKind.INPUT)
+    g.tensor("w", (8, 8), TensorKind.WEIGHT)
+    previous = "in"
+    produced = []
+    for i in range(n):
+        is_gemm = draw(st.booleans()) and draw(st.booleans())  # ~25% barriers
+        out = f"t{i}"
+        is_last = i == n - 1
+        g.tensor(out, ("batch", 8),
+                 TensorKind.OUTPUT if is_last else TensorKind.INTERMEDIATE)
+        # Occasionally add a skip input from an earlier tensor.
+        inputs = [previous]
+        if produced and draw(st.booleans()) and not is_gemm:
+            skip = produced[draw(st.integers(0, len(produced) - 1))]
+            if skip != previous:
+                inputs.append(skip)
+        if is_gemm:
+            g.add_node(f"op{i}", OpType.GEMM, [previous, "w"], [out],
+                       m=("batch",), n=8, k=8)
+        else:
+            op_type = _FUSABLE[draw(st.integers(0, len(_FUSABLE) - 1))]
+            attrs = (
+                {"rows": ("batch",), "row_len": 8}
+                if op_type in (OpType.LAYERNORM, OpType.SOFTMAX)
+                else {"nelems": ("batch", 8)}
+            )
+            g.add_node(f"op{i}", op_type, inputs, [out], **attrs)
+        produced.append(out)
+        previous = out
+    g.validate()
+    return g
+
+
+class TestFusionProperties:
+    @given(random_chain_graph())
+    @settings(max_examples=100, deadline=None)
+    def test_fused_graph_always_validates(self, graph):
+        fuse_graph(graph).validate()
+
+    @given(random_chain_graph())
+    @settings(max_examples=100, deadline=None)
+    def test_fusion_never_increases_kernels(self, graph):
+        assert count_kernels(fuse_graph(graph)) <= count_kernels(graph)
+
+    @given(random_chain_graph())
+    @settings(max_examples=100, deadline=None)
+    def test_gemm_barriers_preserved(self, graph):
+        fused = fuse_graph(graph)
+        assert len(fused.gemm_nodes()) == len(graph.gemm_nodes())
+
+    @given(random_chain_graph())
+    @settings(max_examples=100, deadline=None)
+    def test_outputs_and_io_preserved(self, graph):
+        fused = fuse_graph(graph)
+        for name, spec in graph.tensors.items():
+            if spec.kind is not TensorKind.INTERMEDIATE:
+                assert name in fused.tensors, name
+
+    @given(random_chain_graph())
+    @settings(max_examples=100, deadline=None)
+    def test_eliminated_tensors_have_no_external_consumer(self, graph):
+        fused = fuse_graph(graph)
+        gone = set(eliminated_tensor_names(fused))
+        assert gone.isdisjoint(fused.tensors)
+        # Every eliminated tensor was an intermediate of the original graph.
+        for name in gone:
+            assert graph.tensors[name].kind is TensorKind.INTERMEDIATE
+
+    @given(random_chain_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_fused_records_are_a_subset(self, graph):
+        bindings = {"batch": 4}
+        fine = {r.name for r in tensor_usage_records(graph, bindings)}
+        fused = {r.name for r in tensor_usage_records(fuse_graph(graph), bindings)}
+        assert fused <= fine
+
+
+class TestSerializationProperties:
+    @given(random_chain_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_identity(self, graph):
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.name == graph.name
+        assert set(restored.tensors) == set(graph.tensors)
+        for a, b in zip(graph.nodes, restored.nodes):
+            assert a == b
+
+    @given(random_chain_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_fused_graph_round_trips(self, graph):
+        fused = fuse_graph(graph)
+        restored = graph_from_dict(graph_to_dict(fused))
+        for a, b in zip(fused.nodes, restored.nodes):
+            assert a.attrs == b.attrs

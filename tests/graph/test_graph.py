@@ -1,0 +1,111 @@
+"""Computation graph container: validation, topo sort, producers/consumers."""
+
+import pytest
+
+from repro.graph import ComputationGraph, GraphError, OpType, TensorKind
+
+
+def diamond_graph() -> ComputationGraph:
+    """a -> (b, c) -> d: a small DAG with a join."""
+    g = ComputationGraph("diamond")
+    g.tensor("in", (4,), TensorKind.INPUT)
+    g.tensor("a", (4,))
+    g.tensor("b", (4,))
+    g.tensor("c", (4,))
+    g.tensor("d", (4,), TensorKind.OUTPUT)
+    g.add_node("make_a", OpType.ELEMENTWISE, ["in"], ["a"], nelems=(4,))
+    g.add_node("make_b", OpType.ELEMENTWISE, ["a"], ["b"], nelems=(4,))
+    g.add_node("make_c", OpType.ELEMENTWISE, ["a"], ["c"], nelems=(4,))
+    g.add_node("make_d", OpType.ELEMENTWISE, ["b", "c"], ["d"], nelems=(4,))
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_tensor_rejected(self):
+        g = ComputationGraph("g")
+        g.tensor("x", (1,))
+        with pytest.raises(GraphError):
+            g.tensor("x", (1,))
+
+    def test_unknown_tensor_reference_rejected(self):
+        g = ComputationGraph("g")
+        g.tensor("x", (1,), TensorKind.INPUT)
+        with pytest.raises(GraphError):
+            g.add_node("op", OpType.ELEMENTWISE, ["x"], ["missing"])
+
+    def test_duplicate_op_name_rejected(self):
+        g = ComputationGraph("g")
+        g.tensor("x", (1,), TensorKind.INPUT)
+        g.tensor("y", (1,))
+        g.add_node("op", OpType.ELEMENTWISE, ["x"], ["y"])
+        g.tensor("z", (1,))
+        with pytest.raises(GraphError):
+            g.add_node("op", OpType.ELEMENTWISE, ["y"], ["z"])
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        diamond_graph().validate()
+
+    def test_consume_before_produce_rejected(self):
+        g = ComputationGraph("g")
+        g.tensor("in", (1,), TensorKind.INPUT)
+        g.tensor("a", (1,))
+        g.tensor("b", (1,))
+        g.add_node("use_a", OpType.ELEMENTWISE, ["a"], ["b"])  # a not yet made
+        g.add_node("make_a", OpType.ELEMENTWISE, ["in"], ["a"])
+        with pytest.raises(GraphError, match="before it is produced"):
+            g.validate()
+
+    def test_orphan_intermediate_rejected(self):
+        g = ComputationGraph("g")
+        g.tensor("floating", (1,))
+        with pytest.raises(GraphError, match="no producer"):
+            g.validate()
+
+    def test_double_producer_rejected(self):
+        g = ComputationGraph("g")
+        g.tensor("in", (1,), TensorKind.INPUT)
+        g.tensor("a", (1,))
+        g.add_node("p1", OpType.ELEMENTWISE, ["in"], ["a"])
+        g.add_node("p2", OpType.ELEMENTWISE, ["in"], ["a"])
+        with pytest.raises(GraphError, match="produced by both"):
+            g.producer_index()
+
+
+class TestTopoSort:
+    def test_diamond_order(self):
+        g = diamond_graph()
+        order = g.topo_sort()
+        pos = {i: p for p, i in enumerate(order)}
+        assert pos[0] < pos[1] < pos[3]
+        assert pos[0] < pos[2] < pos[3]
+
+    def test_full_bert_graph_sorts(self, bert_graph):
+        order = bert_graph.topo_sort()
+        assert sorted(order) == list(range(len(bert_graph.nodes)))
+
+
+class TestQueries:
+    def test_consumers(self):
+        g = diamond_graph()
+        consumers = g.consumer_indices()
+        assert consumers["a"] == [1, 2]
+        assert consumers["d"] == []
+
+    def test_gemm_nodes_empty_for_elementwise_graph(self):
+        assert diamond_graph().gemm_nodes() == []
+
+    def test_find_node(self):
+        g = diamond_graph()
+        assert g.find_node("make_b") is not None
+        assert g.find_node("nope") is None
+
+    def test_intermediates_and_weights(self, bert_graph):
+        inter = bert_graph.intermediates()
+        weights = bert_graph.weights()
+        assert len(inter) > 100
+        assert len(weights) == 12 * 6 + 1  # 6 weight mats/layer + embedding
+
+    def test_len(self):
+        assert len(diamond_graph()) == 4

@@ -1,0 +1,72 @@
+"""Tensor lifetime analysis: graph -> usage records."""
+
+import pytest
+
+from repro.graph import (
+    ComputationGraph,
+    OpType,
+    TensorKind,
+    fuse_graph,
+    tensor_usage_records,
+)
+
+
+def linear_graph() -> ComputationGraph:
+    g = ComputationGraph("linear")
+    g.tensor("in", ("seq", 4), TensorKind.INPUT)
+    g.tensor("a", ("seq", 4))
+    g.tensor("b", ("seq", 4))
+    g.tensor("out", ("seq", 4), TensorKind.OUTPUT)
+    g.add_node("op0", OpType.ELEMENTWISE, ["in"], ["a"], nelems=("seq", 4))
+    g.add_node("op1", OpType.ELEMENTWISE, ["a"], ["b"], nelems=("seq", 4))
+    g.add_node("op2", OpType.ELEMENTWISE, ["b"], ["out"], nelems=("seq", 4))
+    return g
+
+
+class TestUsageRecords:
+    def test_first_and_last_op(self):
+        records = {r.name: r for r in tensor_usage_records(linear_graph(), {"seq": 3})}
+        assert records["a"].first_op == 0
+        assert records["a"].last_op == 1
+        assert records["b"].first_op == 1
+        assert records["b"].last_op == 2
+
+    def test_sizes_track_bindings(self):
+        short = {r.name: r for r in tensor_usage_records(linear_graph(), {"seq": 2})}
+        long = {r.name: r for r in tensor_usage_records(linear_graph(), {"seq": 10})}
+        assert long["a"].size == 5 * short["a"].size
+
+    def test_inputs_weights_excluded(self):
+        names = {r.name for r in tensor_usage_records(linear_graph(), {"seq": 3})}
+        assert names == {"a", "b"}  # 'in' is INPUT, 'out' is OUTPUT
+
+    def test_unconsumed_output_lives_at_producer(self):
+        g = ComputationGraph("tail")
+        g.tensor("in", (4,), TensorKind.INPUT)
+        g.tensor("dangling", (4,))  # produced, never consumed
+        g.tensor("used", (4,))
+        g.tensor("out", (4,), TensorKind.OUTPUT)
+        g.add_node("p", OpType.ELEMENTWISE, ["in"], ["dangling", "used"], nelems=(4,))
+        g.add_node("q", OpType.ELEMENTWISE, ["used"], ["out"], nelems=(4,))
+        records = {r.name: r for r in tensor_usage_records(g, {})}
+        assert records["dangling"].first_op == records["dangling"].last_op == 0
+
+    def test_bert_records_cover_all_intermediates(self, bert_graph):
+        records = tensor_usage_records(bert_graph, {"batch": 1, "seq": 16})
+        assert len(records) == len(bert_graph.intermediates())
+        for r in records:
+            assert r.first_op <= r.last_op
+            assert r.size > 0
+
+    def test_fusion_shrinks_record_count(self, bert_graph):
+        fine = tensor_usage_records(bert_graph, {"batch": 1, "seq": 16})
+        fused = tensor_usage_records(fuse_graph(bert_graph), {"batch": 1, "seq": 16})
+        assert len(fused) < len(fine)
+
+    def test_scores_tensor_scales_quadratically(self, bert_graph):
+        """Attention scores are O(seq^2): the variable-length pain point."""
+        def scores_size(seq: int) -> int:
+            records = tensor_usage_records(bert_graph, {"batch": 1, "seq": seq})
+            return next(r.size for r in records if r.name == "l0.scores")
+
+        assert scores_size(100) == 100 * scores_size(10)

@@ -1,0 +1,92 @@
+"""Graph JSON serialization round-trips."""
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    fuse_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.models import (
+    build_decoder_step_graph,
+    build_encoder_graph,
+    seq2seq_decoder,
+    tiny_bert,
+)
+
+
+def assert_graphs_equal(a, b):
+    assert a.name == b.name
+    assert set(a.tensors) == set(b.tensors)
+    for name, spec in a.tensors.items():
+        other = b.tensors[name]
+        assert spec.dims == other.dims
+        assert spec.kind == other.kind
+        assert spec.dtype_bytes == other.dtype_bytes
+    assert len(a.nodes) == len(b.nodes)
+    for na, nb in zip(a.nodes, b.nodes):
+        assert na.name == nb.name
+        assert na.op_type == nb.op_type
+        assert na.inputs == nb.inputs
+        assert na.outputs == nb.outputs
+        assert na.attrs == nb.attrs
+
+
+class TestRoundTrip:
+    def test_bert_graph(self):
+        graph = build_encoder_graph(tiny_bert())
+        assert_graphs_equal(graph, graph_from_dict(graph_to_dict(graph)))
+
+    def test_decoder_graph(self):
+        graph = build_decoder_step_graph(seq2seq_decoder())
+        assert_graphs_equal(graph, graph_from_dict(graph_to_dict(graph)))
+
+    def test_fused_graph(self):
+        """FUSED nodes carry nested attrs (fused_ops) — must survive."""
+        graph = fuse_graph(build_encoder_graph(tiny_bert()))
+        assert_graphs_equal(graph, graph_from_dict(graph_to_dict(graph)))
+
+    def test_symbolic_dims_stay_tuples(self):
+        graph = build_encoder_graph(tiny_bert())
+        restored = graph_from_dict(graph_to_dict(graph))
+        node = restored.gemm_nodes()[0]
+        assert isinstance(node.attrs["m"], tuple)
+
+    def test_file_round_trip(self, tmp_path):
+        graph = build_encoder_graph(tiny_bert())
+        path = tmp_path / "bert.graph.json"
+        save_graph(graph, path)
+        assert_graphs_equal(graph, load_graph(path))
+
+    def test_restored_graph_is_usable(self):
+        """The reloaded graph must drive the cost model identically."""
+        from repro.runtime import turbo_runtime
+
+        graph = build_encoder_graph(tiny_bert())
+        restored = graph_from_dict(graph_to_dict(graph))
+        original = turbo_runtime(graph=graph).latency(1, 32)
+        reloaded = turbo_runtime(graph=restored).latency(1, 32)
+        assert original == reloaded
+
+
+class TestValidation:
+    def test_wrong_schema_version_rejected(self):
+        payload = graph_to_dict(build_encoder_graph(tiny_bert()))
+        payload["schema_version"] = 99
+        with pytest.raises(GraphError, match="schema version"):
+            graph_from_dict(payload)
+
+    def test_dangling_tensor_reference_rejected(self):
+        payload = graph_to_dict(build_encoder_graph(tiny_bert()))
+        payload["tensors"] = payload["tensors"][:-1]  # drop one tensor
+        with pytest.raises(GraphError):
+            graph_from_dict(payload)
+
+    def test_unserializable_attr_rejected(self):
+        from repro.graph.serialize import _encode_value
+
+        with pytest.raises(TypeError):
+            _encode_value(object())

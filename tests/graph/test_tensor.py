@@ -1,0 +1,64 @@
+"""Symbolic tensor specs."""
+
+import pytest
+
+from repro.graph import TensorKind, TensorSpec, resolve_dim
+
+
+class TestResolveDim:
+    def test_concrete_passthrough(self):
+        assert resolve_dim(7, {}) == 7
+
+    def test_symbol_lookup(self):
+        assert resolve_dim("seq", {"seq": 128}) == 128
+
+    def test_unbound_symbol(self):
+        with pytest.raises(KeyError, match="unbound"):
+            resolve_dim("seq", {"batch": 1})
+
+    def test_nonpositive_binding(self):
+        with pytest.raises(ValueError):
+            resolve_dim("seq", {"seq": 0})
+
+    def test_nonpositive_concrete(self):
+        with pytest.raises(ValueError):
+            resolve_dim(0, {})
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_dim(True, {})
+
+
+class TestTensorSpec:
+    def test_shape_resolution(self):
+        spec = TensorSpec("x", ("batch", "seq", 768))
+        assert spec.shape({"batch": 2, "seq": 10}) == (2, 10, 768)
+
+    def test_numel_and_nbytes(self):
+        spec = TensorSpec("x", ("batch", 4), dtype_bytes=4)
+        assert spec.numel({"batch": 3}) == 12
+        assert spec.nbytes({"batch": 3}) == 48
+
+    def test_symbols_deduplicated_ordered(self):
+        spec = TensorSpec("scores", ("batch", 12, "seq", "seq"))
+        assert spec.symbols == ("batch", "seq")
+
+    def test_is_variable(self):
+        assert TensorSpec("x", ("seq",)).is_variable
+        assert not TensorSpec("w", (768, 768)).is_variable
+
+    def test_default_kind(self):
+        assert TensorSpec("x", (1,)).kind is TensorKind.INTERMEDIATE
+
+    @pytest.mark.parametrize("bad_dims", [(), (0,), (-1,), ("",), (1.5,)])
+    def test_bad_dims_rejected(self, bad_dims):
+        with pytest.raises((ValueError, TypeError)):
+            TensorSpec("x", bad_dims)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("", (1,))
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("x", (1,), dtype_bytes=0)

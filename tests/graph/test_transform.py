@@ -1,0 +1,85 @@
+"""Graph transformations: precision casting."""
+
+import pytest
+
+from repro.graph import (
+    TensorKind,
+    cast_graph_precision,
+    graph_weight_bytes,
+    tensor_usage_records,
+)
+from repro.models import build_encoder_graph, tiny_bert
+
+
+class TestPrecisionCast:
+    def test_float_tensors_halved(self):
+        graph = build_encoder_graph(tiny_bert())
+        fp16 = cast_graph_precision(graph, 2)
+        for name, spec in fp16.tensors.items():
+            if spec.kind in (TensorKind.INTERMEDIATE, TensorKind.OUTPUT,
+                             TensorKind.WEIGHT):
+                assert spec.dtype_bytes == 2, name
+
+    def test_integer_inputs_untouched(self):
+        graph = build_encoder_graph(tiny_bert())
+        fp16 = cast_graph_precision(graph, 2)
+        assert fp16.tensors["input_ids"].dtype_bytes == 8
+
+    def test_original_untouched(self):
+        graph = build_encoder_graph(tiny_bert())
+        cast_graph_precision(graph, 2)
+        assert graph.tensors["embed_sum"].dtype_bytes == 4
+
+    def test_memory_plan_halves(self):
+        graph = build_encoder_graph(tiny_bert())
+        fp16 = cast_graph_precision(graph, 2)
+        bindings = {"batch": 1, "seq": 32}
+        full = sum(r.size for r in tensor_usage_records(graph, bindings))
+        half = sum(r.size for r in tensor_usage_records(fp16, bindings))
+        assert half * 2 == full
+
+    def test_weight_bytes_halve(self):
+        graph = build_encoder_graph(tiny_bert())
+        assert graph_weight_bytes(cast_graph_precision(graph, 2)) * 2 == \
+            graph_weight_bytes(graph)
+
+    def test_validates(self):
+        graph = build_encoder_graph(tiny_bert())
+        cast_graph_precision(graph, 2).validate()
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            cast_graph_precision(build_encoder_graph(tiny_bert()), 8)
+
+
+class TestFp16Runtime:
+    def test_fp16_faster_than_fp32(self, bert_graph):
+        from repro.runtime import turbo_fp16_runtime, turbo_runtime
+
+        fp32 = turbo_runtime(graph=bert_graph)
+        fp16 = turbo_fp16_runtime(graph=bert_graph)
+        for seq in (64, 250, 500):
+            assert fp16.latency(1, seq) < fp32.latency(1, seq)
+
+    def test_fp16_speedup_bounded_by_two(self, bert_graph):
+        """Half traffic + double rate bounds the ideal gain at 2x; fixed
+        overheads keep the realized gain below it."""
+        from repro.runtime import turbo_fp16_runtime, turbo_runtime
+
+        fp32 = turbo_runtime(graph=bert_graph)
+        fp16 = turbo_fp16_runtime(graph=bert_graph)
+        speedup = fp32.latency(1, 500) / fp16.latency(1, 500)
+        assert 1.2 < speedup < 2.0
+
+    def test_fp16_halves_activation_footprint(self, bert_graph):
+        from repro.runtime import turbo_fp16_runtime, turbo_runtime
+
+        fp32 = turbo_runtime(graph=bert_graph).infer(1, 250)
+        fp16 = turbo_fp16_runtime(graph=bert_graph).infer(1, 250)
+        assert fp16.allocation.footprint_bytes < 0.7 * fp32.allocation.footprint_bytes
+
+    def test_invalid_precision_rejected(self, bert_graph):
+        from repro.runtime import turbo_runtime
+
+        with pytest.raises(ValueError):
+            turbo_runtime(graph=bert_graph, precision_bytes=3)

@@ -1,0 +1,82 @@
+"""Activation and bias kernels: fused variants equal compositions."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import add_bias, add_bias_gelu, add_bias_relu, gelu, relu
+
+
+class TestGelu:
+    def test_zero_maps_to_zero(self):
+        assert gelu(np.array([0.0]))[0] == 0.0
+
+    def test_large_positive_is_identity(self):
+        np.testing.assert_allclose(gelu(np.array([10.0])), [10.0], rtol=1e-4)
+
+    def test_large_negative_is_zero(self):
+        np.testing.assert_allclose(gelu(np.array([-10.0])), [0.0], atol=1e-4)
+
+    def test_monotone_on_positive_axis(self, rng):
+        x = np.sort(rng.uniform(0, 5, size=50))
+        y = gelu(x)
+        assert (np.diff(y) >= 0).all()
+
+    def test_matches_erf_form(self, rng):
+        """The tanh approximation tracks the exact erf GELU closely."""
+        from scipy.special import erf
+
+        x = rng.normal(size=1000)
+        exact = 0.5 * x * (1 + erf(x / np.sqrt(2)))
+        np.testing.assert_allclose(gelu(x), exact, atol=2e-3)
+
+
+class TestRelu:
+    def test_clamps_negative(self, rng):
+        x = rng.normal(size=100)
+        y = relu(x)
+        assert (y >= 0).all()
+        np.testing.assert_array_equal(y[x > 0], x[x > 0])
+
+
+class TestBias:
+    def test_add_bias_broadcasts(self, rng):
+        x = rng.normal(size=(2, 3, 8)).astype(np.float32)
+        bias = rng.normal(size=8).astype(np.float32)
+        np.testing.assert_allclose(add_bias(x, bias), x + bias)
+
+    def test_bias_rank_checked(self, rng):
+        x = rng.normal(size=(2, 8))
+        with pytest.raises(ValueError):
+            add_bias(x, np.zeros((2, 8)))
+
+    def test_bias_length_checked(self, rng):
+        x = rng.normal(size=(2, 8))
+        with pytest.raises(ValueError):
+            add_bias(x, np.zeros(7))
+
+
+class TestFusedActivations:
+    def test_add_bias_gelu_equals_composition(self, rng):
+        x = rng.normal(size=(4, 16)).astype(np.float32)
+        bias = rng.normal(size=16).astype(np.float32)
+        np.testing.assert_allclose(
+            add_bias_gelu(x, bias), gelu(x + bias), rtol=1e-5, atol=1e-6
+        )
+
+    def test_add_bias_gelu_in_place(self, rng):
+        x = rng.normal(size=(4, 16)).astype(np.float32)
+        bias = rng.normal(size=16).astype(np.float32)
+        expected = gelu(x + bias)
+        out = add_bias_gelu(x, bias, out=x)
+        assert out is x
+        np.testing.assert_allclose(x, expected, rtol=1e-5, atol=1e-6)
+
+    def test_add_bias_relu_equals_composition(self, rng):
+        x = rng.normal(size=(4, 16)).astype(np.float32)
+        bias = rng.normal(size=16).astype(np.float32)
+        np.testing.assert_allclose(add_bias_relu(x, bias), relu(x + bias))
+
+    def test_out_shape_mismatch(self, rng):
+        x = rng.normal(size=(4, 16)).astype(np.float32)
+        with pytest.raises(ValueError):
+            add_bias_gelu(x, np.zeros(16, np.float32), out=np.empty((16, 4), np.float32))

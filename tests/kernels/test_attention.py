@@ -1,0 +1,135 @@
+"""Multi-head attention: fused path == reference path, masking semantics."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    AttentionWeights,
+    multi_head_attention,
+    padding_mask_from_lengths,
+    scaled_dot_product_attention,
+    split_heads,
+)
+
+
+def make_weights(rng, hidden=16):
+    def w():
+        return rng.normal(0, 0.1, size=(hidden, hidden)).astype(np.float32)
+
+    def b():
+        return rng.normal(0, 0.1, size=hidden).astype(np.float32)
+
+    return AttentionWeights(w(), b(), w(), b(), w(), b(), w(), b())
+
+
+class TestScaledDotProduct:
+    def test_uniform_attention_averages_values(self, rng):
+        """Identical keys -> softmax uniform -> output = mean of values."""
+        q = rng.normal(size=(1, 1, 2, 4)).astype(np.float32)
+        k = np.ones((1, 1, 3, 4), dtype=np.float32)
+        v = rng.normal(size=(1, 1, 3, 4)).astype(np.float32)
+        out = scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(out[0, 0, 0], v[0, 0].mean(axis=0), rtol=1e-5)
+
+    def test_fused_equals_reference(self, rng):
+        q = rng.normal(size=(2, 3, 4, 8)).astype(np.float32)
+        k = rng.normal(size=(2, 3, 5, 8)).astype(np.float32)
+        v = rng.normal(size=(2, 3, 5, 8)).astype(np.float32)
+        np.testing.assert_allclose(
+            scaled_dot_product_attention(q, k, v, fused=True),
+            scaled_dot_product_attention(q, k, v, fused=False),
+            rtol=1e-5, atol=1e-6,
+        )
+
+    def test_masked_keys_ignored(self, rng):
+        q = rng.normal(size=(1, 1, 2, 4)).astype(np.float32)
+        k = rng.normal(size=(1, 1, 4, 4)).astype(np.float32)
+        v = rng.normal(size=(1, 1, 4, 4)).astype(np.float32)
+        mask = np.where(np.arange(4) < 2, 0.0, -1e9).astype(np.float32)
+        masked = scaled_dot_product_attention(q, k, v, mask=mask)
+        truncated = scaled_dot_product_attention(q, k[:, :, :2], v[:, :, :2])
+        np.testing.assert_allclose(masked, truncated, rtol=1e-4, atol=1e-6)
+
+    def test_rank_checked(self, rng):
+        bad = rng.normal(size=(2, 4, 8))
+        good = rng.normal(size=(1, 1, 4, 8))
+        with pytest.raises(ValueError):
+            scaled_dot_product_attention(bad, good, good)
+
+    def test_kv_shape_mismatch(self, rng):
+        q = rng.normal(size=(1, 1, 2, 4))
+        k = rng.normal(size=(1, 1, 3, 4))
+        v = rng.normal(size=(1, 1, 4, 4))
+        with pytest.raises(ValueError):
+            scaled_dot_product_attention(q, k, v)
+
+
+class TestMultiHeadAttention:
+    def test_fused_equals_reference(self, rng):
+        weights = make_weights(rng)
+        x = rng.normal(size=(2, 5, 16)).astype(np.float32)
+        np.testing.assert_allclose(
+            multi_head_attention(x, weights, 4, fused=True),
+            multi_head_attention(x, weights, 4, fused=False),
+            rtol=1e-4, atol=1e-5,
+        )
+
+    def test_cross_attention_uses_kv_states(self, rng):
+        weights = make_weights(rng)
+        x = rng.normal(size=(1, 3, 16)).astype(np.float32)
+        memory = rng.normal(size=(1, 7, 16)).astype(np.float32)
+        cross = multi_head_attention(x, weights, 4, kv_states=memory)
+        self_attn = multi_head_attention(x, weights, 4)
+        assert cross.shape == x.shape
+        assert not np.allclose(cross, self_attn)
+
+    def test_output_bias_toggle(self, rng):
+        weights = make_weights(rng)
+        x = rng.normal(size=(1, 3, 16)).astype(np.float32)
+        with_bias = multi_head_attention(x, weights, 4, add_output_bias=True)
+        without = multi_head_attention(x, weights, 4, add_output_bias=False)
+        np.testing.assert_allclose(with_bias, without + weights.bo, rtol=1e-5)
+
+    def test_padding_mask_matches_truncation(self, rng):
+        """Padded positions must not change the valid positions' outputs."""
+        weights = make_weights(rng)
+        x = rng.normal(size=(1, 6, 16)).astype(np.float32)
+        mask = padding_mask_from_lengths(np.array([4]), 6)
+        padded_out = multi_head_attention(x, weights, 4, mask=mask)
+        trunc_out = multi_head_attention(x[:, :4], weights, 4)
+        np.testing.assert_allclose(padded_out[:, :4], trunc_out, rtol=1e-4, atol=1e-5)
+
+    def test_rank_checked(self, rng):
+        with pytest.raises(ValueError):
+            multi_head_attention(rng.normal(size=(5, 16)), make_weights(rng), 4)
+
+
+class TestPaddingMask:
+    def test_shape(self):
+        mask = padding_mask_from_lengths(np.array([2, 5]), 5)
+        assert mask.shape == (2, 1, 1, 5)
+
+    def test_values(self):
+        mask = padding_mask_from_lengths(np.array([2]), 4)[0, 0, 0]
+        assert (mask[:2] == 0.0).all()
+        assert (mask[2:] < -1e8).all()
+
+    def test_lengths_validated(self):
+        with pytest.raises(ValueError):
+            padding_mask_from_lengths(np.array([0]), 4)
+        with pytest.raises(ValueError):
+            padding_mask_from_lengths(np.array([5]), 4)
+
+
+class TestAttentionWeights:
+    def test_square_weights_enforced(self, rng):
+        w = rng.normal(size=(16, 16)).astype(np.float32)
+        b = rng.normal(size=16).astype(np.float32)
+        with pytest.raises(ValueError):
+            AttentionWeights(w, b, w, b, w, b, rng.normal(size=(16, 8)), b)
+
+    def test_bias_shape_enforced(self, rng):
+        w = rng.normal(size=(16, 16)).astype(np.float32)
+        b = rng.normal(size=16).astype(np.float32)
+        with pytest.raises(ValueError):
+            AttentionWeights(w, b, w, b, w, np.zeros(8), w, b)

@@ -1,0 +1,63 @@
+"""Embedding lookup kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import bert_embeddings, embedding_lookup
+
+
+class TestLookup:
+    def test_gathers_rows(self, rng):
+        table = rng.normal(size=(10, 4)).astype(np.float32)
+        ids = np.array([[1, 3], [0, 9]])
+        out = embedding_lookup(table, ids)
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_array_equal(out[0, 1], table[3])
+
+    def test_out_of_range_rejected(self, rng):
+        table = rng.normal(size=(10, 4))
+        with pytest.raises(IndexError):
+            embedding_lookup(table, np.array([10]))
+        with pytest.raises(IndexError):
+            embedding_lookup(table, np.array([-1]))
+
+    def test_float_ids_rejected(self, rng):
+        with pytest.raises(TypeError):
+            embedding_lookup(rng.normal(size=(10, 4)), np.array([1.0]))
+
+    def test_table_must_be_2d(self, rng):
+        with pytest.raises(ValueError):
+            embedding_lookup(rng.normal(size=(10,)), np.array([1]))
+
+
+class TestBertEmbeddings:
+    def _tables(self, rng, vocab=20, pos=16, hidden=8):
+        return (
+            rng.normal(size=(vocab, hidden)).astype(np.float32),
+            rng.normal(size=(pos, hidden)).astype(np.float32),
+            rng.normal(size=(2, hidden)).astype(np.float32),
+        )
+
+    def test_sums_three_embeddings(self, rng):
+        tok, pos, seg = self._tables(rng)
+        ids = np.array([[3, 5, 7]])
+        out = bert_embeddings(tok, pos, seg, ids)
+        expected = tok[ids] + pos[:3][None] + seg[0]
+        np.testing.assert_allclose(out, expected, rtol=1e-6)
+
+    def test_segment_ids_respected(self, rng):
+        tok, pos, seg = self._tables(rng)
+        ids = np.array([[1, 2]])
+        segs = np.array([[0, 1]])
+        out = bert_embeddings(tok, pos, seg, ids, segment_ids=segs)
+        np.testing.assert_allclose(out[0, 1], tok[2] + pos[1] + seg[1], rtol=1e-6)
+
+    def test_sequence_longer_than_positions_rejected(self, rng):
+        tok, pos, seg = self._tables(rng, pos=4)
+        with pytest.raises(ValueError):
+            bert_embeddings(tok, pos, seg, np.zeros((1, 5), dtype=np.int64))
+
+    def test_requires_batch_seq(self, rng):
+        tok, pos, seg = self._tables(rng)
+        with pytest.raises(ValueError):
+            bert_embeddings(tok, pos, seg, np.array([1, 2, 3]))

@@ -1,0 +1,64 @@
+"""GEMM wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import gemm, linear
+
+
+class TestGemm:
+    def test_plain_matmul(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(gemm(a, b), a @ b)
+
+    def test_transpose_b(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(5, 4))
+        np.testing.assert_allclose(gemm(a, b, transpose_b=True), a @ b.T)
+
+    def test_batched(self, rng):
+        a = rng.normal(size=(2, 6, 3, 4))
+        b = rng.normal(size=(2, 6, 4, 5))
+        np.testing.assert_allclose(gemm(a, b), a @ b)
+
+    def test_out_buffer(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 5))
+        out = np.empty((3, 5))
+        result = gemm(a, b, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, a @ b)
+
+    def test_inner_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            gemm(rng.normal(size=(3, 4)), rng.normal(size=(5, 6)))
+
+    def test_rank_checked(self, rng):
+        with pytest.raises(ValueError):
+            gemm(rng.normal(size=(4,)), rng.normal(size=(4, 5)))
+
+
+class TestLinear:
+    def test_with_bias(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        w = rng.normal(size=(4, 6))
+        b = rng.normal(size=6)
+        np.testing.assert_allclose(linear(x, w, b), x @ w + b)
+
+    def test_without_bias(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(4, 2))
+        np.testing.assert_allclose(linear(x, w), x @ w)
+
+    def test_weight_must_be_2d(self, rng):
+        with pytest.raises(ValueError):
+            linear(rng.normal(size=(3, 4)), rng.normal(size=(4,)))
+
+    def test_bias_shape_checked(self, rng):
+        with pytest.raises(ValueError):
+            linear(rng.normal(size=(3, 4)), rng.normal(size=(4, 6)), rng.normal(size=5))
+
+    def test_in_dim_checked(self, rng):
+        with pytest.raises(ValueError):
+            linear(rng.normal(size=(3, 5)), rng.normal(size=(4, 6)))

@@ -1,0 +1,86 @@
+"""LayerNorm numerics: the Eq. 1 one-pass variance trick vs two-pass."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import add_bias_layernorm, layernorm_one_pass, layernorm_reference
+
+
+def affine(hidden, rng=None):
+    if rng is None:
+        return np.ones(hidden, np.float32), np.zeros(hidden, np.float32)
+    return (
+        rng.normal(1.0, 0.1, hidden).astype(np.float32),
+        rng.normal(0.0, 0.1, hidden).astype(np.float32),
+    )
+
+
+class TestReference:
+    def test_zero_mean_unit_variance(self, rng):
+        x = rng.normal(3.0, 2.0, size=(10, 64)).astype(np.float32)
+        gamma, beta = affine(64)
+        y = layernorm_reference(x, gamma, beta)
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(y.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_applied(self, rng):
+        x = rng.normal(size=(4, 8)).astype(np.float32)
+        gamma = np.full(8, 2.0, np.float32)
+        beta = np.full(8, 1.0, np.float32)
+        base = layernorm_reference(x, *affine(8))
+        scaled = layernorm_reference(x, gamma, beta)
+        np.testing.assert_allclose(scaled, base * 2.0 + 1.0, rtol=1e-5)
+
+    def test_shape_mismatch_rejected(self, rng):
+        x = rng.normal(size=(4, 8))
+        with pytest.raises(ValueError):
+            layernorm_reference(x, np.ones(7), np.zeros(8))
+
+
+class TestOnePassMatchesTwoPass:
+    @pytest.mark.parametrize("shape", [(16,), (5, 32), (2, 7, 64)])
+    def test_agreement(self, rng, shape):
+        x = rng.normal(size=shape).astype(np.float32)
+        gamma, beta = affine(shape[-1], rng)
+        np.testing.assert_allclose(
+            layernorm_one_pass(x, gamma, beta),
+            layernorm_reference(x, gamma, beta),
+            rtol=1e-4, atol=1e-5,
+        )
+
+    def test_large_mean_cancellation_is_clamped(self):
+        """E[x^2] - E^2[x] can go slightly negative in floating point when
+        the mean dominates; the kernel clamps instead of producing NaN."""
+        x = np.full((2, 64), 1e4, dtype=np.float32)
+        y = layernorm_one_pass(x, *affine(64))
+        assert np.isfinite(y).all()
+
+    def test_out_buffer(self, rng):
+        x = rng.normal(size=(3, 16)).astype(np.float32)
+        gamma, beta = affine(16)
+        out = np.empty_like(x)
+        result = layernorm_one_pass(x, gamma, beta, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, layernorm_reference(x, gamma, beta),
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_out_shape_mismatch(self, rng):
+        x = rng.normal(size=(3, 16))
+        with pytest.raises(ValueError):
+            layernorm_one_pass(x, *affine(16), out=np.empty((16, 3)))
+
+
+class TestAddBiasLayerNorm:
+    def test_fused_equals_composition(self, rng):
+        x = rng.normal(size=(2, 5, 16)).astype(np.float32)
+        residual = rng.normal(size=(2, 5, 16)).astype(np.float32)
+        bias = rng.normal(size=16).astype(np.float32)
+        gamma, beta = affine(16, rng)
+        fused = add_bias_layernorm(x, residual, bias, gamma, beta)
+        composed = layernorm_reference(x + residual + bias, gamma, beta)
+        np.testing.assert_allclose(fused, composed, rtol=1e-4, atol=1e-5)
+
+    def test_residual_shape_checked(self, rng):
+        x = rng.normal(size=(2, 5, 16))
+        with pytest.raises(ValueError):
+            add_bias_layernorm(x, x[:, :4], np.zeros(16), *affine(16))

@@ -1,0 +1,75 @@
+"""Softmax numerics: fused == reference, correctness invariants."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import softmax_fused, softmax_reference
+
+
+class TestReference:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(4, 7)).astype(np.float32)
+        y = softmax_reference(x)
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0, rtol=1e-6)
+
+    def test_known_values(self):
+        y = softmax_reference(np.array([0.0, 0.0]))
+        np.testing.assert_allclose(y, [0.5, 0.5])
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            softmax_reference(x), softmax_reference(x + 100.0), rtol=1e-6
+        )
+
+    def test_large_logits_stable(self):
+        y = softmax_reference(np.array([1000.0, 1000.0, -1000.0]))
+        assert np.isfinite(y).all()
+        np.testing.assert_allclose(y[:2], 0.5, rtol=1e-6)
+
+    def test_mask_excludes_positions(self, rng):
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        mask = np.array([[0.0, 0.0, -1e9, -1e9]], dtype=np.float32)
+        y = softmax_reference(x, mask=mask)
+        assert (y[:, 2:] < 1e-6).all()
+        np.testing.assert_allclose(y[:, :2].sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            softmax_reference(np.empty((0,)))
+
+
+class TestFusedMatchesReference:
+    @pytest.mark.parametrize("shape", [(5,), (3, 8), (2, 4, 6), (2, 3, 4, 5)])
+    def test_agreement(self, rng, shape):
+        x = rng.normal(size=shape).astype(np.float32)
+        np.testing.assert_allclose(
+            softmax_fused(x.copy()), softmax_reference(x), rtol=1e-5, atol=1e-7
+        )
+
+    def test_in_place(self, rng):
+        x = rng.normal(size=(4, 6)).astype(np.float32)
+        expected = softmax_reference(x)
+        out = softmax_fused(x, out=x)
+        assert out is x
+        np.testing.assert_allclose(x, expected, rtol=1e-5, atol=1e-7)
+
+    def test_with_mask(self, rng):
+        x = rng.normal(size=(2, 2, 5)).astype(np.float32)
+        mask = np.where(np.arange(5) < 3, 0.0, -1e9).astype(np.float32)
+        np.testing.assert_allclose(
+            softmax_fused(x, mask=mask),
+            softmax_reference(x, mask=mask),
+            rtol=1e-5, atol=1e-7,
+        )
+
+    def test_out_shape_mismatch(self, rng):
+        x = rng.normal(size=(2, 3))
+        with pytest.raises(ValueError):
+            softmax_fused(x, out=np.empty((3, 2)))
+
+    def test_input_not_clobbered_without_out(self, rng):
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        original = x.copy()
+        softmax_fused(x)
+        np.testing.assert_array_equal(x, original)

@@ -1,0 +1,63 @@
+"""Head split/merge and the add-bias-transpose fusion."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    add_bias,
+    add_bias_transpose_for_heads,
+    merge_heads,
+    split_heads,
+)
+
+
+class TestSplitMerge:
+    def test_round_trip(self, rng):
+        x = rng.normal(size=(2, 5, 12)).astype(np.float32)
+        np.testing.assert_array_equal(merge_heads(split_heads(x, 3)), x)
+
+    def test_split_shape(self, rng):
+        x = rng.normal(size=(2, 5, 12))
+        assert split_heads(x, 4).shape == (2, 4, 5, 3)
+
+    def test_split_layout(self, rng):
+        """Head h of position s holds hidden slice [h*d:(h+1)*d]."""
+        x = rng.normal(size=(1, 3, 8)).astype(np.float32)
+        heads = split_heads(x, 2)
+        np.testing.assert_array_equal(heads[0, 1, 2], x[0, 2, 4:8])
+
+    def test_split_requires_divisible_hidden(self, rng):
+        with pytest.raises(ValueError):
+            split_heads(rng.normal(size=(1, 2, 10)), 3)
+
+    def test_split_requires_rank3(self, rng):
+        with pytest.raises(ValueError):
+            split_heads(rng.normal(size=(2, 10)), 2)
+
+    def test_merge_requires_rank4(self, rng):
+        with pytest.raises(ValueError):
+            merge_heads(rng.normal(size=(2, 5, 12)))
+
+    def test_outputs_contiguous(self, rng):
+        x = rng.normal(size=(2, 5, 12))
+        assert split_heads(x, 3).flags["C_CONTIGUOUS"]
+        assert merge_heads(split_heads(x, 3)).flags["C_CONTIGUOUS"]
+
+
+class TestFusedAddBiasTranspose:
+    def test_equals_composition(self, rng):
+        x = rng.normal(size=(2, 5, 12)).astype(np.float32)
+        bias = rng.normal(size=12).astype(np.float32)
+        fused = add_bias_transpose_for_heads(x, bias, 3)
+        composed = split_heads(add_bias(x, bias), 3)
+        np.testing.assert_allclose(fused, composed, rtol=1e-6)
+
+    def test_bias_shape_checked(self, rng):
+        x = rng.normal(size=(2, 5, 12))
+        with pytest.raises(ValueError):
+            add_bias_transpose_for_heads(x, np.zeros(11), 3)
+
+    def test_divisibility_checked(self, rng):
+        x = rng.normal(size=(2, 5, 10))
+        with pytest.raises(ValueError):
+            add_bias_transpose_for_heads(x, np.zeros(10), 3)

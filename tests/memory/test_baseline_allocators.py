@@ -1,0 +1,142 @@
+"""GSOC, caching and naive allocator baselines."""
+
+import pytest
+
+from repro.gpusim import CUDA_MALLOC_STALL_S
+from repro.memory import (
+    CachingAllocator,
+    GsocAllocator,
+    NaiveAllocator,
+    TensorUsageRecord,
+    gsoc_offsets,
+    peak_live_bytes,
+    round_block_size,
+    validate_plan,
+)
+
+
+def rec(name, first, last, size):
+    return TensorUsageRecord(name, first, last, size)
+
+
+class TestGsocOffsets:
+    def test_plan_valid(self):
+        records = [rec(f"t{i}", i, i + 2, 100 * (i + 1)) for i in range(8)]
+        offsets, arena = gsoc_offsets(records)
+        assert set(offsets) == {r.name for r in records}
+        assert arena >= max(r.size for r in records)
+
+    def test_disjoint_share_offsets(self):
+        records = [rec("a", 0, 1, 500), rec("b", 2, 3, 500)]
+        offsets, arena = gsoc_offsets(records)
+        assert offsets["a"] == offsets["b"] == 0
+        assert arena == 500
+
+    def test_near_optimal_for_chain(self):
+        """Chained lifetimes (each overlaps only its neighbours) need at
+        most two slots of the largest size."""
+        records = [rec(f"t{i}", i, i + 1, 100) for i in range(10)]
+        _, arena = gsoc_offsets(records)
+        assert arena == 200
+
+    def test_arena_at_least_peak(self):
+        records = [rec(f"t{i}", 0, 9, 50) for i in range(5)]
+        _, arena = gsoc_offsets(records)
+        assert arena >= peak_live_bytes(records)
+
+
+class TestGsocAllocator:
+    def test_growth_reallocates_whole_arena(self):
+        allocator = GsocAllocator()
+        r1 = allocator.process_request([rec("a", 0, 1, 1000)])
+        assert r1.new_bytes == 1000
+        r2 = allocator.process_request([rec("a", 0, 1, 1000), rec("b", 0, 1, 500)])
+        # Contiguous arena: the grown arena is a fresh allocation.
+        assert r2.new_bytes == 1500
+
+    def test_shrink_is_free(self):
+        allocator = GsocAllocator()
+        allocator.process_request([rec("a", 0, 1, 2000)])
+        r = allocator.process_request([rec("a", 0, 1, 100)])
+        assert r.new_bytes == 0
+
+    def test_plans_are_valid(self):
+        allocator = GsocAllocator()
+        records = [rec(f"t{i}", i % 4, i % 4 + 3, 128 * (i + 1)) for i in range(12)]
+        result = allocator.process_request(records)
+        validate_plan(result.plan, records)
+
+
+class TestRoundBlockSize:
+    def test_small_rounds_to_512(self):
+        assert round_block_size(1) == 512
+        assert round_block_size(513) == 1024
+
+    def test_large_rounds_to_2mb(self):
+        two_mb = 2 * 1024 * 1024
+        assert round_block_size(two_mb - 5) == two_mb
+        assert round_block_size(two_mb + 1) == 2 * two_mb
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            round_block_size(0)
+
+
+class TestCachingAllocator:
+    def test_second_request_hits_cache(self):
+        records = [rec(f"t{i}", i, i + 1, 4096) for i in range(5)]
+        allocator = CachingAllocator()
+        allocator.process_request(records)
+        second = allocator.process_request(records)
+        assert second.new_bytes == 0
+        assert second.stall_s == 0.0
+
+    def test_footprint_never_shrinks(self):
+        allocator = CachingAllocator()
+        allocator.process_request([rec("big", 0, 1, 10 * 2**20)])
+        allocator.process_request([rec("small", 0, 1, 512)])
+        # The 10 MB block stays cached (graph-oblivious retention).
+        assert allocator.footprint_bytes >= 10 * 2**20
+
+    def test_distinct_sizes_accumulate(self):
+        """Variable-length workloads populate a bucket per size class."""
+        allocator = CachingAllocator()
+        for mb in (2, 4, 6, 8):
+            allocator.process_request([rec("t", 0, 1, mb * 2**20)])
+        assert allocator.footprint_bytes >= (2 + 4 + 6 + 8) * 2**20
+
+    def test_cache_hit_counters(self):
+        allocator = CachingAllocator()
+        records = [rec("a", 0, 1, 1000)]
+        allocator.process_request(records)
+        allocator.process_request(records)
+        assert allocator.cache_misses == 1
+        assert allocator.cache_hits == 1
+
+    def test_empty_cache_returns_memory(self):
+        allocator = CachingAllocator()
+        allocator.process_request([rec("a", 0, 1, 4096)])
+        assert allocator.footprint_bytes > 0
+        allocator.empty_cache()
+        assert allocator.footprint_bytes == 0
+
+
+class TestNaiveAllocator:
+    def test_footprint_is_optimal_but_stalls(self):
+        records = [rec("a", 0, 1, 1000), rec("b", 2, 3, 1000)]
+        allocator = NaiveAllocator()
+        result = allocator.process_request(records)
+        assert result.peak_bytes == 1000  # only one live at a time
+        assert result.stall_s == pytest.approx(4 * CUDA_MALLOC_STALL_S)
+
+    def test_nothing_retained(self):
+        allocator = NaiveAllocator()
+        allocator.process_request([rec("a", 0, 1, 1000)])
+        assert allocator.footprint_bytes == 0
+
+    def test_every_request_pays_again(self):
+        records = [rec("a", 0, 1, 1000)]
+        allocator = NaiveAllocator()
+        first = allocator.process_request(records)
+        second = allocator.process_request(records)
+        assert first.new_bytes == second.new_bytes == 1000

@@ -1,0 +1,102 @@
+"""Chunk gap search — paper Algorithm 2."""
+
+import pytest
+
+from repro.memory import Chunk, TensorUsageRecord, new_chunk_size
+from repro.memory.chunk import DEFAULT_CHUNK_SIZE, K_SCALE
+
+
+def rec(name, first, last, size):
+    return TensorUsageRecord(name, first, last, size)
+
+
+class TestFindGap:
+    def test_empty_chunk_places_at_zero(self):
+        chunk = Chunk(0, 1000)
+        assert chunk.find_gap(rec("t", 0, 1, 100)) == 0
+
+    def test_too_large_tensor_invalid(self):
+        chunk = Chunk(0, 1000)
+        assert chunk.find_gap(rec("t", 0, 1, 1001)) is None
+
+    def test_exact_fit_accepted(self):
+        chunk = Chunk(0, 1000)
+        assert chunk.find_gap(rec("t", 0, 1, 1000)) == 0
+
+    def test_placement_after_overlapping_resident(self):
+        chunk = Chunk(0, 1000)
+        chunk.assign(rec("a", 0, 5, 300), 0)
+        assert chunk.find_gap(rec("b", 2, 6, 300)) == 300
+
+    def test_disjoint_lifetime_may_alias(self):
+        """Tensors that never coexist can share the same bytes."""
+        chunk = Chunk(0, 1000)
+        chunk.assign(rec("a", 0, 2, 800), 0)
+        assert chunk.find_gap(rec("b", 3, 5, 800)) == 0
+
+    def test_best_fit_prefers_smallest_gap(self):
+        """Residents at [0,100) and [400,500) and [550,1000): gaps of 300
+        and 50; a 50-byte tensor takes the 50-byte gap."""
+        chunk = Chunk(0, 1000)
+        chunk.assign(rec("a", 0, 9, 100), 0)
+        chunk.assign(rec("b", 0, 9, 100), 400)
+        chunk.assign(rec("c", 0, 9, 450), 550)
+        assert chunk.find_gap(rec("t", 0, 9, 50)) == 500
+
+    def test_tail_used_when_no_interior_gap(self):
+        chunk = Chunk(0, 1000)
+        chunk.assign(rec("a", 0, 9, 600), 0)
+        assert chunk.find_gap(rec("t", 0, 9, 300)) == 600
+
+    def test_interior_gap_too_small_falls_to_tail(self):
+        chunk = Chunk(0, 1000)
+        chunk.assign(rec("a", 0, 9, 100), 0)
+        chunk.assign(rec("b", 0, 9, 100), 150)  # 50-byte interior gap
+        assert chunk.find_gap(rec("t", 0, 9, 80)) == 250
+
+    def test_full_chunk_with_overlap_invalid(self):
+        chunk = Chunk(0, 300)
+        chunk.assign(rec("a", 0, 9, 300), 0)
+        assert chunk.find_gap(rec("t", 0, 9, 10)) is None
+
+
+class TestAssign:
+    def test_out_of_bounds_rejected(self):
+        chunk = Chunk(0, 100)
+        with pytest.raises(ValueError):
+            chunk.assign(rec("t", 0, 1, 60), 50)
+
+    def test_assignments_stay_sorted(self):
+        chunk = Chunk(0, 1000)
+        chunk.assign(rec("b", 0, 1, 10), 500)
+        chunk.assign(rec("a", 2, 3, 10), 100)
+        offsets = [a.offset for a in chunk.assignments]
+        assert offsets == sorted(offsets)
+
+    def test_used_bytes_high_water(self):
+        chunk = Chunk(0, 1000)
+        chunk.assign(rec("a", 0, 1, 100), 300)
+        assert chunk.used_bytes == 400
+
+    def test_clear(self):
+        chunk = Chunk(0, 1000)
+        chunk.assign(rec("a", 0, 1, 100), 0)
+        chunk.clear()
+        assert chunk.is_unused
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Chunk(0, 0)
+
+
+class TestNewChunkSize:
+    def test_small_tensor_gets_default(self):
+        assert new_chunk_size(1024) == DEFAULT_CHUNK_SIZE
+
+    def test_large_tensor_gets_scaled(self):
+        big = 10 * DEFAULT_CHUNK_SIZE
+        assert new_chunk_size(big) == int(big * K_SCALE)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            new_chunk_size(0)

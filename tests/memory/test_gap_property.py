@@ -1,0 +1,80 @@
+"""Property test: Algorithm 2's best-fit gap search vs exhaustive search."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import Chunk, TensorUsageRecord
+
+
+@st.composite
+def chunk_state(draw, chunk_size=1000, max_residents=6):
+    """A chunk with randomly placed, mutually non-conflicting residents,
+    plus a target record to place."""
+    chunk = Chunk(0, chunk_size)
+    n = draw(st.integers(0, max_residents))
+    for i in range(n):
+        first = draw(st.integers(0, 9))
+        last = draw(st.integers(first, 9))
+        size = draw(st.integers(1, 250))
+        record = TensorUsageRecord(f"r{i}", first, last, size)
+        offset = chunk.find_gap(record)
+        if offset is not None:
+            chunk.assign(record, offset)
+    t_first = draw(st.integers(0, 9))
+    t_last = draw(st.integers(t_first, 9))
+    t_size = draw(st.integers(1, 400))
+    target = TensorUsageRecord("target", t_first, t_last, t_size)
+    return chunk, target
+
+
+def offset_is_feasible(chunk: Chunk, record: TensorUsageRecord, offset: int) -> bool:
+    """Ground truth: in-bounds and byte-disjoint from every live resident."""
+    if offset < 0 or offset + record.size > chunk.size:
+        return False
+    for assignment in chunk.assignments:
+        other = assignment.record
+        if not record.overlaps(other):
+            continue
+        if offset < assignment.end and assignment.offset < offset + record.size:
+            return False
+    return True
+
+
+class TestFindGapProperties:
+    @given(chunk_state())
+    @settings(max_examples=200, deadline=None)
+    def test_returned_offset_is_feasible(self, state):
+        chunk, target = state
+        offset = chunk.find_gap(target)
+        if offset is not None:
+            assert offset_is_feasible(chunk, target, offset)
+
+    @given(chunk_state())
+    @settings(max_examples=200, deadline=None)
+    def test_none_only_when_no_offset_feasible_at_scanned_points(self, state):
+        """If find_gap declines, exhaustive byte-level search must confirm
+        no feasible offset exists anywhere in the chunk."""
+        chunk, target = state
+        if chunk.find_gap(target) is not None:
+            return
+        assert not any(
+            offset_is_feasible(chunk, target, offset)
+            for offset in range(0, chunk.size - target.size + 1)
+        )
+
+    @given(chunk_state())
+    @settings(max_examples=200, deadline=None)
+    def test_assigning_at_returned_offset_keeps_chunk_consistent(self, state):
+        chunk, target = state
+        offset = chunk.find_gap(target)
+        if offset is None:
+            return
+        chunk.assign(target, offset)
+        # Every pair of time-overlapping residents stays byte-disjoint.
+        for i, a in enumerate(chunk.assignments):
+            for b in chunk.assignments[i + 1:]:
+                if not a.record.overlaps(b.record):
+                    continue
+                assert a.end <= b.offset or b.end <= a.offset, (
+                    a.record.name, b.record.name
+                )

@@ -1,0 +1,85 @@
+"""Property-based tests: every allocator yields safe plans on random
+workloads, and footprints respect the peak-live lower bound."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    GsocAllocator,
+    TensorUsageRecord,
+    TurboAllocator,
+    gsoc_offsets,
+    peak_live_bytes,
+    validate_plan,
+)
+
+
+@st.composite
+def usage_records(draw, max_tensors=16, max_ops=12, max_size=50_000):
+    n = draw(st.integers(1, max_tensors))
+    records = []
+    for i in range(n):
+        first = draw(st.integers(0, max_ops - 1))
+        last = draw(st.integers(first, max_ops - 1))
+        size = draw(st.integers(1, max_size))
+        records.append(TensorUsageRecord(f"t{i}", first, last, size))
+    return records
+
+
+class TestTurboAllocatorProperties:
+    @given(usage_records())
+    @settings(max_examples=100, deadline=None)
+    def test_plan_never_aliases_live_tensors(self, records):
+        allocator = TurboAllocator(chunk_size=16384)
+        plan = allocator.plan(records)
+        validate_plan(plan, records)
+
+    @given(usage_records())
+    @settings(max_examples=60, deadline=None)
+    def test_footprint_at_least_peak_live(self, records):
+        allocator = TurboAllocator(chunk_size=16384)
+        allocator.plan(records)
+        assert allocator.footprint_bytes >= peak_live_bytes(records)
+
+    @given(st.lists(usage_records(max_tensors=10), min_size=2, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_replanning_stream_stays_safe(self, request_stream):
+        """Chunk reuse across requests must never corrupt a later plan."""
+        allocator = TurboAllocator(chunk_size=16384)
+        for records in request_stream:
+            plan = allocator.plan(records)
+            validate_plan(plan, records)
+
+    @given(usage_records())
+    @settings(max_examples=60, deadline=None)
+    def test_plan_deterministic(self, records):
+        a = TurboAllocator(chunk_size=16384).plan(records)
+        b = TurboAllocator(chunk_size=16384).plan(records)
+        assert a.placements == b.placements
+        assert a.chunk_sizes == b.chunk_sizes
+
+
+class TestGsocProperties:
+    @given(usage_records())
+    @settings(max_examples=100, deadline=None)
+    def test_offsets_never_alias_live_tensors(self, records):
+        allocator = GsocAllocator()
+        result = allocator.process_request(records)
+        validate_plan(result.plan, records)
+
+    @given(usage_records())
+    @settings(max_examples=60, deadline=None)
+    def test_arena_at_least_peak_live(self, records):
+        _, arena = gsoc_offsets(records)
+        assert arena >= peak_live_bytes(records)
+
+    @given(usage_records())
+    @settings(max_examples=60, deadline=None)
+    def test_gsoc_arena_not_larger_than_turbo_footprint_much(self, records):
+        """GSOC is the near-optimal packing reference: a fresh Turbo plan
+        (chunked) should be within a constant factor of it."""
+        _, arena = gsoc_offsets(records)
+        turbo = TurboAllocator(chunk_size=16384)
+        turbo.plan(records)
+        # Chunk quantization can only add bounded slack per chunk.
+        assert turbo.footprint_bytes <= max(3 * arena, arena + 16384 * 2)

@@ -1,0 +1,74 @@
+"""Tensor usage records and lifetime overlap."""
+
+import pytest
+
+from repro.memory import TensorUsageRecord, peak_live_bytes, sort_by_size
+
+
+def rec(name, first, last, size):
+    return TensorUsageRecord(name, first, last, size)
+
+
+class TestOverlap:
+    def test_overlapping_intervals(self):
+        assert rec("a", 0, 5, 1).overlaps(rec("b", 3, 8, 1))
+
+    def test_touching_intervals_overlap(self):
+        """Alg. 2 L8 uses <=: sharing one op index counts as overlap."""
+        assert rec("a", 0, 3, 1).overlaps(rec("b", 3, 5, 1))
+
+    def test_disjoint_intervals(self):
+        assert not rec("a", 0, 2, 1).overlaps(rec("b", 3, 5, 1))
+
+    def test_symmetry(self):
+        a, b = rec("a", 1, 4, 1), rec("b", 2, 9, 1)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_containment(self):
+        assert rec("a", 0, 10, 1).overlaps(rec("b", 4, 5, 1))
+
+
+class TestValidation:
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            rec("a", 5, 3, 1)
+
+    def test_negative_first_rejected(self):
+        with pytest.raises(ValueError):
+            rec("a", -1, 3, 1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            rec("a", 0, 1, 0)
+
+
+class TestSortBySize:
+    def test_non_increasing(self):
+        records = [rec("s", 0, 1, 10), rec("l", 0, 1, 100), rec("m", 0, 1, 50)]
+        assert [r.name for r in sort_by_size(records)] == ["l", "m", "s"]
+
+    def test_name_breaks_ties_deterministically(self):
+        records = [rec("b", 0, 1, 10), rec("a", 0, 1, 10)]
+        assert [r.name for r in sort_by_size(records)] == ["a", "b"]
+
+
+class TestPeakLiveBytes:
+    def test_disjoint_tensors_peak_is_max(self):
+        records = [rec("a", 0, 1, 100), rec("b", 2, 3, 70)]
+        assert peak_live_bytes(records) == 100
+
+    def test_concurrent_tensors_sum(self):
+        records = [rec("a", 0, 5, 100), rec("b", 2, 3, 70)]
+        assert peak_live_bytes(records) == 170
+
+    def test_empty(self):
+        assert peak_live_bytes([]) == 0
+
+    def test_is_lower_bound_for_any_plan(self):
+        """Every allocator footprint must be >= peak live bytes."""
+        from repro.memory import TurboAllocator
+
+        records = [rec(f"t{i}", i, i + 2, 1000 * (i + 1)) for i in range(10)]
+        allocator = TurboAllocator(chunk_size=4096)
+        result = allocator.process_request(records)
+        assert result.footprint_bytes >= peak_live_bytes(records)

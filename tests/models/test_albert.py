@@ -1,0 +1,64 @@
+"""ALBERT: weight sharing, factorized embedding, numeric forward."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    albert_forward,
+    build_albert_graph,
+    init_albert_weights,
+    init_encoder_weights,
+    tiny_albert,
+    tiny_bert,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = tiny_albert()
+    weights = init_albert_weights(config, seed=5)
+    rng = np.random.default_rng(1)
+    ids = rng.integers(0, config.vocab_size, size=(2, 10))
+    return config, weights, ids
+
+
+class TestForward:
+    def test_fused_matches_reference(self, setup):
+        config, weights, ids = setup
+        np.testing.assert_allclose(
+            albert_forward(config, weights, ids, fused=True),
+            albert_forward(config, weights, ids, fused=False),
+            rtol=1e-3, atol=1e-4,
+        )
+
+    def test_output_shape_is_hidden_not_embedding(self, setup):
+        config, weights, ids = setup
+        out = albert_forward(config, weights, ids)
+        assert out.shape == (2, 10, config.hidden_size)
+
+    def test_requires_projection(self, setup):
+        config, _, ids = setup
+        bert_weights = init_encoder_weights(tiny_bert())
+        with pytest.raises(ValueError, match="projection"):
+            albert_forward(config, bert_weights, ids)
+
+
+class TestGraph:
+    def test_has_embedding_projection_gemm(self):
+        graph = build_albert_graph(tiny_albert())
+        assert graph.find_node("embedding_projection") is not None
+
+    def test_weights_registered_once(self):
+        """Cross-layer sharing: one shared weight set, not one per layer."""
+        graph = build_albert_graph(tiny_albert())
+        weight_names = {t.name for t in graph.weights()}
+        shared = {n for n in weight_names if n.startswith("shared.")}
+        assert len(shared) == 6  # wq, wk, wv, wo, ffn_w1, ffn_w2
+
+    def test_structure_mirrors_bert(self):
+        from repro.models import build_encoder_graph
+
+        albert = build_albert_graph(tiny_albert())
+        bert = build_encoder_graph(tiny_bert())
+        # Same op count plus the single projection GEMM.
+        assert len(albert.nodes) == len(bert.nodes) + 1

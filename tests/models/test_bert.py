@@ -1,0 +1,106 @@
+"""BERT numeric forward (fused vs reference) and graph builder structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import OpType, fuse_graph
+from repro.models import (
+    build_encoder_graph,
+    encoder_forward,
+    init_encoder_weights,
+    tiny_bert,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = tiny_bert()
+    weights = init_encoder_weights(config, seed=7)
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, config.vocab_size, size=(2, 12))
+    return config, weights, ids
+
+
+class TestNumericForward:
+    def test_fused_matches_reference(self, setup):
+        """Deliverable-critical: the Turbo kernel path reproduces the
+        framework path to FP rounding."""
+        config, weights, ids = setup
+        fused = encoder_forward(config, weights, ids, fused=True)
+        reference = encoder_forward(config, weights, ids, fused=False)
+        np.testing.assert_allclose(fused, reference, rtol=1e-3, atol=1e-4)
+
+    def test_output_shape(self, setup):
+        config, weights, ids = setup
+        out = encoder_forward(config, weights, ids)
+        assert out.shape == (2, 12, config.hidden_size)
+
+    def test_deterministic(self, setup):
+        config, weights, ids = setup
+        a = encoder_forward(config, weights, ids)
+        b = encoder_forward(config, weights, ids)
+        np.testing.assert_array_equal(a, b)
+
+    def test_outputs_finite_and_normalized(self, setup):
+        config, weights, ids = setup
+        out = encoder_forward(config, weights, ids)
+        assert np.isfinite(out).all()
+        # Final op is LayerNorm: per-position stats are standardized.
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+
+    def test_padding_does_not_change_valid_positions(self, setup):
+        """The zero-padding equivalence the serving batcher relies on."""
+        config, weights, ids = setup
+        short = ids[:, :8]
+        lengths = np.array([8, 8])
+        padded_out = encoder_forward(config, weights, ids, lengths=lengths)
+        short_out = encoder_forward(config, weights, short)
+        np.testing.assert_allclose(
+            padded_out[:, :8], short_out, rtol=1e-3, atol=1e-4
+        )
+
+    def test_batch_independence(self, setup):
+        """Row i of a batch equals running request i alone."""
+        config, weights, ids = setup
+        batch_out = encoder_forward(config, weights, ids)
+        solo_out = encoder_forward(config, weights, ids[:1])
+        np.testing.assert_allclose(batch_out[:1], solo_out, rtol=1e-3, atol=1e-4)
+
+    def test_rank_validated(self, setup):
+        config, weights, _ = setup
+        with pytest.raises(ValueError):
+            encoder_forward(config, weights, np.array([1, 2, 3]))
+
+
+class TestGraphBuilder:
+    def test_node_count_scales_with_layers(self):
+        two = build_encoder_graph(tiny_bert())
+        twelve = build_encoder_graph(tiny_bert().scaled(num_layers=12))
+        per_layer = (len(twelve.nodes) - len(two.nodes)) / 10
+        assert per_layer == pytest.approx(22, abs=3)
+
+    def test_gemm_count(self, bert_graph):
+        """8 GEMM-class ops per layer: qkv(3) + scores + context + out + 2 ffn."""
+        gemms = bert_graph.gemm_nodes()
+        assert len(gemms) == 12 * 8
+
+    def test_symbols_are_batch_and_seq(self, bert_graph):
+        symbols = set()
+        for spec in bert_graph.tensors.values():
+            symbols.update(spec.symbols)
+        assert symbols == {"batch", "seq"}
+
+    def test_graph_validates(self, bert_graph):
+        bert_graph.validate()
+
+    def test_fusion_keeps_gemms(self, bert_graph):
+        fused = fuse_graph(bert_graph)
+        assert len(fused.gemm_nodes()) == len(bert_graph.gemm_nodes())
+
+    def test_softmax_per_layer(self, bert_graph):
+        softmaxes = [n for n in bert_graph.nodes if n.op_type is OpType.SOFTMAX]
+        assert len(softmaxes) == 12
+
+    def test_layernorms(self, bert_graph):
+        lns = [n for n in bert_graph.nodes if n.op_type is OpType.LAYERNORM]
+        assert len(lns) == 2 * 12 + 1  # attn + ffn per layer, + embedding

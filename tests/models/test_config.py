@@ -1,0 +1,64 @@
+"""Model configurations — paper Table 3."""
+
+import pytest
+
+from repro.models import (
+    AlbertConfig,
+    BertConfig,
+    Seq2SeqConfig,
+    albert_base,
+    bert_base,
+    seq2seq_decoder,
+    tiny_bert,
+)
+
+
+class TestTable3:
+    def test_bert_matches_table3(self):
+        config = bert_base()
+        assert config.num_layers == 12
+        assert config.num_heads == 12
+        assert config.head_size == 64
+        assert config.hidden_size == 768
+        assert config.intermediate_size == 3072
+
+    def test_albert_matches_table3(self):
+        config = albert_base()
+        assert config.num_layers == 12
+        assert config.num_heads == 12
+        assert config.head_size == 64
+        assert config.embedding_size < config.hidden_size  # factorized
+
+    def test_decoder_matches_table3(self):
+        config = seq2seq_decoder()
+        assert config.num_layers == 6
+        assert config.num_heads == 16
+        assert config.head_size == 64
+        assert config.hidden_size == 1024
+        assert config.beam_size == 4
+        assert config.max_target_len == 500
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["num_layers", "num_heads", "head_size"])
+    def test_nonpositive_rejected(self, field):
+        with pytest.raises(ValueError):
+            BertConfig(**{field: 0})
+
+    def test_bad_beam_rejected(self):
+        with pytest.raises(ValueError):
+            Seq2SeqConfig(beam_size=0)
+
+    def test_bad_embedding_size_rejected(self):
+        with pytest.raises(ValueError):
+            AlbertConfig(embedding_size=0)
+
+    def test_scaled_override(self):
+        small = bert_base().scaled(num_layers=2)
+        assert small.num_layers == 2
+        assert small.hidden_size == 768
+
+    def test_tiny_configs_are_small(self):
+        tiny = tiny_bert()
+        assert tiny.hidden_size <= 64
+        assert tiny.num_layers <= 2

@@ -1,0 +1,93 @@
+"""Seq2Seq decoder: step graph structure and beam-search behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.graph import fuse_graph
+from repro.models import (
+    beam_search,
+    build_decoder_step_graph,
+    init_decoder_weights,
+    seq2seq_decoder,
+    tiny_seq2seq,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    config = tiny_seq2seq()
+    weights = init_decoder_weights(config, seed=11)
+    rng = np.random.default_rng(2)
+    memory = rng.normal(0, 0.5, size=(6, config.hidden_size)).astype(np.float32)
+    return config, weights, memory
+
+
+class TestStepGraph:
+    def test_symbols(self):
+        graph = build_decoder_step_graph(seq2seq_decoder())
+        symbols = set()
+        for spec in graph.tensors.values():
+            symbols.update(spec.symbols)
+        assert symbols == {"beam", "tgt_pos", "src_len"}
+
+    def test_validates_and_fuses(self):
+        graph = build_decoder_step_graph(seq2seq_decoder())
+        graph.validate()
+        fused = fuse_graph(graph)
+        assert len(fused.nodes) < len(graph.nodes)
+
+    def test_two_softmax_per_layer_plus_vocab(self):
+        from repro.graph import OpType
+
+        config = seq2seq_decoder()
+        graph = build_decoder_step_graph(config)
+        softmaxes = [n for n in graph.nodes if n.op_type is OpType.SOFTMAX]
+        assert len(softmaxes) == 2 * config.num_layers + 1
+
+    def test_vocab_projection_present(self):
+        graph = build_decoder_step_graph(seq2seq_decoder())
+        node = graph.find_node("logit_gemm")
+        assert node is not None
+        assert node.attrs["n"] == seq2seq_decoder().vocab_size
+
+
+class TestBeamSearch:
+    def test_produces_tokens(self, tiny):
+        config, weights, memory = tiny
+        hyp = beam_search(config, weights, memory, max_len=8)
+        assert 1 <= len(hyp.tokens) <= 8
+        assert all(0 <= t < config.vocab_size for t in hyp.tokens)
+
+    def test_deterministic(self, tiny):
+        config, weights, memory = tiny
+        a = beam_search(config, weights, memory, max_len=6)
+        b = beam_search(config, weights, memory, max_len=6)
+        assert a.tokens == b.tokens
+        assert a.score == b.score
+
+    def test_score_is_log_probability(self, tiny):
+        config, weights, memory = tiny
+        hyp = beam_search(config, weights, memory, max_len=6)
+        assert hyp.score <= 0.0
+
+    def test_memory_affects_output(self, tiny):
+        config, weights, memory = tiny
+        other_memory = memory + 2.0
+        a = beam_search(config, weights, memory, max_len=6)
+        b = beam_search(config, weights, other_memory, max_len=6)
+        assert a.tokens != b.tokens or a.score != b.score
+
+    def test_wider_beam_never_worse(self, tiny):
+        """Beam k's best score is monotone non-decreasing in k (same
+        length cap, no length penalty)."""
+        config, weights, memory = tiny
+        from dataclasses import replace
+
+        narrow = beam_search(replace(config, beam_size=1), weights, memory, max_len=5)
+        wide = beam_search(replace(config, beam_size=4), weights, memory, max_len=5)
+        assert wide.score >= narrow.score - 1e-9
+
+    def test_memory_shape_validated(self, tiny):
+        config, weights, _ = tiny
+        with pytest.raises(ValueError):
+            beam_search(config, weights, np.zeros((6, 3)))

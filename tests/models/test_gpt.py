@@ -1,0 +1,112 @@
+"""GPT decoder-only model: graphs and numeric generation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import OpType, fuse_graph
+from repro.models import (
+    build_decode_step_graph,
+    build_prefill_graph,
+    generate,
+    gpt_small,
+    init_gpt_weights,
+    tiny_gpt,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    config = tiny_gpt()
+    return config, init_gpt_weights(config, seed=4)
+
+
+class TestGraphs:
+    def test_prefill_has_lm_head(self):
+        graph = build_prefill_graph(gpt_small())
+        node = graph.find_node("lm_head")
+        assert node is not None
+        assert node.attrs["n"] == gpt_small().vocab_size
+
+    def test_prefill_validates_and_fuses(self):
+        graph = build_prefill_graph(gpt_small())
+        graph.validate()
+        assert len(fuse_graph(graph).nodes) < len(graph.nodes)
+
+    def test_decode_step_symbols(self):
+        graph = build_decode_step_graph(gpt_small())
+        symbols = set()
+        for spec in graph.tensors.values():
+            symbols.update(spec.symbols)
+        assert symbols == {"batch", "past"}
+
+    def test_decode_has_no_cross_attention(self):
+        graph = build_decode_step_graph(gpt_small())
+        softmaxes = [n for n in graph.nodes if n.op_type is OpType.SOFTMAX]
+        # One self-attention softmax per layer, nothing else.
+        assert len(softmaxes) == gpt_small().num_layers
+
+    def test_kv_cache_tensors_are_inputs(self):
+        from repro.graph import TensorKind
+
+        graph = build_decode_step_graph(gpt_small())
+        assert graph.tensors["l0.kcache"].kind is TensorKind.INPUT
+
+
+class TestGeneration:
+    def test_greedy_deterministic(self, tiny):
+        config, weights = tiny
+        prompt = np.array([1, 2, 3])
+        a = generate(config, weights, prompt, max_new_tokens=5)
+        b = generate(config, weights, prompt, max_new_tokens=5)
+        assert a == b
+        assert len(a) == 5
+
+    def test_tokens_in_vocab(self, tiny):
+        config, weights = tiny
+        tokens = generate(config, weights, np.array([7]), max_new_tokens=8)
+        assert all(0 <= t < config.vocab_size for t in tokens)
+
+    def test_sampling_differs_from_greedy_somewhere(self, tiny):
+        config, weights = tiny
+        prompt = np.array([1, 2, 3])
+        greedy = generate(config, weights, prompt, max_new_tokens=8)
+        sampled = [
+            generate(config, weights, prompt, max_new_tokens=8,
+                     temperature=2.0, seed=s)
+            for s in range(4)
+        ]
+        assert any(s != greedy for s in sampled)
+
+    def test_sampling_deterministic_given_seed(self, tiny):
+        config, weights = tiny
+        prompt = np.array([1, 2])
+        a = generate(config, weights, prompt, max_new_tokens=5,
+                     temperature=1.0, seed=9)
+        b = generate(config, weights, prompt, max_new_tokens=5,
+                     temperature=1.0, seed=9)
+        assert a == b
+
+    def test_eos_stops_generation(self, tiny):
+        config, weights = tiny
+        prompt = np.array([1, 2, 3])
+        greedy = generate(config, weights, prompt, max_new_tokens=6)
+        eos = greedy[2]
+        stopped = generate(config, weights, prompt, max_new_tokens=6, eos_id=eos)
+        assert stopped[-1] == eos
+        assert len(stopped) == 3
+
+    def test_position_limit_respected(self, tiny):
+        config, weights = tiny
+        prompt = np.arange(1, config.max_position - 2)
+        tokens = generate(config, weights, prompt, max_new_tokens=50)
+        assert len(prompt) + len(tokens) <= config.max_position
+
+    def test_validation(self, tiny):
+        config, weights = tiny
+        with pytest.raises(ValueError):
+            generate(config, weights, np.array([]), max_new_tokens=3)
+        with pytest.raises(ValueError):
+            generate(config, weights, np.array([1]), max_new_tokens=0)
+        with pytest.raises(ValueError):
+            generate(config, weights, np.array([1]), max_new_tokens=1,
+                     temperature=-1.0)

@@ -1,0 +1,94 @@
+"""End-to-end Seq2Seq: encode + translate + latency composition."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import RTX_2060
+from repro.models import (
+    Seq2SeqLatencyModel,
+    Seq2SeqModel,
+    encoder_config_for,
+    seq2seq_decoder,
+    tiny_seq2seq,
+)
+from repro.runtime import PYTORCH_CHARACTERISTICS, TURBO_CHARACTERISTICS
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Seq2SeqModel.random_init(tiny_seq2seq(), seed=0)
+
+
+class TestEncoderConfig:
+    def test_matches_decoder_geometry(self):
+        config = seq2seq_decoder()
+        enc = encoder_config_for(config)
+        assert enc.hidden_size == config.hidden_size
+        assert enc.num_layers == config.num_layers
+
+
+class TestTranslate:
+    def test_encode_shape(self, model):
+        ids = np.random.default_rng(0).integers(0, 100, (3, 7))
+        memory = model.encode(ids)
+        assert memory.shape == (3, 7, model.config.hidden_size)
+
+    def test_translate_batch(self, model):
+        ids = np.random.default_rng(1).integers(0, 100, (2, 6))
+        hyps = model.translate(ids, max_len=8)
+        assert len(hyps) == 2
+        for h in hyps:
+            assert 1 <= len(h.tokens) <= 8
+            assert h.score <= 0.0
+
+    def test_deterministic(self, model):
+        ids = np.random.default_rng(2).integers(0, 100, (1, 5))
+        a = model.translate(ids, max_len=6)[0]
+        b = model.translate(ids, max_len=6)[0]
+        assert a.tokens == b.tokens
+
+    def test_source_content_matters(self, model):
+        rng = np.random.default_rng(3)
+        a = model.translate(rng.integers(0, 50, (1, 6)), max_len=6)[0]
+        b = model.translate(rng.integers(50, 100, (1, 6)), max_len=6)[0]
+        assert a.tokens != b.tokens or a.score != b.score
+
+    def test_source_rank_validated(self, model):
+        with pytest.raises(ValueError):
+            model.encode(np.array([1, 2, 3]))
+
+
+class TestLatencyModel:
+    @pytest.fixture(scope="class")
+    def latency_models(self):
+        config = seq2seq_decoder()
+        return (
+            Seq2SeqLatencyModel(config, TURBO_CHARACTERISTICS, RTX_2060,
+                                step_overhead_s=0.1e-3),
+            Seq2SeqLatencyModel(config, PYTORCH_CHARACTERISTICS, RTX_2060,
+                                step_overhead_s=2.5e-3),
+        )
+
+    def test_encode_plus_decode_composition(self, latency_models):
+        turbo, _ = latency_models
+        total = turbo.translate_latency(64, 64)
+        encode = turbo.encoder_runtime.latency(1, 64)
+        decode = turbo.decoder_runtime.decode_latency(64, 64)
+        assert total == pytest.approx(encode + decode)
+
+    def test_decode_dominates_encode(self, latency_models):
+        """Autoregressive decoding is ~tgt_len sequential passes: far more
+        expensive than the single parallel encoder pass."""
+        turbo, _ = latency_models
+        encode = turbo.encoder_runtime.latency(1, 100)
+        decode = turbo.decoder_runtime.decode_latency(100, 100)
+        assert decode > 10 * encode
+
+    def test_turbo_faster_end_to_end(self, latency_models):
+        turbo, pytorch = latency_models
+        assert turbo.translate_latency(64) < pytorch.translate_latency(64)
+
+    def test_validation(self, latency_models):
+        turbo, _ = latency_models
+        with pytest.raises(ValueError):
+            turbo.translate_latency(0)

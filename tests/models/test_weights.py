@@ -1,0 +1,76 @@
+"""Weight initialization: determinism, sharing, parameter accounting."""
+
+import numpy as np
+
+from repro.models import (
+    albert_base,
+    bert_base,
+    init_decoder_weights,
+    init_encoder_weights,
+    seq2seq_decoder,
+    tiny_albert,
+    tiny_bert,
+    tiny_seq2seq,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        a = init_encoder_weights(tiny_bert(), seed=3)
+        b = init_encoder_weights(tiny_bert(), seed=3)
+        np.testing.assert_array_equal(a.layers[0].ffn_w1, b.layers[0].ffn_w1)
+
+    def test_different_seed_different_weights(self):
+        a = init_encoder_weights(tiny_bert(), seed=3)
+        b = init_encoder_weights(tiny_bert(), seed=4)
+        assert not np.array_equal(a.layers[0].ffn_w1, b.layers[0].ffn_w1)
+
+
+class TestShapes:
+    def test_bert_layer_shapes(self):
+        config = tiny_bert()
+        w = init_encoder_weights(config)
+        hidden = config.hidden_size
+        layer = w.layers[0]
+        assert layer.attention.wq.shape == (hidden, hidden)
+        assert layer.ffn_w1.shape == (hidden, config.intermediate_size)
+        assert layer.ffn_w2.shape == (config.intermediate_size, hidden)
+        assert w.embedding_projection is None
+
+    def test_albert_factorized_embedding(self):
+        config = tiny_albert()
+        w = init_encoder_weights(config)
+        assert w.token_embedding.shape == (config.vocab_size, config.embedding_size)
+        assert w.embedding_projection.shape == (
+            config.embedding_size, config.hidden_size
+        )
+
+    def test_decoder_shapes(self):
+        config = tiny_seq2seq()
+        w = init_decoder_weights(config)
+        assert len(w.layers) == config.num_layers
+        assert w.output_projection.shape == (config.hidden_size, config.vocab_size)
+
+
+class TestSharing:
+    def test_albert_layers_share_one_object(self):
+        w = init_encoder_weights(tiny_albert())
+        assert all(layer is w.layers[0] for layer in w.layers)
+
+    def test_bert_layers_are_distinct(self):
+        w = init_encoder_weights(tiny_bert())
+        assert w.layers[0] is not w.layers[1]
+
+
+class TestParameterBytes:
+    def test_bert_base_is_about_440mb(self):
+        """§4.2 quotes 440 MB of parameters for FP32 BERT-base."""
+        w = init_encoder_weights(bert_base())
+        mb = w.parameter_bytes / 2**20
+        assert 350 < mb < 520
+
+    def test_albert_is_much_smaller_than_bert(self):
+        """Weight sharing: ALBERT ~1/10th of BERT's parameters."""
+        bert = init_encoder_weights(bert_base()).parameter_bytes
+        albert = init_encoder_weights(albert_base()).parameter_bytes
+        assert albert < 0.25 * bert

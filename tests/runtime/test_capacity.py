@@ -1,0 +1,55 @@
+"""Device-memory capacity planning (§4.2's footprint/batch-size link)."""
+
+import pytest
+
+from repro.runtime import max_feasible_batch, safe_max_batch, serving_batch_limits
+
+MB = 2**20
+
+
+class TestMaxFeasibleBatch:
+    def test_monotone_in_budget(self, bert_graph):
+        small = max_feasible_batch(bert_graph, 256, 64 * MB, max_batch=32)
+        large = max_feasible_batch(bert_graph, 256, 512 * MB, max_batch=32)
+        assert small < large
+
+    def test_monotone_in_length(self, bert_graph):
+        limits = serving_batch_limits(bert_graph, 128 * MB, [64, 256, 500],
+                                      max_batch=32)
+        assert limits[64] >= limits[256] >= limits[500]
+
+    def test_zero_when_nothing_fits(self, bert_graph):
+        assert max_feasible_batch(bert_graph, 500, 1 * MB, max_batch=4) == 0
+
+    def test_capped_by_max_batch(self, bert_graph):
+        assert max_feasible_batch(bert_graph, 64, 10**12, max_batch=8) == 8
+
+    def test_plan_at_limit_really_fits(self, bert_graph):
+        """The returned batch is actually plannable within the budget."""
+        from repro.gpusim.memory import DeviceMemory
+        from repro.graph import fuse_graph, tensor_usage_records
+        from repro.memory import TurboAllocator
+
+        budget = 96 * MB
+        limit = max_feasible_batch(bert_graph, 256, budget, max_batch=32)
+        assert limit > 0
+        records = tensor_usage_records(
+            fuse_graph(bert_graph), {"batch": limit, "seq": 256}
+        )
+        allocator = TurboAllocator(device_memory=DeviceMemory(capacity_bytes=budget))
+        allocator.plan(records)  # must not raise
+        assert allocator.footprint_bytes <= budget
+
+    def test_safe_max_batch_is_worst_case(self, bert_graph):
+        safe = safe_max_batch(bert_graph, 128 * MB, max_seq_len=500, max_batch=32)
+        at_500 = max_feasible_batch(bert_graph, 500, 128 * MB, max_batch=32)
+        assert safe == at_500
+
+    @pytest.mark.parametrize("kwargs", [
+        {"seq_len": 0, "activation_budget_bytes": MB},
+        {"seq_len": 10, "activation_budget_bytes": 0},
+        {"seq_len": 10, "activation_budget_bytes": MB, "max_batch": 0},
+    ])
+    def test_validation(self, bert_graph, kwargs):
+        with pytest.raises(ValueError):
+            max_feasible_batch(bert_graph, **kwargs)

@@ -1,0 +1,143 @@
+"""Graph-node cost mapping."""
+
+import pytest
+
+from repro.gpusim import RTX_2060, ReductionImpl
+from repro.graph import ComputationGraph, OpType, TensorKind, fuse_graph
+from repro.runtime import RuntimeCharacteristics, graph_cost, node_cost, resolve_product
+
+
+PLAIN = RuntimeCharacteristics(
+    name="plain", fuse_kernels=False, reduction_impl=ReductionImpl.TURBO
+)
+
+
+class TestResolveProduct:
+    def test_scalar(self):
+        assert resolve_product(7, {}) == 7
+
+    def test_symbol(self):
+        assert resolve_product("seq", {"seq": 5}) == 5
+
+    def test_product(self):
+        assert resolve_product(("batch", 12, "seq"), {"batch": 2, "seq": 10}) == 240
+
+    def test_unbound_raises(self):
+        with pytest.raises(KeyError):
+            resolve_product(("batch",), {})
+
+
+def small_graph() -> ComputationGraph:
+    g = ComputationGraph("g")
+    g.tensor("in", ("batch", 8), TensorKind.INPUT)
+    g.tensor("w", (8, 8), TensorKind.WEIGHT)
+    g.tensor("h", ("batch", 8))
+    g.tensor("h2", ("batch", 8))
+    g.tensor("out", ("batch", 8), TensorKind.OUTPUT)
+    g.add_node("gemm", OpType.GEMM, ["in", "w"], ["h"], m=("batch",), n=8, k=8)
+    g.add_node("bias", OpType.ELEMENTWISE, ["h"], ["h2"],
+               nelems=("batch", 8), reads=1, writes=1, flops_per_elem=1)
+    g.add_node("ln", OpType.LAYERNORM, ["h2"], ["out"], rows=("batch",), row_len=8)
+    return g
+
+
+class TestNodeCost:
+    def test_every_node_priced(self):
+        timings = graph_cost(small_graph().nodes, {"batch": 4}, PLAIN, RTX_2060)
+        assert len(timings) == 3
+        assert all(t.total_s > 0 for t in timings)
+
+    def test_cost_scales_with_bindings(self):
+        nodes = small_graph().nodes
+        small = sum(t.total_s for t in graph_cost(nodes, {"batch": 4}, PLAIN, RTX_2060))
+        large = sum(t.total_s for t in graph_cost(nodes, {"batch": 4000}, PLAIN, RTX_2060))
+        assert large > small
+
+    def test_reduction_impl_respected(self):
+        node = small_graph().nodes[2]
+        fast = node_cost(node, {"batch": 50000}, PLAIN, RTX_2060)
+        slow_chars = RuntimeCharacteristics(
+            name="slow", fuse_kernels=False, reduction_impl=ReductionImpl.PYTORCH
+        )
+        slow = node_cost(node, {"batch": 50000}, slow_chars, RTX_2060)
+        assert slow.total_s > fast.total_s
+
+    def test_gemm_tuning_boost_capped(self):
+        """Autotuning recovers underfill; a saturating GEMM gets nothing."""
+        g = ComputationGraph("g2")
+        g.tensor("in", (10000, 768), TensorKind.INPUT)
+        g.tensor("w", (768, 768), TensorKind.WEIGHT)
+        g.tensor("out", (10000, 768), TensorKind.OUTPUT)
+        g.add_node("big", OpType.GEMM, ["in", "w"], ["out"], m=10000, n=768, k=768)
+        node = g.nodes[0]
+        tuned = RuntimeCharacteristics(
+            name="t", fuse_kernels=False, reduction_impl=ReductionImpl.TURBO,
+            gemm_tuning=1.5,
+        )
+        base = node_cost(node, {}, PLAIN, RTX_2060)
+        boosted = node_cost(node, {}, tuned, RTX_2060)
+        assert boosted.total_s == pytest.approx(base.total_s)
+
+    def test_gemm_tuning_helps_small_gemm(self):
+        node = small_graph().nodes[0]
+        tuned = RuntimeCharacteristics(
+            name="t", fuse_kernels=False, reduction_impl=ReductionImpl.TURBO,
+            gemm_tuning=1.5,
+        )
+        base = node_cost(node, {"batch": 4}, PLAIN, RTX_2060)
+        boosted = node_cost(node, {"batch": 4}, tuned, RTX_2060)
+        assert boosted.compute_s < base.compute_s
+
+    def test_gemm_derate_always_applies(self):
+        node = small_graph().nodes[0]
+        derated = RuntimeCharacteristics(
+            name="d", fuse_kernels=False, reduction_impl=ReductionImpl.TURBO,
+            gemm_tuning=0.5,
+        )
+        base = node_cost(node, {"batch": 4}, PLAIN, RTX_2060)
+        slow = node_cost(node, {"batch": 4}, derated, RTX_2060)
+        assert slow.compute_s == pytest.approx(base.compute_s * 2)
+
+    def test_fused_node_single_launch(self):
+        fused = fuse_graph(small_graph())
+        fused_node = next(n for n in fused.nodes if n.op_type is OpType.FUSED)
+        timing = node_cost(fused_node, {"batch": 4}, PLAIN, RTX_2060)
+        assert timing.launch_s == RTX_2060.launch_overhead_s
+
+    def test_fusion_cheaper_than_unfused(self):
+        g = small_graph()
+        fused = fuse_graph(g)
+        unfused_total = sum(
+            t.total_s for t in graph_cost(g.nodes, {"batch": 128}, PLAIN, RTX_2060)
+        )
+        fused_total = sum(
+            t.total_s for t in graph_cost(fused.nodes, {"batch": 128}, PLAIN, RTX_2060)
+        )
+        assert fused_total < unfused_total
+
+
+class TestCharacteristics:
+    def test_padded_length(self):
+        chars = RuntimeCharacteristics(
+            name="p", fuse_kernels=True, reduction_impl=ReductionImpl.TURBO,
+            pad_to_multiple=64,
+        )
+        assert chars.padded_length(1) == 64
+        assert chars.padded_length(64) == 64
+        assert chars.padded_length(65) == 128
+
+    def test_padded_length_validates(self):
+        with pytest.raises(ValueError):
+            PLAIN.padded_length(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"gemm_tuning": 0.0},
+        {"reduction_x_elems": 0},
+        {"pad_to_multiple": 0},
+    ])
+    def test_invalid_characteristics(self, kwargs):
+        with pytest.raises(ValueError):
+            RuntimeCharacteristics(
+                name="bad", fuse_kernels=True,
+                reduction_impl=ReductionImpl.TURBO, **kwargs
+            )

@@ -1,0 +1,82 @@
+"""GenerationRuntime: prefill/decode latency model."""
+
+import pytest
+
+from repro.gpusim import RTX_2060
+from repro.models import build_decode_step_graph, build_prefill_graph, gpt_small
+from repro.runtime import (
+    GenerationRuntime,
+    PYTORCH_CHARACTERISTICS,
+    TURBO_CHARACTERISTICS,
+)
+
+
+@pytest.fixture(scope="module")
+def runtimes():
+    config = gpt_small()
+    prefill = build_prefill_graph(config)
+    decode = build_decode_step_graph(config)
+    turbo = GenerationRuntime(prefill, decode, TURBO_CHARACTERISTICS,
+                              RTX_2060, step_overhead_s=0.1e-3)
+    pytorch = GenerationRuntime(prefill, decode, PYTORCH_CHARACTERISTICS,
+                                RTX_2060, step_overhead_s=2.5e-3)
+    return turbo, pytorch
+
+
+class TestPrefill:
+    def test_grows_with_prompt(self, runtimes):
+        turbo, _ = runtimes
+        assert turbo.prefill_latency(1, 512) > turbo.prefill_latency(1, 32)
+
+    def test_batch_amortizes(self, runtimes):
+        turbo, _ = runtimes
+        per1 = turbo.prefill_latency(1, 64)
+        per8 = turbo.prefill_latency(8, 64) / 8
+        assert per8 < per1
+
+
+class TestDecode:
+    def test_step_grows_with_cache(self, runtimes):
+        turbo, _ = runtimes
+        assert turbo.decode_step_latency(1, 900) > turbo.decode_step_latency(1, 8)
+
+    def test_decode_step_cheaper_than_prefill(self, runtimes):
+        """One token's work vs a whole prompt's."""
+        turbo, _ = runtimes
+        assert turbo.decode_step_latency(1, 128) < turbo.prefill_latency(1, 128)
+
+    def test_generate_latency_composition(self, runtimes):
+        turbo, _ = runtimes
+        total = turbo.generate_latency(128, 32)
+        assert total > turbo.prefill_latency(1, 128)
+        assert total > 32 * turbo.decode_step_latency(1, 128) * 0.5
+
+    def test_turbo_beats_pytorch(self, runtimes):
+        turbo, pytorch = runtimes
+        assert turbo.generate_latency(128, 64) < pytorch.generate_latency(128, 64)
+
+    def test_tokens_per_second_sane(self, runtimes):
+        turbo, _ = runtimes
+        tps = turbo.tokens_per_second(128, 64)
+        assert 10 < tps < 10_000
+
+    def test_strided_close_to_exact(self):
+        config = gpt_small()
+        prefill = build_prefill_graph(config)
+        decode = build_decode_step_graph(config)
+        exact = GenerationRuntime(prefill, decode, TURBO_CHARACTERISTICS,
+                                  RTX_2060, stride=1)
+        approx = GenerationRuntime(prefill, decode, TURBO_CHARACTERISTICS,
+                                   RTX_2060, stride=8)
+        e = exact.generate_latency(64, 48)
+        a = approx.generate_latency(64, 48)
+        assert abs(a - e) / e < 0.02
+
+    def test_validation(self, runtimes):
+        turbo, _ = runtimes
+        with pytest.raises(ValueError):
+            turbo.prefill_latency(0, 10)
+        with pytest.raises(ValueError):
+            turbo.decode_step_latency(1, 0)
+        with pytest.raises(ValueError):
+            turbo.generate_latency(10, 0)

@@ -1,0 +1,84 @@
+"""Padding-free packed batching: node classification and cost model."""
+
+import pytest
+
+from repro.gpusim import RTX_2060
+from repro.graph import fuse_graph
+from repro.runtime import (
+    PackedRuntime,
+    TURBO_CHARACTERISTICS,
+    is_quadratic_in_seq,
+    seq_occurrences,
+    turbo_runtime,
+)
+
+
+@pytest.fixture(scope="module")
+def packed(bert_graph):
+    return PackedRuntime(bert_graph, TURBO_CHARACTERISTICS, RTX_2060)
+
+
+class TestClassification:
+    def test_attention_core_is_quadratic(self, bert_graph):
+        fused = fuse_graph(bert_graph)
+        quadratic = {n.name for n in fused.nodes if is_quadratic_in_seq(n)}
+        assert "l0.scores_gemm" in quadratic
+        assert "l0.context_gemm" in quadratic
+        assert any("softmax" in name for name in quadratic)
+
+    def test_projections_are_shared(self, bert_graph):
+        fused = fuse_graph(bert_graph)
+        shared = {n.name for n in fused.nodes if not is_quadratic_in_seq(n)}
+        assert "l0.q_gemm" in shared
+        assert "l0.ffn1_gemm" in shared
+
+    def test_three_quadratic_nodes_per_layer(self, packed):
+        # scores GEMM, fused scale+softmax, context GEMM
+        assert packed.quadratic_node_count == 3 * 12
+
+    def test_seq_occurrences_counts(self, bert_graph):
+        scores = bert_graph.find_node("l0.scores_gemm")
+        assert seq_occurrences(scores) == 2
+        qkv = bert_graph.find_node("l0.q_gemm")
+        assert seq_occurrences(qkv) == 1
+
+
+class TestPackedCost:
+    def test_single_request_matches_runtime_kernels(self, packed, bert_graph):
+        """A packed 'batch' of one request is just a normal inference."""
+        runtime = turbo_runtime(graph=bert_graph, enable_memory_manager=False)
+        single = packed.packed_latency([250])
+        normal = runtime.latency(1, 250)
+        assert single == pytest.approx(normal, rel=0.02)
+
+    def test_packed_beats_padded_on_mixed_lengths(self, packed, bert_graph):
+        runtime = turbo_runtime(graph=bert_graph)
+        lengths = [17, 18, 52, 63, 77, 250, 400]
+        packed_cost = packed.packed_latency(lengths)
+        padded_cost = runtime.latency(len(lengths), max(lengths))
+        assert packed_cost < 0.6 * padded_cost
+
+    def test_packed_near_padded_on_uniform_lengths(self, packed, bert_graph):
+        """With identical lengths there is no padding to save: packed and
+        padded should be close (packed still saves per-request attention
+        batching differences only)."""
+        runtime = turbo_runtime(graph=bert_graph, enable_memory_manager=False)
+        lengths = [128] * 8
+        packed_cost = packed.packed_latency(lengths)
+        padded_cost = runtime.latency(8, 128)
+        assert packed_cost == pytest.approx(padded_cost, rel=0.35)
+
+    def test_monotone_in_added_request(self, packed):
+        base = packed.packed_latency([100, 200])
+        more = packed.packed_latency([100, 200, 50])
+        assert more > base
+
+    def test_order_invariant(self, packed):
+        assert packed.packed_latency([10, 400, 90]) == \
+            packed.packed_latency([400, 90, 10])
+
+    def test_validation(self, packed):
+        with pytest.raises(ValueError):
+            packed.packed_latency([])
+        with pytest.raises(ValueError):
+            packed.packed_latency([10, 0])

@@ -1,0 +1,73 @@
+"""Runtime presets implement the Table 1 feature matrix."""
+
+import pytest
+
+from repro.gpusim import ReductionImpl
+from repro.runtime import (
+    FASTER_TRANSFORMER_CHARACTERISTICS,
+    ONNXRUNTIME_CHARACTERISTICS,
+    PYTORCH_CHARACTERISTICS,
+    RUNTIME_FACTORIES,
+    TENSORRT_CHARACTERISTICS,
+    TURBO_CHARACTERISTICS,
+    XLA_CHARACTERISTICS,
+)
+
+
+class TestTable1Properties:
+    def test_turbo_no_preprocess_variable_length(self):
+        assert TURBO_CHARACTERISTICS.preprocess_s == 0.0
+        assert TURBO_CHARACTERISTICS.supports_variable_length
+        assert TURBO_CHARACTERISTICS.usage == "easy"
+
+    def test_pytorch_variable_length_no_fusion(self):
+        assert PYTORCH_CHARACTERISTICS.supports_variable_length
+        assert not PYTORCH_CHARACTERISTICS.fuse_kernels
+        assert PYTORCH_CHARACTERISTICS.reduction_impl is ReductionImpl.PYTORCH
+
+    def test_fixed_length_runtimes(self):
+        for chars in (XLA_CHARACTERISTICS, TENSORRT_CHARACTERISTICS,
+                      FASTER_TRANSFORMER_CHARACTERISTICS):
+            assert not chars.supports_variable_length
+            assert chars.preprocess_s > 0
+
+    def test_onnx_is_the_variable_length_baseline(self):
+        assert ONNXRUNTIME_CHARACTERISTICS.supports_variable_length
+        assert ONNXRUNTIME_CHARACTERISTICS.usage == "medium"
+
+    def test_only_turbo_uses_turbo_reductions(self):
+        others = [
+            PYTORCH_CHARACTERISTICS, ONNXRUNTIME_CHARACTERISTICS,
+            XLA_CHARACTERISTICS, TENSORRT_CHARACTERISTICS,
+            FASTER_TRANSFORMER_CHARACTERISTICS,
+        ]
+        assert TURBO_CHARACTERISTICS.reduction_impl is ReductionImpl.TURBO
+        assert all(c.reduction_impl is not ReductionImpl.TURBO for c in others)
+
+    def test_tensorrt_hard_usage(self):
+        assert TENSORRT_CHARACTERISTICS.usage == "hard"
+        assert FASTER_TRANSFORMER_CHARACTERISTICS.usage == "hard"
+
+
+class TestFactories:
+    def test_registry_complete(self):
+        assert set(RUNTIME_FACTORIES) == {
+            "turbo", "pytorch", "onnxruntime", "xla",
+            "fastertransformer", "tensorrt",
+        }
+
+    @pytest.mark.parametrize("name", sorted(
+        ["turbo", "pytorch", "onnxruntime", "xla", "fastertransformer", "tensorrt"]
+    ))
+    def test_factory_builds_working_runtime(self, name, bert_graph):
+        runtime = RUNTIME_FACTORIES[name](graph=bert_graph)
+        assert runtime.latency(1, 32) > 0
+
+    def test_turbo_ablation_flags(self, bert_graph):
+        from repro.runtime import turbo_runtime
+
+        no_fusion = turbo_runtime(graph=bert_graph, enable_fusion=False)
+        fused = turbo_runtime(graph=bert_graph)
+        assert no_fusion.kernel_launch_count > fused.kernel_launch_count
+        no_mm = turbo_runtime(graph=bert_graph, enable_memory_manager=False)
+        assert no_mm.allocator is None

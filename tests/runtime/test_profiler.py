@@ -1,0 +1,101 @@
+"""Warm-up cost table (Alg. 3's cached_cost)."""
+
+import pytest
+
+from repro.models import build_encoder_graph, tiny_bert
+from repro.runtime import CostTable, turbo_runtime, warmup_profile
+
+
+@pytest.fixture(scope="module")
+def table():
+    runtime = turbo_runtime(graph=build_encoder_graph(tiny_bert()))
+    return warmup_profile(runtime, max_batch=4, lengths=[16, 32, 64, 128])
+
+
+class TestCostTable:
+    def test_bucket_rounds_up(self, table):
+        assert table.bucket(1) == 16
+        assert table.bucket(16) == 16
+        assert table.bucket(17) == 32
+        assert table.bucket(100) == 128
+
+    def test_bucket_clamps_to_max(self, table):
+        assert table.bucket(1000) == 128
+
+    def test_cost_monotone_in_length(self, table):
+        assert table.cost(128, 1) > table.cost(16, 1)
+
+    def test_cost_monotone_in_batch(self, table):
+        assert table.cost(64, 4) > table.cost(64, 1)
+
+    def test_per_request_cost_falls_with_batch(self, table):
+        assert table.cost(64, 4) / 4 < table.cost(64, 1)
+
+    def test_batch_out_of_range(self, table):
+        with pytest.raises(ValueError):
+            table.cost(64, 5)
+        with pytest.raises(ValueError):
+            table.cost(64, 0)
+
+    def test_missing_entry_raises(self):
+        empty = CostTable([16], max_batch=2)
+        with pytest.raises(KeyError, match="warm-up"):
+            empty.cost(16, 1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CostTable([], max_batch=2)
+        with pytest.raises(ValueError):
+            CostTable([16], max_batch=0)
+        with pytest.raises(ValueError):
+            CostTable([0, 16], max_batch=2)
+
+    def test_set_rejects_nonpositive_cost(self, table):
+        with pytest.raises(ValueError):
+            table.set(16, 1, 0.0)
+
+
+class TestPersistence:
+    def test_json_round_trip(self, table, tmp_path):
+        """The paper stores cached_cost on disk and reloads it on restart."""
+        path = tmp_path / "cost.json"
+        table.to_json(path)
+        reloaded = CostTable.from_json(path)
+        assert reloaded.lengths == table.lengths
+        assert reloaded.max_batch == table.max_batch
+        assert reloaded.cost(64, 3) == table.cost(64, 3)
+
+
+class TestInterpolation:
+    @pytest.fixture(scope="class")
+    def interp_table(self):
+        table = CostTable([100, 200], max_batch=2, interpolate=True)
+        table.set(100, 1, 0.010)
+        table.set(200, 1, 0.020)
+        table.set(100, 2, 0.015)
+        table.set(200, 2, 0.030)
+        return table
+
+    def test_exact_at_grid_points(self, interp_table):
+        assert interp_table.cost(100, 1) == pytest.approx(0.010)
+        assert interp_table.cost(200, 1) == pytest.approx(0.020)
+
+    def test_linear_between_points(self, interp_table):
+        assert interp_table.cost(150, 1) == pytest.approx(0.015)
+        assert interp_table.cost(150, 2) == pytest.approx(0.0225)
+
+    def test_clamps_below_grid(self, interp_table):
+        assert interp_table.cost(10, 1) == pytest.approx(0.010)
+
+    def test_clamps_above_grid(self, interp_table):
+        assert interp_table.cost(999, 1) == pytest.approx(0.020)
+
+    def test_interpolation_never_exceeds_bucket(self, table):
+        """Interpolated values are <= the round-up bucket value (cost is
+        monotone in length)."""
+        interp = CostTable(table.lengths, table.max_batch, interpolate=True)
+        for length in table.lengths:
+            for batch in range(1, table.max_batch + 1):
+                interp.set(length, batch, table.cost(length, batch))
+        for seq in (20, 50, 90, 127):
+            assert interp.cost(seq, 2) <= table.cost(seq, 2) + 1e-12

@@ -1,0 +1,128 @@
+"""Multi-server cluster: routing policies, scaling, balance."""
+
+import pytest
+
+from repro.serving import (
+    DPBatchScheduler,
+    NaiveBatchScheduler,
+    Request,
+    RoutingPolicy,
+    generate_requests,
+    simulate_cluster,
+)
+
+
+def linear_cost(per_token=0.00005, fixed=0.002):
+    def cost(seq_len, batch):
+        return fixed + per_token * seq_len * batch
+    return cost
+
+
+def run(policy, num_servers=4, rate=300, duration=4.0, seed=0,
+        scheduler=NaiveBatchScheduler):
+    requests = generate_requests(rate, duration, seed=seed)
+    return simulate_cluster(
+        requests, num_servers, scheduler, linear_cost(),
+        policy=policy, duration_s=duration,
+    )
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("policy", list(RoutingPolicy))
+    def test_every_request_completes(self, policy):
+        metrics = run(policy, rate=100, duration=2.0)
+        assert metrics.serving.completed == metrics.serving.offered
+
+    @pytest.mark.parametrize("policy", list(RoutingPolicy))
+    def test_deterministic(self, policy):
+        a = run(policy, rate=100, duration=2.0)
+        b = run(policy, rate=100, duration=2.0)
+        assert a.serving.latency.avg_ms == b.serving.latency.avg_ms
+
+
+class TestScaling:
+    def test_more_servers_more_throughput(self):
+        """An overloaded single server scales out to stability."""
+        one = run(RoutingPolicy.LEAST_WORK, num_servers=1, rate=500)
+        four = run(RoutingPolicy.LEAST_WORK, num_servers=4, rate=500)
+        assert four.serving.response_throughput > one.serving.response_throughput
+        assert four.serving.latency.avg_ms < one.serving.latency.avg_ms
+
+    def test_near_linear_capacity_scaling(self):
+        one = run(RoutingPolicy.LEAST_WORK, num_servers=1, rate=800)
+        four = run(RoutingPolicy.LEAST_WORK, num_servers=4, rate=800)
+        assert four.serving.response_throughput > \
+            2.5 * one.serving.response_throughput
+
+
+class TestRouting:
+    def test_round_robin_balances_counts(self):
+        metrics = run(RoutingPolicy.ROUND_ROBIN, rate=200, duration=4.0)
+        assert metrics.balance_ratio < 1.1
+
+    def test_least_work_no_worse_than_round_robin(self):
+        rr = run(RoutingPolicy.ROUND_ROBIN, rate=400)
+        lw = run(RoutingPolicy.LEAST_WORK, rate=400)
+        assert lw.serving.latency.avg_ms <= rr.serving.latency.avg_ms * 1.1
+
+    def test_length_aware_reduces_padding_waste(self):
+        """Routing by length band makes each server's batches homogeneous,
+        so naive batching pays far less padding than with mixed routing.
+        (Requires a length distribution that loads the bands evenly —
+        under the skewed normal distribution the middle bands overload,
+        which is exactly why Nexus balances by *work*, not by kind.)"""
+        from repro.serving import uniform_lengths
+
+        def run_uniform(policy):
+            requests = generate_requests(
+                500, 3.0, seed=3,
+                length_sampler=lambda rng, n: uniform_lengths(rng, n, 5, 500),
+            )
+            return simulate_cluster(
+                requests, 4, NaiveBatchScheduler, linear_cost(),
+                policy=policy, duration_s=3.0,
+            )
+
+        mixed = run_uniform(RoutingPolicy.ROUND_ROBIN)
+        banded = run_uniform(RoutingPolicy.LENGTH_AWARE)
+        assert banded.serving.latency.avg_ms < mixed.serving.latency.avg_ms
+
+    def test_length_aware_unbalances_skewed_workloads(self):
+        """The flip side: under the paper's normal length distribution the
+        middle length bands receive most of the traffic."""
+        metrics = run(RoutingPolicy.LENGTH_AWARE, rate=200, duration=4.0)
+        assert metrics.balance_ratio > 2.0
+
+    def test_length_aware_routes_by_band(self):
+        requests = [
+            Request(req_id=0, seq_len=5, arrival_s=0.0),
+            Request(req_id=1, seq_len=500, arrival_s=0.0),
+        ]
+        metrics = simulate_cluster(
+            requests, 4, NaiveBatchScheduler, linear_cost(),
+            policy=RoutingPolicy.LENGTH_AWARE, duration_s=1.0,
+        )
+        # Short and long requests landed on different servers.
+        assert metrics.per_server_completed[0] == 1
+        assert metrics.per_server_completed[3] == 1
+
+
+class TestDpInCluster:
+    def test_dp_scheduler_composes_with_cluster(self):
+        metrics = run(RoutingPolicy.LEAST_WORK, rate=400,
+                      scheduler=DPBatchScheduler)
+        assert metrics.serving.completed == metrics.serving.offered
+        naive = run(RoutingPolicy.LEAST_WORK, rate=400)
+        assert metrics.serving.latency.avg_ms <= naive.serving.latency.avg_ms
+
+
+class TestValidation:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_cluster([], 2, NaiveBatchScheduler, linear_cost())
+
+    def test_bad_server_count_rejected(self):
+        from repro.serving import ClusterRouter
+
+        with pytest.raises(ValueError):
+            ClusterRouter(RoutingPolicy.ROUND_ROBIN, 0, linear_cost())

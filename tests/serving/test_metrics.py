@@ -1,0 +1,81 @@
+"""Latency/throughput metrics."""
+
+import pytest
+
+from repro.serving import LatencyStats, Request, response_throughput
+
+
+def completed(req_id, arrival, completion, seq_len=10):
+    r = Request(req_id=req_id, seq_len=seq_len, arrival_s=arrival)
+    r.completion_s = completion
+    return r
+
+
+class TestLatencyStats:
+    def test_avg_min_max(self):
+        requests = [
+            completed(0, 0.0, 0.010),
+            completed(1, 0.0, 0.020),
+            completed(2, 0.0, 0.060),
+        ]
+        stats = LatencyStats.from_requests(requests)
+        assert stats.avg_ms == pytest.approx(30.0)
+        assert stats.min_ms == pytest.approx(10.0)
+        assert stats.max_ms == pytest.approx(60.0)
+        assert stats.count == 3
+
+    def test_pending_requests_ignored(self):
+        requests = [completed(0, 0.0, 0.010), Request(1, 10, 0.0)]
+        assert LatencyStats.from_requests(requests).count == 1
+
+    def test_empty_is_infinite(self):
+        stats = LatencyStats.from_requests([])
+        assert stats.avg_ms == float("inf")
+        assert stats.format_cell() == "+inf"
+
+    def test_format_cell_matches_paper_style(self):
+        stats = LatencyStats(avg_ms=77.71, min_ms=10.61, max_ms=158.06, count=9)
+        assert stats.format_cell() == "77.71 (10.61, 158.06)"
+
+
+class TestResponseThroughput:
+    def test_counts_only_window(self):
+        requests = [
+            completed(0, 0.0, 0.5),
+            completed(1, 0.0, 1.5),
+            completed(2, 0.0, 2.5),  # outside [0, 2)
+        ]
+        assert response_throughput(requests, 0.0, 2.0) == pytest.approx(1.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            response_throughput([], 1.0, 1.0)
+
+
+class TestPercentiles:
+    def test_percentiles_ordered(self):
+        requests = [completed(i, 0.0, 0.001 * (i + 1)) for i in range(100)]
+        stats = LatencyStats.from_requests(requests)
+        assert stats.min_ms <= stats.p50_ms <= stats.p95_ms <= stats.p99_ms <= stats.max_ms
+
+    def test_median_of_uniform_grid(self):
+        requests = [completed(i, 0.0, 0.001 * (i + 1)) for i in range(101)]
+        stats = LatencyStats.from_requests(requests)
+        assert stats.p50_ms == pytest.approx(51.0)
+
+    def test_p99_catches_tail_outlier(self):
+        requests = [completed(i, 0.0, 0.010) for i in range(50)]
+        requests.append(completed(50, 0.0, 1.0))
+        stats = LatencyStats.from_requests(requests)
+        assert stats.p99_ms >= 100.0  # nearest-rank p99 lands on the outlier
+        assert stats.p95_ms == pytest.approx(10.0)
+
+    def test_meets_slo(self):
+        requests = [completed(i, 0.0, 0.010) for i in range(20)]
+        stats = LatencyStats.from_requests(requests)
+        assert stats.meets_slo(15.0, quantile=0.95)
+        assert not stats.meets_slo(5.0, quantile=0.95)
+
+    def test_empty_percentiles_infinite(self):
+        stats = LatencyStats.from_requests([])
+        assert stats.p99_ms == float("inf")

@@ -1,0 +1,95 @@
+"""Message queue and response cache."""
+
+import pytest
+
+from repro.serving import MessageQueue, Request, ResponseCache
+
+
+def req(i, arrival=0.0):
+    return Request(req_id=i, seq_len=10, arrival_s=arrival)
+
+
+class TestMessageQueue:
+    def test_fifo_order(self):
+        q = MessageQueue()
+        for i in range(3):
+            q.push(req(i))
+        drained = q.drain()
+        assert [r.req_id for r in drained] == [0, 1, 2]
+        assert len(q) == 0
+
+    def test_drain_limit(self):
+        q = MessageQueue()
+        for i in range(5):
+            q.push(req(i))
+        assert [r.req_id for r in q.drain(2)] == [0, 1]
+        assert len(q) == 3
+
+    def test_drain_invalid_limit(self):
+        q = MessageQueue()
+        with pytest.raises(ValueError):
+            q.drain(0)
+
+    def test_front_peeks_without_pop(self):
+        q = MessageQueue()
+        q.push(req(7))
+        assert q.front().req_id == 7
+        assert len(q) == 1
+
+    def test_front_empty(self):
+        assert MessageQueue().front() is None
+
+    def test_stats(self):
+        q = MessageQueue()
+        for i in range(4):
+            q.push(req(i))
+        q.drain(3)
+        q.push(req(9))
+        assert q.total_enqueued == 5
+        assert q.peak_depth == 4
+
+    def test_bool(self):
+        q = MessageQueue()
+        assert not q
+        q.push(req(0))
+        assert q
+
+
+class TestResponseCache:
+    def test_hit_and_miss(self):
+        cache = ResponseCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ResponseCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_put_refreshes_recency(self):
+        cache = ResponseCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + overwrite
+        cache.put("c", 3)  # evicts b
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_hit_rate(self):
+        cache = ResponseCache()
+        cache.put("x", 1)
+        cache.get("x")
+        cache.get("y")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ResponseCache(capacity=0)

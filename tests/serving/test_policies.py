@@ -1,0 +1,65 @@
+"""Hungry/lazy trigger policies."""
+
+import pytest
+
+from repro.serving import HungryPolicy, LazyPolicy, MessageQueue, Request
+
+
+def queue_with(arrivals):
+    q = MessageQueue()
+    for i, t in enumerate(arrivals):
+        q.push(Request(req_id=i, seq_len=10, arrival_s=t))
+    return q
+
+
+class TestHungry:
+    def test_fires_whenever_nonempty(self):
+        policy = HungryPolicy()
+        assert not policy.should_schedule(queue_with([]), 0.0)
+        assert policy.should_schedule(queue_with([0.0]), 0.0)
+
+    def test_no_future_decision_time(self):
+        policy = HungryPolicy()
+        assert policy.next_decision_time(queue_with([0.0]), 0.0) == float("inf")
+
+
+class TestLazy:
+    def test_waits_below_thresholds(self):
+        policy = LazyPolicy(timeout_s=0.01, max_batch=4, latency_slo_s=10.0)
+        q = queue_with([0.0, 0.0])
+        assert not policy.should_schedule(q, 0.001)
+
+    def test_fires_on_max_batch(self):
+        policy = LazyPolicy(timeout_s=10.0, max_batch=3, latency_slo_s=100.0)
+        assert policy.should_schedule(queue_with([0.0] * 3), 0.0)
+
+    def test_fires_on_timeout(self):
+        policy = LazyPolicy(timeout_s=0.01, max_batch=100, latency_slo_s=100.0)
+        q = queue_with([0.0])
+        assert not policy.should_schedule(q, 0.005)
+        assert policy.should_schedule(q, 0.011)
+
+    def test_slo_escape_hatch(self):
+        """Front request's age + estimated execution > SLO/2 -> fire now."""
+        policy = LazyPolicy(timeout_s=10.0, max_batch=100, latency_slo_s=0.1,
+                            estimated_exec_s=0.04)
+        q = queue_with([0.0])
+        assert not policy.should_schedule(q, 0.005)
+        assert policy.should_schedule(q, 0.011)  # 0.011 + 0.04 >= 0.05
+
+    def test_next_decision_time_is_earliest_trigger(self):
+        policy = LazyPolicy(timeout_s=0.02, max_batch=100, latency_slo_s=0.5)
+        q = queue_with([1.0])
+        assert policy.next_decision_time(q, 1.0) == pytest.approx(1.02)
+
+    def test_empty_queue_never_fires(self):
+        policy = LazyPolicy()
+        assert not policy.should_schedule(queue_with([]), 5.0)
+        assert policy.next_decision_time(queue_with([]), 5.0) == float("inf")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"timeout_s": 0.0}, {"max_batch": 0}, {"latency_slo_s": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LazyPolicy(**kwargs)

@@ -1,0 +1,73 @@
+"""Priority-class scheduling."""
+
+import pytest
+
+from repro.serving import (
+    AdaptiveBatchScheduler,
+    DPBatchScheduler,
+    PriorityBatchScheduler,
+    Request,
+    ServingConfig,
+    make_batch,
+    simulate_serving,
+)
+
+
+def cost(seq_len, batch):
+    return 0.002 + 0.00005 * seq_len * batch
+
+
+def req(i, seq_len, priority, arrival=0.0):
+    return Request(req_id=i, seq_len=seq_len, arrival_s=arrival,
+                   priority=priority)
+
+
+class TestPriorityScheduler:
+    def test_high_priority_batches_first(self):
+        scheduler = PriorityBatchScheduler(DPBatchScheduler())
+        requests = [req(0, 100, 1), req(1, 50, 0), req(2, 200, 1), req(3, 60, 0)]
+        batches = scheduler.schedule(requests, cost, 20)
+        first_ids = {r.req_id for r in batches[0].requests}
+        assert first_ids <= {1, 3}  # priority-0 requests lead
+
+    def test_classes_never_mix_in_a_batch(self):
+        scheduler = PriorityBatchScheduler(DPBatchScheduler())
+        requests = [req(i, 100, i % 3) for i in range(12)]
+        for batch in scheduler.schedule(requests, cost, 20):
+            priorities = {r.priority for r in batch.requests}
+            assert len(priorities) == 1
+
+    def test_all_requests_covered(self):
+        scheduler = PriorityBatchScheduler(DPBatchScheduler())
+        requests = [req(i, 10 + i, i % 2) for i in range(9)]
+        batches = scheduler.schedule(requests, cost, 4)
+        ids = sorted(r.req_id for b in batches for r in b.requests)
+        assert ids == list(range(9))
+
+    def test_observe_forwarded_to_adaptive_inner(self):
+        inner = AdaptiveBatchScheduler(latency_slo_s=0.1, initial_cap=1)
+        scheduler = PriorityBatchScheduler(inner)
+        scheduler.observe(make_batch([req(0, 10, 0)]), 0.01)
+        assert inner.observations == 1
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ValueError):
+            req(0, 10, -1)
+
+
+class TestPriorityUnderLoad:
+    def test_interactive_latency_protected(self):
+        """Under overload, priority-0 latency stays far below priority-1's."""
+        requests = []
+        for i in range(300):
+            requests.append(req(2 * i, 100, 1, arrival=i * 0.004))       # batch tier
+            requests.append(req(2 * i + 1, 100, 0, arrival=i * 0.004))   # interactive
+        metrics = simulate_serving(
+            requests, PriorityBatchScheduler(DPBatchScheduler()), cost,
+            ServingConfig(max_batch=20), duration_s=1.2,
+        )
+        assert metrics.completed == 600
+        interactive = [r for r in requests if r.priority == 0]
+        batch_tier = [r for r in requests if r.priority == 1]
+        avg = lambda rs: sum(r.latency_s for r in rs) / len(rs)
+        assert avg(interactive) < 0.7 * avg(batch_tier)

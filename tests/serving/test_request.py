@@ -1,0 +1,56 @@
+"""Request and batch semantics."""
+
+import pytest
+
+from repro.serving import Batch, Request, make_batch
+
+
+def req(req_id, seq_len, arrival=0.0):
+    return Request(req_id=req_id, seq_len=seq_len, arrival_s=arrival)
+
+
+class TestRequest:
+    def test_latency(self):
+        r = req(0, 10, arrival=1.0)
+        r.completion_s = 1.5
+        assert r.latency_s == pytest.approx(0.5)
+
+    def test_latency_before_completion_raises(self):
+        with pytest.raises(ValueError):
+            _ = req(0, 10).latency_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(req_id=0, seq_len=0, arrival_s=0.0)
+        with pytest.raises(ValueError):
+            Request(req_id=0, seq_len=5, arrival_s=-1.0)
+
+
+class TestBatch:
+    def test_pads_to_longest(self):
+        batch = make_batch([req(0, 17), req(1, 77)])
+        assert batch.padded_len == 77
+        assert batch.size == 2
+        assert batch.cost_batch_size == 2
+
+    def test_padding_waste(self):
+        batch = make_batch([req(0, 17), req(1, 77)])
+        assert batch.padding_waste == 60
+
+    def test_fixed_size_execution(self):
+        batch = make_batch([req(0, 10)], execution_size=8, padded_len=500)
+        assert batch.cost_batch_size == 8
+        # 490 wasted on the real request + 7 empty slots of 500
+        assert batch.padding_waste == 490 + 7 * 500
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Batch(requests=(), padded_len=10)
+
+    def test_short_pad_rejected(self):
+        with pytest.raises(ValueError):
+            make_batch([req(0, 100)], padded_len=50)
+
+    def test_execution_size_below_batch_rejected(self):
+        with pytest.raises(ValueError):
+            make_batch([req(0, 10), req(1, 20)], execution_size=1)

@@ -1,0 +1,160 @@
+"""Service facade: model registry, ensembles, cache-integrated serving."""
+
+import pytest
+
+from repro.serving import (
+    InferenceService,
+    ModelRegistry,
+    ModelRegistryError,
+    ModelVersion,
+    Request,
+    ensemble_cost_fn,
+)
+
+
+def cost_v1(seq_len, batch):
+    return 0.002 + 0.00005 * seq_len * batch
+
+
+def cost_v2(seq_len, batch):  # the "optimized" deployment
+    return 0.001 + 0.00003 * seq_len * batch
+
+
+def registry():
+    r = ModelRegistry()
+    r.register(ModelVersion("bert-clf", 1, cost_v1, "initial"))
+    r.register(ModelVersion("bert-clf", 2, cost_v2, "fused kernels"))
+    return r
+
+
+class TestModelRegistry:
+    def test_first_version_serves_by_default(self):
+        r = registry()
+        assert r.serving_version("bert-clf") == 1
+        assert r.get("bert-clf").version == 1
+
+    def test_deploy_and_rollback(self):
+        r = registry()
+        r.serve_version("bert-clf", 2)
+        assert r.get("bert-clf").version == 2
+        r.serve_version("bert-clf", 1)  # rollback
+        assert r.get("bert-clf").version == 1
+
+    def test_explicit_version_fetch(self):
+        r = registry()
+        assert r.get("bert-clf", 2).description == "fused kernels"
+
+    def test_duplicate_version_rejected(self):
+        r = registry()
+        with pytest.raises(ModelRegistryError):
+            r.register(ModelVersion("bert-clf", 1, cost_v1))
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ModelRegistryError):
+            registry().get("nope")
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ModelRegistryError):
+            registry().get("bert-clf", 9)
+
+    def test_retire_old_version(self):
+        r = registry()
+        r.serve_version("bert-clf", 2)
+        r.retire("bert-clf", 1)
+        assert r.versions("bert-clf") == [2]
+
+    def test_serving_version_cannot_retire(self):
+        r = registry()
+        with pytest.raises(ModelRegistryError, match="currently serving"):
+            r.retire("bert-clf", 1)
+
+    def test_models_listing(self):
+        r = registry()
+        r.register(ModelVersion("gpt", 1, cost_v1))
+        assert r.models() == ["bert-clf", "gpt"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelVersion("", 1, cost_v1)
+        with pytest.raises(ValueError):
+            ModelVersion("m", 0, cost_v1)
+
+
+class TestEnsemble:
+    def test_cost_is_sum_of_members(self):
+        ens = ensemble_cost_fn([cost_v1, cost_v2])
+        assert ens(100, 4) == pytest.approx(cost_v1(100, 4) + cost_v2(100, 4))
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            ensemble_cost_fn([])
+
+    def test_ensemble_served_through_registry(self):
+        r = registry()
+        r.register(ModelVersion(
+            "bert-ensemble", 1, ensemble_cost_fn([cost_v1, cost_v2])
+        ))
+        service = InferenceService(r, "bert-ensemble")
+        requests = [Request(req_id=i, seq_len=50, arrival_s=0.05 * i)
+                    for i in range(10)]
+        metrics = service.serve(requests, duration_s=1.0)
+        assert metrics.completed == 10
+        # Ensemble latency exceeds either member alone.
+        assert metrics.latency.min_ms * 1e-3 >= cost_v2(50, 1)
+
+
+class TestInferenceService:
+    def _requests(self, payloads, gap=0.01):
+        return [
+            Request(req_id=i, seq_len=40, arrival_s=i * gap,
+                    payload=(payload,))
+            for i, payload in enumerate(payloads)
+        ]
+
+    def test_serves_with_active_version(self):
+        r = registry()
+        service = InferenceService(r, "bert-clf")
+        metrics = service.serve(self._requests(range(20)), duration_s=0.5)
+        assert metrics.system == "bert-clf@v1"
+        assert metrics.completed == 20
+
+    def test_upgrade_changes_served_version(self):
+        r = registry()
+        service = InferenceService(r, "bert-clf")
+        r.serve_version("bert-clf", 2)
+        metrics = service.serve(self._requests(range(5)), duration_s=0.5)
+        assert metrics.system == "bert-clf@v2"
+
+    def test_cache_short_circuits_repeats(self):
+        """Clipper-style response caching: repeated payloads skip the model."""
+        r = registry()
+        service = InferenceService(r, "bert-clf")
+        payloads = [0, 1, 2, 3] * 10  # heavy repetition
+        metrics = service.serve(self._requests(payloads), duration_s=1.0)
+        assert service.cache.hits > 0
+        # Cached responses complete at arrival: minimum latency is zero.
+        assert metrics.latency.min_ms == pytest.approx(0.0)
+
+    def test_cache_disabled_on_request(self):
+        r = registry()
+        service = InferenceService(r, "bert-clf")
+        service.serve(self._requests([7] * 10), duration_s=1.0, use_cache=False)
+        assert service.cache.hits == 0
+
+    def test_cache_lowers_average_latency(self):
+        r = registry()
+        skewed = [0] * 30 + list(range(30))
+        import random
+
+        rng = random.Random(5)
+        rng.shuffle(skewed)
+        with_cache = InferenceService(r, "bert-clf")
+        m1 = with_cache.serve(self._requests(skewed, gap=0.004), duration_s=0.5)
+        without = InferenceService(r, "bert-clf")
+        m2 = without.serve(self._requests(skewed, gap=0.004), duration_s=0.5,
+                           use_cache=False)
+        assert m1.latency.avg_ms < m2.latency.avg_ms
+
+    def test_unknown_model_rejected_early(self):
+        with pytest.raises(ModelRegistryError):
+            InferenceService(registry(), "missing")

@@ -1,0 +1,85 @@
+"""Deadline-based load shedding under overload."""
+
+import pytest
+
+from repro.serving import (
+    DPBatchScheduler,
+    NoBatchScheduler,
+    Request,
+    ServingConfig,
+    simulate_serving,
+    simulate_serving_with_shedding,
+)
+
+
+def cost(seq_len, batch):
+    return 0.002 + 0.00005 * seq_len * batch
+
+
+def flood(rate, duration, seq_len=100, start_id=0):
+    gap = 1.0 / rate
+    n = int(rate * duration)
+    return [Request(req_id=start_id + i, seq_len=seq_len, arrival_s=i * gap)
+            for i in range(n)]
+
+
+class TestShedding:
+    def test_no_drops_below_capacity(self):
+        requests = flood(rate=50, duration=2.0)  # capacity ~ 140/s
+        result = simulate_serving_with_shedding(
+            requests, NoBatchScheduler(), cost, deadline_s=0.5, duration_s=2.0
+        )
+        assert result.dropped == 0
+        assert result.serving.completed == len(requests)
+
+    def test_overload_sheds_and_bounds_latency(self):
+        requests = flood(rate=500, duration=2.0)  # ~3.5x capacity
+        result = simulate_serving_with_shedding(
+            requests, NoBatchScheduler(), cost, deadline_s=0.2, duration_s=2.0
+        )
+        assert result.dropped > 0
+        assert result.drop_rate > 0.4
+        # Served requests stay near the deadline instead of diverging.
+        assert result.serving.latency.max_ms < 1.5 * 200
+
+    def test_unshed_overload_diverges_for_contrast(self):
+        requests = flood(rate=500, duration=2.0)
+        metrics = simulate_serving(
+            requests, NoBatchScheduler(), cost,
+            ServingConfig(max_batch=20), duration_s=2.0,
+        )
+        # Without shedding the tail blows past any deadline.
+        assert metrics.latency.max_ms > 1000
+
+    def test_goodput_near_capacity_under_overload(self):
+        requests = flood(rate=500, duration=3.0)
+        result = simulate_serving_with_shedding(
+            requests, NoBatchScheduler(), cost, deadline_s=0.2, duration_s=3.0
+        )
+        capacity = 1.0 / cost(100, 1)
+        assert result.goodput > 0.7 * capacity
+
+    def test_batching_scheduler_composes(self):
+        requests = flood(rate=800, duration=2.0)
+        result = simulate_serving_with_shedding(
+            requests, DPBatchScheduler(), cost, deadline_s=0.3,
+            max_batch=20, duration_s=2.0,
+        )
+        served_plus_dropped = result.serving.completed + result.dropped
+        assert served_plus_dropped == len(requests)
+        # Batching raises goodput over per-request shedding.
+        solo = simulate_serving_with_shedding(
+            flood(rate=800, duration=2.0), NoBatchScheduler(), cost,
+            deadline_s=0.3, duration_s=2.0,
+        )
+        assert result.goodput > solo.goodput
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_serving_with_shedding(
+                [], NoBatchScheduler(), cost, deadline_s=0.1
+            )
+        with pytest.raises(ValueError):
+            simulate_serving_with_shedding(
+                flood(10, 1.0), NoBatchScheduler(), cost, deadline_s=0.0
+            )

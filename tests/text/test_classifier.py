@@ -1,0 +1,84 @@
+"""End-to-end text classification: tokenizer -> encoder -> head."""
+
+import numpy as np
+import pytest
+
+from repro.models import init_encoder_weights, tiny_bert
+from repro.text import (
+    TextClassifier,
+    WordPieceTokenizer,
+    init_classifier_head,
+)
+
+CORPUS = [
+    "the quick brown fox jumps over the lazy dog",
+    "serving transformer models with low latency",
+    "batching requests improves gpu utilization",
+] * 4
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    config = tiny_bert()
+    tokenizer = WordPieceTokenizer.train(CORPUS, vocab_size=95)
+    return TextClassifier(
+        tokenizer=tokenizer,
+        config=config,
+        weights=init_encoder_weights(config, seed=8),
+        head=init_classifier_head(config.hidden_size, num_labels=3, seed=8),
+    )
+
+
+class TestClassifierHead:
+    def test_probabilities_normalized(self, classifier):
+        probs = classifier.predict_proba(["the quick fox", "gpu serving"])
+        assert probs.shape == (2, 3)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_head_shape_validated(self):
+        with pytest.raises(ValueError):
+            init_classifier_head(16, 3).__class__(
+                pooler_w=np.zeros((16, 8), np.float32),
+                pooler_b=np.zeros(16, np.float32),
+                output_w=np.zeros((16, 3), np.float32),
+                output_b=np.zeros(3, np.float32),
+            )
+
+
+class TestEndToEnd:
+    def test_deterministic(self, classifier):
+        a = classifier.classify(["the lazy dog", "low latency serving"])
+        b = classifier.classify(["the lazy dog", "low latency serving"])
+        assert a == b
+
+    def test_batching_invariance(self, classifier):
+        """The core serving guarantee: padding short texts into a batch
+        with long ones must not change their predictions."""
+        short = "the fox"
+        long = "serving transformer models with low latency " * 4
+        solo = classifier.predict_proba([short])[0]
+        batched = classifier.predict_proba([short, long])[0]
+        np.testing.assert_allclose(batched, solo, rtol=1e-3, atol=1e-4)
+
+    def test_different_texts_differ(self, classifier):
+        probs = classifier.predict_proba(
+            ["the quick brown fox", "memory management is hard"]
+        )
+        assert not np.allclose(probs[0], probs[1])
+
+    def test_empty_batch_rejected(self, classifier):
+        with pytest.raises(ValueError):
+            classifier.classify([])
+
+    def test_vocab_overflow_rejected(self):
+        config = tiny_bert()  # vocab_size = 100
+        tokenizer = WordPieceTokenizer.train(CORPUS, vocab_size=200)
+        if tokenizer.vocab_size <= config.vocab_size:
+            pytest.skip("corpus too small to overflow")
+        with pytest.raises(ValueError, match="exceeds"):
+            TextClassifier(
+                tokenizer=tokenizer,
+                config=config,
+                weights=init_encoder_weights(config),
+                head=init_classifier_head(config.hidden_size, 2),
+            )

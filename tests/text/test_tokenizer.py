@@ -1,0 +1,117 @@
+"""WordPiece tokenizer: training, tokenization, round trips."""
+
+import pytest
+
+from repro.text import (
+    CLS,
+    PAD,
+    SEP,
+    UNK,
+    WordPieceTokenizer,
+    basic_tokenize,
+    pad_batch,
+)
+
+CORPUS = [
+    "the quick brown fox jumps over the lazy dog",
+    "serving transformer models with low latency is hard",
+    "batching requests improves gpu utilization",
+    "variable length inputs complicate memory management",
+] * 3
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return WordPieceTokenizer.train(CORPUS, vocab_size=200)
+
+
+class TestBasicTokenize:
+    def test_lowercases_and_splits(self):
+        assert basic_tokenize("The Quick FOX!") == ["the", "quick", "fox", "!"]
+
+    def test_numbers_kept(self):
+        assert basic_tokenize("bert2 rocks") == ["bert2", "rocks"]
+
+    def test_punctuation_isolated(self):
+        assert basic_tokenize("a,b") == ["a", ",", "b"]
+
+
+class TestTraining:
+    def test_specials_present(self, tokenizer):
+        for token in (PAD, UNK, CLS, SEP):
+            assert token in tokenizer.vocab
+
+    def test_all_corpus_chars_covered(self, tokenizer):
+        chars = {c for text in CORPUS for c in text.lower() if not c.isspace()}
+        for c in chars:
+            assert c in tokenizer.vocab
+
+    def test_frequent_words_become_single_pieces(self, tokenizer):
+        assert "the" in tokenizer.vocab
+
+    def test_vocab_size_respected(self):
+        tok = WordPieceTokenizer.train(CORPUS, vocab_size=120)
+        assert tok.vocab_size <= 120
+
+    def test_too_small_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            WordPieceTokenizer.train(CORPUS, vocab_size=10)
+
+    def test_training_deterministic(self):
+        a = WordPieceTokenizer.train(CORPUS, vocab_size=150)
+        b = WordPieceTokenizer.train(CORPUS, vocab_size=150)
+        assert a.vocab == b.vocab
+
+
+class TestTokenize:
+    def test_known_word_no_unk(self, tokenizer):
+        assert UNK not in tokenizer.tokenize("the quick fox")
+
+    def test_unseen_word_decomposes_to_subwords(self, tokenizer):
+        pieces = tokenizer.tokenize("transformerization")
+        assert len(pieces) >= 2
+        assert UNK not in pieces  # char coverage guarantees a decomposition
+
+    def test_unseen_characters_become_unk(self, tokenizer):
+        assert tokenizer.tokenize("日本語") == [UNK] * 3
+
+    def test_continuation_pieces_marked(self, tokenizer):
+        pieces = tokenizer.tokenize("latencyx")
+        assert pieces[0][0] != "#"
+        assert all(p.startswith("##") for p in pieces[1:])
+
+    def test_longest_match_first(self, tokenizer):
+        """'the' must come out as one piece, not t + ##h + ##e."""
+        assert tokenizer.tokenize("the") == ["the"]
+
+
+class TestEncodeDecode:
+    def test_specials_wrapped(self, tokenizer):
+        ids = tokenizer.encode("gpu serving")
+        assert ids[0] == tokenizer.vocab[CLS]
+        assert ids[-1] == tokenizer.vocab[SEP]
+
+    def test_truncation(self, tokenizer):
+        ids = tokenizer.encode(" ".join(["latency"] * 100), max_len=16)
+        assert len(ids) <= 16
+
+    def test_decode_round_trip(self, tokenizer):
+        text = "the lazy dog jumps"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_max_len_validated(self, tokenizer):
+        with pytest.raises(ValueError):
+            tokenizer.encode("x", max_len=2)
+
+
+class TestPadBatch:
+    def test_pads_to_longest(self, tokenizer):
+        encoded = [tokenizer.encode(t) for t in ("a b c", "a")]
+        padded, lengths = pad_batch(encoded, tokenizer.pad_id)
+        assert len(padded[0]) == len(padded[1])
+        assert lengths == [len(encoded[0]), len(encoded[1])]
+        assert padded[1][-1] == tokenizer.pad_id
+
+    def test_empty_rejected(self, tokenizer):
+        with pytest.raises(ValueError):
+            pad_batch([], tokenizer.pad_id)
