@@ -9,7 +9,9 @@ Three things happen below:
     and is checked against the reference path;
  2. the Turbo runtime prices the same model on the simulated RTX 2060 and
     is compared with the PyTorch-like baseline across sequence lengths;
- 3. the per-request memory plan is shown re-planning as the length changes.
+ 3. the per-request memory plan is shown re-planning as the length changes;
+ 4. a small serving run is traced end-to-end and written out as Chrome
+    trace JSON (open in chrome://tracing or Perfetto) plus a metrics dump.
 
 Run:  python examples/quickstart.py
 """
@@ -67,8 +69,24 @@ def memory_replanning() -> None:
               f"{result.new_mb:5.2f} MB")
 
 
+def observability_trace() -> None:
+    print("\n== 4. observability: trace a serving run ==")
+    from repro.observability import MetricsRegistry, Tracer, run_traced_workload
+
+    result = run_traced_workload(model="tiny", rate_per_s=120.0,
+                                 duration_s=0.25, seed=0,
+                                 tracer=Tracer(), registry=MetricsRegistry())
+    result.tracer.save("trace.json")      # open in chrome://tracing / Perfetto
+    result.registry.save("metrics.json")  # counters reconcile with result.serving
+    print(f"   served {result.serving.completed}/{result.serving.offered} "
+          f"requests in {result.serving.batches_executed} batches")
+    print(f"   wrote trace.json ({len(result.tracer)} events) "
+          f"and metrics.json ({len(result.registry)} series)")
+
+
 if __name__ == "__main__":
     numeric_check()
     latency_comparison()
     memory_replanning()
+    observability_trace()
     print("\nquickstart complete.")

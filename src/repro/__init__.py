@@ -19,6 +19,9 @@ Subpackages
 ``repro.serving``
     Message queue, response cache, DP batch scheduler (Alg. 3),
     trigger policies and the discrete-event serving simulator.
+``repro.observability``
+    Metrics registry (counters/gauges/histograms) and the request/kernel
+    tracer with Chrome ``trace_event`` export (``python -m repro trace``).
 ``repro.text``
     WordPiece tokenizer + classification head (the §6.2 application).
 ``repro.experiments``
@@ -27,7 +30,17 @@ Subpackages
 
 __version__ = "1.0.0"
 
-from . import graph, gpusim, kernels, memory, models, runtime, serving, text
+from . import (
+    graph,
+    gpusim,
+    kernels,
+    memory,
+    models,
+    observability,
+    runtime,
+    serving,
+    text,
+)
 
 __all__ = [
     "gpusim",
@@ -35,6 +48,7 @@ __all__ = [
     "graph",
     "memory",
     "models",
+    "observability",
     "runtime",
     "serving",
     "text",

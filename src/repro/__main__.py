@@ -9,6 +9,12 @@ Commands
 ``selfcheck``
     Fast sanity pass: build the BERT graph, run one simulated inference on
     every runtime, verify fused-vs-reference numerics on a tiny model.
+``trace [--model tiny|base] [--rate R] [--duration D] [--seed N]
+        [--scheduler dp|naive|nobatch] [--policy hungry|lazy]
+        [--out trace.json] [--metrics-out metrics.json]``
+    Run one instrumented serving workload and write a Chrome
+    ``trace_event`` JSON (load in ``chrome://tracing`` / Perfetto) plus a
+    metrics JSON (counters/gauges/histograms).
 """
 
 from __future__ import annotations
@@ -64,6 +70,39 @@ def _cmd_selfcheck(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .observability import validate_trace_dict
+    from .observability.harness import run_traced_workload
+
+    result = run_traced_workload(
+        model=args.model,
+        rate_per_s=args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+        scheduler=args.scheduler,
+        policy=args.policy,
+        max_batch=args.max_batch,
+    )
+    problems = validate_trace_dict(result.tracer.to_dict())
+    if problems:
+        for p in problems[:10]:
+            print(f"trace schema error: {p}", file=sys.stderr)
+        return 1
+    result.tracer.save(args.out)
+    result.registry.save(args.metrics_out)
+    s = result.serving
+    print(f"workload: {s.offered} requests @ {s.request_rate:.1f} req/s "
+          f"({args.model} model, {args.scheduler} scheduler, "
+          f"{args.policy} policy)")
+    print(f"served:   {s.completed} completed in {s.batches_executed} batches, "
+          f"{s.response_throughput:.1f} resp/s, p95 {s.latency.p95_ms:.2f} ms, "
+          f"utilization {s.utilization:.0%}")
+    print(f"trace:    {args.out} ({len(result.tracer)} events; open in "
+          f"chrome://tracing or https://ui.perfetto.dev)")
+    print(f"metrics:  {args.metrics_out} ({len(result.registry)} series)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -80,6 +119,25 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     selfcheck = sub.add_parser("selfcheck", help="fast sanity pass")
     selfcheck.set_defaults(func=_cmd_selfcheck)
+
+    trace = sub.add_parser(
+        "trace", help="run an instrumented workload, write Chrome trace + metrics"
+    )
+    trace.add_argument("--model", choices=("tiny", "base"), default="tiny")
+    trace.add_argument("--rate", type=float, default=200.0,
+                       help="offered load in requests/s (default 200)")
+    trace.add_argument("--duration", type=float, default=0.5,
+                       help="offered-load horizon in seconds (default 0.5)")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--scheduler", choices=("dp", "naive", "nobatch"),
+                       default="dp")
+    trace.add_argument("--policy", choices=("hungry", "lazy"), default="hungry")
+    trace.add_argument("--max-batch", type=int, default=16)
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace_event output path")
+    trace.add_argument("--metrics-out", default="metrics.json",
+                       help="metrics JSON output path")
+    trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -64,6 +64,16 @@ class KernelTiming:
     def is_memory_bound(self) -> bool:
         return self.memory_s >= self.compute_s
 
+    def trace_args(self) -> dict:
+        """Attribute dict for this kernel's timeline event (Chrome trace
+        ``args``): the roofline breakdown, in microseconds for readability."""
+        return {
+            "launch_us": self.launch_s * 1e6,
+            "compute_us": self.compute_s * 1e6,
+            "memory_us": self.memory_s * 1e6,
+            "bound": "memory" if self.is_memory_bound else "compute",
+        }
+
     def scaled(self, factor: float) -> "KernelTiming":
         """Return a copy with device time scaled (used for baseline derates)."""
         if factor <= 0:

@@ -46,13 +46,22 @@ class RequestAllocation:
 
 
 class BaseAllocator(abc.ABC):
-    """Serves a stream of variable-length requests' memory needs."""
+    """Serves a stream of variable-length requests' memory needs.
+
+    ``metrics`` (a :class:`repro.observability.MetricsRegistry`) is
+    optional; when set, subclasses publish hit/miss counters and a
+    footprint time series labeled with the allocator's ``name``.  The
+    series x-axis is the request ordinal — allocators have no clock.
+    """
 
     #: Human-readable name used in experiment tables.
     name: str = "base"
 
-    def __init__(self, device_memory: Optional[DeviceMemory] = None) -> None:
+    def __init__(self, device_memory: Optional[DeviceMemory] = None,
+                 metrics=None) -> None:
         self.device_memory = device_memory if device_memory is not None else DeviceMemory()
+        self.metrics = metrics
+        self.requests_processed = 0
 
     @abc.abstractmethod
     def process_request(self, records: Sequence[TensorUsageRecord]) -> RequestAllocation:
@@ -65,7 +74,22 @@ class BaseAllocator(abc.ABC):
 
     def _begin_request(self) -> None:
         """Reset the per-request peak tracker (call at request start)."""
+        self.requests_processed += 1
         self.device_memory.peak_bytes = self.device_memory.allocated_bytes
+
+    def _observe_hit(self) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("allocator_hits_total", allocator=self.name).inc()
+
+    def _observe_miss(self) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("allocator_misses_total", allocator=self.name).inc()
+
+    def _observe_footprint(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "allocator_footprint_bytes", allocator=self.name
+            ).set(self.footprint_bytes, t=self.requests_processed)
 
     def _snapshot(self, before_alloc: int, before_stall: float,
                   plan: Optional[AllocationPlan] = None) -> RequestAllocation:

@@ -43,8 +43,9 @@ class CachingAllocator(BaseAllocator):
 
     name = "caching"
 
-    def __init__(self, device_memory: Optional[DeviceMemory] = None) -> None:
-        super().__init__(device_memory)
+    def __init__(self, device_memory: Optional[DeviceMemory] = None,
+                 metrics=None) -> None:
+        super().__init__(device_memory, metrics=metrics)
         self._free_pool: Dict[int, List[int]] = defaultdict(list)  # size -> handles
         self.cache_hits = 0
         self.cache_misses = 0
@@ -57,8 +58,10 @@ class CachingAllocator(BaseAllocator):
         pool = self._free_pool.get(rounded)
         if pool:
             self.cache_hits += 1
+            self._observe_hit()
             return pool.pop(), rounded
         self.cache_misses += 1
+        self._observe_miss()
         return self.device_memory.malloc(rounded), rounded
 
     def _release(self, handle: int, rounded: int) -> None:
@@ -91,6 +94,7 @@ class CachingAllocator(BaseAllocator):
                     handle, rounded = live.pop(r.name)
                     self._release(handle, rounded)
             assert not live, f"leaked tensors: {sorted(live)}"
+        self._observe_footprint()
         return self._snapshot(before_alloc, before_stall)
 
     @property

@@ -48,8 +48,9 @@ class TurboAllocator(BaseAllocator):
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         k_scale: float = K_SCALE,
         release_after: Optional[int] = 8,
+        metrics=None,
     ) -> None:
-        super().__init__(device_memory)
+        super().__init__(device_memory, metrics=metrics)
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         if k_scale < 1.0:
@@ -61,6 +62,12 @@ class TurboAllocator(BaseAllocator):
         self.release_after = release_after
         self._chunks: List[Chunk] = []
         self._next_chunk_id = 0
+        # Hit = record placed into an existing chunk's gap; miss = a new
+        # chunk had to be cudaMalloc'ed (the allocator analogue of the
+        # caching allocator's pool hits/misses).
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.chunks_released = 0
 
     # -- Algorithm 1 ---------------------------------------------------------
 
@@ -77,8 +84,12 @@ class TurboAllocator(BaseAllocator):
                 if offset is not None:
                     chunk.assign(record, offset)
                     placed = True
+                    self.plan_hits += 1
+                    self._observe_hit()
                     break
             if not placed:
+                self.plan_misses += 1
+                self._observe_miss()
                 # L13-L18: append a new chunk sized for the tensor.
                 size = new_chunk_size(record.size, self.chunk_size, self.k_scale)
                 chunk = Chunk(
@@ -99,6 +110,12 @@ class TurboAllocator(BaseAllocator):
                     if chunk.unused_streak > self.release_after:
                         if chunk.handle is not None:
                             self.device_memory.free(chunk.handle)
+                        self.chunks_released += 1
+                        if self.metrics is not None:
+                            self.metrics.counter(
+                                "allocator_chunks_released_total",
+                                allocator=self.name,
+                            ).inc()
                         continue
                 else:
                     chunk.unused_streak = 0
@@ -111,6 +128,7 @@ class TurboAllocator(BaseAllocator):
         before_alloc = self.device_memory.total_alloc_bytes
         before_stall = self.device_memory.stall_s
         plan = self.plan(records)
+        self._observe_footprint()
         return self._snapshot(before_alloc, before_stall, plan)
 
     # -- introspection --------------------------------------------------------

@@ -1,0 +1,57 @@
+"""End-to-end observability: metrics registry + request/kernel tracer.
+
+Three pieces (ISSUE 1):
+
+* :class:`MetricsRegistry` — labeled counters / gauges / histograms with
+  deterministic JSON export;
+* :class:`Tracer` — per-request spans and per-batch/per-kernel timeline
+  events in Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto);
+* :class:`NullTracer` / :data:`NULL_TRACER` — the disabled-by-default fast
+  path: no-op emitters, so instrumented hot loops cost nothing when
+  observability is off.
+
+``repro.observability.harness.run_traced_workload`` (lazily re-exported
+here) runs one fully instrumented serving workload; ``python -m repro
+trace`` is its CLI face.  This package itself depends only on the stdlib
+so every other layer can import it freely.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracer import (
+    NULL_TRACER,
+    VALID_PHASES,
+    NullTracer,
+    Tracer,
+    validate_trace_dict,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "VALID_PHASES",
+    "validate_trace_dict",
+    "run_traced_workload",
+    "TraceRunResult",
+]
+
+
+def __getattr__(name: str):
+    # The harness pulls in serving/runtime/models; importing it lazily keeps
+    # this package dependency-free so those same layers can import us.
+    if name in ("run_traced_workload", "TraceRunResult"):
+        from . import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,206 @@
+"""Labeled counters / gauges / histograms with JSON export.
+
+A :class:`MetricsRegistry` is the numeric half of the observability layer
+(the :mod:`~repro.observability.tracer` is the temporal half).  Instruments
+are keyed by ``(name, sorted(labels))`` and created on first touch, so call
+sites never pre-register anything::
+
+    registry = MetricsRegistry()
+    registry.counter("serving_batches_executed_total", scheduler="dp").inc()
+    registry.gauge("allocator_footprint_bytes", allocator="turbo").set(2e6, t=3)
+    registry.histogram("batch_size").observe(17)
+    registry.save("metrics.json")
+
+Everything is stdlib-only and deterministic: export order is sorted by
+``(name, labels)``, so two identical runs produce identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (geometric, unitless); the final
+#: +inf bucket is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000,
+)
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (events, hits, batches, ...)."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value; optionally keeps a ``(t, value)`` time series.
+
+    ``set(v)`` updates the current value; ``set(v, t=...)`` additionally
+    appends a sample, which is how footprint / queue-depth series are built
+    (``t`` is whatever clock the caller lives on — virtual seconds for the
+    serving simulator, request ordinals for allocators).
+    """
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+    series: List[Tuple[float, float]] = field(default_factory=list)
+
+    def set(self, value: float, t: Optional[float] = None) -> None:
+        self.value = float(value)
+        if t is not None:
+            self.series.append((float(t), float(value)))
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def to_dict(self) -> dict:
+        out = {"name": self.name, "labels": dict(self.labels), "value": self.value}
+        if self.series:
+            out["series"] = [[t, v] for t, v in self.series]
+        return out
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with sum/count and nearest-bucket quantiles."""
+
+    name: str
+    labels: LabelKey = ()
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    counts: List[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError(f"bucket bounds must be sorted, got {self.buckets}")
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)  # last = +inf overflow
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket containing the ``q``-quantile sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.buckets[i] if i < len(self.buckets) else float("inf")
+        return float("inf")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -- instrument accessors -------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, key[1])
+        return inst
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, key[1])
+        return inst
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None,
+                  **labels: str) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(
+                name, key[1],
+                buckets=tuple(buckets) if buckets is not None else DEFAULT_BUCKETS,
+            )
+        return inst
+
+    # -- lookup helpers (tests / reconciliation) ------------------------------
+
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter or gauge (0.0 if never touched)."""
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key) or self._gauges.get(key)
+        return inst.value if inst is not None else 0.0
+
+    def sum_values(self, name: str) -> float:
+        """Sum of a counter's value across all label sets."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        def ordered(d):
+            return [d[k].to_dict() for k in sorted(d)]
+
+        return {
+            "counters": ordered(self._counters),
+            "gauges": ordered(self._gauges),
+            "histograms": ordered(self._histograms),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())

@@ -1,0 +1,225 @@
+"""Per-request spans and kernel timeline events, Chrome-trace exportable.
+
+The :class:`Tracer` records events against whatever clock the caller lives
+on (the serving simulator passes virtual seconds; the numeric executor
+passes host wall seconds via :meth:`Tracer.wall_now`) and exports them in
+the Chrome ``trace_event`` JSON format, loadable in ``chrome://tracing``
+or https://ui.perfetto.dev.
+
+Event vocabulary used across the repo:
+
+* **complete events** (``ph="X"``) — one box per batch execution or kernel
+  launch on a named track (``tid``);
+* **async events** (``ph="b"/"n"/"e"``) — one open-ended span per request,
+  carrying its lifecycle (enqueue → scheduled → execute → complete) with
+  queue-depth / padding-overhead attributes;
+* **counter events** (``ph="C"``) — stacked time series (queue depth,
+  allocator footprint).
+
+The disabled-by-default fast path is :class:`NullTracer` (singleton
+:data:`NULL_TRACER`): every emit method is an early-return no-op and
+``enabled`` is False, so instrumented hot loops can guard expensive
+attribute computation with ``if tracer.enabled:`` and pay nothing when
+observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: One virtual/host second in trace-event timestamp units (microseconds).
+_US = 1e6
+
+
+class Tracer:
+    """Accumulates Chrome ``trace_event`` dicts.
+
+    Parameters
+    ----------
+    process_name:
+        Shown as the process label in the trace viewer.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self.events: List[dict] = []
+        self._thread_names: Dict[Union[int, str], str] = {}
+        self._wall_epoch = time.perf_counter()
+        if process_name:
+            self.events.append({
+                "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+                "args": {"name": process_name},
+            })
+
+    # -- clocks ---------------------------------------------------------------
+
+    def wall_now(self) -> float:
+        """Host seconds since this tracer was created (for real execution;
+        simulated components pass their own virtual timestamps instead)."""
+        return time.perf_counter() - self._wall_epoch
+
+    # -- track naming ---------------------------------------------------------
+
+    def thread_name(self, tid: Union[int, str], name: str) -> None:
+        """Label a track; idempotent per tid."""
+        if self._thread_names.get(tid) == name:
+            return
+        self._thread_names[tid] = name
+        self.events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": name},
+        })
+
+    # -- emitters -------------------------------------------------------------
+
+    def complete(self, name: str, start_s: float, dur_s: float,
+                 tid: Union[int, str] = 0, cat: str = "event",
+                 **args: object) -> None:
+        """A box on track ``tid`` spanning ``[start_s, start_s + dur_s]``."""
+        self.events.append({
+            "name": name, "cat": cat, "ph": "X", "pid": 0, "tid": tid,
+            "ts": start_s * _US, "dur": max(0.0, dur_s) * _US,
+            "args": dict(args),
+        })
+
+    def instant(self, name: str, ts_s: float, tid: Union[int, str] = 0,
+                cat: str = "event", **args: object) -> None:
+        """A thread-scoped instant marker."""
+        self.events.append({
+            "name": name, "cat": cat, "ph": "i", "s": "t", "pid": 0,
+            "tid": tid, "ts": ts_s * _US, "args": dict(args),
+        })
+
+    def counter(self, name: str, ts_s: float, values: Dict[str, float]) -> None:
+        """A sample of one or more stacked series under ``name``."""
+        self.events.append({
+            "name": name, "cat": "counter", "ph": "C", "pid": 0, "tid": 0,
+            "ts": ts_s * _US, "args": {k: float(v) for k, v in values.items()},
+        })
+
+    def async_begin(self, name: str, ts_s: float, async_id: Union[int, str],
+                    cat: str = "request", **args: object) -> None:
+        """Open an async span (one per request; nests nothing)."""
+        self.events.append({
+            "name": name, "cat": cat, "ph": "b", "id": async_id, "pid": 0,
+            "tid": 0, "ts": ts_s * _US, "args": dict(args),
+        })
+
+    def async_instant(self, name: str, ts_s: float, async_id: Union[int, str],
+                      cat: str = "request", **args: object) -> None:
+        """A milestone inside an open async span."""
+        self.events.append({
+            "name": name, "cat": cat, "ph": "n", "id": async_id, "pid": 0,
+            "tid": 0, "ts": ts_s * _US, "args": dict(args),
+        })
+
+    def async_end(self, name: str, ts_s: float, async_id: Union[int, str],
+                  cat: str = "request", **args: object) -> None:
+        """Close an async span."""
+        self.events.append({
+            "name": name, "cat": cat, "ph": "e", "id": async_id, "pid": 0,
+            "tid": 0, "ts": ts_s * _US, "args": dict(args),
+        })
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.observability"},
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTracer(Tracer):
+    """Observability off: every emitter is a no-op, ``enabled`` is False.
+
+    Instrumented code holds one of these by default, so the hot loops pay a
+    single attribute check (or nothing at all where call sites guard with
+    ``tracer.enabled``) and runs are bit-identical to uninstrumented code.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(process_name="")
+
+    def wall_now(self) -> float:  # noqa: D102 - trivially documented above
+        return 0.0
+
+    def thread_name(self, tid, name) -> None:
+        pass
+
+    def complete(self, name, start_s, dur_s, tid=0, cat="event", **args) -> None:
+        pass
+
+    def instant(self, name, ts_s, tid=0, cat="event", **args) -> None:
+        pass
+
+    def counter(self, name, ts_s, values) -> None:
+        pass
+
+    def async_begin(self, name, ts_s, async_id, cat="request", **args) -> None:
+        pass
+
+    def async_instant(self, name, ts_s, async_id, cat="request", **args) -> None:
+        pass
+
+    def async_end(self, name, ts_s, async_id, cat="request", **args) -> None:
+        pass
+
+
+#: Shared disabled tracer; use as the default for optional ``tracer`` params.
+NULL_TRACER = NullTracer()
+
+#: Phases a valid trace event may carry (schema check in tests/CLI).
+VALID_PHASES = frozenset({"X", "i", "C", "b", "n", "e", "M"})
+
+
+def validate_trace_dict(trace: dict) -> List[str]:
+    """Structural check of a Chrome ``trace_event`` export.
+
+    Returns a list of problems (empty = valid); used by the CLI and by the
+    schema tests rather than raising, so callers can report all issues.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, ev in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            problems.append(f"{where}: missing name")
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if ph in ("b", "n", "e") and "id" not in ev:
+            problems.append(f"{where}: async event without id")
+        if "pid" not in ev or "tid" not in ev:
+            problems.append(f"{where}: missing pid/tid")
+    return problems

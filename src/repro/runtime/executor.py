@@ -29,6 +29,7 @@ from ..kernels import (
 from ..memory import AllocationPlan, TurboAllocator, validate_plan
 from ..models.config import TransformerConfig
 from ..models.weights import ModelWeights
+from ..observability import NULL_TRACER
 
 
 class ExecutionError(RuntimeError):
@@ -48,12 +49,17 @@ class PlannedGraphExecutor:
         config: TransformerConfig,
         weights: ModelWeights,
         allocator: Optional[TurboAllocator] = None,
+        tracer=None,
     ) -> None:
+        """``tracer`` (a :class:`repro.observability.Tracer`) emits one
+        host-wall-clock span per executed node on the ``executor`` track,
+        plus an arena-bytes counter per run; defaults to disabled."""
         graph.validate()
         self.graph = graph
         self.config = config
         self.weights = weights
         self.allocator = allocator if allocator is not None else TurboAllocator()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.last_plan: Optional[AllocationPlan] = None
 
     # -- buffer management ---------------------------------------------------
@@ -109,9 +115,24 @@ class PlannedGraphExecutor:
 
         order = self.graph.topo_sort()
         final_name = None
+        trace_on = self.tracer.enabled
+        if trace_on and self.last_plan is not None:
+            self.tracer.thread_name("executor", "numeric executor")
+            self.tracer.counter(
+                "arena_bytes", self.tracer.wall_now(),
+                {"planned": self.last_plan.footprint_bytes},
+            )
         for idx in order:
             node = self.graph.nodes[idx]
-            final_name = self._execute_node(node, token_ids, read, write)
+            if trace_on:
+                t0 = self.tracer.wall_now()
+                final_name = self._execute_node(node, token_ids, read, write)
+                self.tracer.complete(
+                    node.name, t0, self.tracer.wall_now() - t0,
+                    tid="executor", cat="node", op=node.op_type.name,
+                )
+            else:
+                final_name = self._execute_node(node, token_ids, read, write)
         assert final_name is not None
         return read(final_name).copy()
 

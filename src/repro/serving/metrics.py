@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -23,12 +24,16 @@ class LatencyStats:
 
     @staticmethod
     def _percentile(sorted_values: List[float], q: float) -> float:
-        """Nearest-rank percentile on a pre-sorted list."""
+        """Nearest-rank percentile on a pre-sorted list.
+
+        Uses the textbook nearest-rank rule ``ceil(q * n)`` (1-indexed), so
+        p50 of an even-length list is the lower middle element — not
+        whatever ``round``'s banker's rounding happens to pick.
+        """
         if not sorted_values:
             return float("inf")
-        rank = max(0, min(len(sorted_values) - 1,
-                          int(round(q * (len(sorted_values) - 1)))))
-        return sorted_values[rank]
+        rank = math.ceil(q * len(sorted_values))
+        return sorted_values[max(0, min(len(sorted_values) - 1, rank - 1))]
 
     @classmethod
     def from_requests(cls, requests: Sequence[Request]) -> "LatencyStats":
@@ -81,6 +86,7 @@ class ServingMetrics:
     offered: int
     backlog_at_end: int
     utilization: float = 0.0
+    batches_executed: int = 0
 
     @property
     def stable(self) -> bool:
@@ -91,14 +97,20 @@ class ServingMetrics:
 def response_throughput(
     requests: Sequence[Request], window_start_s: float, window_end_s: float
 ) -> float:
-    """Responses completed per second inside a measurement window."""
+    """Responses completed per second inside a measurement window.
+
+    The window is closed at both ends: the deterministic simulator lands
+    batch completions exactly on arrival boundaries, so a half-open window
+    would silently drop requests completing at the horizon.
+    """
     if window_end_s <= window_start_s:
         raise ValueError(
             f"empty window [{window_start_s}, {window_end_s}]"
         )
     done = [
         r for r in requests
-        if r.completion_s is not None and window_start_s <= r.completion_s < window_end_s
+        if r.completion_s is not None
+        and window_start_s <= r.completion_s <= window_end_s
     ]
     return len(done) / (window_end_s - window_start_s)
 

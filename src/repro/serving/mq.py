@@ -32,6 +32,10 @@ class MessageQueue:
         """Oldest pending request (the lazy policy checks its age)."""
         return self._queue[0] if self._queue else None
 
+    def __iter__(self):
+        """Iterate pending requests in arrival order (non-destructive)."""
+        return iter(self._queue)
+
     def __len__(self) -> int:
         return len(self._queue)
 

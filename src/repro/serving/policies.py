@@ -92,4 +92,8 @@ class LazyPolicy(TriggerPolicy):
             return float("inf")
         by_timeout = front.arrival_s + self.timeout_s
         by_slo = front.arrival_s + self.latency_slo_s / 2.0 - self.estimated_exec_s
-        return min(by_timeout, by_slo)
+        # A large estimated_exec_s can push by_slo into the past; an event
+        # simulator advancing to a past trigger makes no progress and falls
+        # into its anti-stall micro-stepping path.  The decision can never
+        # flip earlier than "right now", so clamp.
+        return max(min(by_timeout, by_slo), now_s)

@@ -168,6 +168,51 @@ class FixedPadScheduler(BatchScheduler):
         ]
 
 
+def round_padding_ratio(batches: Sequence[Batch]) -> float:
+    """Fraction of executed tokens that are zero padding in one round."""
+    executed = sum(b.padded_len * b.cost_batch_size for b in batches)
+    if executed <= 0:
+        return 0.0
+    return sum(b.padding_waste for b in batches) / executed
+
+
+def observe_round(
+    batches: Sequence[Batch],
+    now_s: float,
+    scheduler_name: str,
+    metrics=None,
+    tracer=None,
+) -> None:
+    """Record one scheduling round's decisions (batches chosen, sizes,
+    padding ratio) into an observability registry/tracer.
+
+    ``metrics`` is a :class:`repro.observability.MetricsRegistry`,
+    ``tracer`` a :class:`repro.observability.Tracer`; both optional so the
+    uninstrumented hot path stays free.
+    """
+    ratio = round_padding_ratio(batches)
+    if metrics is not None:
+        metrics.counter("scheduler_rounds_total", scheduler=scheduler_name).inc()
+        metrics.counter(
+            "scheduler_batches_chosen_total", scheduler=scheduler_name
+        ).inc(len(batches))
+        metrics.gauge(
+            "scheduler_padding_ratio", scheduler=scheduler_name
+        ).set(ratio, t=now_s)
+        size_hist = metrics.histogram("scheduler_batch_size",
+                                      scheduler=scheduler_name)
+        for b in batches:
+            size_hist.observe(b.size)
+    if tracer is not None and tracer.enabled:
+        tracer.instant(
+            "scheduling_round", now_s, tid="scheduler", cat="scheduler",
+            batches=len(batches),
+            requests=sum(b.size for b in batches),
+            padding_ratio=round(ratio, 6),
+        )
+        tracer.counter("padding_ratio", now_s, {scheduler_name: ratio})
+
+
 def batch_execution_cost(batch: Batch, cost_fn: CostFn) -> float:
     """Latency of executing one batch under the profiled cost function
     (schedulers with their own cost model may pin it via cost_override)."""

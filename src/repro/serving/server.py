@@ -5,6 +5,14 @@ timestamp into the message queue; whenever the simulated GPU is idle and
 the trigger policy fires, the batch scheduler partitions the queued
 requests and the batches execute back-to-back, each costing its profiled
 latency.  Everything is deterministic given the workload.
+
+Observability: pass a :class:`repro.observability.Tracer` and/or a
+:class:`repro.observability.MetricsRegistry` to get per-request spans
+(enqueue → scheduled → execute → complete), per-batch timeline events with
+padding attributes, queue-depth series, and reconciling counters.  With
+the defaults (``NULL_TRACER``, no registry) the loop is unchanged and the
+returned :class:`ServingMetrics` is bit-identical to an uninstrumented
+run.
 """
 
 from __future__ import annotations
@@ -12,11 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from ..observability import NULL_TRACER, MetricsRegistry, Tracer
 from .metrics import LatencyStats, ServingMetrics, response_throughput
 from .mq import MessageQueue
 from .policies import HungryPolicy, LazyPolicy, TriggerPolicy
 from .request import Request
-from .scheduler import BatchScheduler, CostFn, batch_execution_cost
+from .scheduler import BatchScheduler, CostFn, batch_execution_cost, observe_round
 
 
 @dataclass
@@ -45,6 +54,8 @@ def simulate_serving(
     duration_s: Optional[float] = None,
     system_name: Optional[str] = None,
     cache=None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ServingMetrics:
     """Run one serving simulation to completion.
 
@@ -57,10 +68,15 @@ def simulate_serving(
     Fig. 2 ``Resp Cache``: requests whose payload has a cached response
     complete at arrival without touching the model; model responses are
     cached on completion.
+
+    ``tracer`` / ``metrics`` enable observability (see module docstring);
+    both default to disabled.
     """
     if not requests:
         raise ValueError("need at least one request to simulate")
     config = config or ServingConfig()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    trace_on = tracer.enabled
     arrivals: List[Request] = sorted(requests, key=lambda r: r.arrival_s)
     horizon = duration_s if duration_s is not None else arrivals[-1].arrival_s
     if horizon <= 0:
@@ -72,36 +88,101 @@ def simulate_serving(
     n = len(arrivals)
     backlog_at_horizon: Optional[int] = None
     busy_in_horizon = 0.0
+    batches_executed = 0
+    if trace_on:
+        tracer.thread_name("gpu", "gpu (batch execution)")
+        tracer.thread_name("scheduler", "batch scheduler")
+
+    def complete_request(r: Request, how: str) -> None:
+        """Per-request completion bookkeeping (span end + counter)."""
+        if trace_on:
+            tracer.async_end(
+                "request", r.completion_s, r.req_id, cat="request",
+                path=how, latency_ms=round(r.latency_s * 1e3, 4),
+            )
+        if metrics is not None:
+            metrics.counter("serving_requests_completed_total", path=how).inc()
 
     def ingest(now: float) -> None:
         nonlocal next_arrival, backlog_at_horizon
+        ingested = 0
         while next_arrival < n and arrivals[next_arrival].arrival_s <= now:
             request = arrivals[next_arrival]
             next_arrival += 1
+            ingested += 1
+            if trace_on:
+                tracer.async_begin(
+                    "request", request.arrival_s, request.req_id,
+                    cat="request", seq_len=request.seq_len,
+                )
             if (cache is not None and request.payload is not None
                     and cache.get(request.payload) is not None):
                 # Resp Cache hit: answered without evaluating the model.
                 request.start_s = request.arrival_s
                 request.completion_s = request.arrival_s
+                complete_request(request, "cache")
                 continue
             queue.push(request)
-        if backlog_at_horizon is None and now >= horizon and next_arrival >= n:
-            backlog_at_horizon = len(queue)
+        # Snapshot the backlog at the first event crossing the horizon —
+        # regardless of how many arrivals remain.  (Waiting for all
+        # arrivals, as this once did, takes the snapshot long after the
+        # horizon whenever ``duration_s`` is shorter than the last arrival,
+        # misclassifying saturation.)  Backlog = requests offered within
+        # the horizon whose service had not begun by the horizon; queue
+        # depth alone undercounts because a scheduling round drains the
+        # whole queue into batches long before they execute, and arrivals
+        # after the horizon are not backlog of the measured load.
+        if backlog_at_horizon is None and now >= horizon:
+            backlog_at_horizon = sum(
+                1 for r in arrivals
+                if r.arrival_s <= horizon
+                and (r.start_s is None or r.start_s > horizon)
+            )
+        if ingested and trace_on:
+            tracer.counter("queue", now, {"depth": len(queue)})
+        if ingested and metrics is not None:
+            metrics.counter("serving_requests_ingested_total").inc(ingested)
 
     def execute(batches, with_ingest: bool = True) -> None:
-        nonlocal clock, busy_in_horizon
+        nonlocal clock, busy_in_horizon, batches_executed
         for batch in batches:
             exec_s = batch_execution_cost(batch, cost_fn)
+            started = clock
             for r in batch.requests:
                 r.start_s = clock
             busy_in_horizon += max(
                 0.0, min(clock + exec_s, horizon) - min(clock, horizon)
             )
             clock += exec_s
+            batches_executed += 1
             for r in batch.requests:
                 r.completion_s = clock
                 if cache is not None and r.payload is not None:
                     cache.put(r.payload, r.req_id)
+            if trace_on:
+                tracer.complete(
+                    f"batch x{batch.size}", started, exec_s, tid="gpu",
+                    cat="batch", size=batch.size,
+                    padded_len=batch.padded_len,
+                    padding_waste_tokens=batch.padding_waste,
+                )
+                for r in batch.requests:
+                    tracer.async_instant(
+                        "request", started, r.req_id, cat="request",
+                        stage="execute",
+                        queue_wait_ms=round((started - r.arrival_s) * 1e3, 4),
+                    )
+            for r in batch.requests:
+                complete_request(r, "model")
+            if metrics is not None:
+                metrics.counter("serving_batches_executed_total").inc()
+                metrics.counter("serving_padded_tokens_total").inc(
+                    batch.padded_len * batch.cost_batch_size
+                )
+                metrics.counter("serving_padding_waste_tokens_total").inc(
+                    batch.padding_waste
+                )
+                metrics.gauge("serving_gpu_busy_s").set(busy_in_horizon, t=clock)
             # Feedback hook for adaptive (Clipper-style AIMD) schedulers.
             observe = getattr(scheduler, "observe", None)
             if observe is not None:
@@ -116,8 +197,18 @@ def simulate_serving(
                 front = queue.front()
                 assert front is not None
                 config.policy.estimated_exec_s = cost_fn(front.seq_len, 1)
+            depth = len(queue)
             taken = queue.drain(config.round_limit)
-            execute(scheduler.schedule(taken, cost_fn, config.max_batch))
+            batches = scheduler.schedule(taken, cost_fn, config.max_batch)
+            if metrics is not None or trace_on:
+                if metrics is not None:
+                    metrics.gauge("serving_queue_depth").set(depth, t=clock)
+                if trace_on:
+                    tracer.counter("queue", clock, {"depth": len(queue)})
+                observe_round(batches, clock, scheduler.name,
+                              metrics=metrics,
+                              tracer=tracer if trace_on else None)
+            execute(batches)
             continue
         # Idle: jump to the next arrival or the policy's next trigger time.
         next_times = []
@@ -153,7 +244,7 @@ def simulate_serving(
     # of service capacity to drain.
     drain_seconds = backlog_at_horizon / max(throughput, 1e-9)
     saturated = drain_seconds > 0.5
-    return ServingMetrics(
+    result = ServingMetrics(
         system=system_name or scheduler.name,
         request_rate=offered_rate,
         response_throughput=throughput,
@@ -163,4 +254,16 @@ def simulate_serving(
         offered=n,
         backlog_at_end=backlog_at_horizon,
         utilization=min(1.0, busy_in_horizon / horizon),
+        batches_executed=batches_executed,
     )
+    if metrics is not None:
+        metrics.gauge("serving_utilization", system=result.system).set(
+            result.utilization
+        )
+        metrics.gauge("serving_response_throughput", system=result.system).set(
+            result.response_throughput
+        )
+        metrics.gauge("serving_backlog_at_horizon", system=result.system).set(
+            backlog_at_horizon
+        )
+    return result

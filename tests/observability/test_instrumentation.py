@@ -1,0 +1,173 @@
+"""Wiring: server/scheduler/allocator/stream instrumentation end to end."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim import Stream, gemm_time, RTX_2060
+from repro.memory import CachingAllocator, TurboAllocator
+from repro.observability import MetricsRegistry, NullTracer, Tracer
+from repro.serving import (
+    DPBatchScheduler,
+    NaiveBatchScheduler,
+    Request,
+    ServingConfig,
+    generate_requests,
+    simulate_serving,
+)
+
+
+def constant_cost(seq_len, batch):
+    return 0.002 + 0.01 * batch
+
+
+def run_sim(tracer=None, metrics=None, n=40, seed=7):
+    requests = generate_requests(100.0, 0.4, seed=seed)
+    return simulate_serving(
+        requests, DPBatchScheduler(), constant_cost,
+        config=ServingConfig(max_batch=8), duration_s=0.4,
+        tracer=tracer, metrics=metrics,
+    )
+
+
+class TestServerInstrumentation:
+    def test_request_spans_cover_every_request(self):
+        tracer = Tracer()
+        serving = run_sim(tracer=tracer)
+        begins = [e for e in tracer.events if e["ph"] == "b"]
+        ends = [e for e in tracer.events if e["ph"] == "e"]
+        assert len(begins) == serving.offered
+        assert len(ends) == serving.completed
+        assert {e["id"] for e in begins} == {e["id"] for e in ends}
+
+    def test_batch_events_match_batches_executed(self):
+        tracer = Tracer()
+        serving = run_sim(tracer=tracer)
+        batch_events = [e for e in tracer.events if e.get("cat") == "batch"]
+        assert len(batch_events) == serving.batches_executed
+        for ev in batch_events:
+            assert ev["args"]["size"] >= 1
+            assert ev["args"]["padded_len"] > 0
+            assert ev["dur"] > 0
+
+    def test_metrics_reconcile_with_serving_metrics(self):
+        registry = MetricsRegistry()
+        serving = run_sim(metrics=registry)
+        assert registry.value("serving_batches_executed_total") == (
+            serving.batches_executed
+        )
+        assert registry.sum_values("serving_requests_completed_total") == (
+            serving.completed
+        )
+        assert registry.value("serving_requests_ingested_total") == serving.offered
+        assert registry.value("scheduler_rounds_total", scheduler="dp") > 0
+
+    def test_padding_counters_consistent(self):
+        registry = MetricsRegistry()
+        run_sim(metrics=registry)
+        padded = registry.value("serving_padded_tokens_total")
+        waste = registry.value("serving_padding_waste_tokens_total")
+        assert 0 <= waste < padded
+
+    def test_null_tracer_metrics_byte_identical(self):
+        """Instrumentation off must not perturb results at all."""
+        plain = run_sim()
+        nulled = run_sim(tracer=NullTracer())
+        assert dataclasses.asdict(plain) == dataclasses.asdict(nulled)
+
+    def test_metrics_registry_does_not_perturb_results(self):
+        plain = run_sim()
+        metered = run_sim(metrics=MetricsRegistry())
+        assert dataclasses.asdict(plain) == dataclasses.asdict(metered)
+
+    def test_queue_depth_series_recorded(self):
+        registry = MetricsRegistry()
+        run_sim(metrics=registry)
+        series = registry.gauge("serving_queue_depth").series
+        assert series and all(depth >= 1 for _, depth in series)
+
+
+class TestAllocatorInstrumentation:
+    def _records(self):
+        from repro.memory import TensorUsageRecord
+
+        return [
+            TensorUsageRecord(name=f"t{i}", size=1024 * (i + 1),
+                              first_op=i, last_op=i + 1)
+            for i in range(4)
+        ]
+
+    def test_caching_allocator_counters_match_attributes(self):
+        registry = MetricsRegistry()
+        alloc = CachingAllocator(metrics=registry)
+        alloc.process_request(self._records())
+        alloc.process_request(self._records())
+        assert registry.value("allocator_hits_total",
+                              allocator="caching") == alloc.cache_hits
+        assert registry.value("allocator_misses_total",
+                              allocator="caching") == alloc.cache_misses
+        assert alloc.cache_hits > 0
+
+    def test_turbo_allocator_counters_and_footprint_series(self):
+        registry = MetricsRegistry()
+        alloc = TurboAllocator(metrics=registry)
+        alloc.process_request(self._records())
+        alloc.process_request(self._records())
+        assert registry.value("allocator_hits_total",
+                              allocator="turbo") == alloc.plan_hits
+        assert registry.value("allocator_misses_total",
+                              allocator="turbo") == alloc.plan_misses
+        series = registry.gauge("allocator_footprint_bytes",
+                                allocator="turbo").series
+        assert [t for t, _ in series] == [1, 2]
+        assert all(v > 0 for _, v in series)
+
+    def test_metrics_optional_by_default(self):
+        alloc = TurboAllocator()
+        alloc.process_request(self._records())
+        assert alloc.metrics is None
+
+
+class TestStreamInstrumentation:
+    def test_kernel_timeline_events(self):
+        tracer = Tracer()
+        stream = Stream(tracer=tracer, trace_tid="gpu.stream")
+        stream.submit(gemm_time(RTX_2060, 64, 64, 64, name="gemm0"))
+        stream.submit(gemm_time(RTX_2060, 64, 64, 64, name="gemm1"))
+        kernel_events = [e for e in tracer.events if e.get("cat") == "kernel"]
+        assert [e["name"] for e in kernel_events] == ["gemm0", "gemm1"]
+        # Back-to-back: second starts where the first ended.
+        assert kernel_events[1]["ts"] == pytest.approx(
+            kernel_events[0]["ts"] + kernel_events[0]["dur"]
+        )
+        assert kernel_events[0]["args"]["bound"] in ("memory", "compute")
+
+    def test_stream_without_tracer_unchanged(self):
+        stream = Stream()
+        stream.submit(gemm_time(RTX_2060, 64, 64, 64))
+        assert stream.launches == 1
+
+
+class TestExecutorInstrumentation:
+    def test_per_node_spans_emitted(self):
+        import numpy as np
+
+        from repro.graph import fuse_graph
+        from repro.models import (
+            build_encoder_graph,
+            init_encoder_weights,
+            tiny_bert,
+        )
+        from repro.runtime.executor import PlannedGraphExecutor
+
+        config = tiny_bert()
+        graph = fuse_graph(build_encoder_graph(config))
+        weights = init_encoder_weights(config, seed=0)
+        tracer = Tracer()
+        executor = PlannedGraphExecutor(graph, config, weights, tracer=tracer)
+        ids = np.random.default_rng(0).integers(0, config.vocab_size, (1, 8))
+        executor.run(ids)
+        node_events = [e for e in tracer.events if e.get("cat") == "node"]
+        assert len(node_events) == len(graph.nodes)
+        arena = [e for e in tracer.events if e["name"] == "arena_bytes"]
+        assert arena and arena[0]["args"]["planned"] > 0

@@ -1,0 +1,98 @@
+"""MetricsRegistry: counters/gauges/histograms, labels, JSON export."""
+
+import json
+
+import pytest
+
+from repro.observability import MetricsRegistry
+
+
+class TestCounter:
+    def test_get_or_create_and_inc(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.counter("hits").inc(2)
+        assert reg.value("hits") == 3.0
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", allocator="turbo").inc()
+        reg.counter("hits", allocator="caching").inc(5)
+        assert reg.value("hits", allocator="turbo") == 1.0
+        assert reg.value("hits", allocator="caching") == 5.0
+        assert reg.sum_values("hits") == 6.0
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a="1", b="2").inc()
+        assert reg.value("x", b="2", a="1") == 1.0
+
+    def test_counters_never_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("hits").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_series(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("footprint")
+        g.set(10.0)
+        assert g.series == []  # no timestamp -> no sample
+        g.set(20.0, t=1.0)
+        g.set(30.0, t=2.0)
+        assert g.value == 30.0
+        assert g.series == [(1.0, 20.0), (2.0, 30.0)]
+
+    def test_untouched_value_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0.0
+
+
+class TestHistogram:
+    def test_counts_and_mean(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("batch_size", buckets=(1, 2, 4, 8))
+        for v in (1, 1, 3, 9):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(3.5)
+        assert h.counts == [2, 0, 1, 0, 1]  # 1,1 | - | 3 | - | 9 overflow
+
+    def test_percentile_bucket_bound(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1, 10, 100))
+        for _ in range(99):
+            h.observe(5)
+        h.observe(50)
+        assert h.percentile(0.5) == 10
+        assert h.percentile(1.0) == 100
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=(10, 1))
+
+
+class TestExport:
+    def test_json_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("hits", allocator="turbo").inc(7)
+        reg.gauge("footprint").set(42.0, t=0.5)
+        reg.histogram("sizes").observe(3)
+        path = tmp_path / "metrics.json"
+        reg.save(path)
+        data = json.loads(path.read_text())
+        assert data["counters"][0] == {
+            "name": "hits", "labels": {"allocator": "turbo"}, "value": 7.0,
+        }
+        assert data["gauges"][0]["series"] == [[0.5, 42.0]]
+        assert data["histograms"][0]["count"] == 1
+
+    def test_export_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b").inc()
+            reg.counter("a", x="2").inc()
+            reg.counter("a", x="1").inc()
+            return reg.to_json()
+
+        assert build() == build()

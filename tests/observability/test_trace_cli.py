@@ -1,0 +1,99 @@
+"""Acceptance: ``python -m repro trace`` and the traced-workload harness."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.observability import validate_trace_dict
+from repro.observability.harness import run_traced_workload
+
+RUN_ARGS = dict(model="tiny", rate_per_s=120.0, duration_s=0.25, seed=3)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_traced_workload(**RUN_ARGS)
+
+
+class TestHarness:
+    def test_counters_reconcile_with_serving_metrics(self, traced_run):
+        reg, serving = traced_run.registry, traced_run.serving
+        assert reg.value("serving_batches_executed_total") == (
+            serving.batches_executed
+        )
+        assert reg.sum_values("serving_requests_completed_total") == (
+            serving.completed
+        )
+        assert serving.completed == serving.offered
+
+    def test_allocator_counters_reconcile(self, traced_run):
+        alloc = traced_run.runtime.allocator
+        reg = traced_run.registry
+        assert reg.value("allocator_hits_total",
+                         allocator="turbo") == alloc.plan_hits
+        assert reg.value("allocator_misses_total",
+                         allocator="turbo") == alloc.plan_misses
+        assert alloc.plan_hits + alloc.plan_misses > 0
+
+    def test_trace_schema_valid(self, traced_run):
+        assert validate_trace_dict(traced_run.tracer.to_dict()) == []
+
+    def test_deterministic_given_seed(self, traced_run):
+        again = run_traced_workload(**RUN_ARGS)
+        assert again.tracer.to_json() == traced_run.tracer.to_json()
+        assert again.registry.to_json() == traced_run.registry.to_json()
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            run_traced_workload(model="bert-xxl")
+        with pytest.raises(ValueError):
+            run_traced_workload(scheduler="fifo")
+        with pytest.raises(ValueError):
+            run_traced_workload(policy="eager")
+
+
+class TestTraceCLI:
+    def test_writes_valid_trace_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        rc = main([
+            "trace", "--model", "tiny", "--rate", "120", "--duration", "0.25",
+            "--seed", "3", "--out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert rc == 0
+        trace = json.loads(trace_path.read_text())
+        assert validate_trace_dict(trace) == []
+        # The trace contains all three event families.
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"X", "b", "e", "C"} <= phases
+        metrics = json.loads(metrics_path.read_text())
+        names = {c["name"] for c in metrics["counters"]}
+        assert {"serving_batches_executed_total",
+                "serving_requests_completed_total",
+                "allocator_hits_total", "allocator_misses_total"} <= names
+        out = capsys.readouterr().out
+        assert "trace:" in out and "metrics:" in out
+
+    def test_cli_counters_match_fresh_simulation(self, tmp_path):
+        """The written metrics JSON reconciles with an identical run."""
+        metrics_path = tmp_path / "metrics.json"
+        rc = main([
+            "trace", "--model", "tiny", "--rate", "120", "--duration", "0.25",
+            "--seed", "3", "--out", str(tmp_path / "trace.json"),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert rc == 0
+        metrics = json.loads(metrics_path.read_text())
+        counters = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in metrics["counters"]
+        }
+        fresh = run_traced_workload(**RUN_ARGS)
+        assert counters[("serving_batches_executed_total", ())] == (
+            fresh.serving.batches_executed
+        )
+        assert counters[("serving_requests_ingested_total", ())] == (
+            fresh.serving.offered
+        )

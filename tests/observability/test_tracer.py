@@ -1,0 +1,106 @@
+"""Tracer: Chrome trace_event emission, schema validity, NullTracer."""
+
+import json
+
+from repro.observability import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    validate_trace_dict,
+)
+
+
+class TestTracer:
+    def test_complete_event_fields(self):
+        t = Tracer()
+        t.complete("gemm", 0.001, 0.002, tid="gpu", cat="kernel", m=64)
+        ev = t.events[-1]
+        assert ev["ph"] == "X"
+        assert ev["ts"] == 1000.0  # µs
+        assert ev["dur"] == 2000.0
+        assert ev["tid"] == "gpu"
+        assert ev["args"] == {"m": 64}
+
+    def test_async_span_lifecycle(self):
+        t = Tracer()
+        t.async_begin("request", 0.0, 7, seq_len=100)
+        t.async_instant("request", 0.5, 7, stage="execute")
+        t.async_end("request", 1.0, 7, latency_ms=1000.0)
+        phases = [e["ph"] for e in t.events if e.get("id") == 7]
+        assert phases == ["b", "n", "e"]
+
+    def test_counter_event(self):
+        t = Tracer()
+        t.counter("queue", 0.25, {"depth": 3})
+        ev = t.events[-1]
+        assert ev["ph"] == "C"
+        assert ev["args"] == {"depth": 3.0}
+
+    def test_thread_name_idempotent(self):
+        t = Tracer()
+        t.thread_name("gpu", "gpu (batch execution)")
+        t.thread_name("gpu", "gpu (batch execution)")
+        names = [e for e in t.events if e["name"] == "thread_name"]
+        assert len(names) == 1
+
+    def test_negative_duration_clamped(self):
+        t = Tracer()
+        t.complete("x", 1.0, -0.001)
+        assert t.events[-1]["dur"] == 0.0
+
+    def test_export_valid_and_json_parsable(self, tmp_path):
+        t = Tracer()
+        t.thread_name("gpu", "gpu")
+        t.complete("batch", 0.0, 0.01, tid="gpu")
+        t.async_begin("request", 0.0, 1)
+        t.async_end("request", 0.01, 1)
+        t.counter("queue", 0.0, {"depth": 1})
+        t.instant("round", 0.0, tid="scheduler")
+        assert validate_trace_dict(t.to_dict()) == []
+        path = tmp_path / "trace.json"
+        t.save(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert validate_trace_dict(loaded) == []
+
+
+class TestValidator:
+    def test_rejects_missing_events(self):
+        assert validate_trace_dict({}) != []
+
+    def test_rejects_bad_phase(self):
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "Z", "pid": 0, "tid": 0, "ts": 0},
+        ]}
+        assert any("bad phase" in p for p in validate_trace_dict(bad))
+
+    def test_rejects_negative_ts(self):
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "i", "s": "t", "pid": 0, "tid": 0, "ts": -1},
+        ]}
+        assert any("bad ts" in p for p in validate_trace_dict(bad))
+
+    def test_rejects_async_without_id(self):
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "b", "pid": 0, "tid": 0, "ts": 0},
+        ]}
+        assert any("without id" in p for p in validate_trace_dict(bad))
+
+
+class TestNullTracer:
+    def test_disabled_and_emits_nothing(self):
+        t = NullTracer()
+        assert not t.enabled
+        t.thread_name("gpu", "gpu")
+        t.complete("x", 0.0, 1.0)
+        t.instant("x", 0.0)
+        t.counter("x", 0.0, {"v": 1})
+        t.async_begin("x", 0.0, 1)
+        t.async_instant("x", 0.0, 1)
+        t.async_end("x", 0.0, 1)
+        assert len(t) == 0
+        assert t.wall_now() == 0.0
+
+    def test_shared_singleton_is_null(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled

@@ -43,13 +43,60 @@ class TestResponseThroughput:
         requests = [
             completed(0, 0.0, 0.5),
             completed(1, 0.0, 1.5),
-            completed(2, 0.0, 2.5),  # outside [0, 2)
+            completed(2, 0.0, 2.5),  # outside [0, 2]
         ]
         assert response_throughput(requests, 0.0, 2.0) == pytest.approx(1.0)
+
+    def test_completion_exactly_at_window_end_counted(self):
+        """Regression (ISSUE 1): the window is closed at both ends.  The
+        deterministic simulator lands batch completions exactly on the
+        horizon; a half-open window silently dropped them."""
+        requests = [completed(0, 0.0, 1.0), completed(1, 0.0, 2.0)]
+        assert response_throughput(requests, 0.0, 2.0) == pytest.approx(1.0)
+
+    def test_completion_exactly_at_window_start_counted(self):
+        requests = [completed(0, 0.0, 1.0)]
+        assert response_throughput(requests, 1.0, 2.0) == pytest.approx(1.0)
+
+    def test_completion_after_window_end_dropped(self):
+        requests = [completed(0, 0.0, 2.0 + 1e-9)]
+        assert response_throughput(requests, 0.0, 2.0) == 0.0
 
     def test_empty_window_rejected(self):
         with pytest.raises(ValueError):
             response_throughput([], 1.0, 1.0)
+
+
+class TestNearestRankPercentile:
+    """Pin p50/p95/p99 to the textbook nearest-rank rule, ceil(q*n)
+    (ISSUE 1): Python's round() uses banker's rounding, which made p50 of
+    an even-length list implementation folklore (off by one element)."""
+
+    def test_p50_even_list_is_lower_middle(self):
+        assert LatencyStats._percentile([1.0, 2.0], 0.50) == 1.0
+        assert LatencyStats._percentile([1.0, 2.0, 3.0, 4.0], 0.50) == 2.0
+
+    def test_p50_odd_list_is_middle(self):
+        assert LatencyStats._percentile([1.0, 2.0, 3.0], 0.50) == 2.0
+        assert LatencyStats._percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0.50) == 3.0
+
+    def test_hundred_values_hit_exact_ranks(self):
+        values = [float(i) for i in range(1, 101)]
+        assert LatencyStats._percentile(values, 0.50) == 50.0
+        assert LatencyStats._percentile(values, 0.95) == 95.0
+        assert LatencyStats._percentile(values, 0.99) == 99.0
+
+    def test_extremes(self):
+        values = [5.0, 6.0, 7.0]
+        assert LatencyStats._percentile(values, 0.0) == 5.0
+        assert LatencyStats._percentile(values, 1.0) == 7.0
+
+    def test_singleton(self):
+        assert LatencyStats._percentile([4.2], 0.5) == 4.2
+        assert LatencyStats._percentile([4.2], 0.99) == 4.2
+
+    def test_empty_is_infinite(self):
+        assert LatencyStats._percentile([], 0.5) == float("inf")
 
 
 class TestPercentiles:

@@ -52,6 +52,55 @@ class TestLazy:
         q = queue_with([1.0])
         assert policy.next_decision_time(q, 1.0) == pytest.approx(1.02)
 
+    def test_next_decision_time_clamped_to_now(self):
+        """Regression (ISSUE 1): a large estimated_exec_s pushed the SLO
+        trigger (arrival + slo/2 - estimate) into the past; an event
+        simulator advancing to a past trigger makes no progress and falls
+        into anti-stall micro-stepping."""
+        policy = LazyPolicy(timeout_s=10.0, max_batch=100, latency_slo_s=0.1,
+                            estimated_exec_s=5.0)
+        q = queue_with([0.0])
+        assert policy.next_decision_time(q, 1.0) == 1.0
+
+    @pytest.mark.parametrize("estimate", [0.0, 0.04, 0.5, 5.0, 500.0])
+    def test_next_decision_time_never_in_past(self, estimate):
+        policy = LazyPolicy(timeout_s=0.02, max_batch=100, latency_slo_s=0.1,
+                            estimated_exec_s=estimate)
+        q = queue_with([0.0])
+        for now in (0.0, 0.001, 0.019, 1.0):
+            assert policy.next_decision_time(q, now) >= now
+
+    def test_large_estimated_exec_no_micro_stepping(self):
+        """A huge per-request cost must not degrade the simulation into
+        thousands of 1e-9 s anti-stall steps: the number of policy
+        decision-time evaluations stays on the order of the request
+        count."""
+        from repro.serving import NaiveBatchScheduler, ServingConfig, simulate_serving
+
+        calls = []
+
+        class CountingLazy(LazyPolicy):
+            def next_decision_time(self, queue, now_s):
+                t = super().next_decision_time(queue, now_s)
+                calls.append((now_s, t))
+                return t
+
+        requests = [Request(req_id=i, seq_len=10, arrival_s=0.01 * i)
+                    for i in range(20)]
+        config = ServingConfig(
+            max_batch=4,
+            policy=CountingLazy(timeout_s=0.005, max_batch=4,
+                                latency_slo_s=0.1),
+        )
+        metrics = simulate_serving(
+            requests, NaiveBatchScheduler(),
+            lambda seq_len, batch: 1.0 + 0.1 * batch,  # enormous exec cost
+            config=config, duration_s=0.2,
+        )
+        assert metrics.completed == 20
+        assert all(t >= now for now, t in calls)
+        assert len(calls) < 200
+
     def test_empty_queue_never_fires(self):
         policy = LazyPolicy()
         assert not policy.should_schedule(queue_with([]), 5.0)

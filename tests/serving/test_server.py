@@ -124,6 +124,59 @@ class TestSimulation:
         assert metrics.completed == 30
 
 
+class TestBacklogSnapshot:
+    def test_backlog_snapshotted_at_horizon_despite_late_arrival(self):
+        """Regression (ISSUE 1): the backlog must be recorded at the first
+        event crossing the horizon, not once every arrival has been
+        ingested.  A burst that saturates the horizon plus one straggler
+        arriving long after it used to defer the snapshot until the
+        straggler — by which time the backlog had drained to ~0 and the
+        run was misclassified as stable."""
+        requests = [
+            Request(req_id=i, seq_len=10, arrival_s=0.0001 * i)
+            for i in range(100)
+        ]
+        requests.append(Request(req_id=100, seq_len=10, arrival_s=2.0))
+        metrics = simulate_serving(requests, NoBatchScheduler(),
+                                   constant_cost(), duration_s=0.05)
+        assert metrics.completed == 101
+        # 12 ms service vs ~100 requests in the first 10 ms: at the 50 ms
+        # horizon nearly everything is still queued.
+        assert metrics.backlog_at_end > 50
+        assert metrics.saturated
+
+    def test_post_horizon_arrivals_not_counted_as_backlog(self):
+        """Requests offered after the horizon are not backlog of the
+        measured load, even if a long batch carries the clock past both
+        the horizon and their arrivals before the snapshot happens."""
+        requests = [Request(req_id=0, seq_len=10, arrival_s=0.0)]
+        requests += [
+            Request(req_id=i, seq_len=10, arrival_s=0.011 + 0.0001 * i)
+            for i in range(1, 5)
+        ]
+        # Horizon inside the first request's 12 ms execution: the first
+        # post-execution event sits past the horizon with the four
+        # post-horizon arrivals already queued.
+        metrics = simulate_serving(requests, NoBatchScheduler(),
+                                   constant_cost(), duration_s=0.01)
+        assert metrics.backlog_at_end == 0
+        assert not metrics.saturated
+
+    def test_drained_before_horizon_reports_zero_backlog(self):
+        metrics = simulate_serving(sparse_requests(0.05, 5),
+                                   NoBatchScheduler(), constant_cost(),
+                                   duration_s=10.0)
+        assert metrics.backlog_at_end == 0
+
+    def test_batches_executed_reported(self):
+        requests = sparse_requests(0.0, 30)
+        metrics = simulate_serving(requests, NaiveBatchScheduler(),
+                                   constant_cost(),
+                                   ServingConfig(max_batch=10),
+                                   duration_s=0.01)
+        assert metrics.batches_executed == 3
+
+
 class TestServingConfig:
     def test_validation(self):
         with pytest.raises(ValueError):
