@@ -11,7 +11,9 @@ Three things happen below:
     is compared with the PyTorch-like baseline across sequence lengths;
  3. the per-request memory plan is shown re-planning as the length changes;
  4. a small serving run is traced end-to-end and written out as Chrome
-    trace JSON (open in chrome://tracing or Perfetto) plus a metrics dump.
+    trace JSON (open in chrome://tracing or Perfetto) plus a metrics dump;
+ 5. a chaos scenario crashes a replica mid-run and the resilience layer
+    (retries + circuit breakers + rerouting) recovers goodput.
 
 Run:  python examples/quickstart.py
 """
@@ -84,9 +86,28 @@ def observability_trace() -> None:
           f"and metrics.json ({len(result.registry)} series)")
 
 
+def chaos_recovery() -> None:
+    print("\n== 5. resilience: survive a replica crash under load ==")
+    from repro.resilience import run_chaos
+
+    report = run_chaos("smoke", seed=0)
+    stats = report.chaos.serving.resilience
+    print(f"   {report.chaos.serving.offered} requests on "
+          f"{report.scenario.num_servers} servers; faults: 1 crash, "
+          f"1 latency spike, 1 transient-failure window")
+    print(f"   outcome: {report.chaos.serving.completed} completed, "
+          f"{stats.retries} retries, {stats.dropped} dropped, "
+          f"{len(report.breaker_transitions)} breaker transition(s)")
+    print(f"   post-fault goodput {report.goodput_chaos:.1f} resp/s = "
+          f"{report.recovery_ratio:.1%} of the fault-free baseline "
+          f"({'recovered' if report.recovered else 'NOT recovered'})")
+    assert report.recovered
+
+
 if __name__ == "__main__":
     numeric_check()
     latency_comparison()
     memory_replanning()
     observability_trace()
+    chaos_recovery()
     print("\nquickstart complete.")

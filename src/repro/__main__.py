@@ -15,6 +15,13 @@ Commands
     Run one instrumented serving workload and write a Chrome
     ``trace_event`` JSON (load in ``chrome://tracing`` / Perfetto) plus a
     metrics JSON (counters/gauges/histograms).
+``chaos [--scenario smoke|blackout|storm] [--seed N]
+        [--metrics-out chaos_metrics.json] [--no-check]``
+    Run one scripted fault-injection scenario (baseline + chaos pair over
+    the same workload), print resilience metrics (retries, deadline
+    misses, breaker transitions, post-fault goodput vs. baseline) and exit
+    non-zero unless goodput recovers to >= 95% of the fault-free baseline.
+    Deterministic given the seed: two runs write byte-identical metrics.
 """
 
 from __future__ import annotations
@@ -103,6 +110,22 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience.chaos import SCENARIOS, format_report, run_chaos
+
+    if args.scenario not in SCENARIOS:  # argparse choices guard; belt and braces
+        print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
+        return 2
+    report = run_chaos(scenario_name=args.scenario, seed=args.seed)
+    print(format_report(report))
+    if args.metrics_out:
+        report.registry.save(args.metrics_out)
+        print(f"metrics:   {args.metrics_out} ({len(report.registry)} series)")
+    if args.no_check:
+        return 0
+    return 0 if report.recovered else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -138,6 +161,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace.add_argument("--metrics-out", default="metrics.json",
                        help="metrics JSON output path")
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a scripted fault scenario and check goodput recovery",
+    )
+    chaos.add_argument("--scenario", choices=("smoke", "blackout", "storm"),
+                       default="smoke")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--metrics-out", default="chaos_metrics.json",
+                       help="resilience metrics JSON output path "
+                            "('' to skip writing)")
+    chaos.add_argument("--no-check", action="store_true",
+                       help="report only; do not fail on missed recovery")
+    chaos.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

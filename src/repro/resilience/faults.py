@@ -1,0 +1,220 @@
+"""Deterministic, seeded fault injection (the chaos half of resilience).
+
+A :class:`FaultPlan` is a *schedule* of adverse conditions, not a random
+process: every fault is a time window, and the only randomness — whether a
+given request attempt hits a transient failure — is derived by hashing
+``(seed, req_id, attempt, server_id)``, so a plan replayed against the
+same workload produces bit-identical outcomes regardless of evaluation
+order.  An empty plan answers every query with the identity (multiplier
+1.0, no crash, no failure) and is safe to thread through hot paths.
+
+Fault taxonomy
+--------------
+:class:`LatencySpike`      server executes batches ``multiplier`` x slower
+                           during the window (degraded clocks, thermal
+                           throttling, a noisy neighbour).
+:class:`KernelStall`       the same, one level down: individual simulated
+                           kernels on a :class:`repro.gpusim.Stream` run
+                           slower (hooked via ``Stream.stall_fn``).
+:class:`TransientFailures` each request attempt finishing in the window
+                           fails independently with ``failure_rate``
+                           (ECC error, OOM, RPC reset).
+:class:`ServerCrash`       the server is down for the whole window: queued
+                           and in-flight work fails fast, new work must be
+                           routed elsewhere, the server recovers at
+                           ``end_s``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+
+def _check_window(start_s: float, end_s: float) -> None:
+    if start_s < 0 or end_s <= start_s:
+        raise ValueError(f"bad fault window [{start_s}, {end_s})")
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Batch execution on ``server_id`` runs ``multiplier`` x slower
+    during ``[start_s, end_s)``; ``server_id=None`` hits every server."""
+
+    start_s: float
+    end_s: float
+    multiplier: float
+    server_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def active(self, server_id: int, t: float) -> bool:
+        return (self.server_id is None or self.server_id == server_id) and \
+            self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class KernelStall:
+    """Kernels whose name contains ``name_contains`` run ``multiplier`` x
+    slower while the stream clock is inside ``[start_s, end_s)``."""
+
+    start_s: float
+    end_s: float
+    multiplier: float
+    name_contains: str = ""
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def active(self, name: str, t: float) -> bool:
+        return self.name_contains in name and self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class TransientFailures:
+    """Request attempts finishing on ``server_id`` inside the window fail
+    with probability ``failure_rate`` (seeded per attempt, not iid draws)."""
+
+    start_s: float
+    end_s: float
+    failure_rate: float
+    server_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError(
+                f"failure_rate must be in [0, 1], got {self.failure_rate}"
+            )
+
+    def active(self, server_id: int, t: float) -> bool:
+        return (self.server_id is None or self.server_id == server_id) and \
+            self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """``server_id`` is down (fails all work instantly) during the window
+    and recovers at ``end_s``."""
+
+    start_s: float
+    end_s: float
+    server_id: int
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+        if self.server_id < 0:
+            raise ValueError(f"server_id must be >= 0, got {self.server_id}")
+
+    def active(self, server_id: int, t: float) -> bool:
+        return self.server_id == server_id and self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault schedule of one chaos run (empty by default).
+
+    Query methods are pure functions of ``(plan, arguments)``; nothing in
+    the plan mutates, so one plan can drive baseline/chaos pairs and
+    repeated runs deterministically.
+    """
+
+    seed: int = 0
+    spikes: Tuple[LatencySpike, ...] = ()
+    stalls: Tuple[KernelStall, ...] = ()
+    failures: Tuple[TransientFailures, ...] = ()
+    crashes: Tuple[ServerCrash, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.spikes or self.stalls or self.failures or self.crashes)
+
+    def last_fault_end_s(self) -> float:
+        """When the last scheduled fault clears (0.0 for an empty plan)."""
+        ends = [w.end_s for group in (self.spikes, self.stalls,
+                                      self.failures, self.crashes)
+                for w in group]
+        return max(ends, default=0.0)
+
+    # -- per-server queries ----------------------------------------------------
+
+    def latency_multiplier(self, server_id: int, t: float) -> float:
+        """Product of all latency spikes active on the server at ``t``."""
+        factor = 1.0
+        for spike in self.spikes:
+            if spike.active(server_id, t):
+                factor *= spike.multiplier
+        return factor
+
+    def crashed(self, server_id: int, t: float) -> bool:
+        return any(c.active(server_id, t) for c in self.crashes)
+
+    def crash_end(self, server_id: int, t: float) -> float:
+        """Recovery time of the crash covering ``t`` (``t`` if none)."""
+        end = t
+        for crash in self.crashes:
+            if crash.active(server_id, t):
+                end = max(end, crash.end_s)
+        return end
+
+    def crashed_during(self, server_id: int, start_s: float, end_s: float) -> Optional[float]:
+        """Earliest crash moment inside ``[start_s, end_s]``, else None."""
+        hit = None
+        for crash in self.crashes:
+            if crash.server_id != server_id:
+                continue
+            if crash.start_s <= end_s and crash.end_s > start_s:
+                moment = max(crash.start_s, start_s)
+                hit = moment if hit is None else min(hit, moment)
+        return hit
+
+    def failure_rate(self, server_id: int, t: float) -> float:
+        """Strongest transient-failure rate active on the server at ``t``."""
+        rate = 0.0
+        for window in self.failures:
+            if window.active(server_id, t):
+                rate = max(rate, window.failure_rate)
+        return rate
+
+    def attempt_fails(self, req_id: int, attempt: int, server_id: int,
+                      t: float) -> bool:
+        """Deterministic verdict for one request attempt at time ``t``."""
+        rate = self.failure_rate(server_id, t)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return unit_hash(self.seed, req_id, attempt, server_id) < rate
+
+    # -- kernel-level hook -----------------------------------------------------
+
+    def stall_multiplier(self, name: str, t: float) -> float:
+        """Product of all kernel stalls matching ``name`` at stream time ``t``."""
+        factor = 1.0
+        for stall in self.stalls:
+            if stall.active(name, t):
+                factor *= stall.multiplier
+        return factor
+
+    def kernel_stall_fn(self) -> Optional[Callable[[str, float], float]]:
+        """Hook for :attr:`repro.gpusim.Stream.stall_fn` (None if no stalls)."""
+        if not self.stalls:
+            return None
+        return self.stall_multiplier
+
+
+def unit_hash(*keys: object) -> float:
+    """Map a key tuple to a deterministic uniform float in [0, 1).
+
+    Stable across processes and platforms (unlike ``hash()``): the keys are
+    rendered with ``repr`` and digested with BLAKE2b.  This is what makes
+    transient failures and retry jitter replayable.
+    """
+    digest = hashlib.blake2b(repr(keys).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64

@@ -12,6 +12,7 @@ from .cluster import (
 )
 from .metrics import (
     LatencyStats,
+    ResilienceStats,
     ServingMetrics,
     completed_requests,
     response_throughput,
@@ -20,7 +21,13 @@ from .mq import MessageQueue
 from .packed import PackedBatchScheduler, PackedCostFn
 from .priority import PriorityBatchScheduler
 from .policies import HungryPolicy, LazyPolicy, TriggerPolicy
-from .request import Batch, Request, make_batch
+from .request import (
+    Batch,
+    Request,
+    RequestNotCompleted,
+    RequestState,
+    make_batch,
+)
 from .scheduler import (
     BatchScheduler,
     CostFn,
@@ -66,6 +73,8 @@ __all__ = [
     "bursty_arrivals",
     "PackedCostFn",
     "Request",
+    "RequestNotCompleted",
+    "RequestState",
     "Batch",
     "make_batch",
     "MessageQueue",
@@ -96,6 +105,7 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "simulate_serving",
     "LatencyStats",
+    "ResilienceStats",
     "ServingMetrics",
     "response_throughput",
     "completed_requests",

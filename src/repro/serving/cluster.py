@@ -16,6 +16,13 @@ Routing policies
                      server sees near-homogeneous lengths and padding waste
                      collapses even under naive batching (the clustering
                      effect the DP scheduler achieves within one server).
+
+Resilience (:class:`repro.resilience.ResilienceConfig`): the router skips
+replicas that are crashed or whose circuit breaker is open — pending-work
+estimates are taken over the healthy set only — and failed attempts
+re-enqueue through the retry policy, re-routed on their next try.  With
+``resilience=None`` the simulation is byte-identical to the fault-free
+code path.
 """
 
 from __future__ import annotations
@@ -23,11 +30,27 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
-from .metrics import LatencyStats, ServingMetrics, response_throughput
-from .request import Request
+from .metrics import (
+    LatencyStats,
+    ResilienceStats,
+    ServingMetrics,
+    response_throughput,
+)
+from .request import Request, RequestState
 from .scheduler import BatchScheduler, CostFn, batch_execution_cost
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..observability import MetricsRegistry
+    from ..resilience import ResilienceConfig
 
 
 class RoutingPolicy(str, enum.Enum):
@@ -54,7 +77,14 @@ class ServerState:
 
 
 class ClusterRouter:
-    """Assigns arriving requests to servers per the routing policy."""
+    """Assigns arriving requests to servers per the routing policy.
+
+    ``healthy`` (optional) restricts the candidate set to live replicas:
+    estimates (queue length, pending work) are computed over that set only,
+    so a dead or breaker-open server neither receives work nor skews the
+    balance.  When every replica is unhealthy the router falls back to the
+    full set — queueing on a downed server beats dropping on the floor.
+    """
 
     def __init__(
         self,
@@ -72,16 +102,24 @@ class ClusterRouter:
         self._next = 0
 
     def route(self, request: Request, servers: Sequence[ServerState],
-              now: float) -> int:
+              now: float, healthy: Optional[Set[int]] = None) -> int:
+        if healthy is not None and (not healthy
+                                    or len(healthy) >= self.num_servers):
+            healthy = None  # all dead or all alive: no restriction
+        candidates = (sorted(healthy) if healthy is not None
+                      else range(self.num_servers))
         if self.policy is RoutingPolicy.ROUND_ROBIN:
-            chosen = self._next % self.num_servers
-            self._next += 1
-            return chosen
+            for _ in range(self.num_servers):
+                chosen = self._next % self.num_servers
+                self._next += 1
+                if healthy is None or chosen in healthy:
+                    return chosen
+            return self._next % self.num_servers  # pragma: no cover - unreachable
         if self.policy is RoutingPolicy.LEAST_QUEUED:
-            return min(range(self.num_servers), key=lambda i: len(servers[i].queue))
+            return min(candidates, key=lambda i: len(servers[i].queue))
         if self.policy is RoutingPolicy.LEAST_WORK:
             return min(
-                range(self.num_servers),
+                candidates,
                 key=lambda i: servers[i].pending_work_s(self.cost_fn, now),
             )
         if self.policy is RoutingPolicy.LENGTH_AWARE:
@@ -89,7 +127,11 @@ class ClusterRouter:
                 self.num_servers - 1,
                 request.seq_len * self.num_servers // (self.max_len + 1),
             )
-            return band
+            if healthy is None or band in healthy:
+                return band
+            # Nearest healthy band (ties -> lower id) keeps length
+            # clustering as tight as the outage allows.
+            return min(candidates, key=lambda i: (abs(i - band), i))
         raise ValueError(f"unknown routing policy {self.policy}")  # pragma: no cover
 
 
@@ -116,11 +158,18 @@ def simulate_cluster(
     max_batch: int = 20,
     duration_s: Optional[float] = None,
     max_len: int = 512,
+    resilience: Optional["ResilienceConfig"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> ClusterMetrics:
     """Event-driven simulation of a multi-server cluster.
 
     Each server batches its own queue with its own scheduler whenever it
     goes idle (hungry policy); the router assigns requests on arrival.
+
+    With ``resilience`` set, crashed replicas fail their queued work fast
+    (retried elsewhere via the retry policy), per-server circuit breakers
+    steer the router away from failing replicas, expired requests are
+    dropped at admission, and execution slows under latency spikes.
     """
     if not requests:
         raise ValueError("need at least one request to simulate")
@@ -132,7 +181,18 @@ def simulate_cluster(
     servers = [ServerState(i, scheduler_factory()) for i in range(num_servers)]
     router = ClusterRouter(policy, num_servers, cost_fn, max_len=max_len)
 
-    # Event heap holds (time, seq, kind, payload); kinds: arrival, idle.
+    res = resilience
+    faults = res.faults if res is not None else None
+    breakers = None
+    if res is not None and res.breaker_factory is not None:
+        breakers = [res.breaker_factory(i) for i in range(num_servers)]
+    retry_state = None
+    if res is not None and res.retry is not None:
+        from ..resilience.retry import RetryState  # deferred: avoids cycle
+
+        retry_state = RetryState(res.retry)
+
+    # Event heap holds (time, seq, kind, payload); kinds: arrival, retry, idle.
     events: List[tuple] = []
     seq = 0
     for request in arrivals:
@@ -142,33 +202,111 @@ def simulate_cluster(
     backlog_at_horizon: Optional[int] = None
     arrivals_left = len(arrivals)
 
+    def handle_failure(r: Request, server_id: int, now: float) -> None:
+        """One attempt failed on ``server_id``: retry elsewhere or give up."""
+        nonlocal seq
+        if breakers is not None:
+            breakers[server_id].record(False, now)
+        retry_at = (retry_state.next_retry_at(r, now)
+                    if retry_state is not None else None)
+        if retry_at is None:
+            r.resolve(RequestState.FAILED)
+            if metrics is not None:
+                metrics.counter("cluster_requests_dropped_total",
+                                reason="failed").inc()
+            return
+        r.attempt += 1
+        heapq.heappush(events, (retry_at, seq, "retry", r))
+        seq += 1
+        if metrics is not None:
+            metrics.counter("cluster_retries_total").inc()
+
     def run_server(server: ServerState, now: float) -> None:
         """If idle with work queued, batch-and-execute the whole queue."""
         nonlocal seq
         if server.busy_until > now or not server.queue:
             return
+        sid = server.server_id
+        if faults is not None and faults.crashed(sid, now):
+            # Crashed replica: fail the queue fast and wake at recovery.
+            failing, server.queue = server.queue, []
+            for r in failing:
+                handle_failure(r, sid, now)
+            recover = faults.crash_end(sid, now)
+            server.busy_until = recover
+            heapq.heappush(events, (recover, seq, "idle", sid))
+            seq += 1
+            return
         taken, server.queue = server.queue, []
+        if res is not None:
+            alive: List[Request] = []
+            for r in taken:
+                if r.expired(now):
+                    r.resolve(RequestState.TIMED_OUT)
+                    if metrics is not None:
+                        metrics.counter("cluster_requests_dropped_total",
+                                        reason="timed_out").inc()
+                else:
+                    alive.append(r)
+            taken = alive
+            if not taken:
+                return
         batches = server.scheduler.schedule(taken, cost_fn, max_batch)
         clock = now
-        for batch in batches:
+        crashed_at: Optional[float] = None
+        for bi, batch in enumerate(batches):
             exec_s = batch_execution_cost(batch, cost_fn)
+            if faults is not None:
+                factor = faults.latency_multiplier(sid, clock)
+                if factor != 1.0:
+                    exec_s *= factor
+                crashed_at = faults.crashed_during(sid, clock, clock + exec_s)
+            if crashed_at is not None:
+                # The crash takes this batch and the rest of the round down.
+                for later in batches[bi:]:
+                    for r in later.requests:
+                        handle_failure(r, sid, crashed_at)
+                recover = faults.crash_end(sid, crashed_at)
+                server.busy_until = recover
+                heapq.heappush(events, (recover, seq, "idle", sid))
+                seq += 1
+                return
+            started = clock
             for r in batch.requests:
                 r.start_s = clock
             clock += exec_s
             for r in batch.requests:
-                r.completion_s = clock
-            server.completed += batch.size
+                if faults is not None and faults.attempt_fails(
+                        r.req_id, r.attempt, sid, started):
+                    handle_failure(r, sid, clock)
+                    continue
+                r.resolve(RequestState.COMPLETED, clock)
+                server.completed += 1
+                if breakers is not None:
+                    breakers[sid].record(True, clock)
         server.busy_until = clock
-        heapq.heappush(events, (clock, seq, "idle", server.server_id))
+        heapq.heappush(events, (clock, seq, "idle", sid))
         seq += 1
+
+    def healthy_set(now: float) -> Optional[Set[int]]:
+        if res is None:
+            return None
+        healthy = {
+            i for i in range(num_servers)
+            if not (faults is not None and faults.crashed(i, now))
+            and (breakers is None or breakers[i].allow(now))
+        }
+        return healthy
 
     while events:
         now, _, kind, payload = heapq.heappop(events)
-        if kind == "arrival":
+        if kind in ("arrival", "retry"):
             request = payload
-            target = router.route(request, servers, now)
+            target = router.route(request, servers, now,
+                                  healthy=healthy_set(now))
             servers[target].queue.append(request)
-            arrivals_left -= 1
+            if kind == "arrival":
+                arrivals_left -= 1
             run_server(servers[target], now)
         else:  # idle
             run_server(servers[payload], now)
@@ -186,16 +324,38 @@ def simulate_cluster(
         (r.completion_s for r in arrivals if r.completion_s is not None),
         default=0.0,
     )
+    resilience_stats: Optional[ResilienceStats] = None
+    if res is not None:
+        resilience_stats = ResilienceStats(
+            retries=retry_state.retries_used if retry_state is not None else 0,
+            timed_out=sum(1 for r in arrivals
+                          if r.state is RequestState.TIMED_OUT),
+            failed=sum(1 for r in arrivals if r.state is RequestState.FAILED),
+            shed=sum(1 for r in arrivals if r.state is RequestState.SHED),
+            breaker_transitions=(sum(len(b.transitions) for b in breakers)
+                                 if breakers is not None else 0),
+        )
     serving = ServingMetrics(
         system=f"cluster[{policy.value}x{num_servers}]",
         request_rate=len(arrivals) / horizon,
         response_throughput=throughput,
         latency=LatencyStats.from_requests(arrivals),
         saturated=(last_completion - horizon) > 0.5,
-        completed=sum(1 for r in arrivals if r.completion_s is not None),
+        completed=sum(1 for r in arrivals if r.is_completed),
         offered=len(arrivals),
         backlog_at_end=backlog_at_horizon,
+        resilience=resilience_stats,
     )
+    if metrics is not None:
+        metrics.gauge("cluster_response_throughput").set(throughput)
+        for s in servers:
+            metrics.gauge("cluster_server_completed",
+                          server=str(s.server_id)).set(s.completed)
+        if resilience_stats is not None:
+            metrics.counter("cluster_timed_out_total").inc(
+                resilience_stats.timed_out)
+            metrics.counter("cluster_failed_total").inc(
+                resilience_stats.failed)
     return ClusterMetrics(
         serving=serving,
         per_server_completed=[s.completed for s in servers],

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from .request import Request
 
@@ -37,7 +37,10 @@ class LatencyStats:
 
     @classmethod
     def from_requests(cls, requests: Sequence[Request]) -> "LatencyStats":
-        completed = [r for r in requests if r.completion_s is not None]
+        # ``is_completed`` skips (rather than crashes on) requests that
+        # ended in a non-completed terminal state (TIMED_OUT/FAILED/SHED):
+        # they carry no response latency.
+        completed = [r for r in requests if r.is_completed]
         if not completed:
             return cls(float("inf"), float("inf"), float("inf"), 0)
         latencies = sorted(r.latency_s * 1e3 for r in completed)
@@ -69,6 +72,28 @@ class LatencyStats:
 
 
 @dataclass(frozen=True)
+class ResilienceStats:
+    """Fault-handling outcome of one (resilient) serving run.
+
+    All counts are whole-run totals; rates are derived against ``offered``
+    by the caller (see :class:`repro.resilience.chaos.ChaosReport`).
+    """
+
+    retries: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    shed: int = 0
+    rejected: int = 0
+    breaker_transitions: int = 0
+    degradation_switches: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Requests that never produced a response, for any reason."""
+        return self.timed_out + self.failed + self.shed
+
+
+@dataclass(frozen=True)
 class ServingMetrics:
     """Outcome of one serving simulation.
 
@@ -87,6 +112,7 @@ class ServingMetrics:
     backlog_at_end: int
     utilization: float = 0.0
     batches_executed: int = 0
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def stable(self) -> bool:
@@ -109,11 +135,10 @@ def response_throughput(
         )
     done = [
         r for r in requests
-        if r.completion_s is not None
-        and window_start_s <= r.completion_s <= window_end_s
+        if r.is_completed and window_start_s <= r.completion_s <= window_end_s
     ]
     return len(done) / (window_end_s - window_start_s)
 
 
 def completed_requests(requests: Sequence[Request]) -> List[Request]:
-    return [r for r in requests if r.completion_s is not None]
+    return [r for r in requests if r.is_completed]

@@ -9,17 +9,33 @@ from .request import Request
 
 
 class MessageQueue:
-    """FIFO of pending requests with arrival-order accounting."""
+    """FIFO of pending requests with arrival-order accounting.
 
-    def __init__(self) -> None:
+    ``capacity`` bounds the queue: a full queue rejects further pushes
+    (``push`` returns False and ``total_rejected`` counts them), which is
+    how backpressure becomes representable instead of queues silently
+    growing without bound.  The default (``None``) stays unbounded, so
+    existing callers that ignore ``push``'s return value are unchanged.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
         self._queue: Deque[Request] = deque()
         self.total_enqueued = 0
+        self.total_rejected = 0
         self.peak_depth = 0
 
-    def push(self, request: Request) -> None:
+    def push(self, request: Request) -> bool:
+        """Enqueue; returns False (rejecting the request) if at capacity."""
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            self.total_rejected += 1
+            return False
         self._queue.append(request)
         self.total_enqueued += 1
         self.peak_depth = max(self.peak_depth, len(self._queue))
+        return True
 
     def drain(self, limit: Optional[int] = None) -> List[Request]:
         """Pop up to ``limit`` requests in arrival order (all if None)."""

@@ -2,8 +2,36 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import enum
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
+
+
+class RequestNotCompleted(ValueError):
+    """Raised when latency is read off a request that never completed."""
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a request through the (possibly faulty) serving stack.
+
+    ``PENDING`` is the only non-terminal state.  Of the terminal states,
+    only ``COMPLETED`` carries a latency; the other three record *why* a
+    request produced no response:
+
+    * ``TIMED_OUT`` — its deadline expired before (or while) being served;
+    * ``FAILED``    — every allowed attempt hit a fault, retries exhausted;
+    * ``SHED``      — dropped by admission control (full queue, shed rung).
+    """
+
+    PENDING = "pending"
+    COMPLETED = "completed"
+    TIMED_OUT = "timed_out"
+    FAILED = "failed"
+    SHED = "shed"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self is not RequestState.PENDING
 
 
 @dataclass
@@ -14,6 +42,11 @@ class Request:
     orders multi-tenant traffic (0 = interactive/highest, larger = more
     batch-tolerant).  The serving simulation only needs ``seq_len`` and
     ``arrival_s``.
+
+    Resilience fields: ``deadline_s`` is the client's per-request latency
+    budget (``None`` = patient client, never dropped); ``attempt`` counts
+    executions so far (0 = first try); ``state`` tracks the lifecycle
+    (see :class:`RequestState`).
     """
 
     req_id: int
@@ -23,6 +56,9 @@ class Request:
     priority: int = 0
     start_s: Optional[float] = None
     completion_s: Optional[float] = None
+    deadline_s: Optional[float] = None
+    attempt: int = 0
+    state: RequestState = field(default=RequestState.PENDING)
 
     def __post_init__(self) -> None:
         if self.seq_len <= 0:
@@ -31,13 +67,45 @@ class Request:
             raise ValueError(f"arrival_s must be >= 0, got {self.arrival_s}")
         if self.priority < 0:
             raise ValueError(f"priority must be >= 0, got {self.priority}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
 
     @property
     def latency_s(self) -> float:
-        """Arrival-to-response latency; raises if not yet completed."""
+        """Arrival-to-response latency; raises if not completed."""
         if self.completion_s is None:
-            raise ValueError(f"request {self.req_id} has not completed")
+            raise RequestNotCompleted(
+                f"request {self.req_id} has not completed (state={self.state.value})"
+            )
         return self.completion_s - self.arrival_s
+
+    @property
+    def is_completed(self) -> bool:
+        """True when the request produced a response.
+
+        Legacy paths set ``completion_s`` without touching ``state``; a
+        non-``COMPLETED`` terminal state never carries a completion.
+        """
+        return self.completion_s is not None and (
+            self.state is RequestState.COMPLETED
+            or self.state is RequestState.PENDING
+        )
+
+    def expired(self, now_s: float) -> bool:
+        """True if the deadline has passed at ``now_s`` (False if none)."""
+        return self.deadline_s is not None and now_s - self.arrival_s > self.deadline_s
+
+    def resolve(self, state: RequestState, completion_s: Optional[float] = None) -> None:
+        """Move to a terminal state (``COMPLETED`` also records the time)."""
+        if not state.is_terminal:
+            raise ValueError(f"resolve() needs a terminal state, got {state}")
+        self.state = state
+        if state is RequestState.COMPLETED:
+            if completion_s is None:
+                raise ValueError("COMPLETED requires a completion time")
+            self.completion_s = completion_s
 
 
 @dataclass(frozen=True)
@@ -47,6 +115,12 @@ class Batch:
     ``cost_override``: execution latency fixed by the scheduler (used by
     padding-free packed batching, whose cost the ``(len, batch)`` tables
     cannot express); ``None`` means price via the cost function.
+
+    Invariant: a batch with ``cost_override`` set is *packed* — requests
+    are concatenated along the token dimension, nothing is padded, and the
+    override already prices the true concatenated cost.  ``padding_waste``
+    is therefore zero for such batches; charging the pad-dim gap on top of
+    the override would double-count waste the execution never materializes.
     """
 
     requests: Tuple[Request, ...]
@@ -83,7 +157,13 @@ class Batch:
 
     @property
     def padding_waste(self) -> int:
-        """Zero-padded tokens: the quantity the DP scheduler trades off."""
+        """Zero-padded tokens: the quantity the DP scheduler trades off.
+
+        Packed batches (``cost_override`` set) concatenate instead of pad
+        and report zero — see the class invariant above.
+        """
+        if self.cost_override is not None:
+            return 0
         return sum(self.padded_len - r.seq_len for r in self.requests) + (
             (self.cost_batch_size - self.size) * self.padded_len
         )

@@ -13,19 +13,36 @@ padding attributes, queue-depth series, and reconciling counters.  With
 the defaults (``NULL_TRACER``, no registry) the loop is unchanged and the
 returned :class:`ServingMetrics` is bit-identical to an uninstrumented
 run.
+
+Resilience: pass a :class:`repro.resilience.ResilienceConfig` to enable
+deadline-aware admission (expired requests are dropped before batching),
+fault injection (latency spikes, transient failures), retries with
+backoff, a circuit breaker and a degradation ladder.  ``resilience=None``
+— and equally a config whose fault plan is empty with every mechanism off
+— leaves the loop byte-identical to the unthreaded code path, the same
+zero-overhead-when-disabled guarantee the tracer gives.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..observability import NULL_TRACER, MetricsRegistry, Tracer
-from .metrics import LatencyStats, ServingMetrics, response_throughput
+from .metrics import (
+    LatencyStats,
+    ResilienceStats,
+    ServingMetrics,
+    response_throughput,
+)
 from .mq import MessageQueue
 from .policies import HungryPolicy, LazyPolicy, TriggerPolicy
-from .request import Request
+from .request import Request, RequestState, make_batch
 from .scheduler import BatchScheduler, CostFn, batch_execution_cost, observe_round
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (resilience -> serving)
+    from ..resilience import ResilienceConfig
 
 
 @dataclass
@@ -56,6 +73,7 @@ def simulate_serving(
     cache=None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    resilience: Optional["ResilienceConfig"] = None,
 ) -> ServingMetrics:
     """Run one serving simulation to completion.
 
@@ -69,8 +87,9 @@ def simulate_serving(
     complete at arrival without touching the model; model responses are
     cached on completion.
 
-    ``tracer`` / ``metrics`` enable observability (see module docstring);
-    both default to disabled.
+    ``tracer`` / ``metrics`` enable observability, ``resilience`` enables
+    fault injection and recovery (see module docstring); all default to
+    disabled.
     """
     if not requests:
         raise ValueError("need at least one request to simulate")
@@ -82,7 +101,21 @@ def simulate_serving(
     if horizon <= 0:
         raise ValueError(f"duration must be positive, got {horizon}")
 
-    queue = MessageQueue()
+    res = resilience
+    faults = res.faults if res is not None else None
+    breaker = (res.breaker_factory(0)
+               if res is not None and res.breaker_factory is not None else None)
+    degradation = res.degradation if res is not None else None
+    retry_state = None
+    if res is not None and res.retry is not None:
+        from ..resilience.retry import RetryState  # deferred: avoids cycle
+
+        retry_state = RetryState(res.retry)
+    # (time, tiebreak, request) of failed attempts waiting out their backoff.
+    retry_heap: List[Tuple[float, int, Request]] = []
+    retry_seq = 0
+
+    queue = MessageQueue(capacity=res.queue_capacity if res is not None else None)
     clock = 0.0
     next_arrival = 0
     n = len(arrivals)
@@ -103,6 +136,21 @@ def simulate_serving(
         if metrics is not None:
             metrics.counter("serving_requests_completed_total", path=how).inc()
 
+    def drop_request(r: Request, state: RequestState, now: float) -> None:
+        """Terminal non-completion (timeout / failure / shed) bookkeeping."""
+        r.resolve(state)
+        if trace_on:
+            tracer.async_end("request", now, r.req_id, cat="request",
+                             path=state.value)
+        if metrics is not None:
+            metrics.counter("serving_requests_dropped_total",
+                            reason=state.value).inc()
+
+    def enqueue(r: Request, now: float) -> None:
+        """Push with capacity-aware admission (full queue sheds)."""
+        if not queue.push(r):
+            drop_request(r, RequestState.SHED, now)
+
     def ingest(now: float) -> None:
         nonlocal next_arrival, backlog_at_horizon
         ingested = 0
@@ -120,9 +168,19 @@ def simulate_serving(
                 # Resp Cache hit: answered without evaluating the model.
                 request.start_s = request.arrival_s
                 request.completion_s = request.arrival_s
+                request.state = RequestState.COMPLETED
                 complete_request(request, "cache")
                 continue
-            queue.push(request)
+            enqueue(request, now)
+        # Failed attempts whose backoff has elapsed re-enter the queue.
+        while retry_heap and retry_heap[0][0] <= now:
+            _, _, request = heapq.heappop(retry_heap)
+            ingested += 1
+            if trace_on:
+                tracer.async_instant("request", now, request.req_id,
+                                     cat="request", stage="requeue",
+                                     attempt=request.attempt)
+            enqueue(request, now)
         # Snapshot the backlog at the first event crossing the horizon —
         # regardless of how many arrivals remain.  (Waiting for all
         # arrivals, as this once did, takes the snapshot long after the
@@ -143,11 +201,50 @@ def simulate_serving(
         if ingested and metrics is not None:
             metrics.counter("serving_requests_ingested_total").inc(ingested)
 
+    def active_cost_fn() -> CostFn:
+        """Cost function of the current degradation rung (base if none)."""
+        if degradation is not None:
+            return degradation.cost_fn
+        return cost_fn
+
+    def admit(taken: List[Request], now: float) -> List[Request]:
+        """Deadline-aware admission: expired work never reaches a batch.
+
+        The shed rung of the degradation ladder additionally drops queued
+        requests older than its ``shed_age_s``.
+        """
+        shed_age = degradation.shed_age_s if degradation is not None else None
+        alive: List[Request] = []
+        for r in taken:
+            if r.expired(now):
+                drop_request(r, RequestState.TIMED_OUT, now)
+            elif shed_age is not None and now - r.arrival_s > shed_age:
+                drop_request(r, RequestState.SHED, now)
+            else:
+                alive.append(r)
+        return alive
+
     def execute(batches, with_ingest: bool = True) -> None:
         nonlocal clock, busy_in_horizon, batches_executed
         for batch in batches:
-            exec_s = batch_execution_cost(batch, cost_fn)
+            if res is not None:
+                # Re-check deadlines at dispatch (as shedding does): members
+                # that went stale while earlier batches of this round
+                # executed are dropped rather than served hopelessly late.
+                alive = [r for r in batch.requests if not r.expired(clock)]
+                if len(alive) < batch.size:
+                    for r in batch.requests:
+                        if r.expired(clock):
+                            drop_request(r, RequestState.TIMED_OUT, clock)
+                    if not alive:
+                        continue
+                    batch = make_batch(alive)
+            exec_s = batch_execution_cost(batch, active_cost_fn())
             started = clock
+            if faults is not None:
+                factor = faults.latency_multiplier(0, started)
+                if factor != 1.0:
+                    exec_s *= factor
             for r in batch.requests:
                 r.start_s = clock
             busy_in_horizon += max(
@@ -155,8 +252,18 @@ def simulate_serving(
             )
             clock += exec_s
             batches_executed += 1
+            failed: List[Request] = []
+            if faults is not None and faults.failure_rate(0, started) > 0.0:
+                failed = [r for r in batch.requests
+                          if faults.attempt_fails(r.req_id, r.attempt, 0, started)]
+            failed_set = set(id(r) for r in failed)
             for r in batch.requests:
+                if id(r) in failed_set:
+                    continue
                 r.completion_s = clock
+                r.state = RequestState.COMPLETED
+                if breaker is not None:
+                    breaker.record(True, clock)
                 if cache is not None and r.payload is not None:
                     cache.put(r.payload, r.req_id)
             if trace_on:
@@ -173,7 +280,10 @@ def simulate_serving(
                         queue_wait_ms=round((started - r.arrival_s) * 1e3, 4),
                     )
             for r in batch.requests:
-                complete_request(r, "model")
+                if id(r) not in failed_set:
+                    complete_request(r, "model")
+            for r in failed:
+                _handle_failure(r, clock)
             if metrics is not None:
                 metrics.counter("serving_batches_executed_total").inc()
                 metrics.counter("serving_padded_tokens_total").inc(
@@ -190,8 +300,26 @@ def simulate_serving(
             if with_ingest:
                 ingest(clock)
 
+    def _handle_failure(r: Request, now: float) -> None:
+        """One attempt failed: retry after backoff or give up."""
+        nonlocal retry_seq
+        if breaker is not None:
+            breaker.record(False, now)
+        if metrics is not None:
+            metrics.counter("serving_attempt_failures_total").inc()
+        retry_at = (retry_state.next_retry_at(r, now)
+                    if retry_state is not None else None)
+        if retry_at is None:
+            drop_request(r, RequestState.FAILED, now)
+            return
+        r.attempt += 1
+        heapq.heappush(retry_heap, (retry_at, retry_seq, r))
+        retry_seq += 1
+        if metrics is not None:
+            metrics.counter("serving_retries_total").inc()
+
     ingest(clock)
-    while next_arrival < n or queue:
+    while next_arrival < n or queue or retry_heap:
         if queue and config.policy.should_schedule(queue, clock):
             if isinstance(config.policy, LazyPolicy) and queue:
                 front = queue.front()
@@ -199,6 +327,14 @@ def simulate_serving(
                 config.policy.estimated_exec_s = cost_fn(front.seq_len, 1)
             depth = len(queue)
             taken = queue.drain(config.round_limit)
+            if res is not None:
+                if degradation is not None:
+                    breaker_open = (breaker is not None
+                                    and not breaker.allow(clock))
+                    degradation.on_round(depth, breaker_open, clock)
+                taken = admit(taken, clock)
+                if not taken:
+                    continue
             batches = scheduler.schedule(taken, cost_fn, config.max_batch)
             if metrics is not None or trace_on:
                 if metrics is not None:
@@ -210,10 +346,12 @@ def simulate_serving(
                               tracer=tracer if trace_on else None)
             execute(batches)
             continue
-        # Idle: jump to the next arrival or the policy's next trigger time.
+        # Idle: jump to the next arrival, retry wake-up, or policy trigger.
         next_times = []
         if next_arrival < n:
             next_times.append(arrivals[next_arrival].arrival_s)
+        if retry_heap:
+            next_times.append(retry_heap[0][0])
         trigger = config.policy.next_decision_time(queue, clock)
         if trigger != float("inf"):
             next_times.append(trigger)
@@ -221,14 +359,23 @@ def simulate_serving(
             if queue:
                 # Policy will never fire again (e.g. degenerate config):
                 # flush the remainder so the simulation terminates.
-                execute(scheduler.schedule(queue.drain(None), cost_fn,
-                                           config.max_batch), with_ingest=False)
+                flush = queue.drain(None)
+                if res is not None:
+                    flush = admit(flush, clock)
+                if flush:
+                    execute(scheduler.schedule(flush, cost_fn,
+                                               config.max_batch),
+                            with_ingest=False)
             break
         advance = max(min(next_times), clock)
-        if advance == clock and next_arrival >= n:
+        if advance == clock and next_arrival >= n and not retry_heap:
             # No time progress possible: force a flush round.
-            execute(scheduler.schedule(queue.drain(config.round_limit),
-                                       cost_fn, config.max_batch))
+            flush = queue.drain(config.round_limit)
+            if res is not None:
+                flush = admit(flush, clock)
+                if not flush:
+                    continue
+            execute(scheduler.schedule(flush, cost_fn, config.max_batch))
             continue
         clock = advance if advance > clock else clock + 1e-9
         ingest(clock)
@@ -244,17 +391,32 @@ def simulate_serving(
     # of service capacity to drain.
     drain_seconds = backlog_at_horizon / max(throughput, 1e-9)
     saturated = drain_seconds > 0.5
+    resilience_stats: Optional[ResilienceStats] = None
+    if res is not None:
+        resilience_stats = ResilienceStats(
+            retries=retry_state.retries_used if retry_state is not None else 0,
+            timed_out=sum(1 for r in arrivals
+                          if r.state is RequestState.TIMED_OUT),
+            failed=sum(1 for r in arrivals if r.state is RequestState.FAILED),
+            shed=sum(1 for r in arrivals if r.state is RequestState.SHED),
+            rejected=queue.total_rejected,
+            breaker_transitions=(len(breaker.transitions)
+                                 if breaker is not None else 0),
+            degradation_switches=(len(degradation.switches)
+                                  if degradation is not None else 0),
+        )
     result = ServingMetrics(
         system=system_name or scheduler.name,
         request_rate=offered_rate,
         response_throughput=throughput,
         latency=LatencyStats.from_requests(arrivals),
         saturated=saturated,
-        completed=sum(1 for r in arrivals if r.completion_s is not None),
+        completed=sum(1 for r in arrivals if r.is_completed),
         offered=n,
         backlog_at_end=backlog_at_horizon,
         utilization=min(1.0, busy_in_horizon / horizon),
         batches_executed=batches_executed,
+        resilience=resilience_stats,
     )
     if metrics is not None:
         metrics.gauge("serving_utilization", system=result.system).set(

@@ -16,10 +16,14 @@ supplies the remaining two plus a front-end that wires everything together:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from .cache import ResponseCache
 from .metrics import ServingMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience import ResilienceConfig
+    from ..resilience.degradation import DegradationLadder
 from .request import Request
 from .scheduler import BatchScheduler, CostFn, DPBatchScheduler
 from .server import ServingConfig, simulate_serving
@@ -140,13 +144,44 @@ class InferenceService:
     def active_model(self) -> ModelVersion:
         return self.registry.get(self.model_name)
 
+    def degradation_ladder(
+        self,
+        versions: Optional[Sequence[int]] = None,
+        shed_age_s: Optional[float] = None,
+    ) -> "DegradationLadder":
+        """Build a fallback ladder from this service's registered versions.
+
+        By default the rungs are the serving version followed by every
+        *older* version in descending order — the standard "fall back to
+        the previous, cheaper deployment" shape.  ``shed_age_s`` arms load
+        shedding on the final rung (the :mod:`.shedding` semantics as the
+        last line of defence).
+        """
+        from ..resilience.degradation import DegradationLadder
+
+        if versions is None:
+            current = self.registry.serving_version(self.model_name)
+            older = [v for v in self.registry.versions(self.model_name)
+                     if v < current]
+            versions = [current] + sorted(older, reverse=True)
+        return DegradationLadder.from_registry(
+            self.registry, self.model_name, versions, shed_age_s=shed_age_s
+        )
+
     def serve(
         self,
         requests: Sequence[Request],
         duration_s: Optional[float] = None,
         use_cache: bool = True,
+        resilience: Optional["ResilienceConfig"] = None,
     ) -> ServingMetrics:
-        """Serve a workload with the currently-deployed model version."""
+        """Serve a workload with the currently-deployed model version.
+
+        ``resilience`` threads fault injection, deadlines, retries, a
+        breaker and (via its ``degradation`` controller, typically built
+        over :meth:`degradation_ladder`) model fallback through the run;
+        ``None`` serves exactly as before.
+        """
         model = self.active_model
         return simulate_serving(
             requests,
@@ -156,4 +191,5 @@ class InferenceService:
             duration_s=duration_s,
             system_name=f"{model.name}@v{model.version}",
             cache=self.cache if use_cache else None,
+            resilience=resilience,
         )

@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence
 from .metrics import LatencyStats, ServingMetrics, response_throughput
 from .mq import MessageQueue
 from .policies import HungryPolicy, TriggerPolicy
-from .request import Request
+from .request import Request, RequestState
 from .scheduler import BatchScheduler, CostFn, batch_execution_cost
 
 
@@ -82,6 +82,7 @@ def simulate_serving_with_shedding(
         fresh: List[Request] = []
         for request in queue.drain(None):
             if now - request.arrival_s > deadline_s:
+                request.state = RequestState.SHED
                 dropped.append(request)
             else:
                 fresh.append(request)
@@ -101,6 +102,7 @@ def simulate_serving_with_shedding(
                     alive: List[Request] = []
                     for r in batch.requests:
                         if clock - r.arrival_s > deadline_s:
+                            r.state = RequestState.SHED
                             dropped.append(r)
                         else:
                             alive.append(r)
@@ -115,7 +117,7 @@ def simulate_serving_with_shedding(
                         r.start_s = clock
                     clock += exec_s
                     for r in live_batch.requests:
-                        r.completion_s = clock
+                        r.resolve(RequestState.COMPLETED, clock)
                     ingest(clock)
             continue
         if next_arrival < n:

@@ -1,0 +1,110 @@
+"""Chaos harness: determinism, recovery assertion, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.observability import MetricsRegistry, Tracer
+from repro.resilience import SCENARIOS, format_report, run_chaos
+
+
+class TestSmokeScenario:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_chaos("smoke", seed=0)
+
+    def test_recovers_to_baseline(self, report):
+        assert report.recovered
+        assert report.recovery_ratio >= 0.95
+
+    def test_breaker_transitions_visible(self, report):
+        assert report.breaker_transitions
+        states = {to for (_, _, _, to) in report.breaker_transitions}
+        assert "open" in states
+
+    def test_faults_actually_bite(self, report):
+        assert report.chaos.serving.resilience.retries > 0
+        assert report.retry_rate > 0
+
+    def test_accounting_reconciles(self, report):
+        s = report.chaos.serving
+        assert s.completed + s.resilience.dropped == s.offered
+
+    def test_metrics_exported(self, report):
+        exported = report.registry.to_dict()
+        gauges = {g["name"] for g in exported["gauges"]}
+        assert "chaos_recovery_ratio" in gauges
+        assert "chaos_goodput_baseline" in gauges
+        counters = {c["name"] for c in exported["counters"]}
+        assert "chaos_retries_total" in counters
+
+
+class TestDeterminism:
+    def test_two_runs_byte_identical(self, tmp_path):
+        paths = []
+        for run in ("a", "b"):
+            registry = MetricsRegistry()
+            run_chaos("smoke", seed=0, metrics=registry)
+            path = tmp_path / f"chaos_{run}.json"
+            registry.save(path)
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_seed_changes_the_run(self, tmp_path):
+        outputs = []
+        for seed in (0, 1):
+            registry = MetricsRegistry()
+            run_chaos("smoke", seed=seed, metrics=registry)
+            outputs.append(registry.to_json())
+        assert outputs[0] != outputs[1]
+
+    def test_report_fields_reproducible(self):
+        a = run_chaos("storm", seed=0)
+        b = run_chaos("storm", seed=0)
+        assert a.breaker_transitions == b.breaker_transitions
+        assert a.goodput_chaos == b.goodput_chaos
+        assert a.chaos.serving == b.chaos.serving
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_all_scenarios_recover(self, name):
+        report = run_chaos(name, seed=0)
+        assert report.recovered, format_report(report)
+
+    def test_storm_respects_retry_budget(self):
+        report = run_chaos("storm", seed=0)
+        scenario = report.scenario
+        assert report.chaos.serving.resilience.retries <= scenario.retry.budget
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_chaos("nope", seed=0)
+
+    def test_tracer_gets_breaker_instants(self):
+        tracer = Tracer()
+        report = run_chaos("smoke", seed=0, tracer=tracer)
+        events = tracer.to_dict()["traceEvents"]
+        instants = [e for e in events if e.get("name") == "breaker_transition"]
+        assert len(instants) == len(report.breaker_transitions)
+
+
+class TestCli:
+    def test_chaos_command_runs_and_writes_metrics(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "metrics.json"
+        code = main(["chaos", "--scenario", "smoke", "--seed", "0",
+                     "--metrics-out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "recovery:  OK" in printed
+        exported = json.loads(out.read_text())
+        assert any(g["name"] == "chaos_recovery_ratio"
+                   for g in exported["gauges"])
+
+    def test_chaos_command_skips_metrics_when_blank(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["chaos", "--scenario", "smoke", "--metrics-out", ""]) == 0
+        assert "metrics:" not in capsys.readouterr().out

@@ -116,6 +116,101 @@ class TestDpInCluster:
         assert metrics.serving.latency.avg_ms <= naive.serving.latency.avg_ms
 
 
+class TestHealthyRouting:
+    """The router must skip dead/breaker-open replicas (ISSUE 2)."""
+
+    def setup_method(self):
+        from repro.serving import ClusterRouter, ServerState
+        from repro.serving.scheduler import NaiveBatchScheduler as S
+
+        self.router_cls = ClusterRouter
+        self.servers = [ServerState(i, S()) for i in range(4)]
+
+    def router(self, policy, max_len=512):
+        return self.router_cls(policy, 4, linear_cost(), max_len=max_len)
+
+    def request(self, seq_len=100):
+        return Request(req_id=0, seq_len=seq_len, arrival_s=0.0)
+
+    def test_least_work_excludes_unhealthy_minimum(self):
+        """Pending-work estimates are taken over the healthy set only: the
+        idle (least-loaded) server is down, so work goes to the lightest
+        *live* one instead."""
+        router = self.router(RoutingPolicy.LEAST_WORK)
+        self.servers[0].busy_until = 0.0   # idle but dead
+        self.servers[1].busy_until = 5.0
+        self.servers[2].busy_until = 1.0   # lightest healthy
+        self.servers[3].busy_until = 3.0
+        assert router.route(self.request(), self.servers, now=0.0) == 0
+        assert router.route(self.request(), self.servers, now=0.0,
+                            healthy={1, 2, 3}) == 2
+
+    def test_least_queued_excludes_unhealthy(self):
+        router = self.router(RoutingPolicy.LEAST_QUEUED)
+        self.servers[1].queue = [self.request()]
+        self.servers[2].queue = [self.request()] * 3
+        self.servers[3].queue = [self.request()] * 2
+        assert router.route(self.request(), self.servers, now=0.0,
+                            healthy={1, 2, 3}) == 1
+
+    def test_round_robin_skips_dead_servers(self):
+        router = self.router(RoutingPolicy.ROUND_ROBIN)
+        picks = [router.route(self.request(), self.servers, now=0.0,
+                              healthy={1, 3}) for _ in range(4)]
+        assert picks == [1, 3, 1, 3]
+
+    def test_length_aware_falls_to_nearest_band(self):
+        router = self.router(RoutingPolicy.LENGTH_AWARE)
+        long = self.request(seq_len=500)   # band 3
+        assert router.route(long, self.servers, now=0.0) == 3
+        assert router.route(long, self.servers, now=0.0, healthy={0, 1, 2}) == 2
+
+    def test_all_dead_falls_back_to_full_set(self):
+        """Queueing on a downed server beats dropping on the floor."""
+        router = self.router(RoutingPolicy.LEAST_QUEUED)
+        assert router.route(self.request(), self.servers, now=0.0,
+                            healthy=set()) in range(4)
+
+    def test_healthy_none_unchanged(self):
+        a = self.router(RoutingPolicy.ROUND_ROBIN)
+        b = self.router(RoutingPolicy.ROUND_ROBIN)
+        picks_a = [a.route(self.request(), self.servers, now=0.0)
+                   for _ in range(6)]
+        picks_b = [b.route(self.request(), self.servers, now=0.0,
+                           healthy={0, 1, 2, 3}) for _ in range(6)]
+        assert picks_a == picks_b == [0, 1, 2, 3, 0, 1]
+
+    def test_open_breaker_diverts_work(self):
+        """End to end: a permanently failing replica's breaker opens and
+        the healthy servers absorb (nearly) all completions."""
+        from repro.resilience import (
+            CircuitBreaker,
+            FaultPlan,
+            ResilienceConfig,
+            RetryPolicy,
+            TransientFailures,
+        )
+
+        plan = FaultPlan(failures=(
+            TransientFailures(start_s=0.0, end_s=10.0, failure_rate=1.0,
+                              server_id=1),))
+        metrics = simulate_cluster(
+            generate_requests(200, 2.0, seed=0), 3, NaiveBatchScheduler,
+            linear_cost(), policy=RoutingPolicy.LEAST_WORK, duration_s=2.0,
+            resilience=ResilienceConfig(
+                faults=plan,
+                retry=RetryPolicy(max_attempts=5, budget=500),
+                breaker_factory=lambda i: CircuitBreaker(
+                    window=10, min_samples=4, cooldown_s=10.0,
+                    name=f"server{i}"),
+            ),
+        )
+        assert metrics.serving.resilience.breaker_transitions >= 1
+        # Server 1 stops receiving work once its breaker opens.
+        assert metrics.per_server_completed[1] == 0
+        assert metrics.serving.completed > 0.9 * metrics.serving.offered
+
+
 class TestValidation:
     def test_empty_workload_rejected(self):
         with pytest.raises(ValueError):

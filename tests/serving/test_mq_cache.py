@@ -55,6 +55,38 @@ class TestMessageQueue:
         assert q
 
 
+class TestBoundedQueue:
+    def test_unbounded_by_default(self):
+        q = MessageQueue()
+        assert q.capacity is None
+        assert all(q.push(req(i)) for i in range(1000))
+        assert q.total_rejected == 0
+
+    def test_full_queue_rejects(self):
+        q = MessageQueue(capacity=2)
+        assert q.push(req(0))
+        assert q.push(req(1))
+        assert not q.push(req(2))
+        assert len(q) == 2
+        assert q.total_rejected == 1
+        assert q.total_enqueued == 2
+
+    def test_drain_frees_capacity(self):
+        q = MessageQueue(capacity=1)
+        q.push(req(0))
+        assert not q.push(req(1))
+        q.drain()
+        assert q.push(req(2))
+        assert [r.req_id for r in q] == [2]
+        assert q.total_rejected == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            MessageQueue(capacity=0)
+        with pytest.raises(ValueError):
+            MessageQueue(capacity=-3)
+
+
 class TestResponseCache:
     def test_hit_and_miss(self):
         cache = ResponseCache(capacity=4)

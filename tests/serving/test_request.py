@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.serving import Batch, Request, make_batch
+from repro.serving import (
+    Batch,
+    Request,
+    RequestNotCompleted,
+    RequestState,
+    make_batch,
+)
 
 
 def req(req_id, seq_len, arrival=0.0):
@@ -16,6 +22,9 @@ class TestRequest:
         assert r.latency_s == pytest.approx(0.5)
 
     def test_latency_before_completion_raises(self):
+        with pytest.raises(RequestNotCompleted):
+            _ = req(0, 10).latency_s
+        # The dedicated error stays catchable as the ValueError it replaced.
         with pytest.raises(ValueError):
             _ = req(0, 10).latency_s
 
@@ -24,6 +33,50 @@ class TestRequest:
             Request(req_id=0, seq_len=0, arrival_s=0.0)
         with pytest.raises(ValueError):
             Request(req_id=0, seq_len=5, arrival_s=-1.0)
+        with pytest.raises(ValueError):
+            Request(req_id=0, seq_len=5, arrival_s=0.0, deadline_s=0.0)
+        with pytest.raises(ValueError):
+            Request(req_id=0, seq_len=5, arrival_s=0.0, attempt=-1)
+
+
+class TestRequestLifecycle:
+    def test_states_terminal(self):
+        assert not RequestState.PENDING.is_terminal
+        for state in (RequestState.COMPLETED, RequestState.TIMED_OUT,
+                      RequestState.FAILED, RequestState.SHED):
+            assert state.is_terminal
+
+    def test_resolve_completed_records_time(self):
+        r = req(0, 10, arrival=1.0)
+        r.resolve(RequestState.COMPLETED, 1.5)
+        assert r.is_completed
+        assert r.latency_s == pytest.approx(0.5)
+
+    def test_resolve_completed_requires_time(self):
+        with pytest.raises(ValueError):
+            req(0, 10).resolve(RequestState.COMPLETED)
+
+    def test_resolve_rejects_pending(self):
+        with pytest.raises(ValueError):
+            req(0, 10).resolve(RequestState.PENDING)
+
+    def test_non_completed_terminal_is_not_completed(self):
+        r = req(0, 10)
+        r.resolve(RequestState.TIMED_OUT)
+        assert not r.is_completed
+        with pytest.raises(RequestNotCompleted):
+            _ = r.latency_s
+
+    def test_legacy_completion_without_state_counts(self):
+        r = req(0, 10)
+        r.completion_s = 0.5  # pre-resilience code path
+        assert r.is_completed
+
+    def test_expired(self):
+        r = Request(req_id=0, seq_len=10, arrival_s=1.0, deadline_s=0.5)
+        assert not r.expired(1.5)
+        assert r.expired(1.51)
+        assert not req(0, 10).expired(1e9)  # no deadline: never expires
 
 
 class TestBatch:
@@ -54,3 +107,14 @@ class TestBatch:
     def test_execution_size_below_batch_rejected(self):
         with pytest.raises(ValueError):
             make_batch([req(0, 10), req(1, 20)], execution_size=1)
+
+    def test_packed_batch_reports_zero_waste(self):
+        """Regression: a cost_override batch is packed (concatenated, not
+        padded) — charging the pad-dim gap on top of the override would
+        double-count waste the execution never materializes."""
+        batch = make_batch([req(0, 17), req(1, 77)], cost_override=0.004)
+        assert batch.padding_waste == 0
+
+    def test_cost_override_validated(self):
+        with pytest.raises(ValueError):
+            make_batch([req(0, 10)], cost_override=0.0)

@@ -74,6 +74,41 @@ class TestShedding:
         )
         assert result.goodput > solo.goodput
 
+    def test_goodput_at_drop_rate_zero(self):
+        """drop_rate 0: every response counts — goodput is exactly the
+        serving throughput and nothing is shed."""
+        requests = flood(rate=50, duration=2.0)
+        result = simulate_serving_with_shedding(
+            requests, NoBatchScheduler(), cost, deadline_s=5.0, duration_s=2.0
+        )
+        assert result.drop_rate == 0.0
+        assert result.goodput == result.serving.response_throughput
+        assert result.goodput > 0
+
+    def test_goodput_at_drop_rate_one(self):
+        """drop_rate 1: everyone was shed, so goodput collapses to zero.
+
+        Arrivals are bunched at t=0 behind one huge head-of-line request,
+        so by the time the second round starts every queued request is
+        already past its deadline."""
+        blocker = Request(req_id=0, seq_len=512, arrival_s=0.0)
+        victims = [Request(req_id=1 + i, seq_len=10, arrival_s=1e-6)
+                   for i in range(20)]
+
+        def slow_cost(seq_len, batch):
+            return 10.0  # any batch takes 10s; deadline is 1s
+
+        result = simulate_serving_with_shedding(
+            [blocker] + victims, NoBatchScheduler(), slow_cost,
+            deadline_s=1.0, duration_s=1.0,
+        )
+        assert result.dropped == len(victims)
+        # All measured-window responses were shed (the blocker finishes
+        # far outside the horizon), so goodput is zero.
+        assert result.goodput == 0.0
+        victim_rate = result.dropped / max(1, result.serving.offered - 1)
+        assert victim_rate == 1.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             simulate_serving_with_shedding(
