@@ -13,7 +13,9 @@ Three things happen below:
  4. a small serving run is traced end-to-end and written out as Chrome
     trace JSON (open in chrome://tracing or Perfetto) plus a metrics dump;
  5. a chaos scenario crashes a replica mid-run and the resilience layer
-    (retries + circuit breakers + rerouting) recovers goodput.
+    (retries + circuit breakers + rerouting) recovers goodput;
+ 6. the static-analysis layer (`python -m repro check`) verifies every
+    model graph, memory plan and serving schedule and lints the tree.
 
 Run:  python examples/quickstart.py
 """
@@ -104,10 +106,26 @@ def chaos_recovery() -> None:
     assert report.recovered
 
 
+def static_analysis() -> None:
+    print("\n== 6. static analysis: verify graphs, plans and schedules ==")
+    from repro.analysis import run_check
+
+    report = run_check(families=("graph", "memory", "schedule"))
+    counts = report.counts()
+    print(f"   checked {report.checked['graphs']} graphs "
+          f"({report.checked['fusions_verified']} fusions verified), "
+          f"{report.checked['plans']} memory plans, "
+          f"{report.checked['schedule_ops']} schedule ops")
+    print(f"   {counts['error']} error(s), {counts['warning']} warning(s) "
+          f"-- full sweep: python -m repro check")
+    assert not report.has_errors
+
+
 if __name__ == "__main__":
     numeric_check()
     latency_comparison()
     memory_replanning()
     observability_trace()
     chaos_recovery()
+    static_analysis()
     print("\nquickstart complete.")

@@ -22,6 +22,13 @@ Commands
     misses, breaker transitions, post-fault goodput vs. baseline) and exit
     non-zero unless goodput recovers to >= 95% of the fault-free baseline.
     Deterministic given the seed: two runs write byte-identical metrics.
+``check [--format text|json] [--out PATH] [--seed N]
+        [--family graph|memory|schedule|determinism ...] [--lint-root DIR]``
+    Static analysis: graph shape/dtype/fusion verification over every
+    built-in model builder, memory-plan bounds/aliasing + fragmentation
+    verification, happens-before race detection over a seeded serving
+    schedule, and the determinism lint over the ``repro`` sources.  Exits
+    non-zero if any ERROR-severity diagnostic is found.
 """
 
 from __future__ import annotations
@@ -126,6 +133,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.recovered else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import run_check
+
+    report = run_check(
+        families=args.family or None,
+        seed=args.seed,
+        lint_root=args.lint_root,
+    )
+    rendered = (report.render_json() if args.format == "json"
+                else report.render_text())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        counts = report.counts()
+        print(f"check: wrote {args.out} ({counts['error']} error(s), "
+              f"{counts['warning']} warning(s), {counts['info']} info)")
+    else:
+        print(rendered)
+    return 1 if report.has_errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -175,6 +203,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--no-check", action="store_true",
                        help="report only; do not fail on missed recovery")
     chaos.set_defaults(func=_cmd_chaos)
+
+    check = sub.add_parser(
+        "check",
+        help="static analysis: graph/plan/schedule verifiers + determinism lint",
+    )
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.add_argument("--out", default=None,
+                       help="write the report here instead of stdout")
+    check.add_argument("--seed", type=int, default=0,
+                       help="seed for the serving-schedule scenario")
+    check.add_argument("--family", action="append",
+                       choices=("graph", "memory", "schedule", "determinism"),
+                       help="run only the named checker family (repeatable; "
+                            "default: all)")
+    check.add_argument("--lint-root", default=None,
+                       help="directory or file for the determinism lint "
+                            "(default: the installed repro package)")
+    check.set_defaults(func=_cmd_check)
 
     args = parser.parse_args(argv)
     return args.func(args)

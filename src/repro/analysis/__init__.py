@@ -1,0 +1,85 @@
+"""Static analysis: graph/plan/schedule verifiers + determinism linter.
+
+Four checker families behind one CLI (``python -m repro check``), all
+reporting through the unified :class:`Diagnostic` framework with stable
+codes (``GRAPH1xx``/``MEM2xx``/``SCHED3xx``/``DET4xx``):
+
+* :mod:`.graph_checks` — shape/dtype propagation, dead code, and
+  fusion-legality (IO-equivalence) verification;
+* :mod:`.memory_checks` — allocation-plan bounds/aliasing verification,
+  cross-request aliasing, fragmentation reporting;
+* :mod:`.schedule_checks` — happens-before race detection over
+  multi-stream :class:`~repro.gpusim.multistream.StreamSchedule` programs;
+* :mod:`.determinism` — AST lint for unseeded RNG, wall-clock reads and
+  unordered-set iteration, with ``# repro: allow(<code>)`` pragmas.
+"""
+
+from .check import (
+    FAMILIES,
+    build_serving_schedule,
+    builtin_graphs,
+    plan_double_buffered,
+    run_check,
+    run_determinism_checks,
+    run_graph_checks,
+    run_memory_checks,
+    run_schedule_checks,
+)
+from .determinism import lint_file, lint_paths, lint_source, parse_pragmas
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+    code_title,
+    default_severity,
+    diag,
+    report_from_dicts,
+)
+from .graph_checks import check_fusion, check_graph, fusion_invariant_holds
+from .memory_checks import (
+    ChunkStats,
+    FragmentationReport,
+    check_cross_request,
+    check_fragmentation,
+    check_plan,
+    fragmentation_report,
+)
+from .schedule_checks import check_schedule, schedule_is_race_free
+
+__all__ = [
+    "CODES",
+    "Severity",
+    "Location",
+    "Diagnostic",
+    "DiagnosticReport",
+    "diag",
+    "code_title",
+    "default_severity",
+    "report_from_dicts",
+    "check_graph",
+    "check_fusion",
+    "fusion_invariant_holds",
+    "check_plan",
+    "check_cross_request",
+    "check_fragmentation",
+    "fragmentation_report",
+    "FragmentationReport",
+    "ChunkStats",
+    "check_schedule",
+    "schedule_is_race_free",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "parse_pragmas",
+    "FAMILIES",
+    "run_check",
+    "run_graph_checks",
+    "run_memory_checks",
+    "run_schedule_checks",
+    "run_determinism_checks",
+    "builtin_graphs",
+    "build_serving_schedule",
+    "plan_double_buffered",
+]

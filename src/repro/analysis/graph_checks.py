@@ -1,0 +1,346 @@
+"""Graph checkers (GRAPH1xx): shape/dtype propagation, dead code, fusion.
+
+Shape checking works on *element counts* resolved under a canonical
+binding: every builder annotates its nodes with the attrs the cost model
+prices (``m/n/k`` for GEMMs, ``nelems`` for elementwise passes, ``rows`` x
+``row_len`` for reductions), and those attrs must agree with the declared
+:class:`~repro.graph.TensorSpec` dims of the node's inputs and outputs.
+A builder that wires a tensor of the wrong shape — or prices a kernel
+against dims that don't match its operands — trips GRAPH101 here long
+before the mismatch would silently skew an experiment.
+
+The fusion-legality verifier re-runs :func:`repro.graph.fuse_graph` and
+asserts IO-equivalence: same external inputs/weights/outputs, every
+original op accounted for exactly once, no barrier swallowed into a fused
+region, and no eliminated tensor escaping its region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph.fusion import fuse_graph
+from ..graph.graph import ComputationGraph, GraphError
+from ..graph.node import OpNode, OpType
+from ..graph.tensor import DimBindings, TensorKind, resolve_dim
+from .diagnostics import Diagnostic, diag
+
+#: Canonical binding used when the caller supplies none: small, distinct
+#: primes so that transposed/edge-swapped dims cannot cancel out.
+DEFAULT_BINDINGS: Dict[str, int] = {
+    "batch": 3,
+    "seq": 5,
+    "past": 7,
+    "beam": 2,
+    "tgt_pos": 11,
+    "src_len": 13,
+}
+
+
+def _attr_numel(value, bindings: DimBindings) -> Optional[int]:
+    """Element count of a dim-like attr: an int, a symbol, or a tuple of
+    either.  Returns None if the attr references an unbound symbol."""
+    dims = value if isinstance(value, (tuple, list)) else (value,)
+    total = 1
+    for dim in dims:
+        try:
+            total *= resolve_dim(dim, bindings)
+        except (KeyError, TypeError, ValueError):
+            return None
+    return total
+
+
+def _tensor_numel(graph: ComputationGraph, name: str,
+                  bindings: DimBindings) -> Optional[int]:
+    spec = graph.tensors.get(name)
+    if spec is None:
+        return None
+    try:
+        return spec.numel(bindings)
+    except (KeyError, ValueError):
+        return None
+
+
+def _expected_gemm(node: OpNode, bindings: DimBindings) -> Optional[Tuple[int, int, int, int]]:
+    """(batch, m, n, k) element factors of a GEMM node, or None."""
+    m = _attr_numel(node.attrs.get("m"), bindings)
+    n = _attr_numel(node.attrs.get("n"), bindings)
+    k = _attr_numel(node.attrs.get("k"), bindings)
+    batch = _attr_numel(node.attrs.get("batch", 1), bindings)
+    if None in (m, n, k, batch):
+        return None
+    return batch, m, n, k
+
+
+def _check_node_shapes(
+    graph: ComputationGraph, node: OpNode, bindings: DimBindings
+) -> List[Diagnostic]:
+    """GRAPH101 checks for one node; emits nothing for attrs it cannot
+    resolve (symbol not in bindings) — missing-producer style problems are
+    GRAPH105's job, not a shape mismatch."""
+    out: List[Diagnostic] = []
+    gname = graph.name
+
+    def numel(tensor: str) -> Optional[int]:
+        return _tensor_numel(graph, tensor, bindings)
+
+    def mismatch(message: str) -> None:
+        out.append(diag("GRAPH101", message, graph=gname, node=node.name))
+
+    if node.op_type.is_gemm:
+        dims = _expected_gemm(node, bindings)
+        if dims is None:
+            return out
+        batch, m, n, k = dims
+        roles = {0: "A", 1: "B"}
+        if len(node.inputs) != 2:
+            mismatch(f"GEMM expects exactly 2 inputs, has {len(node.inputs)}")
+            return out
+        for idx, tensor in enumerate(node.inputs):
+            actual = numel(tensor)
+            want = batch * m * k if idx == 0 else batch * k * n
+            if actual is not None and actual != want:
+                mismatch(
+                    f"GEMM operand {roles[idx]} {tensor!r} has {actual} elements, "
+                    f"but attrs batch*{'m*k' if idx == 0 else 'k*n'} = {want}"
+                )
+        actual = numel(node.outputs[0])
+        if actual is not None and actual != batch * m * n:
+            mismatch(
+                f"GEMM output {node.outputs[0]!r} has {actual} elements, "
+                f"but attrs batch*m*n = {batch * m * n}"
+            )
+    elif node.op_type in (OpType.SOFTMAX, OpType.LAYERNORM):
+        rows = _attr_numel(node.attrs.get("rows"), bindings)
+        row_len = _attr_numel(node.attrs.get("row_len"), bindings)
+        if rows is None or row_len is None:
+            return out
+        want = rows * row_len
+        for tensor in (*node.inputs, *node.outputs):
+            actual = numel(tensor)
+            if actual is not None and actual != want:
+                mismatch(
+                    f"{node.op_type.value} over {tensor!r}: {actual} elements, "
+                    f"but attrs rows*row_len = {want}"
+                )
+    elif node.op_type in (OpType.ELEMENTWISE, OpType.TRANSPOSE, OpType.EMBEDDING):
+        nelems = _attr_numel(node.attrs.get("nelems"), bindings)
+        if nelems is None:
+            return out
+        # Inputs must match the pass size too — except EMBEDDING, whose
+        # inputs (ids, table) are indexed rather than streamed, and
+        # TRANSPOSE, which covers gather/slice data movement: it writes
+        # nelems elements but may read them out of a larger source.
+        tensors: Sequence[str] = (
+            node.outputs if node.op_type is OpType.EMBEDDING
+            else (*node.inputs, *node.outputs)
+        )
+        for tensor in tensors:
+            actual = numel(tensor)
+            if actual is None or actual == nelems:
+                continue
+            if (node.op_type is OpType.TRANSPOSE and tensor in node.inputs
+                    and actual > nelems):
+                continue
+            mismatch(
+                f"{node.op_type.value} tensor {tensor!r} has {actual} "
+                f"elements, but attr nelems = {nelems}"
+            )
+    # FUSED nodes carry their constituents in attrs; their member shapes
+    # were checked on the pre-fusion graph, and eliminated tensors no
+    # longer exist here, so there is nothing to resolve.
+    return out
+
+
+def _check_node_dtypes(graph: ComputationGraph, node: OpNode) -> List[Diagnostic]:
+    """GRAPH102: all float operands of an op must share an element width.
+
+    EMBEDDING is the one legitimate width change (int ids in, float
+    activations out), so its id input is exempt; the gathered table must
+    still match the output.
+    """
+    out: List[Diagnostic] = []
+    specs = [(name, graph.tensors[name]) for name in (*node.inputs, *node.outputs)
+             if name in graph.tensors]
+    if node.op_type is OpType.EMBEDDING and len(node.inputs) >= 1:
+        ids = node.inputs[0]
+        specs = [(name, spec) for name, spec in specs if name != ids]
+    widths = {spec.dtype_bytes for _, spec in specs}
+    if len(widths) > 1:
+        detail = ", ".join(f"{name}={spec.dtype_bytes}B" for name, spec in specs)
+        out.append(diag(
+            "GRAPH102",
+            f"{node.op_type.value} mixes element widths: {detail}",
+            graph=graph.name, node=node.name,
+        ))
+    return out
+
+
+def check_graph(
+    graph: ComputationGraph, bindings: Optional[DimBindings] = None
+) -> List[Diagnostic]:
+    """Run the structural + shape/dtype + dead-code checkers on one graph."""
+    bindings = dict(DEFAULT_BINDINGS, **(bindings or {}))
+    out: List[Diagnostic] = []
+
+    # -- structure first: a broken graph makes the rest meaningless --------
+    try:
+        graph.validate()
+        producers = graph.producer_index()
+        consumers = graph.consumer_indices()
+        graph.topo_sort()
+    except GraphError as exc:
+        return [diag("GRAPH105", str(exc), graph=graph.name)]
+    for node in graph.nodes:
+        for tensor in (*node.inputs, *node.outputs):
+            if tensor not in graph.tensors:
+                out.append(diag(
+                    "GRAPH105",
+                    f"op references unknown tensor {tensor!r}",
+                    graph=graph.name, node=node.name,
+                ))
+
+    # -- shape / dtype propagation ----------------------------------------
+    for node in graph.nodes:
+        out.extend(_check_node_shapes(graph, node, bindings))
+        out.extend(_check_node_dtypes(graph, node))
+
+    # -- dangling tensors (GRAPH103) ---------------------------------------
+    for name, spec in graph.tensors.items():
+        produced = name in producers
+        consumed = bool(consumers.get(name))
+        if not produced and not consumed:
+            out.append(diag(
+                "GRAPH103",
+                f"{spec.kind.value} tensor registered but never produced or "
+                f"consumed",
+                graph=graph.name, node=name,
+            ))
+
+    # -- dead nodes (GRAPH104) ---------------------------------------------
+    for node in graph.nodes:
+        alive = any(
+            consumers.get(tensor) or graph.tensors[tensor].kind is TensorKind.OUTPUT
+            for tensor in node.outputs
+            if tensor in graph.tensors
+        )
+        if not alive:
+            out.append(diag(
+                "GRAPH104",
+                "no output is consumed or marked OUTPUT; the op's work is "
+                "discarded",
+                graph=graph.name, node=node.name,
+            ))
+    return out
+
+
+def _original_io(graph: ComputationGraph) -> Dict[str, Set[str]]:
+    return {
+        kind.value: {n for n, s in graph.tensors.items() if s.kind is kind}
+        for kind in (TensorKind.INPUT, TensorKind.WEIGHT, TensorKind.OUTPUT)
+    }
+
+
+def check_fusion(
+    graph: ComputationGraph, fused: Optional[ComputationGraph] = None
+) -> List[Diagnostic]:
+    """Verify :func:`fuse_graph` output is IO-equivalent to its input.
+
+    ``fused`` defaults to running the fusion pass here; pass an existing
+    fused graph to audit a cached/deserialized one instead.
+    """
+    out: List[Diagnostic] = []
+    if fused is None:
+        try:
+            fused = fuse_graph(graph)
+        except GraphError as exc:
+            return [diag("GRAPH105", f"fusion pass failed: {exc}",
+                         graph=graph.name)]
+    gname = fused.name
+
+    # -- external IO preserved (GRAPH110) ----------------------------------
+    want, got = _original_io(graph), _original_io(fused)
+    for kind in ("input", "weight", "output"):
+        missing = want[kind] - got[kind]
+        extra = got[kind] - want[kind]
+        if missing or extra:
+            out.append(diag(
+                "GRAPH110",
+                f"external {kind} set changed: missing={sorted(missing)} "
+                f"extra={sorted(extra)}",
+                graph=gname,
+            ))
+
+    # -- every original op exactly once (GRAPH110/112) ---------------------
+    seen: Dict[str, int] = {}
+    for node in fused.nodes:
+        if node.op_type is OpType.FUSED:
+            for member in node.attrs.get("fused_ops", []):
+                seen[member["name"]] = seen.get(member["name"], 0) + 1
+                if OpType(member["op_type"]).is_gemm or \
+                        OpType(member["op_type"]) is OpType.EMBEDDING:
+                    out.append(diag(
+                        "GRAPH112",
+                        f"fusion barrier {member['name']!r} "
+                        f"({member['op_type']}) was fused into {node.name!r}",
+                        graph=gname, node=node.name,
+                    ))
+        else:
+            seen[node.name] = seen.get(node.name, 0) + 1
+    original = {n.name for n in graph.nodes}
+    lost = original - set(seen)
+    invented = set(seen) - original
+    duplicated = {name for name, count in seen.items() if count > 1}
+    if lost:
+        out.append(diag("GRAPH110", f"ops lost by fusion: {sorted(lost)}",
+                        graph=gname))
+    if invented:
+        out.append(diag("GRAPH110",
+                        f"ops not present in the source graph: {sorted(invented)}",
+                        graph=gname))
+    if duplicated:
+        out.append(diag("GRAPH110",
+                        f"ops duplicated by fusion: {sorted(duplicated)}",
+                        graph=gname))
+
+    # -- eliminated tensors must not escape (GRAPH111) ---------------------
+    fused_consumers = fused.consumer_indices()
+    for node in fused.nodes:
+        if node.op_type is not OpType.FUSED:
+            continue
+        for name in node.attrs.get("eliminated_tensors", []):
+            spec = graph.tensors.get(name)
+            if spec is None:
+                out.append(diag(
+                    "GRAPH111",
+                    f"eliminated tensor {name!r} does not exist in the "
+                    f"source graph",
+                    graph=gname, node=node.name,
+                ))
+                continue
+            if spec.kind is not TensorKind.INTERMEDIATE:
+                out.append(diag(
+                    "GRAPH111",
+                    f"eliminated tensor {name!r} is {spec.kind.value}, not "
+                    f"intermediate — it is visible outside the region",
+                    graph=gname, node=node.name,
+                ))
+            if name in fused.tensors or fused_consumers.get(name):
+                out.append(diag(
+                    "GRAPH111",
+                    f"eliminated tensor {name!r} still referenced after "
+                    f"fusion",
+                    graph=gname, node=node.name,
+                ))
+    # The fused graph must itself be structurally sound.
+    try:
+        fused.validate()
+        fused.topo_sort()
+    except GraphError as exc:
+        out.append(diag("GRAPH105", f"fused graph invalid: {exc}", graph=gname))
+    return out
+
+
+def fusion_invariant_holds(graph: ComputationGraph) -> bool:
+    """Convenience for tests: True iff fusion is provably IO-equivalent."""
+    return not check_fusion(graph)

@@ -1,0 +1,153 @@
+"""Schedule race detector (SCHED3xx): happens-before over gpusim streams.
+
+Vector-clock happens-before analysis of a
+:class:`~repro.gpusim.multistream.StreamSchedule`:
+
+* ops on one stream are ordered by issue order (CUDA stream semantics);
+* ``EventWait`` joins in the clock captured by the most recent prior
+  ``EventRecord`` of that event (``cudaStreamWaitEvent`` semantics);
+* ``DeviceSync`` is a barrier joining every stream's clock.
+
+Two kernel launches on *different* streams that touch the same buffer,
+where at least one writes and neither happens-before the other, race:
+RAW (SCHED301), WAR (SCHED302) or WAW (SCHED303), classified by issue
+order.  A wait on an event with no prior record never fires on real CUDA
+(the wait is a no-op, silently removing the intended ordering), which is
+almost always a lost-sync bug — SCHED310.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..gpusim.multistream import (
+    DeviceSync,
+    EventRecord,
+    EventWait,
+    KernelLaunch,
+    StreamSchedule,
+)
+from .diagnostics import Diagnostic, diag
+
+Clock = Dict[str, int]
+
+
+def _join(a: Clock, b: Clock) -> Clock:
+    out = dict(a)
+    for stream, tick in b.items():
+        if out.get(stream, 0) < tick:
+            out[stream] = tick
+    return out
+
+
+@dataclass(frozen=True)
+class _Access:
+    index: int          # issue-order position of the launch
+    kernel: str
+    stream: str
+    is_write: bool
+    clock: Tuple[Tuple[str, int], ...]  # this launch's vector clock
+
+    def happens_before(self, other: "_Access") -> bool:
+        """True iff this access is ordered before ``other``.
+
+        a -> b iff b's clock has seen a's stream at least up to a's own
+        tick on that stream (standard vector-clock ordering).
+        """
+        own_tick = dict(self.clock).get(self.stream, 0)
+        return dict(other.clock).get(self.stream, 0) >= own_tick
+
+
+def _hazard(earlier: _Access, later: _Access) -> Tuple[str, str]:
+    if earlier.is_write and not later.is_write:
+        return "SCHED301", "read-after-write"
+    if not earlier.is_write and later.is_write:
+        return "SCHED302", "write-after-read"
+    return "SCHED303", "write-after-write"
+
+
+def check_schedule(schedule: StreamSchedule) -> List[Diagnostic]:
+    """All cross-stream hazards and sync misuses in one schedule."""
+    out: List[Diagnostic] = []
+    clocks: Dict[str, Clock] = {}
+    events: Dict[str, Clock] = {}
+    accesses: Dict[str, List[_Access]] = {}
+    # Work issued after a device-wide sync is ordered after everything
+    # before it, even on streams first used later — `base` carries that.
+    base: Clock = {}
+
+    for index, op in enumerate(schedule.ops):
+        if isinstance(op, DeviceSync):
+            barrier: Clock = dict(base)
+            for clock in clocks.values():
+                barrier = _join(barrier, clock)
+            for stream in clocks:
+                clocks[stream] = dict(barrier)
+            base = dict(barrier)
+            continue
+
+        stream_clock = clocks.setdefault(op.stream, dict(base))
+        if isinstance(op, EventWait):
+            recorded = events.get(op.event)
+            if recorded is None:
+                out.append(diag(
+                    "SCHED310",
+                    f"stream {op.stream!r} waits on event {op.event!r} which "
+                    f"was never recorded — the wait is a silent no-op",
+                    graph=schedule.name, node=op.event,
+                ))
+            else:
+                clocks[op.stream] = _join(stream_clock, recorded)
+            continue
+
+        # KernelLaunch and EventRecord both advance their stream's clock.
+        stream_clock = clocks[op.stream]
+        stream_clock[op.stream] = stream_clock.get(op.stream, 0) + 1
+        if isinstance(op, EventRecord):
+            events[op.event] = dict(stream_clock)
+            continue
+
+        assert isinstance(op, KernelLaunch)
+        snapshot = tuple(sorted(stream_clock.items()))
+        for buffer in op.reads:
+            accesses.setdefault(buffer, []).append(_Access(
+                index=index, kernel=op.kernel, stream=op.stream,
+                is_write=False, clock=snapshot,
+            ))
+        for buffer in op.writes:
+            accesses.setdefault(buffer, []).append(_Access(
+                index=index, kernel=op.kernel, stream=op.stream,
+                is_write=True, clock=snapshot,
+            ))
+
+    reported = set()
+    for buffer in sorted(accesses):
+        entries = accesses[buffer]
+        for i, a in enumerate(entries):
+            for b in entries[i + 1:]:
+                if a.stream == b.stream:
+                    continue  # same-stream ops are serial by definition
+                if not (a.is_write or b.is_write):
+                    continue  # two reads never race
+                earlier, later = (a, b) if a.index <= b.index else (b, a)
+                if earlier.happens_before(later):
+                    continue
+                code, kind = _hazard(earlier, later)
+                key = (code, buffer, earlier.kernel, later.kernel)
+                if key in reported:
+                    continue
+                reported.add(key)
+                out.append(diag(
+                    code,
+                    f"{kind} hazard on buffer {buffer!r}: {earlier.kernel!r} "
+                    f"(stream {earlier.stream!r}) vs {later.kernel!r} "
+                    f"(stream {later.stream!r}) with no ordering sync",
+                    graph=schedule.name, node=buffer,
+                ))
+    return out
+
+
+def schedule_is_race_free(schedule: StreamSchedule) -> bool:
+    """Convenience for tests and serving assertions."""
+    return not check_schedule(schedule)

@@ -23,6 +23,13 @@ from .occupancy import (
     occupancy,
 )
 from .pipeline import Instruction, schedule, simulate_warp_allreduce
+from .multistream import (
+    DeviceSync,
+    EventRecord,
+    EventWait,
+    KernelLaunch,
+    StreamSchedule,
+)
 from .roofline import RooflinePoint, RooflineReport, ridge_point, roofline_report
 from .reduction import (
     ReductionImpl,
@@ -70,6 +77,11 @@ __all__ = [
     "layernorm_time",
     "reduction_speedup",
     "Stream",
+    "StreamSchedule",
+    "KernelLaunch",
+    "EventRecord",
+    "EventWait",
+    "DeviceSync",
     "warp_allreduce_cycles",
     "warp_allreduce_cycles_per_row",
     "smem_tree_reduce_cycles",

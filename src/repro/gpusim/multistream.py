@@ -1,0 +1,118 @@
+"""Multi-stream schedules: launch/record/wait programs over named streams.
+
+:class:`~repro.gpusim.stream.Stream` models one serial CUDA stream; real
+serving overlaps several (compute/copy double buffering, one stream per
+in-flight request).  A :class:`StreamSchedule` is the *issue-order log* of
+such an execution: kernel launches annotated with the device buffers they
+read and write, plus the synchronization operations (CUDA-event record /
+wait, device-wide sync) that order work across streams.
+
+The schedule is pure data — building one does not advance any clock.  Its
+consumers are the happens-before race detector in
+:mod:`repro.analysis.schedule_checks` and tests that assert a serving
+policy issues the syncs it claims to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel enqueued on ``stream``, touching the named buffers."""
+
+    kernel: str
+    stream: str
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.kernel:
+            raise ValueError("kernel name must be non-empty")
+        if not self.stream:
+            raise ValueError(f"kernel {self.kernel!r}: stream must be non-empty")
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """``cudaEventRecord``: capture ``stream``'s progress as ``event``."""
+
+    event: str
+    stream: str
+
+
+@dataclass(frozen=True)
+class EventWait:
+    """``cudaStreamWaitEvent``: ``stream`` blocks until the most recent
+    prior record of ``event`` has completed."""
+
+    event: str
+    stream: str
+
+
+@dataclass(frozen=True)
+class DeviceSync:
+    """``cudaDeviceSynchronize``: a barrier across every stream."""
+
+
+ScheduleOp = Union[KernelLaunch, EventRecord, EventWait, DeviceSync]
+
+
+@dataclass
+class StreamSchedule:
+    """Issue-ordered multi-stream program."""
+
+    name: str = "schedule"
+    ops: List[ScheduleOp] = field(default_factory=list)
+
+    # -- builders ----------------------------------------------------------
+
+    def launch(self, kernel: str, stream: str, reads: Tuple[str, ...] = (),
+               writes: Tuple[str, ...] = ()) -> KernelLaunch:
+        op = KernelLaunch(kernel=kernel, stream=stream,
+                          reads=tuple(reads), writes=tuple(writes))
+        self.ops.append(op)
+        return op
+
+    def record(self, event: str, stream: str) -> EventRecord:
+        op = EventRecord(event=event, stream=stream)
+        self.ops.append(op)
+        return op
+
+    def wait(self, event: str, stream: str) -> EventWait:
+        op = EventWait(event=event, stream=stream)
+        self.ops.append(op)
+        return op
+
+    def sync(self) -> DeviceSync:
+        op = DeviceSync()
+        self.ops.append(op)
+        return op
+
+    # -- queries -----------------------------------------------------------
+
+    def streams(self) -> List[str]:
+        """Stream names in first-use order."""
+        seen: List[str] = []
+        for op in self.ops:
+            stream = getattr(op, "stream", None)
+            if stream is not None and stream not in seen:
+                seen.append(stream)
+        return seen
+
+    def launches(self) -> List[KernelLaunch]:
+        return [op for op in self.ops if isinstance(op, KernelLaunch)]
+
+    def buffers(self) -> List[str]:
+        """Buffer names in first-touch order."""
+        seen: List[str] = []
+        for op in self.launches():
+            for name in (*op.reads, *op.writes):
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.ops)

@@ -9,7 +9,7 @@ as the ground-truth invariant for every allocator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 from .chunk import Chunk
 from .records import TensorUsageRecord
@@ -47,38 +47,19 @@ class AllocationPlan:
 
 
 def validate_plan(plan: AllocationPlan, records: Sequence[TensorUsageRecord]) -> None:
-    """Raise :class:`PlanError` on any bounds or aliasing violation."""
-    by_name = {r.name: r for r in records}
-    if set(plan.placements) != set(by_name):
-        missing = set(by_name) - set(plan.placements)
-        extra = set(plan.placements) - set(by_name)
-        raise PlanError(f"plan/records mismatch: missing={missing} extra={extra}")
+    """Raise :class:`PlanError` on any bounds or aliasing violation.
 
-    by_chunk: Dict[int, List[Tuple[TensorUsageRecord, Placement]]] = {}
-    for name, placement in plan.placements.items():
-        record = by_name[name]
-        if placement.chunk_id not in plan.chunk_sizes:
-            raise PlanError(f"{name!r} placed in unknown chunk {placement.chunk_id}")
-        size = plan.chunk_sizes[placement.chunk_id]
-        if placement.offset < 0 or placement.offset + record.size > size:
-            raise PlanError(
-                f"{name!r} ({record.size} B at {placement.offset}) exceeds "
-                f"chunk {placement.chunk_id} of {size} B"
-            )
-        by_chunk.setdefault(placement.chunk_id, []).append((record, placement))
+    Delegates to the analysis pass
+    (:func:`repro.analysis.memory_checks.check_plan`), which reports
+    *every* violation; the first one — in the pass's deterministic order —
+    becomes the exception message, preserving the historical wording.
+    """
+    # Imported lazily: repro.analysis depends on this module at import time.
+    from ..analysis.memory_checks import check_plan
 
-    for chunk_id, entries in by_chunk.items():
-        for i, (rec_a, place_a) in enumerate(entries):
-            for rec_b, place_b in entries[i + 1 :]:
-                if not rec_a.overlaps(rec_b):
-                    continue  # disjoint lifetimes may alias
-                a0, a1 = place_a.offset, place_a.offset + rec_a.size
-                b0, b1 = place_b.offset, place_b.offset + rec_b.size
-                if a0 < b1 and b0 < a1:
-                    raise PlanError(
-                        f"live tensors {rec_a.name!r} and {rec_b.name!r} "
-                        f"overlap in chunk {chunk_id}: [{a0},{a1}) vs [{b0},{b1})"
-                    )
+    violations = check_plan(plan, records)
+    if violations:
+        raise PlanError(violations[0].message)
 
 
 def plan_from_chunks(chunks: Sequence[Chunk]) -> AllocationPlan:

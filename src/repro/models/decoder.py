@@ -141,7 +141,12 @@ def build_decoder_step_graph(config: Seq2SeqConfig) -> ComputationGraph:
                 inputs=(f"{p}.self_{proj}",), outputs=(f"{p}.self_{proj}_biased",),
                 nelems=(BEAM, hidden), reads=1, writes=1, flops_per_elem=1,
             )
-            g.tensor(f"{p}.self_{proj}_heads", (BEAM, heads, 1, head_size))
+            # New-token K/V head splits are appended to the cache by the
+            # runtime between steps — they leave the graph as outputs.
+            kind = (TensorKind.INTERMEDIATE if proj == "q"
+                    else TensorKind.OUTPUT)
+            g.tensor(f"{p}.self_{proj}_heads", (BEAM, heads, 1, head_size),
+                     kind)
             g.add_node(
                 f"{p}.self_{proj}_transpose", OpType.TRANSPOSE,
                 inputs=(f"{p}.self_{proj}_biased",),

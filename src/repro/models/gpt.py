@@ -63,15 +63,23 @@ def build_prefill_graph(config: GptConfig) -> ComputationGraph:
     from .bert import build_encoder_graph
 
     graph = build_encoder_graph(config)
-    # Append the language-model head over the final position(s).
+    # Append the language-model head.  Only the final position feeds the
+    # next-token logits, so gather it out of the [batch, seq, hidden]
+    # encoder output before the vocab GEMM.
     graph.tensor("lm_w", (config.hidden_size, config.vocab_size),
                  TensorKind.WEIGHT)
     last = f"l{config.num_layers - 1}.output"
+    graph.tensor("last_hidden", (BATCH, config.hidden_size))
+    graph.add_node(
+        "last_gather", OpType.TRANSPOSE,
+        inputs=(last,), outputs=("last_hidden",),
+        nelems=(BATCH, config.hidden_size),
+    )
     graph.tensor("lm_logits", (BATCH, config.vocab_size),
                  kind=TensorKind.OUTPUT)
     graph.add_node(
         "lm_head", OpType.GEMM,
-        inputs=(last, "lm_w"), outputs=("lm_logits",),
+        inputs=("last_hidden", "lm_w"), outputs=("lm_logits",),
         m=(BATCH,), n=config.vocab_size, k=config.hidden_size,
     )
     graph.validate()
@@ -104,7 +112,11 @@ def build_decode_step_graph(config: GptConfig) -> ComputationGraph:
                 inputs=(current, f"{p}.w{proj}"), outputs=(f"{p}.{proj}",),
                 m=(BATCH,), n=hidden, k=hidden,
             )
-            g.tensor(f"{p}.{proj}_biased", (BATCH, 1, hidden))
+            # The new token's K/V rows are appended to the cache by the
+            # runtime, so they leave the graph as outputs.
+            kind = (TensorKind.INTERMEDIATE if proj == "q"
+                    else TensorKind.OUTPUT)
+            g.tensor(f"{p}.{proj}_biased", (BATCH, 1, hidden), kind)
             g.add_node(
                 f"{p}.{proj}_bias", OpType.ELEMENTWISE,
                 inputs=(f"{p}.{proj}",), outputs=(f"{p}.{proj}_biased",),
@@ -177,7 +189,7 @@ def build_decode_step_graph(config: GptConfig) -> ComputationGraph:
         g.add_node(
             f"{p}.ffn2_gemm", OpType.GEMM,
             inputs=(f"{p}.ffn_act", f"{p}.ffn_w2"), outputs=(f"{p}.ffn_out",),
-            m=(BATCH,), n=inner, k=hidden,
+            m=(BATCH,), n=hidden, k=inner,
         )
         g.tensor(f"{p}.ffn_residual", (BATCH, 1, hidden))
         g.add_node(

@@ -48,7 +48,7 @@ class Tracer:
     def __init__(self, process_name: str = "repro") -> None:
         self.events: List[dict] = []
         self._thread_names: Dict[Union[int, str], str] = {}
-        self._wall_epoch = time.perf_counter()
+        self._wall_epoch = time.perf_counter()  # repro: allow(DET402)
         if process_name:
             self.events.append({
                 "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
@@ -60,7 +60,7 @@ class Tracer:
     def wall_now(self) -> float:
         """Host seconds since this tracer was created (for real execution;
         simulated components pass their own virtual timestamps instead)."""
-        return time.perf_counter() - self._wall_epoch
+        return time.perf_counter() - self._wall_epoch  # repro: allow(DET402)
 
     # -- track naming ---------------------------------------------------------
 

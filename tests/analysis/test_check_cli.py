@@ -1,0 +1,119 @@
+"""End-to-end ``python -m repro check``: clean tree, seeded bugs, golden JSON."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.analysis import (
+    DiagnosticReport,
+    check_plan,
+    check_schedule,
+    lint_source,
+    run_check,
+)
+from repro.gpusim import StreamSchedule
+from repro.memory import AllocationPlan, Placement, TensorUsageRecord
+
+GOLDEN = Path(__file__).parent / "golden_report.json"
+
+
+def seeded_bug_report() -> DiagnosticReport:
+    """A fixed set of planted bugs, one per checker family's core rule.
+
+    Used both by the golden-file test and (regenerated) by
+    ``python -m tests.analysis.test_check_cli`` if the format evolves.
+    """
+    report = DiagnosticReport()
+    # Memory: two live tensors share bytes.
+    plan = AllocationPlan(
+        placements={"x": Placement(0, 0), "y": Placement(0, 16)},
+        chunk_sizes={0: 64},
+    )
+    records = [TensorUsageRecord("x", 0, 2, 32), TensorUsageRecord("y", 1, 3, 32)]
+    report.extend(check_plan(plan, records, graph="fixture"))
+    # Schedule: cross-stream RAW with no sync.
+    schedule = StreamSchedule("fixture")
+    schedule.launch("producer", "s0", writes=("buf",))
+    schedule.launch("consumer", "s1", reads=("buf",))
+    report.extend(check_schedule(schedule))
+    # Determinism: wall clock + unseeded RNG in one snippet.
+    report.extend(lint_source(
+        "import time\nimport random\n"
+        "t = time.time()\nr = random.random()\n",
+        file="fixture.py",
+    ))
+    report.checked["fixture"] = True
+    return report
+
+
+class TestRunCheck:
+    def test_clean_tree_has_no_errors(self):
+        report = run_check()
+        assert not report.has_errors, report.render_text()
+        # Coverage bookkeeping is part of the contract.
+        for key in ("graphs", "fusions_verified", "plans", "schedule_ops",
+                    "linted_files"):
+            assert report.checked[key] > 0, key
+
+    def test_json_output_is_deterministic(self):
+        families = ("graph", "schedule")
+        assert run_check(families).render_json() == \
+            run_check(families).render_json()
+
+    def test_unknown_family_rejected(self):
+        try:
+            run_check(families=("graph", "nope"))
+        except ValueError as exc:
+            assert "unknown checker families" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestCli:
+    def test_text_mode_exits_zero_on_clean_tree(self, capsys):
+        assert main(["check", "--family", "schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "summary: 0 error(s)" in out
+
+    def test_json_artifact(self, tmp_path, capsys):
+        out_file = tmp_path / "check.json"
+        assert main(["check", "--family", "schedule", "--format", "json",
+                     "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["version"] == 1
+        assert payload["summary"]["error"] == 0
+        assert payload["checked"]["schedule_ops"] > 0
+
+    def test_seeded_bug_fails_the_cli(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        rc = main(["check", "--family", "determinism",
+                   "--lint-root", str(bad)])
+        assert rc == 1
+        assert "DET402" in capsys.readouterr().out
+
+    def test_pragma_makes_seeded_bug_pass(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "import time\nstamp = time.time()  # repro: allow(DET402)\n"
+        )
+        assert main(["check", "--family", "determinism",
+                     "--lint-root", str(ok)]) == 0
+
+
+class TestGolden:
+    def test_seeded_bugs_match_golden_json(self):
+        report = seeded_bug_report()
+        assert report.has_errors
+        assert json.loads(report.render_json()) == \
+            json.loads(GOLDEN.read_text())
+
+    def test_golden_covers_every_family(self):
+        payload = json.loads(GOLDEN.read_text())
+        prefixes = {d["code"][:3] for d in payload["diagnostics"]}
+        assert prefixes == {"MEM", "SCH", "DET"}
+
+
+if __name__ == "__main__":  # regenerate the golden file
+    GOLDEN.write_text(seeded_bug_report().render_json() + "\n")
+    print(f"wrote {GOLDEN}")

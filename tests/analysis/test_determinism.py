@@ -1,0 +1,165 @@
+"""Determinism linter: RNG/wall-clock/set-order rules and pragmas."""
+
+import textwrap
+
+from repro.analysis import lint_paths, lint_source, parse_pragmas
+from repro.analysis.check import default_lint_root
+from repro.analysis.diagnostics import Severity
+
+
+def lint(code: str):
+    return lint_source(textwrap.dedent(code), file="snippet.py")
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+class TestUnseededRng:
+    def test_global_random_module_flagged(self):
+        diags = lint("""
+            import random
+            x = random.random()
+            y = random.randint(0, 3)
+        """)
+        assert codes(diags) == ["DET401", "DET401"]
+
+    def test_seeded_random_instance_ok(self):
+        assert lint("""
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+        """) == []
+
+    def test_unseeded_random_instance_flagged(self):
+        assert codes(lint("""
+            import random
+            rng = random.Random()
+        """)) == ["DET401"]
+
+    def test_numpy_global_generator_flagged(self):
+        diags = lint("""
+            import numpy as np
+            x = np.random.rand(3)
+            np.random.shuffle(x)
+        """)
+        assert codes(diags) == ["DET401", "DET401"]
+
+    def test_default_rng_needs_seed(self):
+        diags = lint("""
+            import numpy as np
+            good = np.random.default_rng(0)
+            bad = np.random.default_rng()
+        """)
+        assert codes(diags) == ["DET401"]
+        assert diags[0].location.line == 4
+
+    def test_from_import_tracked(self):
+        assert codes(lint("""
+            from random import choice
+            x = choice([1, 2])
+        """)) == ["DET401"]
+
+
+class TestWallClock:
+    def test_time_module_flagged(self):
+        diags = lint("""
+            import time
+            a = time.time()
+            b = time.perf_counter()
+            c = time.monotonic_ns()
+        """)
+        assert codes(diags) == ["DET402", "DET402", "DET402"]
+
+    def test_datetime_now_flagged(self):
+        assert codes(lint("""
+            from datetime import datetime
+            stamp = datetime.now()
+        """)) == ["DET402"]
+
+    def test_sleep_is_fine(self):
+        assert lint("""
+            import time
+            time.sleep(0.1)
+        """) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_flagged(self):
+        diags = lint("""
+            for x in {1, 2, 3}:
+                print(x)
+        """)
+        assert codes(diags) == ["DET403"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_comprehension_over_set_call_flagged(self):
+        assert codes(lint("""
+            out = [x for x in set([3, 1])]
+        """)) == ["DET403"]
+
+    def test_list_of_set_flagged(self):
+        assert codes(lint("""
+            names = list({"b", "a"})
+        """)) == ["DET403"]
+
+    def test_sorted_wrapping_ok(self):
+        assert lint("""
+            for x in sorted({1, 2, 3}):
+                print(x)
+            names = sorted(set([3, 1]))
+        """) == []
+
+    def test_plain_variable_not_flagged(self):
+        # Purely syntactic rule: no type inference on variables.
+        assert lint("""
+            items = build()
+            for x in items:
+                print(x)
+        """) == []
+
+
+class TestPragmas:
+    def test_parse_pragmas(self):
+        pragmas = parse_pragmas(
+            "a = 1  # repro: allow(DET402)\n"
+            "b = 2\n"
+            "c = 3  # repro: allow(DET401, DET403) because reasons\n"
+        )
+        assert pragmas == {1: {"DET402"}, 3: {"DET401", "DET403"}}
+
+    def test_same_line_pragma_suppresses(self):
+        assert lint("""
+            import time
+            t = time.time()  # repro: allow(DET402)
+        """) == []
+
+    def test_star_pragma_suppresses_everything(self):
+        assert lint("""
+            import time, random
+            t = time.time() + random.random()  # repro: allow(*)
+        """) == []
+
+    def test_pragma_for_other_code_does_not_suppress(self):
+        assert codes(lint("""
+            import time
+            t = time.time()  # repro: allow(DET401)
+        """)) == ["DET402"]
+
+    def test_unknown_code_in_pragma_is_det404(self):
+        diags = lint("""
+            x = 1  # repro: allow(DET999)
+        """)
+        assert codes(diags) == ["DET404"]
+
+
+class TestFiles:
+    def test_syntax_error_is_det400(self):
+        diags = lint_source("def broken(:\n", file="bad.py")
+        assert codes(diags) == ["DET400"]
+
+    def test_repro_source_tree_lints_clean(self):
+        # Satellite guarantee: the shipped tree has a clean lint baseline
+        # (every legitimate wall-clock use carries an allow pragma).
+        diags = lint_paths(default_lint_root())
+        assert [d for d in diags if d.severity is Severity.ERROR] == []

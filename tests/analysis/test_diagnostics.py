@@ -1,0 +1,105 @@
+"""Diagnostic framework: codes, severities, reports, JSON round trip."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+    code_title,
+    default_severity,
+    diag,
+    report_from_dicts,
+)
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            diag("NOPE999", "whatever")
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            diag("MEM203", "")
+
+    def test_default_severity_from_registry(self):
+        assert diag("MEM203", "x").severity is Severity.ERROR
+        assert diag("GRAPH104", "x").severity is Severity.WARNING
+        assert diag("MEM210", "x").severity is Severity.INFO
+
+    def test_severity_override(self):
+        d = diag("MEM203", "x", severity=Severity.WARNING)
+        assert d.severity is Severity.WARNING
+
+    def test_every_code_has_severity_and_title(self):
+        for code in CODES:
+            assert isinstance(default_severity(code), Severity)
+            assert code_title(code)
+
+    def test_render_compiler_style(self):
+        d = diag("GRAPH101", "boom", graph="bert", node="l0.gemm")
+        assert d.render() == "error[GRAPH101] graph bert, node l0.gemm: boom"
+
+    def test_location_str_variants(self):
+        assert str(Location()) == "<global>"
+        assert str(Location(file="a.py", line=3)) == "a.py:3"
+        assert str(Location(file="a.py")) == "a.py"
+
+
+class TestDiagnosticReport:
+    def make(self) -> DiagnosticReport:
+        report = DiagnosticReport()
+        report.add(
+            diag("MEM210", "info thing"),
+            diag("GRAPH104", "warn thing", graph="g", node="n"),
+            diag("SCHED301", "error thing", graph="s"),
+        )
+        report.checked["graphs"] = 2
+        return report
+
+    def test_counts_and_has_errors(self):
+        report = self.make()
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+        assert report.has_errors
+        assert len(report.errors) == 1
+        assert not DiagnosticReport().has_errors
+
+    def test_sorted_puts_errors_first(self):
+        codes = [d.code for d in self.make().sorted()]
+        assert codes == ["SCHED301", "GRAPH104", "MEM210"]
+
+    def test_render_text_summary(self):
+        text = self.make().render_text()
+        assert "summary: 1 error(s), 1 warning(s), 1 info" in text
+        assert "checked: graphs = 2" in text
+        assert text.splitlines()[0].startswith("error[SCHED301]")
+
+    def test_json_round_trip(self):
+        report = self.make()
+        payload = json.loads(report.render_json())
+        assert payload["version"] == 1
+        rebuilt = report_from_dicts(payload)
+        assert rebuilt.counts() == report.counts()
+        assert rebuilt.checked == report.checked
+        assert [d.code for d in rebuilt.sorted()] == \
+            [d.code for d in report.sorted()]
+
+    def test_json_is_deterministic(self):
+        assert self.make().render_json() == self.make().render_json()
+
+    def test_merge(self):
+        a, b = self.make(), DiagnosticReport()
+        b.add(diag("DET401", "x"))
+        b.checked["files"] = 1
+        a.merge(b)
+        assert a.counts()["error"] == 2
+        assert a.checked == {"graphs": 2, "files": 1}
+
+    def test_frozen_and_hashable(self):
+        d = diag("MEM203", "x")
+        assert d == Diagnostic(code="MEM203", message="x")
+        assert hash(d) == hash(Diagnostic(code="MEM203", message="x"))

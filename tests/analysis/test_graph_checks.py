@@ -1,0 +1,163 @@
+"""Graph checkers: shape/dtype propagation, dead code, fusion legality."""
+
+from dataclasses import replace
+
+from repro.analysis import check_fusion, check_graph, fusion_invariant_holds
+from repro.graph import ComputationGraph, OpType, TensorKind, fuse_graph
+from repro.models import (
+    build_decode_step_graph,
+    build_decoder_step_graph,
+    build_encoder_graph,
+    build_prefill_graph,
+    seq2seq_decoder,
+    tiny_bert,
+    tiny_gpt,
+)
+
+
+def small_gemm_graph(n_attr: int = 8, k_attr: int = 4) -> ComputationGraph:
+    """in[b,4] @ w[4,8] -> out[b,8]; attrs parameterized to seed bugs."""
+    g = ComputationGraph("tiny")
+    g.tensor("in", ("batch", 4), TensorKind.INPUT)
+    g.tensor("w", (4, 8), TensorKind.WEIGHT)
+    g.tensor("out", ("batch", 8), TensorKind.OUTPUT)
+    g.add_node("mm", OpType.GEMM, inputs=("in", "w"), outputs=("out",),
+               m=("batch",), n=n_attr, k=k_attr)
+    return g
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+class TestShapeChecks:
+    def test_clean_graph_is_clean(self):
+        assert check_graph(small_gemm_graph()) == []
+
+    def test_swapped_nk_trips_graph101(self):
+        # n=4, k=8 prices the same FLOPs but disagrees with operand A and
+        # the output (B's element count k*n is symmetric under the swap).
+        diags = check_graph(small_gemm_graph(n_attr=4, k_attr=8))
+        assert codes(diags) == ["GRAPH101", "GRAPH101"]
+        assert all(d.location.node == "mm" for d in diags)
+
+    def test_elementwise_nelems_mismatch(self):
+        g = ComputationGraph("ew")
+        g.tensor("a", ("batch", 8), TensorKind.INPUT)
+        g.tensor("b", ("batch", 8), TensorKind.OUTPUT)
+        g.add_node("gelu", OpType.ELEMENTWISE, inputs=("a",), outputs=("b",),
+                   nelems=("batch", 16), reads=1, writes=1, flops_per_elem=1)
+        assert codes(check_graph(g)) == ["GRAPH101", "GRAPH101"]
+
+    def test_transpose_may_gather_from_larger_input(self):
+        # A last-token gather reads [batch, seq, h] but writes [batch, h].
+        g = ComputationGraph("gather")
+        g.tensor("seq_out", ("batch", "seq", 8), TensorKind.INPUT)
+        g.tensor("last", ("batch", 8), TensorKind.OUTPUT)
+        g.add_node("gather", OpType.TRANSPOSE, inputs=("seq_out",),
+                   outputs=("last",), nelems=("batch", 8))
+        assert check_graph(g) == []
+
+    def test_softmax_row_mismatch(self):
+        g = ComputationGraph("sm")
+        g.tensor("scores", ("batch", 2, 16), TensorKind.INPUT)
+        g.tensor("probs", ("batch", 2, 16), TensorKind.OUTPUT)
+        g.add_node("softmax", OpType.SOFTMAX, inputs=("scores",),
+                   outputs=("probs",), rows=("batch", 2), row_len=8)
+        assert codes(check_graph(g)) == ["GRAPH101", "GRAPH101"]
+
+    def test_dtype_mismatch_trips_graph102(self):
+        g = small_gemm_graph()
+        g.tensor("half", ("batch", 8), TensorKind.OUTPUT, dtype_bytes=2)
+        g.add_node("copy", OpType.ELEMENTWISE, inputs=("out",),
+                   outputs=("half",), nelems=("batch", 8),
+                   reads=1, writes=1, flops_per_elem=0)
+        assert "GRAPH102" in codes(check_graph(g))
+
+    def test_dangling_tensor_trips_graph103(self):
+        g = small_gemm_graph()
+        g.tensor("orphan", (4, 4), TensorKind.WEIGHT)
+        diags = [d for d in check_graph(g) if d.code == "GRAPH103"]
+        assert len(diags) == 1 and diags[0].location.node == "orphan"
+
+    def test_dead_node_trips_graph104(self):
+        g = small_gemm_graph()
+        g.tensor("scratch", ("batch", 8))  # INTERMEDIATE, never consumed
+        g.add_node("wasted", OpType.ELEMENTWISE, inputs=("out",),
+                   outputs=("scratch",), nelems=("batch", 8),
+                   reads=1, writes=1, flops_per_elem=1)
+        diags = [d for d in check_graph(g) if d.code == "GRAPH104"]
+        assert len(diags) == 1 and diags[0].location.node == "wasted"
+
+    def test_structural_error_trips_graph105(self):
+        g = small_gemm_graph()
+        # Consume an INTERMEDIATE that nothing produces: validate() fails.
+        g.tensor("ghost", ("batch", 8))
+        g.tensor("out2", ("batch", 8), TensorKind.OUTPUT)
+        g.add_node("use", OpType.ELEMENTWISE, inputs=("ghost",),
+                   outputs=("out2",), nelems=("batch", 8), reads=1,
+                   writes=1, flops_per_elem=1)
+        assert codes(check_graph(g)) == ["GRAPH105"]
+
+
+class TestBuiltinBuilders:
+    def test_all_builders_clean(self):
+        cases = [
+            (build_encoder_graph(tiny_bert()), {"batch": 2, "seq": 16}),
+            (build_prefill_graph(tiny_gpt()), {"batch": 2, "seq": 16}),
+            (build_decode_step_graph(tiny_gpt()), {"batch": 2, "past": 8}),
+            (build_decoder_step_graph(seq2seq_decoder()),
+             {"beam": 2, "tgt_pos": 4, "src_len": 6}),
+        ]
+        for graph, bindings in cases:
+            assert check_graph(graph, bindings) == [], graph.name
+            assert check_graph(fuse_graph(graph), bindings) == [], graph.name
+
+
+class TestFusionLegality:
+    def test_builders_fusion_is_io_equivalent(self):
+        for graph in (build_encoder_graph(tiny_bert()),
+                      build_decode_step_graph(tiny_gpt())):
+            assert fusion_invariant_holds(graph)
+            assert check_fusion(graph) == []
+
+    def test_lost_output_trips_graph110(self):
+        graph = build_encoder_graph(tiny_bert())
+        fused = fuse_graph(graph)
+        victim = next(n for n, s in fused.tensors.items()
+                      if s.kind is TensorKind.OUTPUT)
+        fused.tensors[victim] = replace(fused.tensors[victim],
+                                        kind=TensorKind.INTERMEDIATE)
+        found = codes(check_fusion(graph, fused=fused))
+        assert "GRAPH110" in found
+
+    def test_dropped_op_trips_graph110(self):
+        graph = build_encoder_graph(tiny_bert())
+        fused = fuse_graph(graph)
+        fused.nodes.pop()
+        found = codes(check_fusion(graph, fused=fused))
+        assert "GRAPH110" in found
+
+    def test_fused_barrier_trips_graph112(self):
+        graph = small_gemm_graph()
+        fused = ComputationGraph(graph.name + ".fused")
+        for spec in graph.tensors.values():
+            fused.add_tensor(spec)
+        fused.add_node(
+            "fused0", OpType.FUSED, inputs=("in", "w"), outputs=("out",),
+            fused_ops=[{"name": "mm", "op_type": OpType.GEMM.value}],
+            eliminated_tensors=[],
+        )
+        assert "GRAPH112" in codes(check_fusion(graph, fused=fused))
+
+    def test_escaping_eliminated_tensor_trips_graph111(self):
+        graph = small_gemm_graph()
+        fused = ComputationGraph(graph.name + ".fused")
+        for spec in graph.tensors.values():
+            fused.add_tensor(spec)
+        fused.add_node(
+            "fused0", OpType.FUSED, inputs=("in", "w"), outputs=("out",),
+            fused_ops=[{"name": "mm", "op_type": OpType.ELEMENTWISE.value}],
+            eliminated_tensors=["out"],  # OUTPUT kind: escapes the region
+        )
+        assert "GRAPH111" in codes(check_fusion(graph, fused=fused))

@@ -1,0 +1,112 @@
+"""Schedule race detector: happens-before over multi-stream programs."""
+
+from repro.analysis import (
+    build_serving_schedule,
+    check_schedule,
+    schedule_is_race_free,
+)
+from repro.gpusim import StreamSchedule
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+class TestHazards:
+    def test_same_stream_is_serial(self):
+        s = StreamSchedule("serial")
+        s.launch("write", "s0", writes=("buf",))
+        s.launch("read", "s0", reads=("buf",))
+        assert check_schedule(s) == []
+
+    def test_unsynced_raw_is_sched301(self):
+        s = StreamSchedule("raw")
+        s.launch("producer", "s0", writes=("buf",))
+        s.launch("consumer", "s1", reads=("buf",))
+        diags = check_schedule(s)
+        assert codes(diags) == ["SCHED301"]
+        assert "read-after-write" in diags[0].message
+
+    def test_unsynced_war_is_sched302(self):
+        s = StreamSchedule("war")
+        s.launch("consumer", "s0", reads=("buf",))
+        s.launch("overwriter", "s1", writes=("buf",))
+        assert codes(check_schedule(s)) == ["SCHED302"]
+
+    def test_unsynced_waw_is_sched303(self):
+        s = StreamSchedule("waw")
+        s.launch("first", "s0", writes=("buf",))
+        s.launch("second", "s1", writes=("buf",))
+        assert codes(check_schedule(s)) == ["SCHED303"]
+
+    def test_shared_reads_never_race(self):
+        s = StreamSchedule("ro")
+        s.launch("k0", "s0", reads=("weights",))
+        s.launch("k1", "s1", reads=("weights",))
+        assert check_schedule(s) == []
+
+
+class TestSynchronization:
+    def test_event_sync_orders_streams(self):
+        s = StreamSchedule("synced")
+        s.launch("producer", "s0", writes=("buf",))
+        s.record("done", "s0")
+        s.wait("done", "s1")
+        s.launch("consumer", "s1", reads=("buf",))
+        assert schedule_is_race_free(s)
+
+    def test_event_recorded_too_early_does_not_order(self):
+        s = StreamSchedule("early")
+        s.record("done", "s0")           # captured before the write
+        s.launch("producer", "s0", writes=("buf",))
+        s.wait("done", "s1")
+        s.launch("consumer", "s1", reads=("buf",))
+        assert codes(check_schedule(s)) == ["SCHED301"]
+
+    def test_device_sync_is_a_barrier(self):
+        s = StreamSchedule("barrier")
+        s.launch("producer", "s0", writes=("buf",))
+        s.sync()
+        s.launch("consumer", "s1", reads=("buf",))
+        assert schedule_is_race_free(s)
+
+    def test_device_sync_covers_streams_first_used_after_it(self):
+        # s1 issues its first op only after the sync: still ordered.
+        s = StreamSchedule("late-stream")
+        s.launch("producer", "s0", writes=("buf",))
+        s.sync()
+        s.launch("late", "s9", writes=("buf",))
+        assert schedule_is_race_free(s)
+
+    def test_wait_without_record_is_sched310(self):
+        s = StreamSchedule("lost")
+        s.wait("never-recorded", "s1")
+        s.launch("k", "s1", reads=())
+        diags = check_schedule(s)
+        assert codes(diags) == ["SCHED310"]
+        assert "never recorded" in diags[0].message
+
+
+class TestServingSchedule:
+    def test_seeded_serving_schedule_is_race_free(self):
+        for seed in (0, 7):
+            schedule = build_serving_schedule(seed=seed)
+            assert schedule_is_race_free(schedule), seed
+            assert len(schedule.streams()) == 3  # copy + 2 compute streams
+
+    def test_dropping_the_h2d_sync_races(self):
+        # Same shape as the serving schedule, minus the h2d.done wait:
+        # compute may read the input while the copy engine writes it.
+        s = StreamSchedule("broken-serving")
+        s.launch("h2d", "copy", writes=("input",))
+        s.launch("encoder", "compute0", reads=("input", "weights"),
+                 writes=("act",))
+        assert "SCHED301" in codes(check_schedule(s))
+
+    def test_double_buffer_reuse_without_sync_races(self):
+        # Request 2 reuses request 0's activation buffer on the other
+        # compute stream without waiting for the d2h of request 0.
+        s = StreamSchedule("reuse")
+        s.launch("enc.req0", "compute0", writes=("act0",))
+        s.launch("enc.req2", "compute1", writes=("act0",))
+        assert codes(check_schedule(s)) == ["SCHED303"]
