@@ -22,6 +22,15 @@ Commands
     misses, breaker transitions, post-fault goodput vs. baseline) and exit
     non-zero unless goodput recovers to >= 95% of the fault-free baseline.
     Deterministic given the seed: two runs write byte-identical metrics.
+``bench [--profile smoke|full] [--seed N] [--out BENCH_host.json]``
+    Wall-clock benchmarks of the host fast path (compiled cost models,
+    plan cache, pruned DP scheduler) against the seed baselines, written
+    as a JSON payload whose counter fields are deterministic.
+    ``--verify`` instead runs the cross-layer equivalence verifier
+    (compiled vs. interpretive pricing, fast vs. reference ``latency()``,
+    pruned vs. reference DP partitions, cached vs. uncached plans) and
+    exits non-zero on any divergence.  ``--diff A B`` compares the
+    deterministic fields of two payloads (CI determinism gate).
 ``check [--format text|json] [--out PATH] [--seed N]
         [--family graph|memory|schedule|determinism ...] [--lint-root DIR]``
     Static analysis: graph shape/dtype/fusion verification over every
@@ -133,6 +142,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.recovered else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        diff_bench,
+        format_bench,
+        load_bench,
+        run_bench,
+        save_bench,
+        verify_host_fast_path,
+    )
+
+    if args.diff:
+        first, second = args.diff
+        problems = diff_bench(load_bench(first), load_bench(second))
+        if problems:
+            for p in problems[:20]:
+                print(f"bench diff: {p}", file=sys.stderr)
+            print(f"bench: {len(problems)} deterministic field(s) differ",
+                  file=sys.stderr)
+            return 1
+        print("bench: deterministic fields identical")
+        return 0
+
+    if args.verify:
+        problems = verify_host_fast_path(seed=args.seed)
+        if problems:
+            for p in problems[:20]:
+                print(f"equivalence: {p}", file=sys.stderr)
+            print(f"bench --verify: {len(problems)} divergence(s)",
+                  file=sys.stderr)
+            return 1
+        print("bench --verify: fast path is equivalent to the reference "
+              "path (compiled pricing, latency, partitions, plans)")
+        return 0
+
+    payload = run_bench(args.profile, seed=args.seed,
+                        progress=lambda msg: print(f"bench: {msg}"))
+    print(format_bench(payload))
+    if args.out:
+        save_bench(payload, args.out)
+        print(f"bench: wrote {args.out}")
+    return 0 if payload["equivalence_ok"] else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .analysis import run_check
 
@@ -180,7 +232,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace.add_argument("--duration", type=float, default=0.5,
                        help="offered-load horizon in seconds (default 0.5)")
     trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--scheduler", choices=("dp", "naive", "nobatch"),
+    trace.add_argument("--scheduler",
+                       choices=("dp", "dp-pruned", "naive", "nobatch"),
                        default="dp")
     trace.add_argument("--policy", choices=("hungry", "lazy"), default="hungry")
     trace.add_argument("--max-batch", type=int, default=16)
@@ -203,6 +256,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--no-check", action="store_true",
                        help="report only; do not fail on missed recovery")
     chaos.set_defaults(func=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock benchmarks of the host fast path (writes "
+             "BENCH_host.json)",
+    )
+    from .bench import PROFILES  # stdlib-only module; cheap at parse time
+
+    bench.add_argument("--profile", choices=tuple(sorted(PROFILES)),
+                       default="smoke")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", default=None,
+                       help="write the JSON payload here "
+                            "(e.g. BENCH_host.json)")
+    bench.add_argument("--verify", action="store_true",
+                       help="run the fast-path equivalence verifier "
+                            "instead of timing")
+    bench.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                       help="compare the deterministic fields of two "
+                            "bench JSON files")
+    bench.set_defaults(func=_cmd_bench)
 
     check = sub.add_parser(
         "check",

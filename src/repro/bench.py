@@ -1,0 +1,552 @@
+"""``python -m repro bench``: wall-clock benchmarks of the host fast path.
+
+The paper's thesis is that host-side work (cost lookup, allocation
+planning, batch scheduling) must stay negligible next to kernel time.
+This harness times the *simulator's own* host path — the compiled cost
+models, the allocation-plan cache, and the pruned DP scheduler — against
+the interpretive/uncached baselines they replaced, and writes the result
+to ``BENCH_host.json`` so the repo carries a perf trajectory.
+
+Each section runs the identical deterministic workload through a *fast*
+and a *baseline* configuration and records
+
+* ``counters`` — workload sizes, cache hit/miss totals, digests of the
+  produced tables/schedules.  Every counter is a pure function of the
+  (profile, seed) inputs: two runs of the same bench produce identical
+  counter trees, which CI asserts with ``repro bench --diff``.  The
+  counters also embed the equivalence checks — the fast path must
+  reproduce the baseline's outputs bit for bit before its time is
+  accepted.
+* ``wallclock`` — elapsed seconds and derived throughputs/speedups.
+  These naturally vary run to run and are excluded from the diff.
+
+Baselines are the *seed implementations*: the interpretive per-node cost
+walk (``use_compiled=False``), no records memo, no plan cache, the
+original object-walking Algorithm 2 gap search
+(``TurboAllocator(gap_search="reference")``), and the unmemoized O(n·B)
+DP scheduler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+#: Grid/workload sizes per profile.  ``smoke`` finishes in a few seconds
+#: (CI); ``full`` is the acceptance configuration behind the committed
+#: ``BENCH_host.json``.
+PROFILES: Dict[str, Dict[str, object]] = {
+    "smoke": {
+        "grid_max_batch": 8,
+        "grid_length_step": 64,
+        "grid_max_length": 512,
+        "plan_shapes": 12,
+        "plan_passes": 3,
+        "sched_rounds": 60,
+        "sched_queue": 40,
+        "sched_max_batch": 12,
+        "fig12_rates": (100.0, 300.0),
+        "fig12_duration_s": 2.0,
+        "fig12_max_len": 128,
+        "fig12_max_batch": 8,
+        "fig12_model": "tiny",
+    },
+    "full": {
+        "grid_max_batch": 20,
+        "grid_length_step": 16,
+        "grid_max_length": 512,
+        "plan_shapes": 48,
+        "plan_passes": 3,
+        "sched_rounds": 200,
+        "sched_queue": 120,
+        "sched_max_batch": 20,
+        "fig12_rates": (20.0, 60.0, 150.0, 400.0),
+        "fig12_duration_s": 5.0,
+        "fig12_max_len": 256,
+        "fig12_max_batch": 16,
+        "fig12_model": "base",
+    },
+}
+
+BENCH_SCHEMA = "repro.bench.host/v1"
+
+#: Fields of the payload compared by ``--diff`` (everything except the
+#: run-to-run wall-clock measurements and what derives from them).
+DETERMINISTIC_KEYS = ("schema", "profile", "seed", "config", "counters")
+
+
+def _now() -> float:
+    return time.perf_counter()  # repro: allow(DET402) bench measures wall time
+
+
+def _digest(obj: object) -> str:
+    """Stable digest of a JSON-serializable object (repr of floats is
+    exact, so bit-identical inputs give identical digests)."""
+    payload = json.dumps(obj, sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+# -- runtime configurations ---------------------------------------------------
+
+
+def _baseline_mode(runtime) -> None:
+    """Put a runtime into the seed (pre-fast-path) configuration."""
+    runtime.use_compiled = False
+    runtime.memoize_records = False
+    allocator = getattr(runtime, "allocator", None)
+    if allocator is not None and hasattr(allocator, "plan_cache"):
+        allocator.plan_cache = None
+    if allocator is not None and hasattr(allocator, "gap_search"):
+        allocator.gap_search = "reference"
+
+
+def _table_cells(table) -> Dict[str, float]:
+    return {
+        f"{length}x{batch}": table.cost(length, batch)
+        for length in table.lengths
+        for batch in range(1, table.max_batch + 1)
+    }
+
+
+# -- sections -----------------------------------------------------------------
+
+
+def _bench_grid(profile: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    """CostTable full-grid profile: the warm-up sweep of Algorithm 3."""
+    from .runtime import turbo_runtime, warmup_profile
+
+    kwargs = dict(
+        max_batch=profile["grid_max_batch"],
+        max_length=profile["grid_max_length"],
+        length_step=profile["grid_length_step"],
+    )
+
+    baseline_rt = turbo_runtime()
+    _baseline_mode(baseline_rt)
+    t0 = _now()
+    baseline_table = warmup_profile(baseline_rt, **kwargs)
+    baseline_s = _now() - t0
+
+    fast_rt = turbo_runtime()
+    t0 = _now()
+    fast_table = warmup_profile(fast_rt, **kwargs)
+    fast_s = _now() - t0
+
+    baseline_cells = _table_cells(baseline_table)
+    fast_cells = _table_cells(fast_table)
+    cells = len(fast_cells)
+    return {
+        "counters": {
+            "cells": cells,
+            "identical_tables": baseline_cells == fast_cells,
+            "table_digest": _digest(fast_cells),
+            "host_path": fast_rt.host_path_stats(),
+        },
+        "wallclock": {
+            "baseline_s": baseline_s,
+            "fast_s": fast_s,
+            "baseline_latency_calls_per_s": cells / baseline_s,
+            "fast_latency_calls_per_s": cells / fast_s,
+            "speedup": baseline_s / fast_s,
+        },
+    }
+
+
+def _plan_workload(profile: Dict[str, object], seed: int):
+    """Deterministic per-shape usage-record lists for the allocator bench."""
+    import random
+
+    from .graph.lifetime import tensor_usage_records
+    from .models import bert_base, build_encoder_graph
+
+    graph = build_encoder_graph(bert_base())
+    rng = random.Random(seed)
+    shapes = [
+        (rng.randrange(1, 13), rng.randrange(1, 33) * 16)
+        for _ in range(profile["plan_shapes"])
+    ]
+    return [
+        tensor_usage_records(graph, {"batch": b, "seq": s}) for b, s in shapes
+    ]
+
+
+def _run_plans(allocator, workload, passes: int) -> Dict[str, object]:
+    outcomes = []
+    for _ in range(passes):
+        for records in workload:
+            allocation = allocator.process_request(records)
+            outcomes.append(
+                (allocation.new_bytes, allocation.footprint_bytes,
+                 allocation.peak_bytes, allocation.stall_s)
+            )
+    return {
+        "outcome_digest": _digest([list(o) for o in outcomes]),
+        "plan_hits": allocator.plan_hits,
+        "plan_misses": allocator.plan_misses,
+        "chunks_released": allocator.chunks_released,
+    }
+
+
+def _bench_plans(profile: Dict[str, object], seed: int) -> Dict[str, Dict[str, object]]:
+    """Allocation planning throughput: plan cache + tuple-scan gap search
+    vs. the uncached object-walking baseline, identical outcomes."""
+    from .gpusim.memory import DeviceMemory
+    from .memory import PlanCache, TurboAllocator
+
+    workload = _plan_workload(profile, seed)
+    passes = profile["plan_passes"]
+    plans = len(workload) * passes
+
+    baseline_alloc = TurboAllocator(DeviceMemory(), plan_cache=None,
+                                    gap_search="reference")
+    t0 = _now()
+    baseline = _run_plans(baseline_alloc, workload, passes)
+    baseline_s = _now() - t0
+
+    fast_alloc = TurboAllocator(DeviceMemory(), plan_cache=PlanCache())
+    t0 = _now()
+    fast = _run_plans(fast_alloc, workload, passes)
+    fast_s = _now() - t0
+
+    return {
+        "counters": {
+            "plans": plans,
+            "records_per_plan": len(workload[0]),
+            "identical_outcomes": baseline == fast,
+            "baseline": baseline,
+            "fast": fast,
+            "plan_cache": fast_alloc.plan_cache.stats(),
+        },
+        "wallclock": {
+            "baseline_s": baseline_s,
+            "fast_s": fast_s,
+            "baseline_plans_per_s": plans / baseline_s,
+            "fast_plans_per_s": plans / fast_s,
+            "speedup": baseline_s / fast_s,
+        },
+    }
+
+
+def _sched_workload(profile: Dict[str, object], seed: int):
+    import random
+
+    from .serving.request import Request
+
+    rng = random.Random(seed)
+    rounds = []
+    queue: List[Request] = []
+    req_id = 0
+    for _ in range(profile["sched_rounds"]):
+        # A hungry server's queue: grows, then periodically drains.
+        if queue and rng.random() < 0.3:
+            queue = queue[len(queue) // 2:]
+        for _ in range(rng.randrange(1, profile["sched_queue"] // 4 + 2)):
+            queue.append(Request(req_id=req_id,
+                                 seq_len=rng.randrange(1, 33) * 16,
+                                 arrival_s=0.0))
+            req_id += 1
+        rounds.append(list(queue[: profile["sched_queue"]]))
+    return rounds
+
+
+def _run_scheduler(scheduler, rounds, cost_fn, max_batch: int) -> Dict[str, object]:
+    partitions = []
+    for queue in rounds:
+        batches = scheduler.schedule(queue, cost_fn, max_batch)
+        partitions.append(
+            [tuple(r.req_id for r in b.requests) for b in batches]
+        )
+    return {
+        "partition_digest": _digest([[list(p) for p in ps] for ps in partitions]),
+        "batches": sum(len(p) for p in partitions),
+    }
+
+
+def _bench_scheduler(profile: Dict[str, object], seed: int) -> Dict[str, Dict[str, object]]:
+    """Scheduling rounds/sec: pruned+bucketed+incremental DP vs. Alg. 3."""
+    from .serving.scheduler import DPBatchScheduler, PrunedDPBatchScheduler
+
+    rounds = _sched_workload(profile, seed)
+    max_batch = profile["sched_max_batch"]
+
+    def cost_fn(length: int, batch: int) -> float:
+        # Closed-form monotone stand-in for a profiled table.
+        return (1.0 + 0.002 * length) * (0.3 + 0.1 * batch) * 1e-3
+
+    baseline_sched = DPBatchScheduler()
+    t0 = _now()
+    baseline = _run_scheduler(baseline_sched, rounds, cost_fn, max_batch)
+    baseline_s = _now() - t0
+
+    fast_sched = PrunedDPBatchScheduler()
+    t0 = _now()
+    fast = _run_scheduler(fast_sched, rounds, cost_fn, max_batch)
+    fast_s = _now() - t0
+
+    return {
+        "counters": {
+            "rounds": len(rounds),
+            "requests": sum(len(q) for q in rounds),
+            "identical_partitions": baseline == fast,
+            "partition_digest": fast["partition_digest"],
+            "batches": fast["batches"],
+            "fast_path": fast_sched.stats(),
+        },
+        "wallclock": {
+            "baseline_s": baseline_s,
+            "fast_s": fast_s,
+            "baseline_rounds_per_s": len(rounds) / baseline_s,
+            "fast_rounds_per_s": len(rounds) / fast_s,
+            "speedup": baseline_s / fast_s,
+        },
+    }
+
+
+def _fig12_sweep(profile: Dict[str, object], seed: int, fast: bool) -> Tuple[Dict[str, object], float]:
+    """One end-to-end fig12-style run: warm the turbo cost table, then
+    serve a Poisson workload at each offered rate with DP batching."""
+    from .models import bert_base, build_encoder_graph, tiny_bert
+    from .runtime import turbo_runtime, warmup_profile
+    from .serving import (
+        MIN_LEN,
+        ServingConfig,
+        generate_requests,
+        normal_lengths,
+        simulate_serving,
+    )
+    from .serving.scheduler import DPBatchScheduler, PrunedDPBatchScheduler
+
+    config = tiny_bert() if profile["fig12_model"] == "tiny" else bert_base()
+    max_len = profile["fig12_max_len"]
+    max_batch = profile["fig12_max_batch"]
+
+    t0 = _now()
+    runtime = turbo_runtime(graph=build_encoder_graph(config))
+    if not fast:
+        _baseline_mode(runtime)
+    table = warmup_profile(runtime, max_batch=max_batch, max_length=max_len,
+                           length_step=16)
+    scheduler = (PrunedDPBatchScheduler() if fast else DPBatchScheduler())
+
+    def lengths(rng, n):
+        return normal_lengths(rng, n, lo=MIN_LEN, hi=max_len)
+
+    points = {}
+    for rate in profile["fig12_rates"]:
+        requests = generate_requests(rate, profile["fig12_duration_s"],
+                                     seed=seed, length_sampler=lengths)
+        metrics = simulate_serving(
+            requests, scheduler, table.cost,
+            config=ServingConfig(max_batch=max_batch),
+            duration_s=profile["fig12_duration_s"],
+            system_name="Turbo-DP-Batch",
+        )
+        points[str(rate)] = {
+            "offered": metrics.offered,
+            "completed": metrics.completed,
+            "batches": metrics.batches_executed,
+            "saturated": metrics.saturated,
+        }
+    elapsed = _now() - t0
+    return {"points": points, "table_digest": _digest(_table_cells(table))}, elapsed
+
+
+def _bench_fig12(profile: Dict[str, object], seed: int) -> Dict[str, Dict[str, object]]:
+    baseline, baseline_s = _fig12_sweep(profile, seed, fast=False)
+    fast, fast_s = _fig12_sweep(profile, seed, fast=True)
+    return {
+        "counters": {
+            "rates": list(map(float, profile["fig12_rates"])),
+            "identical_serving": baseline == fast,
+            "points": fast["points"],
+            "table_digest": fast["table_digest"],
+        },
+        "wallclock": {
+            "baseline_s": baseline_s,
+            "fast_s": fast_s,
+            "speedup": baseline_s / fast_s,
+        },
+    }
+
+
+# -- top level ----------------------------------------------------------------
+
+
+def run_bench(profile_name: str = "smoke", seed: int = 0,
+              progress: Optional[Callable[[str], None]] = None) -> Dict[str, object]:
+    """Run every section; returns the ``BENCH_host.json`` payload."""
+    if profile_name not in PROFILES:
+        raise ValueError(
+            f"profile must be one of {sorted(PROFILES)}, got {profile_name!r}"
+        )
+    profile = PROFILES[profile_name]
+    say = progress or (lambda _msg: None)
+
+    sections: Dict[str, Dict[str, object]] = {}
+    say("grid: CostTable full-grid profile ...")
+    sections["grid"] = _bench_grid(profile)
+    say("plans: allocation planning throughput ...")
+    sections["plans"] = _bench_plans(profile, seed)
+    say("scheduler: DP batching rounds ...")
+    sections["scheduler"] = _bench_scheduler(profile, seed)
+    say("fig12: end-to-end serving sweep ...")
+    sections["fig12"] = _bench_fig12(profile, seed)
+
+    payload: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "profile": profile_name,
+        "seed": seed,
+        "config": {k: (list(v) if isinstance(v, tuple) else v)
+                   for k, v in profile.items()},
+        "counters": {name: s["counters"] for name, s in sections.items()},
+        "wallclock": {name: s["wallclock"] for name, s in sections.items()},
+        "speedups": {name: s["wallclock"]["speedup"]
+                     for name, s in sections.items()},
+        "equivalence_ok": all(
+            v for name, s in sections.items()
+            for k, v in s["counters"].items() if k.startswith("identical_")
+        ),
+    }
+    return payload
+
+
+def diff_bench(a: Dict[str, object], b: Dict[str, object]) -> List[str]:
+    """Compare the deterministic fields of two bench payloads.
+
+    Returns a list of human-readable differences (empty == identical).
+    Wall-clock fields (and the speedups derived from them) are excluded —
+    they legitimately vary run to run.
+    """
+    problems: List[str] = []
+
+    def walk(prefix: str, x: object, y: object) -> None:
+        if isinstance(x, dict) and isinstance(y, dict):
+            for key in sorted(set(x) | set(y)):
+                if key not in x:
+                    problems.append(f"{prefix}{key}: missing in first run")
+                elif key not in y:
+                    problems.append(f"{prefix}{key}: missing in second run")
+                else:
+                    walk(f"{prefix}{key}.", x[key], y[key])
+        elif x != y:
+            problems.append(f"{prefix[:-1]}: {x!r} != {y!r}")
+
+    for key in DETERMINISTIC_KEYS:
+        walk(f"{key}.", a.get(key), b.get(key))
+    return problems
+
+
+def save_bench(payload: Dict[str, object], path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, object]:
+    return json.loads(Path(path).read_text())
+
+
+def format_bench(payload: Dict[str, object]) -> str:
+    lines = [f"repro bench — profile {payload['profile']!r}, "
+             f"seed {payload['seed']}"]
+    wall = payload["wallclock"]
+    for name in ("grid", "plans", "scheduler", "fig12"):
+        w = wall[name]
+        extra = ""
+        if "fast_latency_calls_per_s" in w:
+            extra = f", {w['fast_latency_calls_per_s']:,.0f} latency calls/s"
+        elif "fast_plans_per_s" in w:
+            extra = f", {w['fast_plans_per_s']:,.0f} plans/s"
+        elif "fast_rounds_per_s" in w:
+            extra = f", {w['fast_rounds_per_s']:,.0f} rounds/s"
+        lines.append(
+            f"  {name:<10} baseline {w['baseline_s']:7.3f}s   fast "
+            f"{w['fast_s']:7.3f}s   speedup {w['speedup']:5.2f}x{extra}"
+        )
+    lines.append(f"  equivalence checks: "
+                 f"{'ok' if payload['equivalence_ok'] else 'FAILED'}")
+    return "\n".join(lines)
+
+
+# -- equivalence verifier (``repro bench --verify``) --------------------------
+
+
+def verify_host_fast_path(seed: int = 0) -> List[str]:
+    """Cross-check every fast-path layer against its reference.
+
+    Returns a list of problems (empty == fully equivalent):
+
+    * compiled cost model vs. interpretive ``graph_cost`` for every
+      runtime factory, bit-exact per kernel;
+    * fast ``latency()`` vs. the seed double-``infer()`` path, bit-exact,
+      across a shape grid including padding boundaries;
+    * pruned DP partitions vs. ``DPBatchScheduler``, identical;
+    * plan-cached allocator vs. uncached, identical outcomes.
+    """
+    import random
+
+    problems: List[str] = []
+
+    from .runtime import RUNTIME_FACTORIES, verify_equivalence
+
+    shapes = [(1, 1), (1, 16), (1, 17), (2, 63), (2, 64), (2, 65),
+              (4, 128), (7, 100), (8, 512)]
+    for name, factory in RUNTIME_FACTORIES.items():
+        fast_rt = factory()
+        bindings = [fast_rt._bindings(b, fast_rt.chars.padded_length(s))
+                    for b, s in shapes]
+        for msg in verify_equivalence(fast_rt.graph.nodes, bindings,
+                                      fast_rt.chars, fast_rt.device):
+            problems.append(f"{name}: {msg}")
+        ref_rt = factory()
+        _baseline_mode(ref_rt)
+        for b, s in shapes:
+            got = fast_rt.latency(b, s)
+            want = ref_rt.latency(b, s)
+            if got != want:
+                problems.append(
+                    f"{name}: latency({b}, {s}) fast {got!r} != "
+                    f"reference {want!r}"
+                )
+
+    from .serving.request import Request
+    from .serving.scheduler import DPBatchScheduler, PrunedDPBatchScheduler
+
+    rng = random.Random(seed)
+
+    def cost_fn(length: int, batch: int) -> float:
+        return (1.0 + 0.002 * length) * (0.3 + 0.1 * batch) * 1e-3
+
+    ref_sched = DPBatchScheduler()
+    fast_sched = PrunedDPBatchScheduler()
+    for trial in range(50):
+        queue = [Request(req_id=i, seq_len=rng.randrange(1, 33) * 16,
+                         arrival_s=0.0)
+                 for i in range(rng.randrange(1, 40))]
+        max_batch = rng.randrange(1, 16)
+        ref_batches = ref_sched.schedule(queue, cost_fn, max_batch)
+        fast_batches = fast_sched.schedule(queue, cost_fn, max_batch)
+        ref_part = [tuple(r.req_id for r in b.requests) for b in ref_batches]
+        fast_part = [tuple(r.req_id for r in b.requests) for b in fast_batches]
+        if ref_part != fast_part:
+            problems.append(
+                f"scheduler: partition mismatch on trial {trial} "
+                f"(n={len(queue)}, max_batch={max_batch})"
+            )
+
+    from .gpusim.memory import DeviceMemory
+    from .memory import PlanCache, TurboAllocator
+
+    profile = dict(PROFILES["smoke"], plan_shapes=16)
+    workload = _plan_workload(profile, seed)
+    ref_alloc = TurboAllocator(DeviceMemory(), plan_cache=None,
+                               gap_search="reference")
+    fast_alloc = TurboAllocator(DeviceMemory(), plan_cache=PlanCache())
+    ref_out = _run_plans(ref_alloc, workload, passes=2)
+    fast_out = _run_plans(fast_alloc, workload, passes=2)
+    if ref_out != fast_out:
+        problems.append(
+            f"allocator: plan-cache outcomes diverge: {ref_out} != {fast_out}"
+        )
+    return problems

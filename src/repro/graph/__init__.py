@@ -2,7 +2,7 @@
 
 from .fusion import count_kernels, eliminated_tensor_names, fuse_graph
 from .graph import ComputationGraph, GraphError
-from .lifetime import tensor_usage_records
+from .lifetime import UsageRecordTemplates, tensor_usage_records
 from .node import OpNode, OpType
 from .serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
 from .tensor import Dim, DimBindings, TensorKind, TensorSpec, resolve_dim
@@ -22,6 +22,7 @@ __all__ = [
     "count_kernels",
     "eliminated_tensor_names",
     "tensor_usage_records",
+    "UsageRecordTemplates",
     "graph_to_dict",
     "graph_from_dict",
     "save_graph",

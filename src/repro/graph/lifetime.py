@@ -8,11 +8,11 @@ last_op]`` interval follows from the topological order (paper §4.2).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..memory.records import TensorUsageRecord
 from .graph import ComputationGraph
-from .tensor import DimBindings, TensorKind
+from .tensor import DimBindings, TensorKind, resolve_dim
 
 
 def tensor_usage_records(
@@ -46,3 +46,59 @@ def tensor_usage_records(
             )
         )
     return records
+
+
+class UsageRecordTemplates:
+    """Shape-independent usage-record structure, compiled once per graph.
+
+    The ``[first_op, last_op]`` lifetime intervals and the record order are
+    properties of the graph alone; only the byte sizes depend on the
+    request's bindings, and each size is an exact integer product
+    ``const * prod(bindings[symbol])``.  :meth:`evaluate` therefore
+    produces records identical to :func:`tensor_usage_records` — same
+    order, same fields, same integers — in one multiply per symbol per
+    tensor instead of a full validate/topo-sort/consumer sweep.
+
+    Like the compiled cost model, evaluation assumes positive integer
+    bindings; unbound symbols raise ``KeyError``.
+    """
+
+    def __init__(self, graph: ComputationGraph) -> None:
+        # Run the interpretive analysis machinery once to fix lifetimes.
+        graph.validate()
+        order = graph.topo_sort()
+        position: Dict[int, int] = {n: p for p, n in enumerate(order)}
+        producers = graph.producer_index()
+        consumers = graph.consumer_indices()
+        #: (name, first_op, last_op, const_bytes, symbol names) per record.
+        self.templates: List[Tuple[str, int, int, int, Tuple[str, ...]]] = []
+        for spec in graph.tensors.values():
+            if spec.kind is not TensorKind.INTERMEDIATE:
+                continue
+            first = position[producers[spec.name]]
+            uses = [position[c] for c in consumers[spec.name]]
+            last = max(uses) if uses else first
+            const = spec.dtype_bytes
+            symbols: List[str] = []
+            for dim in spec.dims:
+                if isinstance(dim, str):
+                    symbols.append(dim)
+                else:
+                    const *= resolve_dim(dim, {})  # validates the literal
+            self.templates.append(
+                (spec.name, first, last, const, tuple(symbols))
+            )
+
+    def evaluate(self, bindings: DimBindings) -> List[TensorUsageRecord]:
+        """Records under ``bindings`` — identical to the interpretive sweep."""
+        out: List[TensorUsageRecord] = []
+        for name, first, last, const, symbols in self.templates:
+            size = const
+            for symbol in symbols:
+                size *= bindings[symbol]
+            out.append(TensorUsageRecord(name=name, first_op=first,
+                                         last_op=last, size=size))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.templates)

@@ -6,6 +6,12 @@ from .chunk import DEFAULT_CHUNK_SIZE, K_SCALE, Chunk, ChunkAssignment, new_chun
 from .gsoc import GsocAllocator, gsoc_offsets
 from .naive import NaiveAllocator
 from .plan import AllocationPlan, Placement, PlanError, plan_from_chunks, validate_plan
+from .plan_cache import (
+    CachedPlan,
+    PlanCache,
+    chunk_fingerprint,
+    records_signature,
+)
 from .records import TensorUsageRecord, peak_live_bytes, sort_by_size
 from .stats import MB, AllocatorWorkloadResult, run_allocator_workload
 from .turbo import TurboAllocator
@@ -26,6 +32,10 @@ __all__ = [
     "plan_from_chunks",
     "BaseAllocator",
     "RequestAllocation",
+    "PlanCache",
+    "CachedPlan",
+    "records_signature",
+    "chunk_fingerprint",
     "TurboAllocator",
     "GsocAllocator",
     "gsoc_offsets",

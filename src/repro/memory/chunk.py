@@ -11,12 +11,20 @@ Note: line 17 of the paper's Algorithm 2 reads ``chunk_size − prev_offset ≤
 size_t``, which would only accept tensors *larger* than the remaining tail;
 the surrounding prose and Algorithm 1 make clear the intended condition is
 ``≥`` (the tail gap fits the tensor).  We implement the corrected form.
+
+The gap search dominates the serving simulator's host time (it runs once
+per record per chunk per request), so :meth:`Chunk.find_gap` scans a
+parallel list of plain-int tuples instead of the :class:`ChunkAssignment`
+dataclasses — same algorithm, no attribute/method dispatch per resident.
+:meth:`Chunk.find_gap_reference` keeps the original object-walking form;
+the property tests assert both return identical offsets.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from .records import TensorUsageRecord
 
@@ -48,14 +56,32 @@ class Chunk:
     handle: Optional[int] = None  # DeviceMemory handle, if backed
     assignments: List[ChunkAssignment] = field(default_factory=list)
     unused_streak: int = 0  # consecutive plans that left this chunk empty
+    #: Offset-sorted (offset, end, first_op, last_op) per assignment —
+    #: the hot-loop mirror of ``assignments``.
+    _meta: List[Tuple[int, int, int, int]] = field(default_factory=list, repr=False)
+    _offsets: List[int] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:
             raise ValueError(f"chunk size must be positive, got {self.size}")
+        if self.assignments and not self._meta:
+            self.restore(sorted(self.assignments, key=lambda a: a.offset))
 
     def clear(self) -> None:
         """Drop all assignments (start of a new request's plan)."""
         self.assignments.clear()
+        self._meta.clear()
+        self._offsets.clear()
+
+    def restore(self, assignments: Sequence[ChunkAssignment]) -> None:
+        """Adopt an offset-sorted assignment list (plan-cache replay)."""
+        self.assignments = list(assignments)
+        self._offsets = [a.offset for a in self.assignments]
+        self._meta = [
+            (a.offset, a.offset + a.record.size, a.record.first_op,
+             a.record.last_op)
+            for a in self.assignments
+        ]
 
     def assign(self, record: TensorUsageRecord, offset: int) -> ChunkAssignment:
         """Place ``record`` at ``offset``; keeps assignments offset-sorted."""
@@ -65,8 +91,12 @@ class Chunk:
                 f"does not fit chunk {self.chunk_id} of {self.size} B"
             )
         assignment = ChunkAssignment(record, offset)
-        self.assignments.append(assignment)
-        self.assignments.sort(key=lambda a: a.offset)
+        index = bisect_right(self._offsets, offset)
+        self.assignments.insert(index, assignment)
+        self._offsets.insert(index, offset)
+        self._meta.insert(
+            index, (offset, offset + record.size, record.first_op, record.last_op)
+        )
         return assignment
 
     def find_gap(self, record: TensorUsageRecord) -> Optional[int]:
@@ -76,12 +106,36 @@ class Chunk:
         overlaps ``record`` constrain placement.  Returns the offset of the
         smallest gap that fits, preferring interior gaps, else the tail.
         """
+        need = record.size
+        if need > self.size:
+            # No gap in this chunk can ever fit the tensor; skip the scan
+            # (the reference form reaches the same None via the tail check).
+            return None
+        first = record.first_op
+        last = record.last_op
+        smallest_gap: Optional[int] = None
+        prev_end = 0
+        best_offset: Optional[int] = None
+        for offset, end, res_first, res_last in self._meta:  # offset-sorted
+            # L6-L8: ignore residents that never coexist with the target.
+            if res_first <= last and first <= res_last:
+                gap = offset - prev_end
+                if need <= gap and (smallest_gap is None or gap < smallest_gap):
+                    smallest_gap = gap
+                    best_offset = prev_end
+                if end > prev_end:
+                    prev_end = end
+        if best_offset is None and self.size - prev_end >= need:
+            best_offset = prev_end
+        return best_offset
+
+    def find_gap_reference(self, record: TensorUsageRecord) -> Optional[int]:
+        """The original object-walking Algorithm 2 (kept as test oracle)."""
         smallest_gap = float("inf")
         prev_offset = 0
         best_offset: Optional[int] = None
         for assignment in self.assignments:  # offset-sorted
             x = assignment.record
-            # L6-L8: ignore residents that never coexist with the target.
             if record.overlaps(x):
                 gap = assignment.offset - prev_offset
                 if record.size <= gap < smallest_gap:

@@ -16,7 +16,7 @@ from typing import List, Optional
 from .metrics import MetricsRegistry
 from .tracer import Tracer
 
-SCHEDULERS = ("dp", "naive", "nobatch")
+SCHEDULERS = ("dp", "dp-pruned", "naive", "nobatch")
 POLICIES = ("hungry", "lazy")
 MODELS = ("tiny", "base")
 
@@ -33,10 +33,16 @@ class TraceRunResult:
 
 
 def _build_scheduler(name: str):
-    from ..serving import DPBatchScheduler, NaiveBatchScheduler, NoBatchScheduler
+    from ..serving import (
+        DPBatchScheduler,
+        NaiveBatchScheduler,
+        NoBatchScheduler,
+        PrunedDPBatchScheduler,
+    )
 
     return {
         "dp": DPBatchScheduler,
+        "dp-pruned": PrunedDPBatchScheduler,
         "naive": NaiveBatchScheduler,
         "nobatch": NoBatchScheduler,
     }[name]()
@@ -113,6 +119,10 @@ def run_traced_workload(
         tracer=tracer,
         metrics=registry,
     )
+    # Publish the host-fast-path counters (compiled-model evals, records
+    # memo, plan cache) so the metrics JSON and Chrome trace show them.
+    runtime.publish_host_metrics(registry, tracer=tracer,
+                                 now_s=duration_s)
     return TraceRunResult(
         serving=serving,
         registry=registry,

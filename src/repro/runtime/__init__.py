@@ -2,6 +2,12 @@
 
 from .base import DecoderRuntime, InferenceResult, InferenceRuntime
 from .capacity import max_feasible_batch, safe_max_batch, serving_batch_limits
+from .compiled import (
+    CompiledCostModel,
+    compile_graph,
+    lower_product,
+    verify_equivalence,
+)
 from .cost import RuntimeCharacteristics, graph_cost, node_cost, resolve_product
 from .fastertransformer_like import (
     FASTER_TRANSFORMER_CHARACTERISTICS,
@@ -35,6 +41,10 @@ __all__ = [
     "node_cost",
     "graph_cost",
     "resolve_product",
+    "CompiledCostModel",
+    "compile_graph",
+    "lower_product",
+    "verify_equivalence",
     "max_feasible_batch",
     "serving_batch_limits",
     "safe_max_batch",

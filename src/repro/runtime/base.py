@@ -14,8 +14,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..gpusim import DeviceSpec, KernelTiming, Stream
-from ..graph import ComputationGraph, fuse_graph, tensor_usage_records
-from ..memory import BaseAllocator, RequestAllocation
+from ..graph import (
+    ComputationGraph,
+    UsageRecordTemplates,
+    fuse_graph,
+    tensor_usage_records,
+)
+from ..memory import BaseAllocator, RequestAllocation, TensorUsageRecord
+from .compiled import CompiledCostModel
 from .cost import RuntimeCharacteristics, graph_cost
 
 #: Host cost coefficients for Turbo's per-request offset planning (Alg. 1 is
@@ -66,6 +72,23 @@ class InferenceRuntime:
     allocator_factory:
         Builds the runtime's intermediate-tensor allocator; ``None``
         disables memory accounting (pure kernel time).
+    use_compiled:
+        Price kernels through the per-graph :class:`CompiledCostModel`
+        (bit-identical to the interpretive :func:`graph_cost`, but with
+        attr resolution done once at compile time) and serve
+        :meth:`latency` misses through a slim path that skips building
+        per-kernel breakdowns.  ``False`` restores the reference paths
+        (the benchmark baseline).
+    memoize_records:
+        Memoize ``tensor_usage_records`` per (batch, padded) shape — the
+        records depend on nothing else.
+    plan_cache_host_cost:
+        How allocation-plan cache hits are charged on the host.
+        ``"replan"`` (default) keeps the full Alg. 1 planning cost even on
+        a hit, so latencies stay bit-identical to the uncached model while
+        wall-clock time is saved.  ``"cached"`` models a server that keys
+        plans by shape and charges a hit only ``EAGER_ALLOC_HOST_S``-class
+        per-tensor bookkeeping (the §4.2 fast path).
     """
 
     def __init__(
@@ -74,37 +97,142 @@ class InferenceRuntime:
         chars: RuntimeCharacteristics,
         device: DeviceSpec,
         allocator_factory: Optional[Callable[[], BaseAllocator]] = None,
+        use_compiled: bool = True,
+        memoize_records: bool = True,
+        plan_cache_host_cost: str = "replan",
     ) -> None:
+        if plan_cache_host_cost not in ("replan", "cached"):
+            raise ValueError(
+                f"plan_cache_host_cost must be 'replan' or 'cached', "
+                f"got {plan_cache_host_cost!r}")
         self.base_graph = graph
         self.graph = fuse_graph(graph) if chars.fuse_kernels else graph
         self.chars = chars
         self.device = device
         self.allocator = allocator_factory() if allocator_factory else None
+        self.use_compiled = use_compiled
+        self.memoize_records = memoize_records
+        self.plan_cache_host_cost = plan_cache_host_cost
         self.preprocess_total_s = 0.0
         self._tuned_lengths: set = set()
         self._latency_cache: Dict[Tuple[int, int], float] = {}
+        self._compiled: Optional[CompiledCostModel] = None
+        self._record_templates: Optional[UsageRecordTemplates] = None
+        self._records_cache: Dict[Tuple[int, int], List[TensorUsageRecord]] = {}
+        self.records_memo_hits = 0
+        self.records_memo_misses = 0
 
     # -- core ---------------------------------------------------------------
 
     def _bindings(self, batch: int, seq_len: int) -> Dict[str, int]:
         return {"batch": batch, "seq": seq_len}
 
+    def compiled_model(self) -> CompiledCostModel:
+        """The lazily built compiled pricing of this runtime's graph."""
+        if self._compiled is None:
+            self._compiled = CompiledCostModel(
+                self.graph.nodes, self.chars, self.device
+            )
+        return self._compiled
+
     def kernel_timings(self, batch: int, seq_len: int) -> List[KernelTiming]:
         """Per-kernel cost of one inference at the *executed* (padded) length."""
         if batch <= 0 or seq_len <= 0:
             raise ValueError(f"batch and seq_len must be positive, got {batch}, {seq_len}")
         padded = self.chars.padded_length(seq_len)
-        return graph_cost(
-            self.graph.nodes, self._bindings(batch, padded), self.chars, self.device
-        )
+        bindings = self._bindings(batch, padded)
+        if self.use_compiled:
+            return self.compiled_model().timings(bindings)
+        return graph_cost(self.graph.nodes, bindings, self.chars, self.device)
+
+    def _compute_records(self, batch: int, padded: int) -> List[TensorUsageRecord]:
+        if not self.use_compiled:
+            return tensor_usage_records(self.graph, self._bindings(batch, padded))
+        if self._record_templates is None:
+            self._record_templates = UsageRecordTemplates(self.graph)
+        return self._record_templates.evaluate(self._bindings(batch, padded))
+
+    def usage_records(self, batch: int, padded: int) -> List[TensorUsageRecord]:
+        """Usage records at a shape; memoized (they depend on nothing else)."""
+        if not self.memoize_records:
+            return self._compute_records(batch, padded)
+        key = (batch, padded)
+        records = self._records_cache.get(key)
+        if records is None:
+            self.records_memo_misses += 1
+            records = self._records_cache[key] = self._compute_records(
+                batch, padded
+            )
+        else:
+            self.records_memo_hits += 1
+        return records
+
+    def invalidate_caches(self) -> None:
+        """Drop every shape-keyed cache (call after mutating graph/config).
+
+        Clears the latency memo, the records memo, the compiled cost
+        model, and the allocator's plan cache (when it has one).
+        """
+        self._latency_cache.clear()
+        self._records_cache.clear()
+        self._compiled = None
+        self._record_templates = None
+        invalidate = getattr(self.allocator, "invalidate_plan_cache", None)
+        if invalidate is not None:
+            invalidate()
+
+    def host_path_stats(self) -> Dict[str, int]:
+        """Deterministic counters of the host fast path (bench/metrics)."""
+        stats: Dict[str, int] = {
+            "latency_cache_entries": len(self._latency_cache),
+            "records_memo_hits": self.records_memo_hits,
+            "records_memo_misses": self.records_memo_misses,
+        }
+        if self._compiled is not None:
+            stats["compiled_evals"] = self._compiled.evals
+            stats["compiled_nodes"] = self._compiled.node_count
+            stats["compiled_cells"] = self._compiled.cell_count
+            stats["compiled_folded_nodes"] = self._compiled.folded_nodes
+        plan_cache = getattr(self.allocator, "plan_cache", None)
+        if plan_cache is not None:
+            for k, v in plan_cache.stats().items():
+                stats[f"plan_cache_{k}"] = v
+        return stats
+
+    def publish_host_metrics(self, registry, tracer=None,
+                             now_s: float = 0.0) -> None:
+        """Mirror :meth:`host_path_stats` into a
+        :class:`repro.observability.MetricsRegistry` (and optionally emit
+        one Chrome-trace counter sample) so ``repro trace`` shows the
+        host-path savings."""
+        stats = self.host_path_stats()
+        for name, value in stats.items():
+            if name.endswith("_entries") or name.startswith("compiled_"):
+                registry.gauge(f"host_{name}").set(value, t=now_s)
+            else:
+                counter = registry.counter(f"host_{name}_total")
+                delta = value - counter.value
+                if delta > 0:
+                    counter.inc(delta)
+        if tracer is not None and tracer.enabled:
+            tracer.counter("host_fast_path", now_s, {
+                "records_memo_hits": stats["records_memo_hits"],
+                "plan_cache_hits": stats.get("plan_cache_hits", 0),
+                "plan_cache_misses": stats.get("plan_cache_misses", 0),
+                "compiled_evals": stats.get("compiled_evals", 0),
+            })
 
     def _memory_overhead(self, batch: int, padded: int) -> Tuple[float, Optional[RequestAllocation]]:
         if self.allocator is None:
             return 0.0, None
-        records = tensor_usage_records(self.graph, self._bindings(batch, padded))
+        records = self.usage_records(batch, padded)
         allocation = self.allocator.process_request(records)
         n = len(records)
-        if getattr(self.allocator, "name", "") == "turbo":
+        if allocation.plan_cache_hit and self.plan_cache_host_cost == "cached":
+            # §4.2 fast path: a shape-keyed plan replay costs bookkeeping,
+            # not the quadratic offset re-planning.
+            host_s = EAGER_ALLOC_HOST_S * n
+        elif getattr(self.allocator, "name", "") == "turbo":
             host_s = PLAN_HOST_LINEAR_S * n + PLAN_HOST_QUADRATIC_S * n * n
         else:
             host_s = EAGER_ALLOC_HOST_S * n
@@ -147,11 +275,40 @@ class InferenceRuntime:
         key = (batch, padded)
         cached = self._latency_cache.get(key)
         if cached is None:
-            if self.allocator is not None:
-                self.infer(batch, seq_len)  # warm the allocator caches
-            cached = self.infer(batch, seq_len).latency_s
+            if self.use_compiled:
+                cached = self._fast_latency(batch, seq_len, padded)
+            else:
+                if self.allocator is not None:
+                    self.infer(batch, seq_len)  # warm the allocator caches
+                cached = self.infer(batch, seq_len).latency_s
             self._latency_cache[key] = cached
         return cached
+
+    def _fast_latency(self, batch: int, seq_len: int, padded: int) -> float:
+        """Slim cold-plus-warm measurement for a :meth:`latency` miss.
+
+        Performs the same state transitions as two :meth:`infer` calls —
+        tuning bookkeeping once per new padded length, a cold allocator
+        pass then a warm one — but prices kernels through the compiled
+        model's running total instead of materializing per-kernel
+        breakdowns twice.  Bit-identical to the reference path: the kernel
+        sum replicates Stream accumulation order and the warm memory
+        overhead is measured exactly as :meth:`infer` would.
+        """
+        if batch <= 0 or seq_len <= 0:
+            raise ValueError(f"batch and seq_len must be positive, got {batch}, {seq_len}")
+        if not self.chars.supports_variable_length and padded not in self._tuned_lengths:
+            self._tuned_lengths.add(padded)
+            self.preprocess_total_s += self.chars.preprocess_s
+        elapsed_s, launches = self.compiled_model().total(
+            self._bindings(batch, padded)
+        )
+        host_s = self.chars.host_dispatch_s * launches
+        kernel_s = max(elapsed_s, host_s)
+        if self.allocator is not None:
+            self._memory_overhead(batch, padded)  # cold pass: warm allocator
+        memory_s, _ = self._memory_overhead(batch, padded)
+        return kernel_s + memory_s + self.chars.fixed_overhead_s
 
     @property
     def name(self) -> str:
@@ -180,6 +337,7 @@ class DecoderRuntime:
         beam_size: int,
         stride: int = 8,
         step_overhead_s: float = 0.0,
+        use_compiled: bool = True,
     ) -> None:
         """``step_overhead_s`` is per-step beam-search bookkeeping outside
         the graph: top-k selection, hypothesis management and KV-cache
@@ -197,7 +355,17 @@ class DecoderRuntime:
         self.beam_size = beam_size
         self.stride = stride
         self.step_overhead_s = step_overhead_s
+        self.use_compiled = use_compiled
+        self._compiled: Optional[CompiledCostModel] = None
         self._step_cache: Dict[Tuple[int, int], float] = {}
+
+    def compiled_model(self) -> CompiledCostModel:
+        """The lazily built compiled pricing of the decode-step graph."""
+        if self._compiled is None:
+            self._compiled = CompiledCostModel(
+                self.step_graph.nodes, self.chars, self.device
+            )
+        return self._compiled
 
     def step_latency(self, tgt_pos: int, src_len: int) -> float:
         """Cost of decode step attending ``tgt_pos`` cached positions."""
@@ -208,14 +376,18 @@ class DecoderRuntime:
         cached = self._step_cache.get(key)
         if cached is None:
             bindings = {"beam": self.beam_size, "tgt_pos": tgt_pos, "src_len": padded_src}
-            stream = Stream(trace_enabled=False)
-            stream.extend(
-                graph_cost(self.step_graph.nodes, bindings, self.chars, self.device)
-            )
+            if self.use_compiled:
+                elapsed_s, launches = self.compiled_model().total(bindings)
+            else:
+                stream = Stream(trace_enabled=False)
+                stream.extend(
+                    graph_cost(self.step_graph.nodes, bindings, self.chars, self.device)
+                )
+                elapsed_s, launches = stream.elapsed_s, stream.launches
             # Beam search syncs on the logits every step, so the host can
             # only run ahead within one step: dispatch binds per step.
-            host_s = self.chars.host_dispatch_s * stream.launches
-            cached = max(stream.elapsed_s, host_s) + self.step_overhead_s
+            host_s = self.chars.host_dispatch_s * launches
+            cached = max(elapsed_s, host_s) + self.step_overhead_s
             self._step_cache[key] = cached
         return cached
 

@@ -1,0 +1,376 @@
+"""Compiled cost models: one-time lowering of graph pricing (host fast path).
+
+The interpretive path (:func:`repro.runtime.cost.graph_cost`) re-resolves
+every node's symbolic attrs — dict lookups, ``resolve_product`` loops, attr
+overlay copies — on *every* call, even though for a given graph the set of
+free dimensions is fixed.  :class:`CompiledCostModel` performs that
+resolution once per graph:
+
+* each node's dims are lowered to ``(const, free_names)`` coefficient
+  records (integer products are exact, so folding the constant part early
+  changes nothing) and kernel names are precomputed;
+* nodes that price identically up to their name — e.g. the per-layer
+  copies of the same GEMM in a 12-layer encoder — are deduplicated into
+  shared *cells*, so one evaluation prices all twelve;
+* nodes whose dims have no free symbols are constant-folded at compile
+  time.
+
+Evaluation is then a tight O(nodes) loop over cell results, feeding the
+resolved ints to the *same* pricing functions
+(:func:`~repro.runtime.cost.price_gemm` /
+:func:`~repro.runtime.cost.price_reduction` /
+:func:`~repro.runtime.cost.price_elementwise`) the interpretive path uses.
+Both paths therefore execute identical floating-point operations on
+identical inputs in identical order — bit-identical timings by
+construction, asserted by :func:`verify_equivalence` and the test suite.
+(Sharing a cell across same-shaped nodes is exact, not approximate: the
+node name is display metadata that never enters the arithmetic.)
+
+The compiled path assumes positive integer bindings (the runtime validates
+request shapes before it gets here); unbound symbols raise ``KeyError``
+exactly like the interpretive path.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..gpusim import DeviceSpec, KernelTiming
+from ..graph import ComputationGraph, DimBindings, OpNode, OpType
+from .cost import (
+    DimProduct,
+    RuntimeCharacteristics,
+    graph_cost,
+    price_elementwise,
+    price_gemm,
+    price_reduction,
+)
+
+#: A lowered dim product: concrete factor plus the free symbol names whose
+#: bound values multiply it at evaluation time.
+LoweredDim = Tuple[int, Tuple[str, ...]]
+
+#: A compiled pricing cell: bindings -> canonical timing (no node name).
+CellEval = Callable[[DimBindings], KernelTiming]
+
+
+def lower_product(value: DimProduct) -> LoweredDim:
+    """Lower a dim attr (int | symbol | product sequence) to coefficients.
+
+    ``("batch", 12, "seq")`` -> ``(12, ("batch", "seq"))``.  Integer
+    multiplication is exact, so evaluating ``const * prod(bindings[n])``
+    equals :func:`~repro.runtime.cost.resolve_product` for every binding.
+    """
+    if isinstance(value, bool):
+        raise TypeError("dimension cannot be a bool")
+    if isinstance(value, int):
+        if value <= 0:
+            raise ValueError(f"concrete dims must be positive, got {value}")
+        return value, ()
+    if isinstance(value, str):
+        return 1, (value,)
+    const = 1
+    names: List[str] = []
+    for part in value:
+        if isinstance(part, bool):
+            raise TypeError("dimension cannot be a bool")
+        if isinstance(part, int):
+            if part <= 0:
+                raise ValueError(f"concrete dims must be positive, got {part}")
+            const *= part
+        else:
+            names.append(part)
+    return const, tuple(names)
+
+
+def _dim_eval(lowered: LoweredDim) -> Callable[[DimBindings], int]:
+    """Fast evaluator for one lowered dim product."""
+    const, names = lowered
+    if not names:
+        return lambda b, c=const: c
+    if len(names) == 1:
+        return lambda b, c=const, n=names[0]: c * b[n]
+    if len(names) == 2:
+        return lambda b, c=const, n0=names[0], n1=names[1]: c * b[n0] * b[n1]
+
+    def many(b: DimBindings, c: int = const, ns: Tuple[str, ...] = names) -> int:
+        for n in ns:
+            c *= b[n]
+        return c
+
+    return many
+
+
+class CompiledCostModel:
+    """Per-graph compiled pricing: ``timings(bindings)`` with no re-resolution.
+
+    Parameters
+    ----------
+    nodes:
+        Graph nodes in execution order (already fused if the runtime fuses).
+    chars, device:
+        Same meaning as for :func:`~repro.runtime.cost.graph_cost`.
+
+    Attributes
+    ----------
+    node_count / cell_count:
+        Graph nodes vs distinct pricing cells after deduplication.
+    folded_nodes:
+        Nodes whose timing was computed once at compile time (no free dims).
+    evals:
+        Number of :meth:`timings`/:meth:`total` calls served so far.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[OpNode],
+        chars: RuntimeCharacteristics,
+        device: DeviceSpec,
+    ) -> None:
+        self.chars = chars
+        self.device = device
+        self.node_count = len(nodes)
+        self.evals = 0
+        self._cells: List[CellEval] = []
+        self._cell_const: List[bool] = []
+        self._cell_index: Dict[Hashable, int] = {}
+        #: Per node: index into ``_cells`` and the display name the
+        #: interpretive path would stamp on this node's timing.
+        self._node_cells: List[int] = []
+        self._node_names: List[str] = []
+        for node in nodes:
+            key, name, build = self._lower_node(node)
+            index = self._cell_index.get(key)
+            if index is None:
+                index = len(self._cells)
+                fn, const = build()
+                if const:
+                    timing = fn({})  # constant-fold once at compile time
+                    fn = lambda b, t=timing: t  # noqa: E731 - tiny thunk
+                self._cells.append(fn)
+                self._cell_const.append(const)
+                self._cell_index[key] = index
+            self._node_cells.append(index)
+            self._node_names.append(name)
+        self.cell_count = len(self._cells)
+        self.folded_nodes = sum(
+            1 for ci in self._node_cells if self._cell_const[ci]
+        )
+
+    # -- compilation -------------------------------------------------------
+
+    def _lower_node(
+        self, node: OpNode
+    ) -> Tuple[Hashable, str, Callable[[], Tuple[CellEval, bool]]]:
+        """(dedup key, per-node display name, cell builder) for one node."""
+        chars, device = self.chars, self.device
+        if node.op_type.is_gemm:
+            dims = tuple(lower_product(node.attrs[a]) for a in ("m", "n", "k"))
+            batch = lower_product(node.attrs.get("batch", 1))
+            name = f"gemm:{node.name}"
+
+            def build() -> Tuple[CellEval, bool]:
+                m, n, k = (_dim_eval(d) for d in dims)
+                bt = _dim_eval(batch)
+                const = all(not d[1] for d in dims) and not batch[1]
+                return (lambda b: price_gemm(m(b), n(b), k(b), bt(b), chars,
+                                             device, name), const)
+
+            return ("g", dims, batch), name, build
+        if node.op_type in (OpType.SOFTMAX, OpType.LAYERNORM):
+            key, name, build = self._lower_reduction(
+                node.op_type, node.name, node.attrs)
+            return key, name, build
+        if node.op_type in (OpType.ELEMENTWISE, OpType.TRANSPOSE,
+                            OpType.EMBEDDING):
+            return self._lower_elementwise(node.op_type, node.name, node.attrs)
+        if node.op_type is OpType.FUSED:
+            return self._lower_fused(node)
+        raise ValueError(f"no cost model for op type {node.op_type}")
+
+    def _lower_reduction(
+        self, op_type: OpType, name: str, attrs: Dict[str, Any]
+    ) -> Tuple[Hashable, str, Callable[[], Tuple[CellEval, bool]]]:
+        chars, device = self.chars, self.device
+        rows = lower_product(attrs["rows"])
+        row_len = lower_product(attrs["row_len"])
+
+        # price_reduction stamps f"{impl name}:{node name}" — the node name
+        # is display-only, so cells may still be shared across nodes; the
+        # cell carries the first sharer's name and timings() re-stamps.
+        def build() -> Tuple[CellEval, bool]:
+            r, l = _dim_eval(rows), _dim_eval(row_len)
+            const = not rows[1] and not row_len[1]
+            return (lambda b: price_reduction(r(b), l(b), op_type, name,
+                                              chars, device), const)
+
+        impl = chars.reduction_impl.value
+        prefix = ("softmax" if op_type is OpType.SOFTMAX else "layernorm")
+        return (("r", op_type, rows, row_len),
+                f"{prefix}[{impl}]:{name}", build)
+
+    def _lower_elementwise(
+        self, op_type: OpType, name: str, attrs: Dict[str, Any],
+        fused_region: bool = False,
+    ) -> Tuple[Hashable, str, Callable[[], Tuple[CellEval, bool]]]:
+        # Mirrors node_cost's per-type pass overlays, resolved at compile
+        # time (see cost.elementwise_passes and the TRANSPOSE/EMBEDDING
+        # branches of node_cost).
+        chars, device = self.chars, self.device
+        if op_type is OpType.EMBEDDING:
+            reads, writes, flops = 2, 1, 2.0
+        elif op_type is OpType.TRANSPOSE:
+            reads, writes = 1, 1
+            flops = float(attrs.get("flops_per_elem", 0.5))
+        else:
+            reads = int(attrs.get("reads", 1))
+            writes = int(attrs.get("writes", 1))
+            flops = float(attrs.get("flops_per_elem", 1.0))
+        if fused_region:
+            reads, writes = 1, 0
+        nelems = lower_product(attrs["nelems"])
+        kname = f"elementwise:{name}"
+        elem_bytes = chars.precision_bytes
+
+        def build() -> Tuple[CellEval, bool]:
+            ne = _dim_eval(nelems)
+            return (lambda b: price_elementwise(ne(b), reads, writes, flops,
+                                                device, kname, elem_bytes),
+                    not nelems[1])
+
+        return ("e", nelems, reads, writes, flops), kname, build
+
+    def _lower_fused(
+        self, node: OpNode
+    ) -> Tuple[Hashable, str, Callable[[], Tuple[CellEval, bool]]]:
+        lowered = []
+        for op in node.attrs["fused_ops"]:
+            op_type = OpType(op["op_type"])
+            if op_type in (OpType.SOFTMAX, OpType.LAYERNORM):
+                lowered.append(self._lower_reduction(op_type, op["name"],
+                                                     op["attrs"]))
+            elif op_type in (OpType.ELEMENTWISE, OpType.TRANSPOSE):
+                lowered.append(self._lower_elementwise(
+                    op_type, op["name"], op["attrs"], fused_region=True))
+            else:
+                raise ValueError(
+                    f"fused node {node.name!r} contains unfusable op {op_type}"
+                )
+        name = f"fused:{node.name}"
+        launch_s = self.device.launch_overhead_s
+
+        def build() -> Tuple[CellEval, bool]:
+            built = [b() for _, _, b in lowered]
+            parts = [fn for fn, _ in built]
+            const = all(c for _, c in built)
+
+            def fn(b: DimBindings) -> KernelTiming:
+                compute_s = 0.0
+                memory_s = 0.0
+                for part in parts:
+                    timing = part(b)
+                    compute_s += timing.compute_s
+                    memory_s += timing.memory_s
+                return KernelTiming(name=name, launch_s=launch_s,
+                                    compute_s=compute_s, memory_s=memory_s)
+
+            return fn, const
+
+        key = ("f", tuple(k for k, _, _ in lowered))
+        return key, name, build
+
+    # -- evaluation --------------------------------------------------------
+
+    def timings(self, bindings: DimBindings) -> List[KernelTiming]:
+        """Per-node timings — elementwise identical to ``graph_cost``.
+
+        Shared cells are priced once and re-stamped with each node's own
+        kernel name (equal floats in, equal floats out).
+        """
+        self.evals += 1
+        cache: List[Optional[KernelTiming]] = [None] * len(self._cells)
+        out: List[KernelTiming] = []
+        cells = self._cells
+        for ci, name in zip(self._node_cells, self._node_names):
+            timing = cache[ci]
+            if timing is None:
+                timing = cache[ci] = cells[ci](bindings)
+            if timing.name != name:
+                timing = KernelTiming(name=name, launch_s=timing.launch_s,
+                                      compute_s=timing.compute_s,
+                                      memory_s=timing.memory_s)
+            out.append(timing)
+        return out
+
+    def total(self, bindings: DimBindings) -> Tuple[float, int]:
+        """(elapsed_s, launches) accumulated exactly like a Stream.
+
+        Sums ``timing.total_s`` node by node in execution order — the same
+        float additions :meth:`repro.gpusim.Stream.submit` performs — so the
+        result is bit-identical to draining :meth:`timings` through a
+        Stream, without building the timing list or per-kernel breakdowns.
+        """
+        self.evals += 1
+        totals: List[Optional[float]] = [None] * len(self._cells)
+        cells = self._cells
+        elapsed = 0.0
+        for ci in self._node_cells:
+            v = totals[ci]
+            if v is None:
+                v = totals[ci] = cells[ci](bindings).total_s
+            elapsed += v
+        return elapsed, self.node_count
+
+    def __len__(self) -> int:
+        return self.node_count
+
+
+def compile_graph(
+    graph: ComputationGraph,
+    chars: RuntimeCharacteristics,
+    device: DeviceSpec,
+) -> CompiledCostModel:
+    """Compile an (already fused, if applicable) graph's pricing."""
+    return CompiledCostModel(graph.nodes, chars, device)
+
+
+def verify_equivalence(
+    nodes: Iterable[OpNode],
+    bindings_list: Sequence[DimBindings],
+    chars: RuntimeCharacteristics,
+    device: DeviceSpec,
+    compiled: Optional[CompiledCostModel] = None,
+) -> List[str]:
+    """Cross-check compiled vs interpretive pricing; return mismatch strings.
+
+    Bit-exact comparison (``==`` on every KernelTiming field, no tolerance):
+    an empty list means the two paths are indistinguishable on these shapes.
+    """
+    nodes = list(nodes)
+    model = compiled or CompiledCostModel(nodes, chars, device)
+    problems: List[str] = []
+    for bindings in bindings_list:
+        reference = graph_cost(nodes, bindings, chars, device)
+        fast = model.timings(bindings)
+        if len(reference) != len(fast):
+            problems.append(
+                f"{bindings}: node count {len(fast)} != {len(reference)}")
+            continue
+        for node, ref, got in zip(nodes, reference, fast):
+            if (ref.name != got.name or ref.launch_s != got.launch_s
+                    or ref.compute_s != got.compute_s
+                    or ref.memory_s != got.memory_s):
+                problems.append(
+                    f"{bindings}: node {node.name!r}: compiled {got} "
+                    f"!= interpretive {ref}")
+    return problems

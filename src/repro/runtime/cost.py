@@ -10,7 +10,7 @@ prices every node with the :mod:`repro.gpusim` models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Sequence, Union
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
 
 from ..gpusim import (
     DeviceSpec,
@@ -105,15 +105,23 @@ class RuntimeCharacteristics:
         return ((seq_len + m - 1) // m) * m
 
 
-def _gemm_node_cost(
-    node: OpNode, bindings: DimBindings, chars: RuntimeCharacteristics,
-    device: DeviceSpec,
+# -- pricing stage (resolved integer dims -> KernelTiming) -------------------
+#
+# Node costing is split into two stages: *resolution* (symbolic attrs ->
+# concrete ints under the request's dim bindings) and *pricing* (ints ->
+# KernelTiming).  The interpretive path below and the compiled path in
+# :mod:`repro.runtime.compiled` share these pricing functions, which is what
+# makes the compiled fast path bit-identical by construction: both paths
+# execute exactly the same floating-point operations on exactly the same
+# resolved integers; only the resolution work is moved to compile time.
+
+
+def price_gemm(
+    m: int, n: int, k: int, batch: int,
+    chars: RuntimeCharacteristics, device: DeviceSpec, name: str,
 ) -> KernelTiming:
-    m = resolve_product(node.attrs["m"], bindings)
-    n = resolve_product(node.attrs["n"], bindings)
-    k = resolve_product(node.attrs["k"], bindings)
-    batch = resolve_product(node.attrs.get("batch", 1), bindings)
-    timing = gemm_time(device, m, n, k, batch=batch, name=f"gemm:{node.name}",
+    """Price a GEMM node from resolved dims (shared by both cost paths)."""
+    timing = gemm_time(device, m, n, k, batch=batch, name=name,
                        elem_bytes=chars.precision_bytes)
     if chars.gemm_tuning != 1.0:
         # Boosts (autotuning) only recover underfill: cap at the efficiency
@@ -131,12 +139,11 @@ def _gemm_node_cost(
     return timing
 
 
-def _reduction_node_cost(
-    node: OpNode, bindings: DimBindings, chars: RuntimeCharacteristics,
-    device: DeviceSpec, op_type: OpType, name: str, attrs: Dict[str, Any],
+def price_reduction(
+    rows: int, row_len: int, op_type: OpType, name: str,
+    chars: RuntimeCharacteristics, device: DeviceSpec,
 ) -> KernelTiming:
-    rows = resolve_product(attrs["rows"], bindings)
-    row_len = resolve_product(attrs["row_len"], bindings)
+    """Price a Softmax/LayerNorm node from resolved dims."""
     if op_type is OpType.SOFTMAX:
         timing = softmax_time(device, rows, row_len, chars.reduction_impl,
                               x_elems=chars.reduction_x_elems,
@@ -152,23 +159,60 @@ def _reduction_node_cost(
     )
 
 
+def price_elementwise(
+    nelems: int, reads: int, writes: int, flops: float,
+    device: DeviceSpec, name: str, elem_bytes: int = 4,
+) -> KernelTiming:
+    """Price an elementwise-class node from a resolved element count."""
+    return elementwise_time(
+        device, nelems, reads=reads, writes=writes, flops_per_elem=flops,
+        name=name, elem_bytes=elem_bytes,
+    )
+
+
+def elementwise_passes(attrs: Dict[str, Any], fused_region: bool = False
+                       ) -> Tuple[int, int, float]:
+    """(reads, writes, flops_per_elem) of an ELEMENTWISE node's attrs."""
+    if fused_region:
+        # Inside a fused kernel intermediates stay in registers: the
+        # constituent contributes one data pass total instead of r+w.
+        return 1, 0, float(attrs.get("flops_per_elem", 1.0))
+    return (int(attrs.get("reads", 1)), int(attrs.get("writes", 1)),
+            float(attrs.get("flops_per_elem", 1.0)))
+
+
+# -- interpretive resolution (attrs resolved on every call) -------------------
+
+
+def _gemm_node_cost(
+    node: OpNode, bindings: DimBindings, chars: RuntimeCharacteristics,
+    device: DeviceSpec,
+) -> KernelTiming:
+    m = resolve_product(node.attrs["m"], bindings)
+    n = resolve_product(node.attrs["n"], bindings)
+    k = resolve_product(node.attrs["k"], bindings)
+    batch = resolve_product(node.attrs.get("batch", 1), bindings)
+    return price_gemm(m, n, k, batch, chars, device, f"gemm:{node.name}")
+
+
+def _reduction_node_cost(
+    node: OpNode, bindings: DimBindings, chars: RuntimeCharacteristics,
+    device: DeviceSpec, op_type: OpType, name: str, attrs: Dict[str, Any],
+) -> KernelTiming:
+    rows = resolve_product(attrs["rows"], bindings)
+    row_len = resolve_product(attrs["row_len"], bindings)
+    return price_reduction(rows, row_len, op_type, name, chars, device)
+
+
 def _elementwise_node_cost(
     bindings: DimBindings, device: DeviceSpec, name: str,
     attrs: Dict[str, Any], fused_region: bool = False,
     elem_bytes: int = 4,
 ) -> KernelTiming:
     nelems = resolve_product(attrs["nelems"], bindings)
-    reads = int(attrs.get("reads", 1))
-    writes = int(attrs.get("writes", 1))
-    flops = float(attrs.get("flops_per_elem", 1.0))
-    if fused_region:
-        # Inside a fused kernel intermediates stay in registers: the
-        # constituent contributes one data pass total instead of r+w.
-        reads, writes = 1, 0
-    return elementwise_time(
-        device, nelems, reads=reads, writes=writes, flops_per_elem=flops,
-        name=f"elementwise:{name}", elem_bytes=elem_bytes,
-    )
+    reads, writes, flops = elementwise_passes(attrs, fused_region)
+    return price_elementwise(nelems, reads, writes, flops, device,
+                             f"elementwise:{name}", elem_bytes)
 
 
 def _fused_node_cost(

@@ -12,6 +12,7 @@ mirroring the paper's store-on-disk/database behaviour.
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -38,15 +39,25 @@ class CostTable:
         self.max_batch = max_batch
         self.interpolate = interpolate
         self._table: Dict[int, Dict[int, float]] = {}
+        self._bucket_memo: Dict[int, int] = {}
 
     def bucket(self, seq_len: int) -> int:
-        """Smallest profiled length >= seq_len (padding is monotone-safe)."""
+        """Smallest profiled length >= seq_len (padding is monotone-safe),
+        clamped to the largest profiled length.
+
+        ``self.lengths`` is sorted, so the linear scan this used to do is
+        a ``bisect_left``; schedulers price the same handful of lengths
+        over and over, so resolved buckets are memoized.
+        """
+        cached = self._bucket_memo.get(seq_len)
+        if cached is not None:
+            return cached
         if seq_len <= 0:
             raise ValueError(f"seq_len must be positive, got {seq_len}")
-        for length in self.lengths:
-            if length >= seq_len:
-                return length
-        return self.lengths[-1]
+        index = bisect_left(self.lengths, seq_len)
+        result = self.lengths[index] if index < len(self.lengths) else self.lengths[-1]
+        self._bucket_memo[seq_len] = result
+        return result
 
     def set(self, seq_len: int, batch: int, seconds: float) -> None:
         if seconds <= 0:

@@ -35,6 +35,7 @@ from .scheduler import (
     FixedPadScheduler,
     NaiveBatchScheduler,
     NoBatchScheduler,
+    PrunedDPBatchScheduler,
     batch_execution_cost,
     brute_force_optimal_makespan,
     schedule_makespan,
@@ -81,6 +82,7 @@ __all__ = [
     "ResponseCache",
     "BatchScheduler",
     "DPBatchScheduler",
+    "PrunedDPBatchScheduler",
     "NaiveBatchScheduler",
     "NoBatchScheduler",
     "FixedPadScheduler",

@@ -14,6 +14,7 @@ makes the O(n²) DP optimal over this family of schedules.
 from __future__ import annotations
 
 import abc
+from bisect import bisect_right, insort
 from typing import Callable, List, Optional, Sequence
 
 from .request import Batch, Request, make_batch
@@ -104,6 +105,160 @@ class DPBatchScheduler(BatchScheduler):
         """Total processing time of the optimal schedule (for tests)."""
         batches = self.schedule(requests, cost_fn, max_batch)
         return sum(cost_fn(b.padded_len, b.size) for b in batches)
+
+
+class PrunedDPBatchScheduler(DPBatchScheduler):
+    """Algorithm 3 with the host fast path: bucketed pricing, a monotone
+    pruning bound, and incremental prefix reuse.
+
+    Produces the *identical* partition to :class:`DPBatchScheduler` (not
+    merely one of equal makespan) — the three optimizations are exact:
+
+    * **Run-length bucketed pricing** — every transition for a position
+      inside a run of equal sequence lengths prices batches from the same
+      cost row ``C_L[s] = cost_fn(L, s)``.  Rows are built once per
+      distinct length and memoized across rounds, so ``cost_fn`` is
+      evaluated O(#distinct lengths x max_batch) times instead of
+      O(n x max_batch) per round.
+    * **Monotone pruning bound** — when ``cost_fn`` is non-decreasing in
+      both batch size and padded length (always true of profiled
+      whole-batch latencies), DP prefix costs are non-decreasing, so once
+      ``states[lower] + C_L[s] >= best`` no larger batch ending at the
+      same position can *strictly* beat the incumbent and the inner loop
+      breaks.  Monotonicity is *verified*, not assumed: each new row is
+      checked in ``s`` and against its sorted-length neighbours, and any
+      violation disables pruning (the loop then runs in full).  Because
+      the reference DP updates on strict ``<`` only, breaking when no
+      strict improvement is possible preserves its exact argmin.
+    * **Incremental prefix reuse** — ``states[i]`` depends only on the
+      first ``i`` sorted lengths, so when consecutive rounds share a
+      sorted-length prefix (a queue that only grew, the steady state of a
+      hungry server), the DP restarts at the first differing position.
+
+    Memoized rows and prefix states are invalidated whenever ``cost_fn``
+    or ``max_batch`` differ from the previous call (or via
+    :meth:`reset`).  Instances are therefore stateful; share one per
+    (server, cost table) like the other schedulers.
+    """
+
+    name = "dp-pruned"
+
+    def __init__(self, order_batches: str = "fifo", prune: bool = True,
+                 incremental: bool = True) -> None:
+        super().__init__(order_batches)
+        self.prune = prune
+        self.incremental = incremental
+        self.reset()
+        # Cumulative fast-path counters (read by ``repro bench``).
+        self.rounds = 0
+        self.cost_calls = 0
+        self.positions_reused = 0
+        self.transitions_pruned = 0
+
+    def reset(self) -> None:
+        """Drop memoized cost rows and prefix states."""
+        self._cost_fn: Optional[CostFn] = None
+        self._max_batch: Optional[int] = None
+        self._rows: dict = {}       # length -> [cost_fn(length, s) for s=1..max_batch]
+        self._row_lengths: List[int] = []  # sorted keys of _rows
+        self._prunable = True  # every verified monotonicity check passed
+        self._lengths: List[int] = []
+        self._states: List[float] = [0.0]
+        self._starts: List[int] = [0]
+
+    def _row(self, length: int, max_batch: int, cost_fn: CostFn) -> List[float]:
+        row = self._rows.get(length)
+        if row is None:
+            row = [cost_fn(length, s) for s in range(1, max_batch + 1)]
+            self.cost_calls += len(row)
+            self._rows[length] = row
+            # Pruning soundness needs cost_fn non-decreasing in batch size
+            # *and* length (=> DP prefix costs non-decreasing).  Verify:
+            # in ``s`` within the row, and elementwise against the sorted
+            # neighbouring rows (pairwise dominance is transitive).
+            if self._prunable:
+                pos = bisect_right(self._row_lengths, length)
+                ok = all(row[s] >= row[s - 1] for s in range(1, len(row)))
+                if ok and pos > 0:
+                    left = self._rows[self._row_lengths[pos - 1]]
+                    ok = all(a <= b for a, b in zip(left, row))
+                if ok and pos < len(self._row_lengths):
+                    right = self._rows[self._row_lengths[pos]]
+                    ok = all(a <= b for a, b in zip(row, right))
+                if not ok:
+                    self._prunable = False
+            insort(self._row_lengths, length)
+        return row
+
+    def schedule(
+        self, requests: Sequence[Request], cost_fn: CostFn, max_batch: int
+    ) -> List[Batch]:
+        self._check_args(requests, max_batch)
+        self.rounds += 1
+        if cost_fn is not self._cost_fn or max_batch != self._max_batch:
+            self.reset()
+            self._cost_fn = cost_fn
+            self._max_batch = max_batch
+        order = sorted(requests, key=lambda r: r.seq_len)
+        n = len(order)
+        lengths = [r.seq_len for r in order]
+        # Longest sorted-length prefix shared with the previous round:
+        # states/starts up to it are still valid.
+        prefix = 0
+        if self.incremental:
+            prev = self._lengths
+            limit = min(len(prev), n)
+            while prefix < limit and prev[prefix] == lengths[prefix]:
+                prefix += 1
+        self.positions_reused += prefix
+        states = self._states[: prefix + 1]
+        starts = self._starts[: prefix + 1]
+        for i in range(prefix + 1, n + 1):
+            row = self._row(lengths[i - 1], max_batch, cost_fn)
+            lower = max(0, i - max_batch)
+            low_state = states[lower]
+            can_prune = self.prune and self._prunable
+            # Batch sizes ascending == the reference DP's descending j;
+            # strict-< updates keep its exact tie-breaking.
+            best_cost = states[i - 1] + row[0]
+            best_start = i - 1
+            for size in range(2, i - lower + 1):
+                batch_cost = row[size - 1]
+                if can_prune and low_state + batch_cost >= best_cost:
+                    # states[start] >= low_state for every remaining start
+                    # and the row is non-decreasing: nothing ahead can be
+                    # strictly cheaper than the incumbent.
+                    self.transitions_pruned += i - lower + 1 - size
+                    break
+                candidate = states[i - size] + batch_cost
+                if candidate < best_cost:
+                    best_cost = candidate
+                    best_start = i - size
+            states.append(best_cost)
+            starts.append(best_start)
+        self._lengths = lengths
+        self._states = states
+        self._starts = starts
+        batches: List[Batch] = []
+        i = n
+        while i > 0:
+            start = starts[i]
+            batches.append(make_batch(list(order[start:i])))
+            i = start
+        batches.reverse()
+        if self.order_batches == "spt":
+            batches.sort(key=lambda b: cost_fn(b.padded_len, b.size))
+        return batches
+
+    def stats(self) -> dict:
+        """Cumulative fast-path counters (for bench/observability)."""
+        return {
+            "rounds": self.rounds,
+            "cost_calls": self.cost_calls,
+            "distinct_lengths": len(self._rows),
+            "positions_reused": self.positions_reused,
+            "transitions_pruned": self.transitions_pruned,
+        }
 
 
 class NaiveBatchScheduler(BatchScheduler):

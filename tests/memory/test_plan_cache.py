@@ -1,0 +1,183 @@
+"""Plan cache: LRU mechanics, transparency, and replay idempotence."""
+
+import random
+
+import pytest
+
+from repro.gpusim.memory import DeviceMemory
+from repro.graph import tensor_usage_records
+from repro.memory import (
+    CachedPlan,
+    GsocAllocator,
+    PlanCache,
+    TensorUsageRecord,
+    TurboAllocator,
+    chunk_fingerprint,
+    records_signature,
+)
+
+
+def _records(graph, batch, seq):
+    return tensor_usage_records(graph, {"batch": batch, "seq": seq})
+
+
+def _random_records(rng, n=8):
+    out = []
+    for i in range(n):
+        first = rng.randrange(0, 10)
+        out.append(TensorUsageRecord(
+            name=f"t{i}", first_op=first,
+            last_op=first + rng.randrange(0, 5),
+            size=rng.randrange(1, 64) * 1024,
+        ))
+    return out
+
+
+class TestPlanCacheUnit:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        entries = {}
+        for i in range(3):
+            key = ((("t", 0, 0, i),), ())
+            entries[i] = CachedPlan(assignments={}, plan=None, hits=0)
+            cache.store(key, entries[i])
+        assert len(cache) == 2
+        assert cache.get(((("t", 0, 0, 0),), ())) is None  # evicted
+        assert cache.get(((("t", 0, 0, 2),), ())) is entries[2]
+
+    def test_stats_and_invalidate(self):
+        cache = PlanCache()
+        key = ((("t", 0, 0, 1),), ())
+        assert cache.get(key) is None
+        cache.store(key, CachedPlan(assignments={}, plan=None, hits=0))
+        assert cache.get(key) is not None
+        dropped = cache.invalidate()
+        assert dropped == 1
+        stats = cache.stats()
+        assert stats == {"entries": 0, "hits": 1, "misses": 1,
+                         "stores": 1, "invalidations": 1}
+
+
+class TestTransparency:
+    """The cached allocator is observably identical to the uncached one."""
+
+    def test_random_shapes_bit_identical(self, bert_graph):
+        rng = random.Random(11)
+        shapes = [(rng.randrange(1, 13), rng.randrange(1, 33) * 16)
+                  for _ in range(25)]
+        reference = TurboAllocator(DeviceMemory(), plan_cache=None)
+        fast = TurboAllocator(DeviceMemory(), plan_cache=PlanCache())
+        for batch, seq in shapes:
+            records = _records(bert_graph, batch, seq)
+            for _ in range(2):  # cold + warm, like infer()
+                ref = reference.process_request(records)
+                got = fast.process_request(records)
+                assert (ref.new_bytes, ref.footprint_bytes, ref.peak_bytes,
+                        ref.stall_s) == \
+                    (got.new_bytes, got.footprint_bytes, got.peak_bytes,
+                     got.stall_s)
+                assert {n: (p.chunk_id, p.offset)
+                        for n, p in ref.plan.placements.items()} == \
+                    {n: (p.chunk_id, p.offset)
+                     for n, p in got.plan.placements.items()}
+            assert (reference.plan_hits, reference.plan_misses,
+                    reference.chunks_released) == \
+                (fast.plan_hits, fast.plan_misses, fast.chunks_released)
+        assert fast.plan_cache.hits > 0
+
+    def test_warm_after_cold_hits(self, bert_graph):
+        """Planning is idempotent, so the warm re-plan of any shape —
+        including one whose cold plan malloc'ed — replays from cache."""
+        allocator = TurboAllocator(DeviceMemory())
+        records = _records(bert_graph, 4, 128)
+        first = allocator.process_request(records)
+        assert not first.plan_cache_hit  # cold: state was never seen
+        second = allocator.process_request(records)
+        assert second.plan_cache_hit
+        assert allocator.last_plan_cached
+
+    def test_replay_idempotent_property(self):
+        """plan(); plan() replays bit-identically for random records."""
+        rng = random.Random(5)
+        for _ in range(50):
+            records = _random_records(rng, n=rng.randrange(1, 12))
+            cached = TurboAllocator(DeviceMemory(), chunk_size=64 * 1024)
+            uncached = TurboAllocator(DeviceMemory(), chunk_size=64 * 1024,
+                                      plan_cache=None)
+            for _ in range(2):
+                got = cached.plan(records)
+                want = uncached.plan(records)
+                assert got.placements.keys() == want.placements.keys()
+                for name in got.placements:
+                    g, w = got.placements[name], want.placements[name]
+                    assert (g.chunk_id, g.offset) == (w.chunk_id, w.offset)
+            assert cached.plan_cache.hits == 1
+
+    def test_cache_disabled_is_reference(self, bert_graph):
+        allocator = TurboAllocator(DeviceMemory(), plan_cache=None)
+        records = _records(bert_graph, 2, 64)
+        allocator.process_request(records)
+        allocation = allocator.process_request(records)
+        assert not allocation.plan_cache_hit
+
+    def test_invalidate_plan_cache(self, bert_graph):
+        allocator = TurboAllocator(DeviceMemory())
+        records = _records(bert_graph, 2, 64)
+        allocator.process_request(records)
+        dropped = allocator.invalidate_plan_cache()
+        assert dropped >= 1
+        assert not allocator.process_request(records).plan_cache_hit
+
+    def test_gap_search_modes_identical_placements(self, bert_graph):
+        fast = TurboAllocator(DeviceMemory(), plan_cache=None)
+        reference = TurboAllocator(DeviceMemory(), plan_cache=None,
+                                   gap_search="reference")
+        for batch, seq in [(1, 16), (3, 96), (6, 256)]:
+            records = _records(bert_graph, batch, seq)
+            got = fast.process_request(records)
+            want = reference.process_request(records)
+            assert {n: (p.chunk_id, p.offset)
+                    for n, p in got.plan.placements.items()} == \
+                {n: (p.chunk_id, p.offset)
+                 for n, p in want.plan.placements.items()}
+
+    def test_gap_search_validated(self):
+        with pytest.raises(ValueError):
+            TurboAllocator(DeviceMemory(), gap_search="bogus")
+
+
+class TestSignatures:
+    def test_records_signature_discriminates(self):
+        a = TensorUsageRecord(name="x", first_op=0, last_op=1, size=4)
+        b = TensorUsageRecord(name="x", first_op=0, last_op=1, size=8)
+        assert records_signature([a]) != records_signature([b])
+        assert records_signature([a]) == records_signature([a])
+
+    def test_chunk_fingerprint_tracks_ids_and_sizes(self):
+        allocator = TurboAllocator(DeviceMemory())
+        assert chunk_fingerprint(allocator.chunks) == ()
+
+
+class TestGsocMemo:
+    def test_offsets_memoized_per_signature(self, bert_graph):
+        allocator = GsocAllocator()
+        records = _records(bert_graph, 2, 64)
+        first = allocator.process_request(records)
+        second = allocator.process_request(records)
+        assert allocator.plan_cache_hits == 1
+        assert allocator.plan_cache_misses == 1
+        assert first.footprint_bytes == second.footprint_bytes
+
+    def test_memo_matches_uncached(self, bert_graph):
+        cached = GsocAllocator()
+        uncached = GsocAllocator(cache_plans=False)
+        for batch, seq in [(1, 32), (2, 64), (1, 32)]:
+            records = _records(bert_graph, batch, seq)
+            got = cached.process_request(records)
+            want = uncached.process_request(records)
+            assert (got.new_bytes, got.footprint_bytes, got.peak_bytes) == \
+                (want.new_bytes, want.footprint_bytes, want.peak_bytes)

@@ -22,6 +22,20 @@ class TestCostTable:
     def test_bucket_clamps_to_max(self, table):
         assert table.bucket(1000) == 128
 
+    def test_bucket_matches_linear_scan_exhaustively(self, table):
+        """Regression for the bisect rewrite: identical to the seed's
+        linear scan (smallest profiled length >= seq_len, clamp to max)
+        over every length up to past the clamp point, memo included."""
+        for seq_len in range(1, 200):
+            reference = next((l for l in table.lengths if l >= seq_len),
+                             table.lengths[-1])
+            assert table.bucket(seq_len) == reference  # memo miss
+            assert table.bucket(seq_len) == reference  # memo hit
+
+    def test_bucket_rejects_nonpositive(self, table):
+        with pytest.raises(ValueError):
+            table.bucket(0)
+
     def test_cost_monotone_in_length(self, table):
         assert table.cost(128, 1) > table.cost(16, 1)
 

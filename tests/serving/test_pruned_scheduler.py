@@ -1,0 +1,147 @@
+"""PrunedDPBatchScheduler: identical partitions to the reference DP."""
+
+import random
+
+from repro.serving import (
+    DPBatchScheduler,
+    PrunedDPBatchScheduler,
+    Request,
+    brute_force_optimal_makespan,
+    schedule_makespan,
+)
+
+
+def reqs(lengths):
+    return [Request(req_id=i, seq_len=l, arrival_s=0.0)
+            for i, l in enumerate(lengths)]
+
+
+def monotone_cost(seq_len, batch):
+    return (1.0 + 0.002 * seq_len) * (0.3 + 0.1 * batch) * 1e-3
+
+
+def affine_cost(seq_len, batch):
+    return 0.5 + 0.05 * seq_len * batch ** 0.9
+
+
+def jagged_cost(seq_len, batch):
+    """Deliberately NOT monotone in batch size (pruning must disable)."""
+    return 1.0 + 0.01 * seq_len + (0.3 if batch % 3 == 0 else 1.0) * batch
+
+
+def partition(batches):
+    return [[r.req_id for r in b.requests] for b in batches]
+
+
+class TestIdenticalPartitions:
+    def test_random_monotone_workloads(self):
+        rng = random.Random(7)
+        for trial in range(150):
+            lengths = [rng.randrange(1, 33) * 16
+                       for _ in range(rng.randrange(1, 40))]
+            max_batch = rng.randrange(1, 17)
+            reference = DPBatchScheduler().schedule(
+                reqs(lengths), monotone_cost, max_batch)
+            pruned = PrunedDPBatchScheduler().schedule(
+                reqs(lengths), monotone_cost, max_batch)
+            assert partition(pruned) == partition(reference), \
+                f"trial {trial}: lengths={lengths} max_batch={max_batch}"
+
+    def test_non_monotone_cost_disables_pruning_but_stays_exact(self):
+        rng = random.Random(13)
+        scheduler = PrunedDPBatchScheduler()
+        for trial in range(100):
+            lengths = [rng.randrange(1, 200)
+                       for _ in range(rng.randrange(1, 25))]
+            max_batch = rng.randrange(1, 9)
+            reference = DPBatchScheduler().schedule(
+                reqs(lengths), jagged_cost, max_batch)
+            pruned = scheduler.schedule(reqs(lengths), jagged_cost, max_batch)
+            assert partition(pruned) == partition(reference), \
+                f"trial {trial}: lengths={lengths} max_batch={max_batch}"
+        assert not scheduler._prunable
+
+    def test_brute_force_certification(self):
+        rng = random.Random(3)
+        for _ in range(60):
+            lengths = [rng.randrange(1, 100)
+                       for _ in range(rng.randrange(1, 9))]
+            max_batch = rng.randrange(1, 5)
+            batches = PrunedDPBatchScheduler().schedule(
+                reqs(lengths), affine_cost, max_batch)
+            got = schedule_makespan(batches, affine_cost)
+            want = brute_force_optimal_makespan(
+                reqs(lengths), affine_cost, max_batch)
+            assert abs(got - want) < 1e-9
+
+    def test_spt_ordering_matches_reference(self):
+        lengths = [64, 16, 128, 16, 256, 32]
+        reference = DPBatchScheduler(order_batches="spt").schedule(
+            reqs(lengths), monotone_cost, 4)
+        pruned = PrunedDPBatchScheduler(order_batches="spt").schedule(
+            reqs(lengths), monotone_cost, 4)
+        assert partition(pruned) == partition(reference)
+
+
+class TestIncrementalReuse:
+    def test_growing_queue_reuses_prefix(self):
+        rng = random.Random(21)
+        scheduler = PrunedDPBatchScheduler()
+        reference = DPBatchScheduler()
+        lengths = []
+        for round_no in range(30):
+            lengths.extend(rng.randrange(1, 33) * 16
+                           for _ in range(rng.randrange(1, 5)))
+            got = scheduler.schedule(reqs(lengths), monotone_cost, 8)
+            want = reference.schedule(reqs(lengths), monotone_cost, 8)
+            assert partition(got) == partition(want), f"round {round_no}"
+        stats = scheduler.stats()
+        assert stats["rounds"] == 30
+        assert stats["positions_reused"] > 0
+        # Memoized rows: far fewer cost calls than n * max_batch per round.
+        assert stats["cost_calls"] == stats["distinct_lengths"] * 8
+
+    def test_reset_on_cost_fn_change(self):
+        scheduler = PrunedDPBatchScheduler()
+        lengths = [16, 32, 48, 64]
+        scheduler.schedule(reqs(lengths), monotone_cost, 4)
+        # New cost function: memoized rows/states must not leak across.
+        got = scheduler.schedule(reqs(lengths), affine_cost, 4)
+        want = DPBatchScheduler().schedule(reqs(lengths), affine_cost, 4)
+        assert partition(got) == partition(want)
+
+    def test_reset_on_max_batch_change(self):
+        scheduler = PrunedDPBatchScheduler()
+        lengths = [16, 16, 32, 32, 48, 48]
+        scheduler.schedule(reqs(lengths), monotone_cost, 2)
+        got = scheduler.schedule(reqs(lengths), monotone_cost, 6)
+        want = DPBatchScheduler().schedule(reqs(lengths), monotone_cost, 6)
+        assert partition(got) == partition(want)
+
+    def test_flags_off_still_exact(self):
+        rng = random.Random(17)
+        scheduler = PrunedDPBatchScheduler(prune=False, incremental=False)
+        for _ in range(25):
+            lengths = [rng.randrange(1, 300)
+                       for _ in range(rng.randrange(1, 20))]
+            got = scheduler.schedule(reqs(lengths), affine_cost, 6)
+            want = DPBatchScheduler().schedule(reqs(lengths), affine_cost, 6)
+            assert partition(got) == partition(want)
+
+
+class TestStats:
+    def test_counters_populated(self):
+        scheduler = PrunedDPBatchScheduler()
+        scheduler.schedule(reqs([16] * 20 + [32] * 20), monotone_cost, 8)
+        stats = scheduler.stats()
+        assert stats["rounds"] == 1
+        assert stats["distinct_lengths"] == 2
+        assert stats["cost_calls"] == 16  # 2 rows x max_batch
+        assert stats["transitions_pruned"] > 0
+
+    def test_reset_clears_state(self):
+        scheduler = PrunedDPBatchScheduler()
+        scheduler.schedule(reqs([16, 32]), monotone_cost, 2)
+        scheduler.reset()
+        assert scheduler.stats()["distinct_lengths"] == 0
+        assert scheduler._prunable

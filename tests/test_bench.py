@@ -1,0 +1,113 @@
+"""``repro bench``: determinism, diff gate, verify mode, CLI exit codes."""
+
+import copy
+import json
+
+import pytest
+
+from repro import bench
+from repro.__main__ import main
+
+
+@pytest.fixture(scope="module", autouse=True)
+def micro_profile():
+    """Register a tiny profile so the suite stays fast; the committed
+    BENCH_host.json is produced by the ``full`` profile."""
+    bench.PROFILES["micro"] = {
+        "grid_max_batch": 2,
+        "grid_length_step": 64,
+        "grid_max_length": 128,
+        "plan_shapes": 4,
+        "plan_passes": 2,
+        "sched_rounds": 6,
+        "sched_queue": 10,
+        "sched_max_batch": 4,
+        "fig12_rates": (60.0,),
+        "fig12_duration_s": 0.25,
+        "fig12_max_len": 64,
+        "fig12_max_batch": 4,
+        "fig12_model": "tiny",
+    }
+    yield
+    bench.PROFILES.pop("micro", None)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return bench.run_bench("micro", seed=5)
+
+
+class TestDeterminism:
+    def test_two_runs_identical_counters(self, payload):
+        again = bench.run_bench("micro", seed=5)
+        assert bench.diff_bench(payload, again) == []
+
+    def test_equivalence_flags_all_true(self, payload):
+        assert payload["equivalence_ok"]
+        counters = payload["counters"]
+        assert counters["grid"]["identical_tables"]
+        assert counters["plans"]["identical_outcomes"]
+        assert counters["scheduler"]["identical_partitions"]
+        assert counters["fig12"]["identical_serving"]
+
+    def test_wallclock_sections_present_but_not_diffed(self, payload):
+        assert "wallclock" in payload
+        mutated = copy.deepcopy(payload)
+        mutated["wallclock"]["grid"]["fast_s"] = 1e9
+        assert bench.diff_bench(payload, mutated) == []
+
+    def test_diff_detects_counter_change(self, payload):
+        mutated = copy.deepcopy(payload)
+        mutated["counters"]["grid"]["cells"] += 1
+        problems = bench.diff_bench(payload, mutated)
+        assert problems
+        assert any("cells" in p for p in problems)
+
+    def test_seed_changes_payload(self, payload):
+        other = bench.run_bench("micro", seed=6)
+        assert bench.diff_bench(payload, other) != []
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, payload, tmp_path):
+        path = tmp_path / "bench.json"
+        bench.save_bench(payload, path)
+        loaded = bench.load_bench(path)
+        assert bench.diff_bench(payload, loaded) == []
+        assert json.loads(path.read_text())["schema"] == bench.BENCH_SCHEMA
+
+    def test_format_bench_mentions_sections(self, payload):
+        text = bench.format_bench(payload)
+        for word in ("grid", "plans", "scheduler", "fig12", "equivalence"):
+            assert word in text
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            bench.run_bench("no-such-profile")
+
+
+class TestCli:
+    def test_diff_identical_files_exit_zero(self, payload, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        bench.save_bench(payload, a)
+        bench.save_bench(payload, b)
+        assert main(["bench", "--diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_divergent_files_exit_one(self, payload, tmp_path, capsys):
+        mutated = copy.deepcopy(payload)
+        mutated["counters"]["grid"]["table_digest"] = "0" * 16
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        bench.save_bench(payload, a)
+        bench.save_bench(mutated, b)
+        assert main(["bench", "--diff", str(a), str(b)]) == 1
+        assert "differ" in capsys.readouterr().err
+
+    def test_run_writes_out_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_host.json"
+        assert main(["bench", "--profile", "micro", "--seed", "5",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        saved = bench.load_bench(out)
+        assert saved["profile"] == "micro"
+        assert "wrote" in capsys.readouterr().out
