@@ -10,11 +10,13 @@ Commands
     Fast sanity pass: build the BERT graph, run one simulated inference on
     every runtime, verify fused-vs-reference numerics on a tiny model.
 ``trace [--model tiny|base] [--rate R] [--duration D] [--seed N]
-        [--scheduler dp|naive|nobatch] [--policy hungry|lazy]
+        [--scheduler dp|naive|nobatch|continuous] [--policy hungry|lazy]
         [--out trace.json] [--metrics-out metrics.json]``
     Run one instrumented serving workload and write a Chrome
     ``trace_event`` JSON (load in ``chrome://tracing`` / Perfetto) plus a
-    metrics JSON (counters/gauges/histograms).
+    metrics JSON (counters/gauges/histograms).  ``--scheduler continuous``
+    traces the iteration-level generative loop instead (GPT model, one
+    span per decode step, KV-arena counters on the track).
 ``chaos [--scenario smoke|blackout|storm] [--seed N]
         [--metrics-out chaos_metrics.json] [--no-check]``
     Run one scripted fault-injection scenario (baseline + chaos pair over
@@ -22,10 +24,13 @@ Commands
     misses, breaker transitions, post-fault goodput vs. baseline) and exit
     non-zero unless goodput recovers to >= 95% of the fault-free baseline.
     Deterministic given the seed: two runs write byte-identical metrics.
-``bench [--profile smoke|full] [--seed N] [--out BENCH_host.json]``
+``bench [--profile smoke|full|gen] [--seed N] [--out BENCH_host.json]``
     Wall-clock benchmarks of the host fast path (compiled cost models,
     plan cache, pruned DP scheduler) against the seed baselines, written
-    as a JSON payload whose counter fields are deterministic.
+    as a JSON payload whose counter fields are deterministic.  The
+    ``gen`` profile instead benchmarks generative serving — iteration-
+    level continuous batching vs the request-level DP baseline — and
+    writes ``BENCH_gen.json`` by default.
     ``--verify`` instead runs the cross-layer equivalence verifier
     (compiled vs. interpretive pricing, fast vs. reference ``latency()``,
     pruned vs. reference DP partitions, cached vs. uncached plans) and
@@ -120,6 +125,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"served:   {s.completed} completed in {s.batches_executed} batches, "
           f"{s.response_throughput:.1f} resp/s, p95 {s.latency.p95_ms:.2f} ms, "
           f"utilization {s.utilization:.0%}")
+    if hasattr(s, "ttft"):
+        print(f"gen:      ttft avg {s.ttft.avg_ms:.2f} ms, tpot avg "
+              f"{s.tpot_ms_avg:.3f} ms, {s.tokens_generated} tokens in "
+              f"{s.decode_steps} decode steps, kv peak "
+              f"{s.kv_peak_bytes / 1024.0:.0f} KiB")
     print(f"trace:    {args.out} ({len(result.tracer)} events; open in "
           f"chrome://tracing or https://ui.perfetto.dev)")
     print(f"metrics:  {args.metrics_out} ({len(result.registry)} series)")
@@ -154,7 +164,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.diff:
         first, second = args.diff
-        problems = diff_bench(load_bench(first), load_bench(second))
+        problems = diff_bench(load_bench(first), load_bench(second),
+                              rel_tol=args.diff_tol)
         if problems:
             for p in problems[:20]:
                 print(f"bench diff: {p}", file=sys.stderr)
@@ -179,9 +190,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     payload = run_bench(args.profile, seed=args.seed,
                         progress=lambda msg: print(f"bench: {msg}"))
     print(format_bench(payload))
-    if args.out:
-        save_bench(payload, args.out)
-        print(f"bench: wrote {args.out}")
+    # The gen profile always writes its payload (default BENCH_gen.json):
+    # the CI determinism gate diffs two of them.
+    out = args.out
+    if out is None and args.profile == "gen":
+        out = "BENCH_gen.json"
+    if out:
+        save_bench(payload, out)
+        print(f"bench: wrote {out}")
     return 0 if payload["equivalence_ok"] else 1
 
 
@@ -233,7 +249,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="offered-load horizon in seconds (default 0.5)")
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--scheduler",
-                       choices=("dp", "dp-pruned", "naive", "nobatch"),
+                       choices=("dp", "dp-pruned", "naive", "nobatch",
+                                "continuous"),
                        default="dp")
     trace.add_argument("--policy", choices=("hungry", "lazy"), default="hungry")
     trace.add_argument("--max-batch", type=int, default=16)
@@ -276,6 +293,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
                        help="compare the deterministic fields of two "
                             "bench JSON files")
+    bench.add_argument("--diff-tol", type=float, default=0.0,
+                       help="relative tolerance for numeric fields under "
+                            "--diff (default 0: bit-exact)")
     bench.set_defaults(func=_cmd_bench)
 
     check = sub.add_parser(

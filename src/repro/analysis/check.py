@@ -127,7 +127,41 @@ def run_memory_checks(
     report.extend(_double_buffered_cross_request_diags())
     report.checked["plans"] = plans
     report.checked["cross_request_pairs"] = 1
+    report.checked["kv_arena_plans"] = _kv_arena_diags(report)
     return report
+
+
+def _kv_arena_diags(report: DiagnosticReport) -> int:
+    """Scripted KV-arena episode: verify the arena's allocation plan after
+    every mutation kind (admit / grow across a page boundary / release).
+
+    Returns the number of plans verified; any MEM2xx diagnostic the arena
+    plan trips lands in ``report`` like a regular plan check.
+    """
+    from ..memory import KVCacheArena
+
+    arena = KVCacheArena(capacity_bytes=64 * 1024, bytes_per_token=64,
+                         page_tokens=8)
+    verified = 0
+
+    def verify(stage: str) -> None:
+        nonlocal verified
+        for problem in arena.verify():
+            report.add(diag("MEM220", f"[{stage}] {problem}",
+                            graph="kv-arena"))
+        verified += 1
+
+    for req_id in range(6):
+        arena.admit(req_id, prompt_tokens=16 + 8 * req_id,
+                    max_total_tokens=64 + 8 * req_id)
+    verify("admit")
+    for req_id in range(6):
+        arena.append(req_id, tokens=9)  # crosses a page boundary
+    verify("grow")
+    for req_id in (1, 3, 5):
+        arena.release(req_id)
+    verify("release")
+    return verified
 
 
 def plan_double_buffered(

@@ -52,6 +52,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "MEM204": (Severity.ERROR, "cross-request placements alias"),
     "MEM210": (Severity.INFO, "chunk fragmentation report"),
     "MEM211": (Severity.WARNING, "chunk utilization below threshold"),
+    "MEM220": (Severity.ERROR, "KV-cache arena plan violation"),
     # -- schedule race detector (SCHED3xx) ---------------------------------
     "SCHED301": (Severity.ERROR, "read-after-write hazard across streams"),
     "SCHED302": (Severity.ERROR, "write-after-read hazard across streams"),

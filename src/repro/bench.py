@@ -69,9 +69,21 @@ PROFILES: Dict[str, Dict[str, object]] = {
         "fig12_max_batch": 16,
         "fig12_model": "base",
     },
+    # Generative serving: request-level DP vs iteration-level continuous
+    # batching over the same workload (writes BENCH_gen.json).
+    "gen": {
+        "gen_rates": (300.0, 1200.0),
+        "gen_duration_s": 1.0,
+        "gen_model": "tiny",
+        "gen_mix_mean": 16.0,
+        "gen_mix_max": 96,
+        "gen_capacity_tokens": 4096,
+        "gen_max_batch": 8,
+    },
 }
 
 BENCH_SCHEMA = "repro.bench.host/v1"
+BENCH_GEN_SCHEMA = "repro.bench.gen/v1"
 
 #: Fields of the payload compared by ``--diff`` (everything except the
 #: run-to-run wall-clock measurements and what derives from them).
@@ -372,6 +384,81 @@ def _bench_fig12(profile: Dict[str, object], seed: int) -> Dict[str, Dict[str, o
     }
 
 
+def _gen_point_summary(m) -> Dict[str, object]:
+    """Deterministic scalar view of one generative serving run."""
+    return {
+        "offered": m.offered,
+        "completed": m.completed,
+        "response_throughput": m.response_throughput,
+        "ttft_avg_ms": getattr(m, "ttft", None).avg_ms
+        if hasattr(m, "ttft") else None,
+        "tpot_ms_avg": getattr(m, "tpot_ms_avg", None),
+        "tokens": getattr(m, "tokens_generated", None),
+        "decode_steps": getattr(m, "decode_steps", None),
+        "kv_denials": getattr(m, "kv_denials", None),
+        "saturated": m.saturated,
+    }
+
+
+def _gen_sweep(bench, mix, rates, duration_s: float, seed: int,
+               system: str) -> Dict[str, object]:
+    points = {
+        str(rate): _gen_point_summary(
+            bench.run_point(system, rate, duration_s, seed, mix)
+        )
+        for rate in rates
+    }
+    return {"points": points, "digest": _digest(points)}
+
+
+def _bench_gen(profile: Dict[str, object], seed: int) -> Dict[str, Dict[str, object]]:
+    """Generative serving: iteration-level continuous batching (fast) vs
+    the request-level DP baseline, plus a determinism double-run."""
+    from .experiments.gen_serving_throughput import GenServingBench, OutputMix
+
+    bench = GenServingBench(
+        model=profile["gen_model"],
+        capacity_tokens=profile["gen_capacity_tokens"],
+        max_batch=profile["gen_max_batch"],
+    )
+    mix = OutputMix("bench", mean_new_tokens=profile["gen_mix_mean"],
+                    max_new_tokens=profile["gen_mix_max"])
+    rates = profile["gen_rates"]
+    duration_s = profile["gen_duration_s"]
+
+    t0 = _now()
+    baseline = _gen_sweep(bench, mix, rates, duration_s, seed,
+                          "request-level")
+    baseline_s = _now() - t0
+
+    t0 = _now()
+    fast = _gen_sweep(bench, mix, rates, duration_s, seed, "continuous")
+    fast_s = _now() - t0
+    # Simulated time is a pure function of the inputs: an immediate rerun
+    # must reproduce the sweep bit for bit (fresh arena per run).
+    rerun = _gen_sweep(bench, mix, rates, duration_s, seed, "continuous")
+
+    top = str(max(rates))
+    gain = (fast["points"][top]["response_throughput"]
+            / max(baseline["points"][top]["response_throughput"], 1e-9))
+    return {
+        "counters": {
+            "rates": list(map(float, rates)),
+            "identical_reruns": fast == rerun,
+            "request_level": baseline["points"],
+            "continuous": fast["points"],
+            "continuous_digest": fast["digest"],
+            "request_level_digest": baseline["digest"],
+            "throughput_gain_at_top_rate": gain,
+        },
+        "wallclock": {
+            "baseline_s": baseline_s,
+            "fast_s": fast_s,
+            "speedup": baseline_s / fast_s,
+        },
+    }
+
+
 # -- top level ----------------------------------------------------------------
 
 
@@ -386,17 +473,21 @@ def run_bench(profile_name: str = "smoke", seed: int = 0,
     say = progress or (lambda _msg: None)
 
     sections: Dict[str, Dict[str, object]] = {}
-    say("grid: CostTable full-grid profile ...")
-    sections["grid"] = _bench_grid(profile)
-    say("plans: allocation planning throughput ...")
-    sections["plans"] = _bench_plans(profile, seed)
-    say("scheduler: DP batching rounds ...")
-    sections["scheduler"] = _bench_scheduler(profile, seed)
-    say("fig12: end-to-end serving sweep ...")
-    sections["fig12"] = _bench_fig12(profile, seed)
+    if "gen_rates" in profile:
+        say("gen: generative serving, request-level vs continuous ...")
+        sections["gen"] = _bench_gen(profile, seed)
+    else:
+        say("grid: CostTable full-grid profile ...")
+        sections["grid"] = _bench_grid(profile)
+        say("plans: allocation planning throughput ...")
+        sections["plans"] = _bench_plans(profile, seed)
+        say("scheduler: DP batching rounds ...")
+        sections["scheduler"] = _bench_scheduler(profile, seed)
+        say("fig12: end-to-end serving sweep ...")
+        sections["fig12"] = _bench_fig12(profile, seed)
 
     payload: Dict[str, object] = {
-        "schema": BENCH_SCHEMA,
+        "schema": BENCH_GEN_SCHEMA if "gen_rates" in profile else BENCH_SCHEMA,
         "profile": profile_name,
         "seed": seed,
         "config": {k: (list(v) if isinstance(v, tuple) else v)
@@ -413,14 +504,26 @@ def run_bench(profile_name: str = "smoke", seed: int = 0,
     return payload
 
 
-def diff_bench(a: Dict[str, object], b: Dict[str, object]) -> List[str]:
+def diff_bench(a: Dict[str, object], b: Dict[str, object],
+               rel_tol: float = 0.0) -> List[str]:
     """Compare the deterministic fields of two bench payloads.
 
     Returns a list of human-readable differences (empty == identical).
     Wall-clock fields (and the speedups derived from them) are excluded —
     they legitimately vary run to run.
+
+    Every mismatching metric is reported (not just the first), and
+    numeric mismatches carry their **relative delta against the recorded
+    value** next to the tolerance, so a CI failure log shows at a glance
+    whether a run drifted by 1e-12 or by 40%.  ``rel_tol`` accepts
+    numeric drift up to that relative delta (default 0: bit-exact).
     """
+    if rel_tol < 0:
+        raise ValueError(f"rel_tol must be >= 0, got {rel_tol}")
     problems: List[str] = []
+
+    def numeric(v: object) -> bool:
+        return isinstance(v, (int, float)) and not isinstance(v, bool)
 
     def walk(prefix: str, x: object, y: object) -> None:
         if isinstance(x, dict) and isinstance(y, dict):
@@ -431,6 +534,17 @@ def diff_bench(a: Dict[str, object], b: Dict[str, object]) -> List[str]:
                     problems.append(f"{prefix}{key}: missing in second run")
                 else:
                     walk(f"{prefix}{key}.", x[key], y[key])
+        elif numeric(x) and numeric(y):
+            if x == y:
+                return
+            denom = max(abs(x), abs(y))
+            rel = abs(x - y) / denom if denom else 0.0
+            if rel <= rel_tol:
+                return
+            problems.append(
+                f"{prefix[:-1]}: recorded {x!r}, observed {y!r} "
+                f"(rel delta {rel:.3e}, tol {rel_tol:.3e})"
+            )
         elif x != y:
             problems.append(f"{prefix[:-1]}: {x!r} != {y!r}")
 
@@ -451,7 +565,7 @@ def format_bench(payload: Dict[str, object]) -> str:
     lines = [f"repro bench — profile {payload['profile']!r}, "
              f"seed {payload['seed']}"]
     wall = payload["wallclock"]
-    for name in ("grid", "plans", "scheduler", "fig12"):
+    for name in wall:
         w = wall[name]
         extra = ""
         if "fast_latency_calls_per_s" in w:
@@ -463,6 +577,13 @@ def format_bench(payload: Dict[str, object]) -> str:
         lines.append(
             f"  {name:<10} baseline {w['baseline_s']:7.3f}s   fast "
             f"{w['fast_s']:7.3f}s   speedup {w['speedup']:5.2f}x{extra}"
+        )
+    gen = payload["counters"].get("gen")
+    if gen:
+        lines.append(
+            f"  gen        continuous vs request-level throughput at "
+            f"{max(gen['rates']):,.0f} req/s: "
+            f"{gen['throughput_gain_at_top_rate']:.2f}x"
         )
     lines.append(f"  equivalence checks: "
                  f"{'ok' if payload['equivalence_ok'] else 'FAILED'}")

@@ -11,6 +11,7 @@ from . import (
     fig10_variable_length,
     fig11_fixed_length,
     fig12_serving_throughput,
+    gen_serving_throughput,
     table1_runtime_matrix,
     table2_reduction_share,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "fig10_variable_length",
     "fig11_fixed_length",
     "fig12_serving_throughput",
+    "gen_serving_throughput",
     "profile_breakdown",
     "report",
 ]

@@ -4,6 +4,7 @@ from .base import BaseAllocator, RequestAllocation
 from .caching import CachingAllocator, round_block_size
 from .chunk import DEFAULT_CHUNK_SIZE, K_SCALE, Chunk, ChunkAssignment, new_chunk_size
 from .gsoc import GsocAllocator, gsoc_offsets
+from .kv_arena import KVArenaError, KVCacheArena, KVRegion, kv_bytes_per_token
 from .naive import NaiveAllocator
 from .plan import AllocationPlan, Placement, PlanError, plan_from_chunks, validate_plan
 from .plan_cache import (
@@ -37,6 +38,10 @@ __all__ = [
     "records_signature",
     "chunk_fingerprint",
     "TurboAllocator",
+    "KVCacheArena",
+    "KVRegion",
+    "KVArenaError",
+    "kv_bytes_per_token",
     "GsocAllocator",
     "gsoc_offsets",
     "CachingAllocator",

@@ -1,0 +1,313 @@
+"""KV-cache arena for generative serving (iteration-level batching).
+
+Decoder-only generation keeps a per-request key/value cache that grows by
+one position per generated token and dies only when the request completes.
+That lifetime shape is the opposite of the per-request intermediate
+tensors Algorithm 1 was designed for — regions persist *across* many
+decode steps — yet the same chunked machinery applies: the arena holds one
+:class:`~repro.memory.turbo.TurboAllocator` whose chunks back every live
+request's KV region, and every membership or size change re-runs the
+paper's length-aware planning (Alg. 1) over the live regions, so layout
+quality and chunk reuse come from the exact code path the BERT serving
+stack uses (including its plan cache: a steady-state decode batch replans
+only when membership changes, and repeated shapes replay cached plans).
+
+Capacity model (what bounds the decode batch instead of ``max_batch``):
+
+* Regions are reserved in **pages** of ``page_tokens`` tokens; a region's
+  footprint is its page-rounded token count times ``bytes_per_token``.
+* Admission is gated by a **high-watermark**: a request is admitted only
+  while the arena's reserved bytes (plus the newcomer's initial
+  reservation) stay under ``high_watermark * capacity_bytes``.  The
+  headroom above the watermark absorbs in-flight growth.
+* Overflow is impossible by construction: admission also requires that the
+  sum of every live request's *worst-case* region (prompt plus its full
+  token budget, page-rounded) fits ``capacity_bytes``.  Growth therefore
+  never needs to evict — the invariant the serving loop relies on.
+
+``verify()`` runs the repo's memory-plan verifier
+(:func:`repro.analysis.memory_checks.check_plan`) over the arena's latest
+plan; ``python -m repro check`` drives a scripted arena episode through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..gpusim.memory import DeviceMemory
+from .chunk import DEFAULT_CHUNK_SIZE
+from .plan import AllocationPlan
+from .records import TensorUsageRecord
+from .turbo import TurboAllocator
+
+
+class KVArenaError(RuntimeError):
+    """An arena invariant was violated (unknown request, capacity breach)."""
+
+
+def kv_bytes_per_token(num_layers: int, num_heads: int, head_size: int,
+                       dtype_bytes: int = 4) -> int:
+    """Bytes of K+V cache one token occupies across all layers."""
+    if min(num_layers, num_heads, head_size, dtype_bytes) <= 0:
+        raise ValueError("all KV geometry factors must be positive")
+    return 2 * num_layers * num_heads * head_size * dtype_bytes
+
+
+@dataclass
+class KVRegion:
+    """One live request's KV cache: current length and reservations."""
+
+    req_id: int
+    tokens: int            # KV positions written so far (prompt + generated)
+    reserved_tokens: int   # page-rounded footprint actually held
+    worst_case_tokens: int  # page-rounded bound the region may grow to
+
+
+class KVCacheArena:
+    """Simulated KV-cache memory for a continuously-batched decode loop.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total simulated device memory set aside for KV caches.
+    bytes_per_token:
+        Per-token KV footprint (see :func:`kv_bytes_per_token`).
+    page_tokens:
+        Reservation granularity; regions grow a page at a time, so the
+        length-aware re-plan runs once per page, not once per token.
+    high_watermark:
+        Admission gate as a fraction of capacity; the remainder is growth
+        headroom.
+    device_memory / chunk_size / release_after / plan_cache-behaviour:
+        Forwarded to the backing :class:`TurboAllocator`; chunks released
+        after sitting unused keep malloc churn in check exactly as in the
+        encoder serving path.
+    metrics:
+        Optional :class:`repro.observability.MetricsRegistry`; publishes
+        admission/denial/release/replan counters and a used-bytes gauge.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        bytes_per_token: int,
+        page_tokens: int = 16,
+        high_watermark: float = 0.9,
+        device_memory: Optional[DeviceMemory] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        release_after: Optional[int] = 4,
+        metrics=None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        if bytes_per_token <= 0:
+            raise ValueError(f"bytes_per_token must be positive, got {bytes_per_token}")
+        if page_tokens <= 0:
+            raise ValueError(f"page_tokens must be positive, got {page_tokens}")
+        if not 0.0 < high_watermark <= 1.0:
+            raise ValueError(
+                f"high_watermark must be in (0, 1], got {high_watermark}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.bytes_per_token = bytes_per_token
+        self.page_tokens = page_tokens
+        self.high_watermark = high_watermark
+        self.metrics = metrics
+        self._allocator = TurboAllocator(
+            device_memory if device_memory is not None else DeviceMemory(),
+            chunk_size=chunk_size,
+            release_after=release_after,
+        )
+        self._regions: Dict[int, KVRegion] = {}  # insertion-ordered
+        self.last_plan: Optional[AllocationPlan] = None
+        self.last_records: List[TensorUsageRecord] = []
+        self.admissions = 0
+        self.denials = 0
+        self.releases = 0
+        self.replans = 0
+        self.peak_used_bytes = 0
+
+    # -- capacity accounting --------------------------------------------------
+
+    @property
+    def watermark_bytes(self) -> int:
+        """Admission threshold in bytes."""
+        return int(self.capacity_bytes * self.high_watermark)
+
+    @property
+    def used_bytes(self) -> int:
+        """Reserved bytes across live regions (page-rounded)."""
+        return sum(r.reserved_tokens for r in self._regions.values()) \
+            * self.bytes_per_token
+
+    @property
+    def worst_case_bytes(self) -> int:
+        """Bytes every live region could grow to (the no-overflow bound)."""
+        return sum(r.worst_case_tokens for r in self._regions.values()) \
+            * self.bytes_per_token
+
+    @property
+    def live_requests(self) -> int:
+        return len(self._regions)
+
+    def _pages(self, tokens: int) -> int:
+        """Round a token count up to whole pages."""
+        pages = -(-tokens // self.page_tokens)
+        return pages * self.page_tokens
+
+    def region_of(self, req_id: int) -> KVRegion:
+        try:
+            return self._regions[req_id]
+        except KeyError:
+            raise KVArenaError(f"request {req_id} has no KV region") from None
+
+    # -- admission ------------------------------------------------------------
+
+    def fits_at_all(self, prompt_tokens: int, max_total_tokens: int) -> bool:
+        """Could this request *ever* be admitted (even into an empty arena)?
+
+        The serving loop sheds requests for which this is False rather than
+        letting them block the queue head forever.
+        """
+        initial = self._pages(prompt_tokens) * self.bytes_per_token
+        worst = self._pages(max_total_tokens) * self.bytes_per_token
+        return initial <= self.watermark_bytes and worst <= self.capacity_bytes
+
+    def can_admit(self, prompt_tokens: int, max_total_tokens: int) -> bool:
+        """True if admitting now keeps both capacity invariants.
+
+        ``max_total_tokens`` is the request's worst-case KV length (prompt
+        plus its full output budget).
+        """
+        if prompt_tokens <= 0 or max_total_tokens < prompt_tokens:
+            raise ValueError(
+                f"invalid token counts: prompt {prompt_tokens}, "
+                f"max_total {max_total_tokens}"
+            )
+        initial = self._pages(prompt_tokens) * self.bytes_per_token
+        worst = self._pages(max_total_tokens) * self.bytes_per_token
+        return (self.used_bytes + initial <= self.watermark_bytes
+                and self.worst_case_bytes + worst <= self.capacity_bytes)
+
+    def admit(self, req_id: int, prompt_tokens: int,
+              max_total_tokens: int) -> bool:
+        """Reserve a KV region for a new request; False if the gate holds it.
+
+        A successful admission reserves ``prompt_tokens`` (page-rounded)
+        and re-plans the arena layout.
+        """
+        if req_id in self._regions:
+            raise KVArenaError(f"request {req_id} already has a KV region")
+        if not self.can_admit(prompt_tokens, max_total_tokens):
+            self.denials += 1
+            if self.metrics is not None:
+                self.metrics.counter("kv_arena_denials_total").inc()
+            return False
+        self._regions[req_id] = KVRegion(
+            req_id=req_id,
+            tokens=prompt_tokens,
+            reserved_tokens=self._pages(prompt_tokens),
+            worst_case_tokens=self._pages(max_total_tokens),
+        )
+        self.admissions += 1
+        if self.metrics is not None:
+            self.metrics.counter("kv_arena_admissions_total").inc()
+        self._replan()
+        return True
+
+    # -- growth / release -----------------------------------------------------
+
+    def append(self, req_id: int, tokens: int = 1) -> None:
+        """Grow a region by ``tokens`` generated positions.
+
+        Growing past the current reservation extends it a page at a time
+        (triggering the length-aware re-plan); the admission-time
+        worst-case bound guarantees the extension fits.
+        """
+        if tokens <= 0:
+            raise ValueError(f"tokens must be positive, got {tokens}")
+        region = self.region_of(req_id)
+        region.tokens += tokens
+        if region.tokens > region.worst_case_tokens:
+            raise KVArenaError(
+                f"request {req_id} grew to {region.tokens} tokens past its "
+                f"admitted worst case {region.worst_case_tokens}"
+            )
+        if region.tokens > region.reserved_tokens:
+            region.reserved_tokens = self._pages(region.tokens)
+            if self.used_bytes > self.capacity_bytes:  # pragma: no cover
+                raise KVArenaError(
+                    "KV arena overflow — admission invariant violated"
+                )
+            self._replan()
+
+    def release(self, req_id: int) -> None:
+        """Free a completed request's region and re-plan the survivors."""
+        self.region_of(req_id)
+        del self._regions[req_id]
+        self.releases += 1
+        if self.metrics is not None:
+            self.metrics.counter("kv_arena_releases_total").inc()
+        self._replan()
+
+    # -- planning -------------------------------------------------------------
+
+    def _replan(self) -> None:
+        """Re-run Algorithm 1 over the live regions.
+
+        Every live region overlaps every other in time (they are all
+        resident for the current decode step), so the records share one
+        [0, 1] lifetime — the planner must place them byte-disjoint, which
+        is exactly the aliasing invariant ``repro check`` verifies.
+        """
+        self.last_records = [
+            TensorUsageRecord(
+                name=f"kv/{region.req_id:08d}",
+                first_op=0,
+                last_op=1,
+                size=region.reserved_tokens * self.bytes_per_token,
+            )
+            for region in self._regions.values()
+        ]
+        if self.last_records:
+            self.last_plan = self._allocator.plan(self.last_records)
+        else:
+            # Nothing live: clear chunk residency without planning zero
+            # records (the release grace period still retires idle chunks
+            # on the next non-empty plan).
+            for chunk in self._allocator.chunks:
+                chunk.clear()
+            self.last_plan = AllocationPlan(placements={}, chunk_sizes={})
+        self.replans += 1
+        self.peak_used_bytes = max(self.peak_used_bytes, self.used_bytes)
+        if self.metrics is not None:
+            self.metrics.counter("kv_arena_replans_total").inc()
+            self.metrics.gauge("kv_arena_used_bytes").set(
+                self.used_bytes, t=self.replans
+            )
+
+    def verify(self) -> List[str]:
+        """Memory-plan verifier over the latest plan (empty == clean)."""
+        if self.last_plan is None:
+            return []
+        # Imported lazily: repro.analysis depends on repro.memory.
+        from ..analysis.memory_checks import check_plan
+
+        return [d.message for d in check_plan(self.last_plan,
+                                              self.last_records)]
+
+    def stats(self) -> Dict[str, object]:
+        """Deterministic counters (read by ``repro bench`` and tests)."""
+        return {
+            "admissions": self.admissions,
+            "denials": self.denials,
+            "releases": self.releases,
+            "replans": self.replans,
+            "live": self.live_requests,
+            "used_bytes": self.used_bytes,
+            "peak_used_bytes": self.peak_used_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "footprint_bytes": self._allocator.footprint_bytes,
+            "chunks_released": self._allocator.chunks_released,
+        }

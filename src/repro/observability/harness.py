@@ -16,7 +16,7 @@ from typing import List, Optional
 from .metrics import MetricsRegistry
 from .tracer import Tracer
 
-SCHEDULERS = ("dp", "dp-pruned", "naive", "nobatch")
+SCHEDULERS = ("dp", "dp-pruned", "naive", "nobatch", "continuous")
 POLICIES = ("hungry", "lazy")
 MODELS = ("tiny", "base")
 
@@ -80,6 +80,14 @@ def run_traced_workload(
     if policy not in POLICIES:
         raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
 
+    tracer = tracer if tracer is not None else Tracer(process_name="repro trace")
+    registry = registry if registry is not None else MetricsRegistry()
+
+    if scheduler == "continuous":
+        # Generative path: GPT model, iteration-level loop, KV arena.
+        return _run_traced_generation(model, rate_per_s, duration_s, seed,
+                                      tracer, registry)
+
     from ..models import bert_base, build_encoder_graph, tiny_bert
     from ..runtime import turbo_runtime
     from ..serving import (
@@ -89,9 +97,6 @@ def run_traced_workload(
         normal_lengths,
         simulate_serving,
     )
-
-    tracer = tracer if tracer is not None else Tracer(process_name="repro trace")
-    registry = registry if registry is not None else MetricsRegistry()
 
     config = tiny_bert() if model == "tiny" else bert_base()
     graph = build_encoder_graph(config)
@@ -128,5 +133,44 @@ def run_traced_workload(
         registry=registry,
         tracer=tracer,
         runtime=runtime,
+        requests=list(requests),
+    )
+
+
+def _run_traced_generation(
+    model: str,
+    rate_per_s: float,
+    duration_s: float,
+    seed: int,
+    tracer: Tracer,
+    registry: MetricsRegistry,
+) -> TraceRunResult:
+    """Instrumented continuous-batching run (``--scheduler continuous``).
+
+    One Chrome-trace span per prefill pass and per decode step, async
+    spans per request, KV-arena counters on the track; TTFT/TPOT
+    histograms flow through the shared
+    :meth:`~repro.runtime.GenerationRuntime.publish_request_metrics` path.
+    """
+    from ..experiments.gen_serving_throughput import GenServingBench
+
+    bench = GenServingBench(model="tiny" if model == "tiny" else "small")
+    # Keep the default mix (the bench's first) out of it: sample the
+    # standard workload so the trace shows mixed output lengths.
+    from ..serving import generate_generation_requests, uniform_lengths
+
+    def prompts(rng, n):
+        return uniform_lengths(rng, n, lo=bench.prompt_lo, hi=bench.prompt_hi)
+
+    requests = generate_generation_requests(
+        rate_per_s, duration_s, seed=seed, prompt_sampler=prompts
+    )
+    serving = bench.run_continuous(requests, duration_s, tracer=tracer,
+                                   metrics=registry)
+    return TraceRunResult(
+        serving=serving,
+        registry=registry,
+        tracer=tracer,
+        runtime=bench.runtime,
         requests=list(requests),
     )

@@ -15,7 +15,7 @@ from .fastertransformer_like import (
 )
 from .onnxruntime_like import ONNXRUNTIME_CHARACTERISTICS, onnxruntime_runtime
 from .executor import ExecutionError, PlannedGraphExecutor
-from .generation import GenerationRuntime
+from .generation import GenerationRuntime, GenerationTimeline
 from .packed import PackedRuntime, is_quadratic_in_seq, seq_occurrences
 from .profiler import CostTable, warmup_profile
 from .pytorch_like import PYTORCH_CHARACTERISTICS, pytorch_runtime
@@ -50,6 +50,7 @@ __all__ = [
     "safe_max_batch",
     "CostTable",
     "GenerationRuntime",
+    "GenerationTimeline",
     "PlannedGraphExecutor",
     "ExecutionError",
     "PackedRuntime",

@@ -4,11 +4,20 @@ Generation cost splits into the *prefill* pass over the prompt and the
 per-token *decode* steps against a growing KV cache — the two quantities
 generative serving systems report as time-to-first-token (TTFT) and
 per-token latency (TPOT).
+
+Observability lives here too, so every consumer — the continuous-batching
+server, the request-level generation baseline, the gen experiment and
+``python -m repro trace`` — shares one instrumentation path:
+:meth:`GenerationRuntime.publish_request_metrics` records a request's
+TTFT/TPOT into a :class:`~repro.observability.MetricsRegistry`, and
+:meth:`GenerationRuntime.trace_decode_stride` emits one Chrome-trace span
+per decode stride on the GPU track.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..gpusim import DeviceSpec, Stream
 from ..graph import ComputationGraph, fuse_graph
@@ -94,3 +103,89 @@ class GenerationRuntime:
         """Aggregate decode throughput over one generation."""
         total = self.generate_latency(prompt_len, new_tokens, batch)
         return batch * new_tokens / total
+
+    # -- shared instrumentation path ------------------------------------------
+
+    def publish_request_metrics(self, metrics, req_id: int, ttft_s: float,
+                                tpot_s: float, system: str = "generation",
+                                ) -> None:
+        """Record one request's TTFT/TPOT into a metrics registry.
+
+        Every generative-serving consumer funnels through this method so
+        histograms carry identical names/labels regardless of which loop
+        produced them.
+        """
+        if metrics is None:
+            return
+        metrics.histogram("generation_ttft_ms", system=system).observe(
+            ttft_s * 1e3
+        )
+        metrics.histogram("generation_tpot_ms", system=system).observe(
+            tpot_s * 1e3
+        )
+        metrics.counter("generation_requests_total", system=system).inc()
+
+    def trace_decode_stride(self, tracer, start_s: float, dur_s: float,
+                            batch: int, past: int, tokens: int) -> None:
+        """One Chrome-trace span for a decode stride on the GPU track."""
+        if tracer is None or not tracer.enabled:
+            return
+        tracer.complete(
+            f"decode x{batch}", start_s, dur_s, tid="gpu", cat="decode",
+            batch=batch, past=past, tokens=tokens,
+        )
+
+    def trace_prefill(self, tracer, start_s: float, dur_s: float,
+                      batch: int, prompt_len: int) -> None:
+        """One Chrome-trace span for a prefill pass on the GPU track."""
+        if tracer is None or not tracer.enabled:
+            return
+        tracer.complete(
+            f"prefill x{batch}", start_s, dur_s, tid="gpu", cat="prefill",
+            batch=batch, prompt_len=prompt_len,
+        )
+
+    def generate_timeline(self, prompt_len: int, new_tokens: int,
+                          batch: int = 1, start_s: float = 0.0,
+                          tracer=None, metrics=None,
+                          system: str = "generation") -> "GenerationTimeline":
+        """Instrumented :meth:`generate_latency`: same strided walk, but
+        emitting one span per decode stride (plus the prefill span) and
+        publishing TTFT/TPOT, all in the caller's simulated time frame."""
+        if new_tokens <= 0:
+            raise ValueError(f"new_tokens must be positive, got {new_tokens}")
+        clock = start_s
+        prefill_s = self.prefill_latency(batch, prompt_len)
+        self.trace_prefill(tracer, clock, prefill_s, batch, prompt_len)
+        clock += prefill_s
+        ttft_s = clock - start_s
+        stride_ends: List[float] = []
+        # Identical strided walk to generate_latency, so the two agree
+        # bit for bit on the total.
+        step = 0
+        while step < new_tokens:
+            span = min(self.stride, new_tokens - step)
+            past = prompt_len + step
+            dur = self.decode_step_latency(batch, past) * span
+            self.trace_decode_stride(tracer, clock, dur, batch, past,
+                                     tokens=span * batch)
+            clock += dur
+            stride_ends.append(clock)
+            step += span
+        total_s = clock - start_s
+        tpot_s = ((total_s - ttft_s) / new_tokens
+                  if new_tokens > 0 else 0.0)
+        self.publish_request_metrics(metrics, req_id=-1, ttft_s=ttft_s,
+                                     tpot_s=tpot_s, system=system)
+        return GenerationTimeline(ttft_s=ttft_s, total_s=total_s,
+                                  tpot_s=tpot_s, stride_ends=stride_ends)
+
+
+@dataclass(frozen=True)
+class GenerationTimeline:
+    """Per-request timing of one instrumented generation."""
+
+    ttft_s: float
+    total_s: float
+    tpot_s: float
+    stride_ends: Tuple[float, ...] | List[float]

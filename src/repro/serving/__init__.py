@@ -2,6 +2,14 @@
 
 from .adaptive import AdaptiveBatchScheduler
 from .cache import ResponseCache
+from .continuous import (
+    ContinuousBatchingConfig,
+    ContinuousBatchingServer,
+    GenRequest,
+    GenServingMetrics,
+    RequestLevelGenerationServer,
+    request_level_cost_fn,
+)
 from .ebird import simulate_ebird_serving
 from .cluster import (
     ClusterMetrics,
@@ -55,7 +63,9 @@ from .workload import (
     MAX_LEN,
     MIN_LEN,
     bursty_arrivals,
+    generate_generation_requests,
     generate_requests,
+    geometric_output_lengths,
     normal_lengths,
     poisson_arrivals,
     uniform_lengths,
@@ -112,6 +122,14 @@ __all__ = [
     "response_throughput",
     "completed_requests",
     "generate_requests",
+    "generate_generation_requests",
+    "geometric_output_lengths",
+    "GenRequest",
+    "GenServingMetrics",
+    "ContinuousBatchingConfig",
+    "ContinuousBatchingServer",
+    "RequestLevelGenerationServer",
+    "request_level_cost_fn",
     "normal_lengths",
     "uniform_lengths",
     "poisson_arrivals",

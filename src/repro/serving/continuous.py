@@ -1,0 +1,522 @@
+"""Iteration-level continuous batching for generative serving.
+
+The paper's DP scheduler (Alg. 3) batches at *request* granularity: a
+batch is formed once, executes, and only then does the queue get another
+chance.  That is the right shape for one-shot BERT inference but wrong for
+GPT-style generation, where a request occupies its batch slot for as many
+decode steps as it generates tokens: under request-level batching a decode
+batch runs until its **longest** member finishes while finished slots burn
+padded-slot work, and newly arrived requests wait behind the whole batch.
+
+:class:`ContinuousBatchingServer` re-forms the decode batch at **every
+decode step** — the iteration-level design of modern LLM serving systems:
+
+* finished requests exit their slot immediately (the next step is priced
+  at the smaller batch width — no retired-slot work);
+* queued requests are admitted mid-flight: their prefill runs as a
+  dedicated pass between decode steps (the chunked-prefill simplification
+  — one pass for the whole admitted set) and they join the decode batch at
+  the next step;
+* admission is **KV-cache-aware**: a request joins only while the
+  :class:`~repro.memory.KVCacheArena` high-watermark holds, so the batch
+  is bounded by simulated KV memory rather than a fixed ``max_batch``.
+
+:class:`RequestLevelGenerationServer` is the control: the same cost model
+and workload, but batches formed once by a (DP) scheduler, full batch
+width charged until the longest member finishes, arrivals waiting for the
+next round.  The gap between the two is the experiment
+``experiments/gen_serving_throughput.py`` measures.
+
+Everything is simulator-time and deterministic given the workload; costs
+come from :class:`~repro.runtime.GenerationRuntime` (prefill and per-step
+decode against the growing KV cache).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+from ..memory.kv_arena import KVCacheArena
+from ..observability import MetricsRegistry, Tracer
+from .metrics import LatencyStats, ServingMetrics, response_throughput
+from .request import Request, RequestState
+from .scheduler import BatchScheduler, CostFn, PrunedDPBatchScheduler
+
+
+@dataclass
+class GenRequest(Request):
+    """A generation request: prompt of ``seq_len`` tokens, up to
+    ``max_new_tokens`` output tokens.
+
+    ``generated`` counts produced tokens (the prefill pass yields the
+    first); ``first_token_s`` is stamped when that first token appears —
+    TTFT is ``first_token_s - arrival_s``.
+    """
+
+    max_new_tokens: int = 1
+    generated: int = 0
+    first_token_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_new_tokens <= 0:
+            raise ValueError(
+                f"max_new_tokens must be positive, got {self.max_new_tokens}"
+            )
+
+    @property
+    def prompt_len(self) -> int:
+        return self.seq_len
+
+    @property
+    def ttft_s(self) -> float:
+        """Arrival-to-first-token latency; raises if no token yet."""
+        if self.first_token_s is None:
+            raise ValueError(f"request {self.req_id} has produced no token")
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Mean per-output-token latency after the first (0 if single-token)."""
+        if self.completion_s is None or self.first_token_s is None:
+            raise ValueError(f"request {self.req_id} has not completed")
+        if self.generated < 2:
+            return 0.0
+        return (self.completion_s - self.first_token_s) / (self.generated - 1)
+
+
+@dataclass(frozen=True)
+class GenServingMetrics(ServingMetrics):
+    """One generative serving run: the base serving outcome plus the
+    generation-specific quantities (TTFT, TPOT, token goodput, KV use)."""
+
+    ttft: LatencyStats = LatencyStats(float("inf"), float("inf"),
+                                      float("inf"), 0)
+    tpot_ms_avg: float = float("inf")
+    tokens_generated: int = 0
+    decode_steps: int = 0
+    prefill_batches: int = 0
+    goodput_tokens_per_s: float = 0.0
+    kv_denials: int = 0
+    kv_peak_bytes: int = 0
+
+
+@dataclass
+class ContinuousBatchingConfig:
+    """Knobs of the iteration-level loop."""
+
+    #: Optional slot cap on top of the KV gate (None = KV-bound only).
+    max_batch: Optional[int] = None
+    #: Cap on admissions folded into one prefill pass (None = unbounded).
+    admit_per_step: Optional[int] = None
+    warmup_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_batch is not None and self.max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if self.admit_per_step is not None and self.admit_per_step <= 0:
+            raise ValueError(
+                f"admit_per_step must be positive, got {self.admit_per_step}"
+            )
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+
+
+def _window_overlap(start: float, dur: float, horizon: float) -> float:
+    """Busy seconds a [start, start+dur] dispatch spends inside the horizon."""
+    return max(0.0, min(start + dur, horizon) - min(start, horizon))
+
+
+class _GenLoopBase:
+    """Bookkeeping shared by both generative serving loops."""
+
+    def __init__(self, runtime, tracer: Optional[Tracer],
+                 metrics: Optional[MetricsRegistry], system_name: str,
+                 warmup_fraction: float) -> None:
+        self.runtime = runtime
+        self.tracer = tracer
+        self.metrics = metrics
+        self.system_name = system_name
+        self.warmup_fraction = warmup_fraction
+
+    @property
+    def _trace_on(self) -> bool:
+        return self.tracer is not None and self.tracer.enabled
+
+    def _begin_request(self, r: GenRequest) -> None:
+        if self._trace_on:
+            self.tracer.async_begin(
+                "request", r.arrival_s, r.req_id, cat="request",
+                prompt_len=r.seq_len, max_new_tokens=r.max_new_tokens,
+            )
+
+    def _complete(self, r: GenRequest, now: float) -> None:
+        r.completion_s = now
+        r.state = RequestState.COMPLETED
+        self.runtime.publish_request_metrics(
+            self.metrics, r.req_id, r.ttft_s, r.tpot_s,
+            system=self.system_name,
+        )
+        if self._trace_on:
+            self.tracer.async_end(
+                "request", now, r.req_id, cat="request", path="model",
+                ttft_ms=round(r.ttft_s * 1e3, 4), tokens=r.generated,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("serving_requests_completed_total",
+                                 path="model").inc()
+
+    def _shed(self, r: GenRequest, now: float) -> None:
+        r.resolve(RequestState.SHED)
+        if self._trace_on:
+            self.tracer.async_end("request", now, r.req_id, cat="request",
+                                  path="shed")
+        if self.metrics is not None:
+            self.metrics.counter("serving_requests_dropped_total",
+                                 reason="shed").inc()
+
+    def _finalize(self, arrivals: Sequence[GenRequest], horizon: float,
+                  clock: float, busy_in_horizon: float, decode_steps: int,
+                  prefills: int, tokens: int, kv_denials: int,
+                  kv_peak_bytes: int) -> GenServingMetrics:
+        completed = [r for r in arrivals if r.is_completed]
+        ttft = LatencyStats.from_values(
+            [(r.first_token_s - r.arrival_s) * 1e3 for r in completed
+             if r.first_token_s is not None]
+        )
+        tpots = [r.tpot_s * 1e3 for r in completed if r.generated >= 2]
+        tpot_ms = sum(tpots) / len(tpots) if tpots else float("inf")
+        throughput = response_throughput(
+            arrivals, horizon * self.warmup_fraction, horizon
+        )
+        backlog = sum(
+            1 for r in arrivals
+            if r.arrival_s <= horizon and r.state is not RequestState.SHED
+            and (r.start_s is None or r.start_s > horizon)
+        )
+        drain_seconds = backlog / max(throughput, 1e-9)
+        result = GenServingMetrics(
+            system=self.system_name,
+            request_rate=len(arrivals) / horizon,
+            response_throughput=throughput,
+            latency=LatencyStats.from_requests(arrivals),
+            saturated=drain_seconds > 0.5,
+            completed=len(completed),
+            offered=len(arrivals),
+            backlog_at_end=backlog,
+            utilization=min(1.0, busy_in_horizon / horizon),
+            batches_executed=decode_steps + prefills,
+            ttft=ttft,
+            tpot_ms_avg=tpot_ms,
+            tokens_generated=tokens,
+            decode_steps=decode_steps,
+            prefill_batches=prefills,
+            goodput_tokens_per_s=tokens / clock if clock > 0 else 0.0,
+            kv_denials=kv_denials,
+            kv_peak_bytes=kv_peak_bytes,
+        )
+        if self.metrics is not None:
+            self.metrics.gauge("serving_response_throughput",
+                               system=result.system).set(throughput)
+            self.metrics.gauge("generation_goodput_tokens_per_s",
+                               system=result.system).set(
+                result.goodput_tokens_per_s
+            )
+        return result
+
+
+class ContinuousBatchingServer(_GenLoopBase):
+    """Iteration-level decode loop with KV-cache-aware admission."""
+
+    name = "continuous"
+
+    def __init__(
+        self,
+        runtime,
+        arena: KVCacheArena,
+        config: Optional[ContinuousBatchingConfig] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        system_name: str = "Turbo-Continuous",
+    ) -> None:
+        config = config or ContinuousBatchingConfig()
+        super().__init__(runtime, tracer, metrics, system_name,
+                         config.warmup_fraction)
+        self.arena = arena
+        self.config = config
+
+    def serve(self, requests: Sequence[GenRequest],
+              duration_s: Optional[float] = None) -> GenServingMetrics:
+        """Run the continuous-batching simulation to completion.
+
+        Like :func:`~repro.serving.server.simulate_serving`, ``duration_s``
+        is the offered-load horizon (defaults to the last arrival); the
+        loop always drains, and saturation is judged from the backlog at
+        the horizon.
+        """
+        if not requests:
+            raise ValueError("need at least one request to simulate")
+        arrivals: List[GenRequest] = sorted(requests, key=lambda r: r.arrival_s)
+        horizon = duration_s if duration_s is not None else arrivals[-1].arrival_s
+        if horizon <= 0:
+            raise ValueError(f"duration must be positive, got {horizon}")
+        if self._trace_on:
+            self.tracer.thread_name("gpu", "gpu (prefill + decode steps)")
+
+        queue: Deque[GenRequest] = deque()
+        active: List[GenRequest] = []
+        clock = 0.0
+        next_arrival = 0
+        n = len(arrivals)
+        busy = 0.0
+        decode_steps = prefills = tokens = 0
+
+        def ingest(now: float) -> None:
+            nonlocal next_arrival
+            while next_arrival < n and arrivals[next_arrival].arrival_s <= now:
+                r = arrivals[next_arrival]
+                next_arrival += 1
+                self._begin_request(r)
+                if not self.arena.fits_at_all(
+                    r.seq_len, r.seq_len + r.max_new_tokens
+                ):
+                    # Could never be admitted even into an empty arena:
+                    # shed instead of blocking the FIFO head forever.
+                    self._shed(r, now)
+                    continue
+                queue.append(r)
+
+        def slots_free(pending: int) -> bool:
+            cap = self.config.max_batch
+            return cap is None or len(active) + pending < cap
+
+        ingest(clock)
+        while next_arrival < n or queue or active:
+            # 1. KV-aware admission: fold every admissible queued request
+            #    into one prefill pass (chunked-prefill simplification).
+            admitted: List[GenRequest] = []
+            while queue and slots_free(len(admitted)):
+                limit = self.config.admit_per_step
+                if limit is not None and len(admitted) >= limit:
+                    break
+                r = queue[0]
+                if not self.arena.admit(r.req_id, r.seq_len,
+                                        r.seq_len + r.max_new_tokens):
+                    break  # high-watermark holds the FIFO head
+                queue.popleft()
+                admitted.append(r)
+            if admitted:
+                b = len(admitted)
+                prompt = max(r.seq_len for r in admitted)
+                prefill_s = self.runtime.prefill_latency(b, prompt)
+                self.runtime.trace_prefill(self.tracer, clock, prefill_s,
+                                           b, prompt)
+                busy += _window_overlap(clock, prefill_s, horizon)
+                started = clock
+                clock += prefill_s
+                prefills += 1
+                for r in admitted:
+                    r.start_s = started
+                    r.generated = 1  # prefill yields the first token
+                    r.first_token_s = clock
+                    tokens += 1
+                    if r.generated >= r.max_new_tokens:
+                        self._complete(r, clock)
+                        self.arena.release(r.req_id)
+                    else:
+                        active.append(r)
+                if self.metrics is not None:
+                    self.metrics.counter("gen_prefill_batches_total",
+                                         system=self.system_name).inc()
+                ingest(clock)
+                continue
+            # 2. One decode step over the live batch: width = live slots
+            #    only (finished requests already exited), KV padded to the
+            #    longest live cache.
+            if active:
+                b = len(active)
+                past = max(r.seq_len + r.generated for r in active)
+                step_s = self.runtime.decode_step_latency(b, past)
+                self.runtime.trace_decode_stride(self.tracer, clock, step_s,
+                                                 b, past, tokens=b)
+                busy += _window_overlap(clock, step_s, horizon)
+                clock += step_s
+                decode_steps += 1
+                tokens += b
+                survivors: List[GenRequest] = []
+                for r in active:
+                    r.generated += 1
+                    if r.generated >= r.max_new_tokens:
+                        self._complete(r, clock)
+                        self.arena.release(r.req_id)
+                    else:
+                        # The token just produced joins the KV cache and
+                        # is attended to from the next step on.
+                        self.arena.append(r.req_id, 1)
+                        survivors.append(r)
+                active = survivors
+                if self._trace_on:
+                    self.tracer.counter("kv_arena", clock, {
+                        "used_mb": self.arena.used_bytes / (1024.0 * 1024.0),
+                        "slots": float(len(active)),
+                    })
+                if self.metrics is not None:
+                    self.metrics.counter("gen_decode_steps_total",
+                                         system=self.system_name).inc()
+                    self.metrics.counter("gen_tokens_total",
+                                         system=self.system_name).inc(b)
+                ingest(clock)
+                continue
+            # 3. Idle: jump to the next arrival.  (queue non-empty here is
+            #    impossible: an empty arena admits anything that passed
+            #    fits_at_all at ingest.)
+            assert not queue, "admission stalled with an empty arena"
+            if next_arrival < n:
+                clock = max(clock, arrivals[next_arrival].arrival_s)
+                ingest(clock)
+
+        return self._finalize(arrivals, horizon, clock, busy, decode_steps,
+                              prefills, tokens, self.arena.denials,
+                              self.arena.peak_used_bytes)
+
+
+def request_level_cost_fn(runtime, est_new_tokens: int = 16) -> CostFn:
+    """Scheduling cost for request-level generation batching.
+
+    Prices a candidate ``(padded_len, batch)`` as one full generation —
+    prefill plus ``est_new_tokens`` decode steps — through the runtime's
+    cached cost models.  Used by the DP scheduler to partition the queue;
+    execution is then priced step by step.
+    """
+    if est_new_tokens <= 0:
+        raise ValueError(f"est_new_tokens must be positive, got {est_new_tokens}")
+
+    def cost(seq_len: int, batch: int) -> float:
+        return runtime.generate_latency(seq_len, est_new_tokens, batch)
+
+    return cost
+
+
+class RequestLevelGenerationServer(_GenLoopBase):
+    """Request-granularity control: batches formed once, run to the longest.
+
+    The decode batch keeps its full width until the **longest** member
+    finishes — retired slots are still charged (the padded-slot work
+    iteration-level batching eliminates) — and arrivals during a round
+    wait for the next one.  Members' responses are released at their own
+    completion step, so the latency gap vs. continuous batching comes from
+    queueing and admission, not from response buffering.
+    """
+
+    name = "request-level"
+
+    def __init__(
+        self,
+        runtime,
+        scheduler: Optional[BatchScheduler] = None,
+        max_batch: int = 8,
+        est_new_tokens: int = 16,
+        warmup_fraction: float = 0.1,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        system_name: str = "Turbo-DP-Request",
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        super().__init__(runtime, tracer, metrics, system_name,
+                         warmup_fraction)
+        self.scheduler = scheduler if scheduler is not None \
+            else PrunedDPBatchScheduler()
+        self.max_batch = max_batch
+        self.cost_fn = request_level_cost_fn(runtime, est_new_tokens)
+
+    def serve(self, requests: Sequence[GenRequest],
+              duration_s: Optional[float] = None) -> GenServingMetrics:
+        if not requests:
+            raise ValueError("need at least one request to simulate")
+        arrivals: List[GenRequest] = sorted(requests, key=lambda r: r.arrival_s)
+        horizon = duration_s if duration_s is not None else arrivals[-1].arrival_s
+        if horizon <= 0:
+            raise ValueError(f"duration must be positive, got {horizon}")
+        if self._trace_on:
+            self.tracer.thread_name("gpu", "gpu (prefill + decode steps)")
+
+        queue: List[GenRequest] = []
+        clock = 0.0
+        next_arrival = 0
+        n = len(arrivals)
+        busy = 0.0
+        decode_steps = prefills = tokens = 0
+
+        def ingest(now: float) -> None:
+            nonlocal next_arrival
+            while next_arrival < n and arrivals[next_arrival].arrival_s <= now:
+                r = arrivals[next_arrival]
+                next_arrival += 1
+                self._begin_request(r)
+                queue.append(r)
+
+        ingest(clock)
+        while next_arrival < n or queue:
+            if not queue:
+                clock = max(clock, arrivals[next_arrival].arrival_s)
+                ingest(clock)
+                continue
+            # One scheduling round over the whole queue (hungry policy).
+            taken, queue[:] = list(queue), []
+            batches = self.scheduler.schedule(taken, self.cost_fn,
+                                              self.max_batch)
+            for batch in batches:
+                b = batch.size
+                padded = batch.padded_len
+                started = clock
+                prefill_s = self.runtime.prefill_latency(b, padded)
+                self.runtime.trace_prefill(self.tracer, clock, prefill_s,
+                                           b, padded)
+                busy += _window_overlap(clock, prefill_s, horizon)
+                clock += prefill_s
+                prefills += 1
+                survivors: List[GenRequest] = []
+                for r in batch.requests:
+                    r.start_s = started
+                    r.generated = 1
+                    r.first_token_s = clock
+                    tokens += 1
+                    if r.generated >= r.max_new_tokens:
+                        self._complete(r, clock)
+                    else:
+                        survivors.append(r)
+                # Decode to the longest member at FULL width: finished
+                # slots idle but are still paid for.
+                step = 1
+                while survivors:
+                    past = padded + step
+                    step_s = self.runtime.decode_step_latency(b, past)
+                    self.runtime.trace_decode_stride(
+                        self.tracer, clock, step_s, b, past,
+                        tokens=len(survivors),
+                    )
+                    busy += _window_overlap(clock, step_s, horizon)
+                    clock += step_s
+                    decode_steps += 1
+                    tokens += len(survivors)
+                    step += 1
+                    nxt: List[GenRequest] = []
+                    for r in survivors:
+                        r.generated += 1
+                        if r.generated >= r.max_new_tokens:
+                            self._complete(r, clock)
+                        else:
+                            nxt.append(r)
+                    survivors = nxt
+                # Arrivals during this batch queue up for the NEXT round —
+                # the head-of-line blocking continuous batching removes.
+                ingest(clock)
+
+        return self._finalize(arrivals, horizon, clock, busy, decode_steps,
+                              prefills, tokens, kv_denials=0,
+                              kv_peak_bytes=0)

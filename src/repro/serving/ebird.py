@@ -12,6 +12,18 @@ The upside is head-of-line-blocking relief — short requests overtake long
 in-flight batches — the downside is that total service capacity is no
 better than serial execution (slightly worse after interference), which is
 why the paper pursues *scheduling* rather than concurrency.
+
+A deliberate modelling choice, pinned by a regression test: ``efficiency``
+is charged even when only **one** batch is resident (``k = 1`` progresses
+at ``efficiency``, not 1.0).  Ebird's elastic scheduler always dispatches
+through its multi-stream machinery — stream-pool bookkeeping, per-stream
+events, and forgoing the whole-device persistent-kernel configurations a
+serial runtime would pick — so its overhead is a property of *how* work is
+launched, not of how many batches happen to be co-resident.  Charging it
+uniformly also keeps the progress-rate function continuous at the
+``k = 1 -> 2`` boundary; a discontinuity there would let the simulator
+flip between regimes on ties and make results knife-edge sensitive to
+arrival jitter.
 """
 
 from __future__ import annotations

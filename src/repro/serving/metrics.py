@@ -54,6 +54,22 @@ class LatencyStats:
             p99_ms=cls._percentile(latencies, 0.99),
         )
 
+    @classmethod
+    def from_values(cls, values_ms: Sequence[float]) -> "LatencyStats":
+        """Stats over raw millisecond samples (TTFT, TPOT, ...)."""
+        if not values_ms:
+            return cls(float("inf"), float("inf"), float("inf"), 0)
+        ordered = sorted(values_ms)
+        return cls(
+            avg_ms=sum(ordered) / len(ordered),
+            min_ms=ordered[0],
+            max_ms=ordered[-1],
+            count=len(ordered),
+            p50_ms=cls._percentile(ordered, 0.50),
+            p95_ms=cls._percentile(ordered, 0.95),
+            p99_ms=cls._percentile(ordered, 0.99),
+        )
+
     def meets_slo(self, slo_ms: float, quantile: float = 0.95) -> bool:
         """True if the given latency quantile is within the SLO."""
         if quantile >= 0.99:

@@ -87,6 +87,59 @@ def generate_requests(
     ]
 
 
+def geometric_output_lengths(
+    rng: np.random.Generator, n: int, mean: float, lo: int = 1, hi: int = 512
+) -> np.ndarray:
+    """Geometric output-token counts clipped to [lo, hi].
+
+    Generation output lengths are heavy-tailed in practice (most replies
+    are short, a few run long) — the shape that separates iteration-level
+    from request-level batching, because one straggler pins a whole
+    request-level batch.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    if lo < 1 or hi < lo:
+        raise ValueError(f"invalid output range [{lo}, {hi}]")
+    lengths = rng.geometric(min(1.0, 1.0 / mean), size=n)
+    return np.clip(lengths, lo, hi).astype(np.int64)
+
+
+def generate_generation_requests(
+    rate_per_s: float,
+    duration_s: float,
+    seed: int = 0,
+    prompt_sampler: LengthSampler = normal_lengths,
+    output_sampler: Callable[[np.random.Generator, int], np.ndarray] = None,
+) -> List["GenRequest"]:
+    """Generative-serving workload: Poisson arrivals x (prompt, output) lengths.
+
+    Returns :class:`~repro.serving.continuous.GenRequest` objects whose
+    ``seq_len`` is the prompt length and ``max_new_tokens`` the sampled
+    output budget.  Deterministic given ``seed``.
+    """
+    from .continuous import GenRequest  # deferred: continuous imports workload
+
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrivals(rng, rate_per_s, duration_s)
+    prompts = prompt_sampler(rng, arrivals.size)
+    if output_sampler is None:
+        outputs = geometric_output_lengths(rng, arrivals.size, mean=16.0)
+    else:
+        outputs = output_sampler(rng, arrivals.size)
+    return [
+        GenRequest(
+            req_id=i,
+            seq_len=int(prompts[i]),
+            arrival_s=float(arrivals[i]),
+            max_new_tokens=int(outputs[i]),
+        )
+        for i in range(arrivals.size)
+    ]
+
+
 def bursty_arrivals(
     rng: np.random.Generator,
     rate_per_s: float,

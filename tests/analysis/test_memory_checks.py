@@ -165,3 +165,25 @@ class TestFragmentation:
                               chunk_sizes={0: 4096})
         diags = check_fragmentation(plan, [TensorUsageRecord("a", 0, 1, 8)])
         assert codes(diags) == ["MEM210"]  # single resident: by design
+
+
+class TestKvArenaScenario:
+    def test_run_memory_checks_verifies_arena_plans(self):
+        from repro.analysis.check import run_memory_checks
+
+        report = run_memory_checks(graphs=[])
+        assert report.checked["kv_arena_plans"] == 3
+        assert not [d for d in report.diagnostics if d.code == "MEM220"]
+
+    def test_corrupted_arena_plan_is_caught(self):
+        """The arena's verify() hook catches a bad plan: alias two live
+        KV regions and the MEM203 aliasing check fires."""
+        from repro.memory import KVCacheArena
+
+        arena = KVCacheArena(capacity_bytes=4096, bytes_per_token=16,
+                             page_tokens=4)
+        arena.admit(0, 4, 8)
+        arena.admit(1, 4, 8)
+        a, b = arena.last_records[0].name, arena.last_records[1].name
+        arena.last_plan.placements[b] = arena.last_plan.placements[a]
+        assert any("alias" in p or "overlap" in p for p in arena.verify())

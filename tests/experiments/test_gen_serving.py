@@ -1,0 +1,92 @@
+"""gen_serving_throughput: sweep shape, headline claim, determinism."""
+
+import pytest
+
+from repro.experiments.gen_serving_throughput import (
+    GenServingBench,
+    OutputMix,
+    format_gen_serving,
+    run_gen_serving,
+)
+from repro.serving import GenServingMetrics
+
+RATES = (200.0, 1500.0)
+MIXES = (OutputMix("test-tail", mean_new_tokens=16.0, max_new_tokens=96),)
+DURATION = 0.5
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return GenServingBench()
+
+
+@pytest.fixture(scope="module")
+def sweep(bench):
+    return bench.run_sweep(RATES, MIXES, DURATION, seed=0)
+
+
+class TestSweep:
+    def test_shape(self, sweep):
+        mix = sweep["test-tail"]
+        assert set(mix) == {"request-level", "ebird", "continuous"}
+        for system in mix:
+            assert len(mix[system]) == len(RATES)
+
+    def test_gen_systems_report_gen_metrics(self, sweep):
+        for system in ("request-level", "continuous"):
+            for m in sweep["test-tail"][system]:
+                assert isinstance(m, GenServingMetrics)
+                assert m.ttft.count > 0
+                assert m.tokens_generated > 0
+
+    def test_continuous_beats_request_level_at_high_rate(self, sweep):
+        """The experiment's headline: response throughput AND mean TTFT
+        both favor iteration-level batching once the rate is high."""
+        top = len(RATES) - 1
+        cont = sweep["test-tail"]["continuous"][top]
+        rl = sweep["test-tail"]["request-level"][top]
+        assert cont.response_throughput > rl.response_throughput
+        assert cont.ttft.avg_ms < rl.ttft.avg_ms
+
+    def test_deterministic(self, bench, sweep):
+        again = bench.run_sweep(RATES, MIXES, DURATION, seed=0)
+
+        def key(m):
+            base = (m.response_throughput, m.completed, m.saturated)
+            if isinstance(m, GenServingMetrics):
+                base += (m.ttft.avg_ms, m.tpot_ms_avg, m.tokens_generated,
+                         m.decode_steps, m.kv_peak_bytes)
+            return base
+
+        for system in sweep["test-tail"]:
+            first = [key(m) for m in sweep["test-tail"][system]]
+            second = [key(m) for m in again["test-tail"][system]]
+            assert first == second, system
+
+
+class TestHarness:
+    def test_run_gen_serving_wrapper(self, bench):
+        out = run_gen_serving(bench, rates=(200.0,), mixes=MIXES,
+                              duration_s=0.2)
+        assert "test-tail" in out
+
+    def test_format_table(self, bench):
+        text = format_gen_serving(bench, rates=(200.0,), mixes=MIXES,
+                                  duration_s=0.2)
+        assert "continuous" in text
+        assert "request-level" in text
+        assert "ttft" in text
+
+    def test_workload_respects_mix(self, bench):
+        mix = OutputMix("capped", mean_new_tokens=4.0, max_new_tokens=7)
+        reqs = bench.workload(500.0, 0.5, seed=3, mix=mix)
+        assert reqs
+        assert all(1 <= r.max_new_tokens <= 7 for r in reqs)
+        assert all(bench.prompt_lo <= r.seq_len <= bench.prompt_hi
+                   for r in reqs)
+
+    def test_bad_inputs_rejected(self, bench):
+        with pytest.raises(ValueError):
+            GenServingBench(model="huge")
+        with pytest.raises(ValueError):
+            bench.run_point("no-such-system", 100.0, 0.2)

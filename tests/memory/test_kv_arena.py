@@ -1,0 +1,197 @@
+"""KVCacheArena: paged KV regions on the chunked allocator, admission gates."""
+
+import pytest
+
+from repro.memory import KVArenaError, KVCacheArena, kv_bytes_per_token
+from repro.observability import MetricsRegistry
+
+BPT = 64  # bytes per token used throughout (arbitrary, small)
+
+
+def arena(capacity_tokens=256, page_tokens=8, watermark=0.9, **kw):
+    return KVCacheArena(capacity_bytes=capacity_tokens * BPT,
+                        bytes_per_token=BPT, page_tokens=page_tokens,
+                        high_watermark=watermark, **kw)
+
+
+class TestBytesPerToken:
+    def test_formula(self):
+        # K and V, per layer, per head, head_size wide.
+        assert kv_bytes_per_token(2, 2, 8) == 2 * 2 * 2 * 8 * 4
+        assert kv_bytes_per_token(2, 2, 8, dtype_bytes=2) == 2 * 2 * 2 * 8 * 2
+
+    @pytest.mark.parametrize("args", [(0, 2, 8), (2, 0, 8), (2, 2, 0),
+                                      (2, 2, 8, 0)])
+    def test_validation(self, args):
+        with pytest.raises(ValueError):
+            kv_bytes_per_token(*args)
+
+
+class TestAdmission:
+    def test_admit_reserves_page_rounded_prompt(self):
+        a = arena(page_tokens=8)
+        assert a.admit(0, prompt_tokens=9, max_total_tokens=20)
+        assert a.used_bytes == 16 * BPT  # 9 tokens -> 2 pages
+
+    def test_watermark_gates_admission(self):
+        a = arena(capacity_tokens=100, page_tokens=1, watermark=0.5)
+        assert a.admit(0, prompt_tokens=50, max_total_tokens=50)
+        # Reserved bytes sit exactly at the watermark: next admit denied.
+        assert not a.admit(1, prompt_tokens=1, max_total_tokens=1)
+        assert a.denials == 1
+
+    def test_worst_case_bound_gates_admission(self):
+        """Admission must leave room for every live request to reach its
+        full output budget — otherwise append() could fail mid-decode."""
+        a = arena(capacity_tokens=100, page_tokens=1, watermark=0.9)
+        # Tiny prompt (passes the watermark gate) but a huge budget.
+        assert a.admit(0, prompt_tokens=10, max_total_tokens=95)
+        assert not a.admit(1, prompt_tokens=10, max_total_tokens=10)
+
+    def test_no_admission_past_high_watermark(self):
+        """Invariant: reserved bytes never exceed the watermark at admit."""
+        a = arena(capacity_tokens=128, page_tokens=8, watermark=0.75)
+        admitted = 0
+        while a.admit(admitted, prompt_tokens=8, max_total_tokens=8):
+            assert a.used_bytes <= a.watermark_bytes
+            admitted += 1
+        assert admitted == 12  # 96 tokens = 0.75 * 128
+
+    def test_fits_at_all(self):
+        a = arena(capacity_tokens=64, page_tokens=8)
+        assert a.fits_at_all(8, 32)
+        assert not a.fits_at_all(8, 1000)
+
+    def test_duplicate_admit_rejected(self):
+        a = arena()
+        assert a.admit(7, 8, 16)
+        with pytest.raises(KVArenaError):
+            a.admit(7, 8, 16)
+
+
+class TestGrowthAndRelease:
+    def test_append_within_reserved_page_keeps_bytes(self):
+        a = arena(page_tokens=8)
+        a.admit(0, prompt_tokens=4, max_total_tokens=16)
+        before = a.used_bytes
+        a.append(0, 1)  # still inside the first page
+        assert a.used_bytes == before
+
+    def test_append_across_page_boundary_grows(self):
+        a = arena(page_tokens=8)
+        a.admit(0, prompt_tokens=8, max_total_tokens=24)
+        a.append(0, 1)  # 9 tokens -> second page
+        assert a.used_bytes == 16 * BPT
+
+    def test_append_past_worst_case_raises(self):
+        a = arena(page_tokens=1)
+        a.admit(0, prompt_tokens=4, max_total_tokens=6)
+        a.append(0, 2)
+        with pytest.raises(KVArenaError):
+            a.append(0, 1)
+
+    def test_append_unknown_request_raises(self):
+        with pytest.raises(KVArenaError):
+            arena().append(42, 1)
+
+    def test_release_frees_every_byte(self):
+        a = arena()
+        for i in range(4):
+            a.admit(i, prompt_tokens=8, max_total_tokens=24)
+        for i in range(4):
+            a.release(i)
+        assert a.used_bytes == 0
+        assert a.live_requests == 0
+        assert a.releases == 4
+
+    def test_release_unknown_request_raises(self):
+        with pytest.raises(KVArenaError):
+            arena().release(42)
+
+    def test_grow_to_budget_never_fails_after_admit(self):
+        """The no-overflow invariant, end to end: admit greedily, then
+        grow every admitted request to its full budget."""
+        a = arena(capacity_tokens=256, page_tokens=8, watermark=0.8)
+        live = []
+        i = 0
+        while a.admit(i, prompt_tokens=8, max_total_tokens=40):
+            live.append(i)
+            i += 1
+        assert live
+        for req in live:
+            a.append(req, 32)  # to the worst case; must not raise
+        assert a.used_bytes <= a.capacity_bytes
+
+
+class TestPlansAndVerify:
+    def test_plans_verify_clean_through_lifecycle(self):
+        a = arena(capacity_tokens=512, page_tokens=8)
+        for i in range(5):
+            a.admit(i, prompt_tokens=8 + 8 * i, max_total_tokens=64)
+            assert a.verify() == []
+        for i in range(5):
+            a.append(i, 9)
+            assert a.verify() == []
+        for i in (0, 2, 4):
+            a.release(i)
+        assert a.verify() == []
+
+    def test_regions_placed_byte_disjoint(self):
+        a = arena(capacity_tokens=512, page_tokens=8)
+        for i in range(4):
+            a.admit(i, prompt_tokens=16, max_total_tokens=32)
+        plan = a.last_plan
+        spans = []
+        for rec in a.last_records:
+            p = plan.placements[rec.name]
+            spans.append((p.chunk_id, p.offset, p.offset + rec.size))
+        for i, (c1, s1, e1) in enumerate(spans):
+            for c2, s2, e2 in spans[i + 1:]:
+                assert c1 != c2 or e1 <= s2 or e2 <= s1
+
+    def test_stats_and_metrics_published(self):
+        registry = MetricsRegistry()
+        a = arena(metrics=registry)
+        a.admit(0, 8, 16)
+        a.release(0)
+        stats = a.stats()
+        assert stats["admissions"] == 1
+        assert stats["releases"] == 1
+        assert stats["live"] == 0
+        assert registry.counter("kv_arena_admissions_total").value == 1
+
+    def test_deterministic(self):
+        def episode():
+            a = arena(capacity_tokens=200, page_tokens=4, watermark=0.85)
+            log = []
+            for i in range(12):
+                log.append(a.admit(i, 4 + (i % 5) * 3, 20 + (i % 7) * 4))
+                if i % 3 == 0 and log[-1]:
+                    a.append(i, 5)
+                if i % 4 == 2:
+                    for j in range(i):
+                        if j in a._regions:
+                            a.release(j)
+                            break
+            return log, a.stats()
+
+        assert episode() == episode()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw", [
+        dict(capacity_bytes=0, bytes_per_token=BPT),
+        dict(capacity_bytes=1024, bytes_per_token=0),
+        dict(capacity_bytes=1024, bytes_per_token=BPT, page_tokens=0),
+        dict(capacity_bytes=1024, bytes_per_token=BPT, high_watermark=0.0),
+        dict(capacity_bytes=1024, bytes_per_token=BPT, high_watermark=1.5),
+    ])
+    def test_bad_config_rejected(self, kw):
+        with pytest.raises(ValueError):
+            KVCacheArena(**kw)
+
+    @pytest.mark.parametrize("args", [(0, 16), (8, 0), (8, 4)])
+    def test_bad_admit_rejected(self, args):
+        prompt, total = args
+        with pytest.raises(ValueError):
+            arena().admit(0, prompt, total)

@@ -53,6 +53,39 @@ class TestHarness:
             run_traced_workload(policy="eager")
 
 
+class TestContinuousHarness:
+    """``--scheduler continuous``: the generative iteration-level loop."""
+
+    @pytest.fixture(scope="class")
+    def gen_run(self):
+        return run_traced_workload(scheduler="continuous", rate_per_s=200.0,
+                                   duration_s=0.25, seed=3)
+
+    def test_trace_schema_valid_with_decode_spans(self, gen_run):
+        assert validate_trace_dict(gen_run.tracer.to_dict()) == []
+        names = {e["name"] for e in gen_run.tracer.to_dict()["traceEvents"]}
+        assert any(n.startswith("decode x") for n in names)
+        assert any(n.startswith("prefill x") for n in names)
+
+    def test_gen_metrics_reconcile(self, gen_run):
+        serving, reg = gen_run.serving, gen_run.registry
+        assert serving.completed == serving.offered
+        assert reg.sum_values("generation_requests_total") == serving.completed
+        # Decode steps produce every token except each request's first
+        # (which prefill yields), and everything completed.
+        assert reg.sum_values("gen_tokens_total") == (
+            serving.tokens_generated - serving.completed
+        )
+        assert reg.value("gen_decode_steps_total",
+                         system="Turbo-Continuous") == serving.decode_steps
+
+    def test_deterministic_given_seed(self, gen_run):
+        again = run_traced_workload(scheduler="continuous", rate_per_s=200.0,
+                                    duration_s=0.25, seed=3)
+        assert again.tracer.to_json() == gen_run.tracer.to_json()
+        assert again.registry.to_json() == gen_run.registry.to_json()
+
+
 class TestTraceCLI:
     def test_writes_valid_trace_and_metrics(self, tmp_path, capsys):
         trace_path = tmp_path / "trace.json"

@@ -80,3 +80,57 @@ class TestDecode:
             turbo.decode_step_latency(1, 0)
         with pytest.raises(ValueError):
             turbo.generate_latency(10, 0)
+
+
+class TestInstrumentation:
+    """The shared observability path every generative consumer funnels
+    through (continuous server, request-level control, trace CLI)."""
+
+    def test_timeline_total_matches_generate_latency(self, runtimes):
+        turbo, _ = runtimes
+        for prompt, new in ((32, 1), (64, 7), (128, 48)):
+            timeline = turbo.generate_timeline(prompt, new, batch=2)
+            assert timeline.total_s == turbo.generate_latency(prompt, new, 2)
+            assert timeline.ttft_s == turbo.prefill_latency(2, prompt)
+            assert timeline.tpot_s == pytest.approx(
+                (timeline.total_s - timeline.ttft_s) / new)
+
+    def test_timeline_emits_one_span_per_stride(self, runtimes):
+        from repro.observability import MetricsRegistry, Tracer
+
+        turbo, _ = runtimes
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        timeline = turbo.generate_timeline(64, 20, tracer=tracer,
+                                           metrics=registry, system="test")
+        events = tracer.to_dict()["traceEvents"]
+        decode = [e for e in events if e["name"].startswith("decode x")]
+        prefill = [e for e in events if e["name"].startswith("prefill x")]
+        # 20 tokens at the module stride of 8 -> strides of 8, 8, 4.
+        assert len(decode) == len(timeline.stride_ends) == 3
+        assert len(prefill) == 1
+        # Spans tile the timeline: each stride starts where the last ended.
+        assert decode[0]["ts"] == pytest.approx(prefill[0]["ts"]
+                                                + prefill[0]["dur"])
+        assert registry.counter("generation_requests_total",
+                                system="test").value == 1
+
+    def test_publish_request_metrics_shared_names(self, runtimes):
+        from repro.observability import MetricsRegistry
+
+        turbo, _ = runtimes
+        registry = MetricsRegistry()
+        turbo.publish_request_metrics(registry, req_id=1, ttft_s=0.01,
+                                      tpot_s=0.001, system="loop-a")
+        turbo.publish_request_metrics(registry, req_id=2, ttft_s=0.02,
+                                      tpot_s=0.002, system="loop-b")
+        # Same histogram family, distinguished only by the system label.
+        for system in ("loop-a", "loop-b"):
+            h = registry.histogram("generation_ttft_ms", system=system)
+            assert h.count == 1
+
+    def test_disabled_tracer_and_no_metrics_are_free(self, runtimes):
+        turbo, _ = runtimes
+        # None sinks must be accepted and change nothing.
+        timeline = turbo.generate_timeline(32, 4, tracer=None, metrics=None)
+        assert timeline.total_s == turbo.generate_latency(32, 4, 1)

@@ -53,6 +53,22 @@ class TestEbirdSimulation:
         serial_total = 8 * cost(200, 1)
         assert makespan == pytest.approx(serial_total, rel=0.01)
 
+    def test_single_resident_batch_charged_efficiency(self):
+        """Regression pin for a deliberate modelling choice: ``efficiency``
+        applies even at k=1 (a solo batch progresses at ``efficiency``,
+        not 1.0), because Ebird's elastic stream-pool dispatch overhead is
+        a property of how work is launched, not of co-residency — and a
+        discount at k=1 would make the progress rate discontinuous at the
+        k=1 -> 2 boundary.  See the module docstring."""
+        solo = reqs([(100, 0.0)])
+        simulate_ebird_serving(solo, cost, efficiency=0.8, duration_s=0.1)
+        assert solo[0].latency_s == pytest.approx(cost(100, 1) / 0.8)
+        # Strictly slower than the uncharged run, by exactly 1/efficiency.
+        ideal = reqs([(100, 0.0)])
+        simulate_ebird_serving(ideal, cost, efficiency=1.0, duration_s=0.1)
+        assert solo[0].latency_s == pytest.approx(
+            ideal[0].latency_s / 0.8)
+
     def test_interference_efficiency_charged(self):
         fast = reqs([(200, 0.0)] * 4)
         simulate_ebird_serving(fast, cost, efficiency=1.0, duration_s=0.1)

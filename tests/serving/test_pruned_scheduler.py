@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from repro.serving import (
     DPBatchScheduler,
     PrunedDPBatchScheduler,
@@ -127,6 +129,65 @@ class TestIncrementalReuse:
             got = scheduler.schedule(reqs(lengths), affine_cost, 6)
             want = DPBatchScheduler().schedule(reqs(lengths), affine_cost, 6)
             assert partition(got) == partition(want)
+
+
+class TestGenerationCostTable:
+    def test_identical_partitions_on_generation_costs(self):
+        """Property test with a cost table built from *generation* costs
+        (prefill + decode through GenerationRuntime) rather than a
+        closed-form stand-in — the table the request-level generation
+        server schedules with.  Pruned DP must emit the identical
+        partition, pruning enabled or not (generation cost is monotone in
+        batch and length, so pruning stays active)."""
+        from repro.gpusim import RTX_2060
+        from repro.models import (
+            build_decode_step_graph,
+            build_prefill_graph,
+            tiny_gpt,
+        )
+        from repro.runtime import TURBO_CHARACTERISTICS, GenerationRuntime
+        from repro.serving import request_level_cost_fn
+
+        config = tiny_gpt()
+        runtime = GenerationRuntime(build_prefill_graph(config),
+                                    build_decode_step_graph(config),
+                                    TURBO_CHARACTERISTICS, RTX_2060)
+        gen_cost = request_level_cost_fn(runtime, est_new_tokens=8)
+
+        rng = random.Random(23)
+        pruned = PrunedDPBatchScheduler()
+        for trial in range(40):
+            lengths = [rng.randrange(1, 9) * 8
+                       for _ in range(rng.randrange(1, 25))]
+            max_batch = rng.randrange(1, 9)
+            reference = DPBatchScheduler().schedule(
+                reqs(lengths), gen_cost, max_batch)
+            got = pruned.schedule(reqs(lengths), gen_cost, max_batch)
+            assert partition(got) == partition(reference), \
+                f"trial {trial}: lengths={lengths} max_batch={max_batch}"
+        # Monotone generation costs: pruning must have stayed enabled.
+        assert pruned._prunable
+
+    def test_generation_makespan_matches_brute_force(self):
+        from repro.gpusim import RTX_2060
+        from repro.models import (
+            build_decode_step_graph,
+            build_prefill_graph,
+            tiny_gpt,
+        )
+        from repro.runtime import TURBO_CHARACTERISTICS, GenerationRuntime
+        from repro.serving import request_level_cost_fn
+
+        config = tiny_gpt()
+        runtime = GenerationRuntime(build_prefill_graph(config),
+                                    build_decode_step_graph(config),
+                                    TURBO_CHARACTERISTICS, RTX_2060)
+        gen_cost = request_level_cost_fn(runtime, est_new_tokens=4)
+        lengths = [8, 8, 16, 24, 32, 40]
+        batches = PrunedDPBatchScheduler().schedule(reqs(lengths), gen_cost, 3)
+        got = schedule_makespan(batches, gen_cost)
+        want = brute_force_optimal_makespan(reqs(lengths), gen_cost, 3)
+        assert got == pytest.approx(want, rel=1e-12)
 
 
 class TestStats:

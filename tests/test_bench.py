@@ -28,8 +28,18 @@ def micro_profile():
         "fig12_max_batch": 4,
         "fig12_model": "tiny",
     }
+    bench.PROFILES["micro-gen"] = {
+        "gen_rates": (200.0, 1200.0),
+        "gen_duration_s": 0.4,
+        "gen_model": "tiny",
+        "gen_mix_mean": 12.0,
+        "gen_mix_max": 64,
+        "gen_capacity_tokens": 4096,
+        "gen_max_batch": 8,
+    }
     yield
     bench.PROFILES.pop("micro", None)
+    bench.PROFILES.pop("micro-gen", None)
 
 
 @pytest.fixture(scope="module")
@@ -111,3 +121,83 @@ class TestCli:
         saved = bench.load_bench(out)
         assert saved["profile"] == "micro"
         assert "wrote" in capsys.readouterr().out
+
+
+class TestGenProfile:
+    @pytest.fixture(scope="class")
+    def gen_payload(self):
+        return bench.run_bench("micro-gen", seed=0)
+
+    def test_two_runs_identical_counters(self, gen_payload):
+        again = bench.run_bench("micro-gen", seed=0)
+        assert bench.diff_bench(gen_payload, again) == []
+
+    def test_schema_and_sections(self, gen_payload):
+        assert gen_payload["schema"] == bench.BENCH_GEN_SCHEMA
+        assert set(gen_payload["counters"]) == {"gen"}
+        gen = gen_payload["counters"]["gen"]
+        assert gen["identical_reruns"]
+        assert gen_payload["equivalence_ok"]
+        # Both systems simulated at every rate.
+        for system in ("request_level", "continuous"):
+            assert set(gen[system]) == {"200.0", "1200.0"}
+
+    def test_continuous_wins_at_top_rate(self, gen_payload):
+        gen = gen_payload["counters"]["gen"]
+        assert gen["throughput_gain_at_top_rate"] > 1.0
+        top_cont = gen["continuous"]["1200.0"]
+        top_rl = gen["request_level"]["1200.0"]
+        assert top_cont["ttft_avg_ms"] < top_rl["ttft_avg_ms"]
+
+    def test_format_bench_renders_gen(self, gen_payload):
+        text = bench.format_bench(gen_payload)
+        assert "gen" in text
+        assert "throughput" in text
+
+
+class TestDiffDeltas:
+    def test_numeric_mismatch_reports_relative_delta(self, payload):
+        mutated = copy.deepcopy(payload)
+        mutated["counters"]["grid"]["cells"] = \
+            payload["counters"]["grid"]["cells"] * 2
+        problems = bench.diff_bench(payload, mutated)
+        [problem] = [p for p in problems if "cells" in p]
+        assert "rel delta 5.000e-01" in problem
+        assert "tol 0.000e+00" in problem
+        assert "recorded" in problem and "observed" in problem
+
+    def test_all_mismatches_reported_not_just_first(self, payload):
+        mutated = copy.deepcopy(payload)
+        mutated["counters"]["grid"]["cells"] += 1
+        mutated["counters"]["scheduler"]["batches"] += 1
+        mutated["counters"]["plans"]["plans"] += 1
+        problems = bench.diff_bench(payload, mutated)
+        assert len(problems) >= 3
+
+    def test_tolerance_accepts_small_drift(self, payload):
+        mutated = copy.deepcopy(payload)
+        cells = payload["counters"]["grid"]["cells"]
+        mutated["counters"]["grid"]["cells"] = cells * 1.0001
+        assert bench.diff_bench(payload, mutated) != []
+        assert bench.diff_bench(payload, mutated, rel_tol=1e-3) == []
+
+    def test_cli_diff_tol_flag(self, payload, tmp_path):
+        mutated = copy.deepcopy(payload)
+        mutated["counters"]["grid"]["cells"] = \
+            payload["counters"]["grid"]["cells"] * 1.0001
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        bench.save_bench(payload, a)
+        bench.save_bench(mutated, b)
+        assert main(["bench", "--diff", str(a), str(b)]) == 1
+        assert main(["bench", "--diff", str(a), str(b),
+                     "--diff-tol", "1e-3"]) == 0
+
+    def test_negative_tolerance_rejected(self, payload):
+        with pytest.raises(ValueError):
+            bench.diff_bench(payload, payload, rel_tol=-1.0)
+
+    def test_bool_is_not_numeric(self, payload):
+        mutated = copy.deepcopy(payload)
+        mutated["counters"]["grid"]["identical_tables"] = False
+        problems = bench.diff_bench(payload, mutated, rel_tol=10.0)
+        assert any("identical_tables" in p for p in problems)
