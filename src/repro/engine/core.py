@@ -1,0 +1,295 @@
+"""The one discrete-event core under every serving simulator.
+
+The repo's serving half used to carry four hand-rolled copies of the same
+virtual-time loop (``serving.server``, ``serving.continuous``,
+``serving.ebird``, ``serving.cluster``), and they diverged enough to
+harbor real bugs — epsilon time nudges, stale queue-depth traces,
+scheduling against the wrong cost model.  This module is the single
+replacement: a virtual clock, an event heap with a *documented*
+deterministic ordering, and cooperative tasks/timers, so a server is just
+a set of event handlers plus plain code that occupies busy windows.
+
+Event ordering
+--------------
+Events are dispatched in ``(time, priority, seq)`` order.  ``priority``
+defaults to the :class:`EventKind` value, so at the **same virtual time**
+the documented order is::
+
+    ARRIVAL (0)  <  RETRY (1)  <  WAKE (2)  <  TRIGGER (3)
+
+i.e. new work enters the queue first, failed attempts re-enter next,
+timer continuations (batch completions, task resumes, recovery wake-ups)
+run after the queues are current, and trigger-policy evaluations observe
+everything that happened at that instant.  ``seq`` (schedule order)
+breaks remaining ties, so two runs of the same workload dispatch
+identically.
+
+Invariants
+----------
+* The clock is owned by the engine: it advances **only** to the timestamp
+  of a real scheduled event, never by epsilon nudges.  Zero-progress
+  rounds are impossible by construction.
+* Scheduling into the past raises :class:`EngineError`; scheduling *at*
+  ``now`` is allowed (the event dispatches before time moves on).
+* Cancelled events never fire; cancellation is O(1) (lazy heap deletion).
+
+Busy windows
+------------
+``advance(delay)`` models a resource occupying ``[now, now + delay]``
+(a batch executing, a decode step): it schedules a marker WAKE at the end
+of the window and dispatches every event due inside it — arrivals land in
+queues at their true timestamps — returning with the clock exactly on the
+window end.  ``spawn(generator)`` runs a cooperative task: the generator
+yields delays (virtual seconds) and is resumed by engine timers, which is
+how multi-round work (a replica executing batches back to back) is
+expressed without a private loop.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from .instrument import EngineInstrumentation
+
+
+class EngineError(RuntimeError):
+    """An engine invariant was violated (e.g. scheduling into the past)."""
+
+
+class EventKind(enum.IntEnum):
+    """Event vocabulary; the value doubles as the same-time priority."""
+
+    ARRIVAL = 0  #: a request entering the system at its arrival timestamp
+    RETRY = 1    #: a failed attempt re-entering after its backoff
+    WAKE = 2     #: a timer: busy-window end, task resume, recovery wake-up
+    TRIGGER = 3  #: a trigger-policy decision point
+
+
+@dataclass
+class Event:
+    """One scheduled occurrence.  Sorts by ``(time, priority, seq)``."""
+
+    time: float
+    priority: int
+    seq: int
+    kind: EventKind
+    callback: Optional[Callable[["Event"], None]] = None
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+
+class VirtualClock:
+    """Monotone virtual time; only the engine moves it."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise EngineError(
+                f"clock cannot move backwards: {t} < {self._now}"
+            )
+        self._now = t
+
+
+class Task:
+    """A cooperative task: a generator yielding virtual-time delays.
+
+    The first segment runs synchronously at ``spawn``; each ``yield d``
+    suspends the task and the engine resumes it ``d`` virtual seconds
+    later via a WAKE timer.  ``done`` flips when the generator returns.
+    """
+
+    __slots__ = ("engine", "gen", "name", "done")
+
+    def __init__(self, engine: "Engine",
+                 gen: Generator[float, None, None], name: str) -> None:
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self._resume(None)
+
+    def _resume(self, _event: Optional[Event]) -> None:
+        try:
+            delay = self.gen.send(None)
+        except StopIteration:
+            self.done = True
+            return
+        if delay < 0:
+            raise EngineError(
+                f"task {self.name!r} yielded a negative delay: {delay}"
+            )
+        self.engine.schedule(self.engine.now + delay, EventKind.WAKE,
+                             self._resume)
+
+
+class Engine:
+    """Virtual clock + deterministic event heap + cooperative timers."""
+
+    def __init__(
+        self,
+        instrumentation: Optional[EngineInstrumentation] = None,
+    ) -> None:
+        self.clock = VirtualClock()
+        self.instrumentation = instrumentation
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._live = 0
+        self._dispatch_hooks: List[Callable[[Event], None]] = []
+        self.events_dispatched = 0
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        kind: EventKind,
+        callback: Optional[Callable[[Event], None]] = None,
+        payload: Any = None,
+        priority: Optional[int] = None,
+    ) -> Event:
+        """Schedule an event; ``time`` must be >= ``now``."""
+        if time < self.now:
+            raise EngineError(
+                f"cannot schedule {kind.name} at {time} < now {self.now}"
+            )
+        event = Event(
+            time=time,
+            priority=int(kind) if priority is None else priority,
+            seq=self._seq,
+            kind=kind,
+            callback=callback,
+            payload=payload,
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq,
+                                    event))
+        self._live += 1
+        return event
+
+    def after(
+        self,
+        delay: float,
+        kind: EventKind = EventKind.WAKE,
+        callback: Optional[Callable[[Event], None]] = None,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule relative to ``now``."""
+        return self.schedule(self.now + delay, kind, callback, payload)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (idempotent; O(1))."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        return self._live > 0
+
+    def peek(self) -> Optional[Event]:
+        """Next live event without dispatching it (skims cancelled ones)."""
+        while self._heap:
+            event = self._heap[0][3]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return event
+        return None
+
+    def add_dispatch_hook(self, hook: Callable[[Event], None]) -> None:
+        """Observe every dispatched event (after its handler ran)."""
+        self._dispatch_hooks.append(hook)
+
+    # -- dispatch --------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Dispatch the next event: advance the clock to its timestamp,
+        run its callback, then notify instrumentation and hooks."""
+        event = self.peek()
+        if event is None:
+            return None
+        heapq.heappop(self._heap)
+        self._live -= 1
+        self.clock.advance_to(event.time)
+        self.events_dispatched += 1
+        if event.callback is not None:
+            event.callback(event)
+        if self.instrumentation is not None:
+            self.instrumentation.observe_dispatch(event)
+        for hook in self._dispatch_hooks:
+            hook(event)
+        return event
+
+    def step_due(self) -> List[Event]:
+        """Dispatch the next event plus every event sharing its timestamp.
+
+        Servers that evaluate a policy per *instant* (not per event) use
+        this so simultaneous arrivals are all visible before a round.
+        """
+        first = self.step()
+        if first is None:
+            return []
+        dispatched = [first]
+        while True:
+            event = self.peek()
+            if event is None or event.time > self.now:
+                break
+            stepped = self.step()
+            assert stepped is not None
+            dispatched.append(stepped)
+        return dispatched
+
+    def run(self) -> None:
+        """Dispatch until the heap is empty."""
+        while self.step() is not None:
+            pass
+
+    def advance(
+        self,
+        delay: float,
+        label: Optional[str] = None,
+        tid: str = "gpu",
+        cat: str = "event",
+        **attrs: object,
+    ) -> float:
+        """Occupy the window ``[now, now + delay]``.
+
+        Dispatches every event due inside the window (handlers should only
+        mutate queues — the occupying resource is busy), then returns with
+        the clock exactly on the window end.  With ``label`` set and a
+        tracer attached, emits a complete span covering the window.
+        """
+        if delay < 0:
+            raise EngineError(f"cannot advance by a negative delay: {delay}")
+        started = self.now
+        marker = self.schedule(started + delay, EventKind.WAKE)
+        while True:
+            event = self.step()
+            assert event is not None, "marker guarantees progress"
+            if event is marker:
+                break
+        if label is not None and self.instrumentation is not None:
+            self.instrumentation.span(label, started, delay, tid=tid,
+                                      cat=cat, **attrs)
+        return self.now
+
+    # -- tasks -----------------------------------------------------------
+    def spawn(self, gen: Generator[float, None, None],
+              name: str = "task") -> Task:
+        """Run a cooperative task (see :class:`Task`)."""
+        return Task(self, gen, name)

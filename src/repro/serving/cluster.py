@@ -23,12 +23,21 @@ estimates are taken over the healthy set only — and failed attempts
 re-enqueue through the retry policy, re-routed on their next try.  With
 ``resilience=None`` the simulation is byte-identical to the fault-free
 code path.
+
+Migration note (event engine): the private ``heapq`` event loop is gone —
+arrivals and retry wake-ups are engine events and each server's
+batch-and-execute round is a cooperative engine task that sleeps through
+each batch's execution window, so completions, breaker records and
+failure retries are committed at their true virtual times instead of all
+at dispatch.  The round's timeline (per-batch costs, fault multipliers,
+crash truncation) is still projected deterministically at dispatch so the
+router sees the server's committed busy horizon immediately, exactly as
+the eager loop advertised it.
 """
 
 from __future__ import annotations
 
 import enum
-import heapq
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -38,6 +47,8 @@ from typing import (
     Sequence,
     Set,
 )
+
+from ..engine import Engine, EventKind
 
 from .metrics import (
     LatencyStats,
@@ -192,19 +203,12 @@ def simulate_cluster(
 
         retry_state = RetryState(res.retry)
 
-    # Event heap holds (time, seq, kind, payload); kinds: arrival, retry, idle.
-    events: List[tuple] = []
-    seq = 0
-    for request in arrivals:
-        events.append((request.arrival_s, seq, "arrival", request))
-        seq += 1
-    heapq.heapify(events)
+    engine = Engine()
     backlog_at_horizon: Optional[int] = None
     arrivals_left = len(arrivals)
 
     def handle_failure(r: Request, server_id: int, now: float) -> None:
         """One attempt failed on ``server_id``: retry elsewhere or give up."""
-        nonlocal seq
         if breakers is not None:
             breakers[server_id].record(False, now)
         retry_at = (retry_state.next_retry_at(r, now)
@@ -216,14 +220,15 @@ def simulate_cluster(
                                 reason="failed").inc()
             return
         r.attempt += 1
-        heapq.heappush(events, (retry_at, seq, "retry", r))
-        seq += 1
+        engine.schedule(retry_at, EventKind.RETRY, on_retry, r)
         if metrics is not None:
             metrics.counter("cluster_retries_total").inc()
 
     def run_server(server: ServerState, now: float) -> None:
-        """If idle with work queued, batch-and-execute the whole queue."""
-        nonlocal seq
+        """If idle with work queued, batch the whole queue and commit a
+        round: the timeline is projected at dispatch (so routing sees the
+        busy horizon immediately), then an engine task walks it, booking
+        completions and failures at their true virtual times."""
         if server.busy_until > now or not server.queue:
             return
         sid = server.server_id
@@ -234,8 +239,8 @@ def simulate_cluster(
                 handle_failure(r, sid, now)
             recover = faults.crash_end(sid, now)
             server.busy_until = recover
-            heapq.heappush(events, (recover, seq, "idle", sid))
-            seq += 1
+            engine.schedule(recover, EventKind.WAKE,
+                            lambda _ev, s=server: run_server(s, engine.now))
             return
         taken, server.queue = server.queue, []
         if res is not None:
@@ -252,41 +257,58 @@ def simulate_cluster(
             if not taken:
                 return
         batches = server.scheduler.schedule(taken, cost_fn, max_batch)
-        clock = now
+        # Project the round's deterministic timeline: per-batch windows
+        # under the fault plan's latency multipliers, truncated at the
+        # first crash.  Costs and fault draws depend only on timestamps,
+        # so the projection equals what execution will observe.
+        plan: List[tuple] = []
+        cursor = now
         crashed_at: Optional[float] = None
-        for bi, batch in enumerate(batches):
+        for batch in batches:
             exec_s = batch_execution_cost(batch, cost_fn)
             if faults is not None:
-                factor = faults.latency_multiplier(sid, clock)
+                factor = faults.latency_multiplier(sid, cursor)
                 if factor != 1.0:
                     exec_s *= factor
-                crashed_at = faults.crashed_during(sid, clock, clock + exec_s)
+                crashed_at = faults.crashed_during(sid, cursor,
+                                                   cursor + exec_s)
             if crashed_at is not None:
-                # The crash takes this batch and the rest of the round down.
-                for later in batches[bi:]:
+                break
+            plan.append((batch, cursor, cursor + exec_s))
+            cursor = cursor + exec_s
+        doomed = batches[len(plan):]
+        if crashed_at is not None:
+            server.busy_until = faults.crash_end(sid, crashed_at)
+        else:
+            server.busy_until = cursor
+
+        def round_task():
+            for batch, started, ends in plan:
+                for r in batch.requests:
+                    r.start_s = started
+                yield ends - engine.now
+                for r in batch.requests:
+                    if faults is not None and faults.attempt_fails(
+                            r.req_id, r.attempt, sid, started):
+                        handle_failure(r, sid, engine.now)
+                        continue
+                    r.resolve(RequestState.COMPLETED, engine.now)
+                    server.completed += 1
+                    if breakers is not None:
+                        breakers[sid].record(True, engine.now)
+            if crashed_at is not None:
+                # The crash takes the rest of the round down; sleep out
+                # the outage before going idle again.
+                if crashed_at > engine.now:
+                    yield crashed_at - engine.now
+                for later in doomed:
                     for r in later.requests:
                         handle_failure(r, sid, crashed_at)
-                recover = faults.crash_end(sid, crashed_at)
-                server.busy_until = recover
-                heapq.heappush(events, (recover, seq, "idle", sid))
-                seq += 1
-                return
-            started = clock
-            for r in batch.requests:
-                r.start_s = clock
-            clock += exec_s
-            for r in batch.requests:
-                if faults is not None and faults.attempt_fails(
-                        r.req_id, r.attempt, sid, started):
-                    handle_failure(r, sid, clock)
-                    continue
-                r.resolve(RequestState.COMPLETED, clock)
-                server.completed += 1
-                if breakers is not None:
-                    breakers[sid].record(True, clock)
-        server.busy_until = clock
-        heapq.heappush(events, (clock, seq, "idle", sid))
-        seq += 1
+                if server.busy_until > engine.now:
+                    yield server.busy_until - engine.now
+            run_server(server, engine.now)
+
+        engine.spawn(round_task(), name=f"server{sid}-round")
 
     def healthy_set(now: float) -> Optional[Set[int]]:
         if res is None:
@@ -298,20 +320,35 @@ def simulate_cluster(
         }
         return healthy
 
-    while events:
-        now, _, kind, payload = heapq.heappop(events)
-        if kind in ("arrival", "retry"):
-            request = payload
-            target = router.route(request, servers, now,
-                                  healthy=healthy_set(now))
-            servers[target].queue.append(request)
-            if kind == "arrival":
-                arrivals_left -= 1
-            run_server(servers[target], now)
-        else:  # idle
-            run_server(servers[payload], now)
-        if backlog_at_horizon is None and arrivals_left == 0 and now >= horizon:
+    def on_arrival(event) -> None:
+        nonlocal arrivals_left
+        request = event.payload
+        now = engine.now
+        target = router.route(request, servers, now,
+                              healthy=healthy_set(now))
+        servers[target].queue.append(request)
+        arrivals_left -= 1
+        run_server(servers[target], now)
+
+    def on_retry(event) -> None:
+        request = event.payload
+        now = engine.now
+        target = router.route(request, servers, now,
+                              healthy=healthy_set(now))
+        servers[target].queue.append(request)
+        run_server(servers[target], now)
+
+    def snapshot_backlog(_event) -> None:
+        nonlocal backlog_at_horizon
+        if (backlog_at_horizon is None and arrivals_left == 0
+                and engine.now >= horizon):
             backlog_at_horizon = sum(len(s.queue) for s in servers)
+
+    for request in arrivals:
+        engine.schedule(request.arrival_s, EventKind.ARRIVAL, on_arrival,
+                        request)
+    engine.add_dispatch_hook(snapshot_backlog)
+    engine.run()
 
     if backlog_at_horizon is None:
         backlog_at_horizon = 0

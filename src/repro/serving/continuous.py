@@ -30,6 +30,14 @@ next round.  The gap between the two is the experiment
 Everything is simulator-time and deterministic given the workload; costs
 come from :class:`~repro.runtime.GenerationRuntime` (prefill and per-step
 decode against the growing KV cache).
+
+Migration note (event engine): both loops now run on
+:class:`repro.engine.Engine`.  Arrivals are ARRIVAL events ingested at
+their true timestamps; prefill passes and decode steps occupy the GPU
+through ``engine.advance``; idle gaps are crossed by dispatching the next
+event instead of ``clock = max(clock, next_arrival)``.  Batch
+composition, costs and all counters are unchanged — only the loop
+skeleton moved.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional, Sequence
 
+from ..engine import Engine, EngineInstrumentation, EventKind
 from ..memory.kv_arena import KVCacheArena
 from ..observability import MetricsRegistry, Tracer
 from .metrics import LatencyStats, ServingMetrics, response_throughput
@@ -267,120 +276,126 @@ class ContinuousBatchingServer(_GenLoopBase):
         if self._trace_on:
             self.tracer.thread_name("gpu", "gpu (prefill + decode steps)")
 
+        engine = Engine(instrumentation=EngineInstrumentation(
+            self.tracer, self.metrics))
         queue: Deque[GenRequest] = deque()
         active: List[GenRequest] = []
-        clock = 0.0
-        next_arrival = 0
-        n = len(arrivals)
         busy = 0.0
         decode_steps = prefills = tokens = 0
 
-        def ingest(now: float) -> None:
-            nonlocal next_arrival
-            while next_arrival < n and arrivals[next_arrival].arrival_s <= now:
-                r = arrivals[next_arrival]
-                next_arrival += 1
-                self._begin_request(r)
-                if not self.arena.fits_at_all(
-                    r.seq_len, r.seq_len + r.max_new_tokens
-                ):
-                    # Could never be admitted even into an empty arena:
-                    # shed instead of blocking the FIFO head forever.
-                    self._shed(r, now)
-                    continue
-                queue.append(r)
+        def on_arrival(event) -> None:
+            r = event.payload
+            self._begin_request(r)
+            if not self.arena.fits_at_all(
+                r.seq_len, r.seq_len + r.max_new_tokens
+            ):
+                # Could never be admitted even into an empty arena:
+                # shed instead of blocking the FIFO head forever.
+                self._shed(r, engine.now)
+                return
+            queue.append(r)
 
         def slots_free(pending: int) -> bool:
             cap = self.config.max_batch
             return cap is None or len(active) + pending < cap
 
-        ingest(clock)
-        while next_arrival < n or queue or active:
-            # 1. KV-aware admission: fold every admissible queued request
-            #    into one prefill pass (chunked-prefill simplification).
-            admitted: List[GenRequest] = []
-            while queue and slots_free(len(admitted)):
-                limit = self.config.admit_per_step
-                if limit is not None and len(admitted) >= limit:
-                    break
-                r = queue[0]
-                if not self.arena.admit(r.req_id, r.seq_len,
-                                        r.seq_len + r.max_new_tokens):
-                    break  # high-watermark holds the FIFO head
-                queue.popleft()
-                admitted.append(r)
-            if admitted:
-                b = len(admitted)
-                prompt = max(r.seq_len for r in admitted)
-                prefill_s = self.runtime.prefill_latency(b, prompt)
-                self.runtime.trace_prefill(self.tracer, clock, prefill_s,
-                                           b, prompt)
-                busy += _window_overlap(clock, prefill_s, horizon)
-                started = clock
-                clock += prefill_s
-                prefills += 1
-                for r in admitted:
-                    r.start_s = started
-                    r.generated = 1  # prefill yields the first token
-                    r.first_token_s = clock
-                    tokens += 1
-                    if r.generated >= r.max_new_tokens:
-                        self._complete(r, clock)
-                        self.arena.release(r.req_id)
-                    else:
-                        active.append(r)
-                if self.metrics is not None:
-                    self.metrics.counter("gen_prefill_batches_total",
-                                         system=self.system_name).inc()
-                ingest(clock)
-                continue
-            # 2. One decode step over the live batch: width = live slots
-            #    only (finished requests already exited), KV padded to the
-            #    longest live cache.
-            if active:
-                b = len(active)
-                past = max(r.seq_len + r.generated for r in active)
-                step_s = self.runtime.decode_step_latency(b, past)
-                self.runtime.trace_decode_stride(self.tracer, clock, step_s,
-                                                 b, past, tokens=b)
-                busy += _window_overlap(clock, step_s, horizon)
-                clock += step_s
-                decode_steps += 1
-                tokens += b
-                survivors: List[GenRequest] = []
-                for r in active:
-                    r.generated += 1
-                    if r.generated >= r.max_new_tokens:
-                        self._complete(r, clock)
-                        self.arena.release(r.req_id)
-                    else:
-                        # The token just produced joins the KV cache and
-                        # is attended to from the next step on.
-                        self.arena.append(r.req_id, 1)
-                        survivors.append(r)
-                active = survivors
-                if self._trace_on:
-                    self.tracer.counter("kv_arena", clock, {
-                        "used_mb": self.arena.used_bytes / (1024.0 * 1024.0),
-                        "slots": float(len(active)),
-                    })
-                if self.metrics is not None:
-                    self.metrics.counter("gen_decode_steps_total",
-                                         system=self.system_name).inc()
-                    self.metrics.counter("gen_tokens_total",
-                                         system=self.system_name).inc(b)
-                ingest(clock)
-                continue
-            # 3. Idle: jump to the next arrival.  (queue non-empty here is
-            #    impossible: an empty arena admits anything that passed
-            #    fits_at_all at ingest.)
-            assert not queue, "admission stalled with an empty arena"
-            if next_arrival < n:
-                clock = max(clock, arrivals[next_arrival].arrival_s)
-                ingest(clock)
+        for r in arrivals:
+            engine.schedule(r.arrival_s, EventKind.ARRIVAL, on_arrival, r)
 
-        return self._finalize(arrivals, horizon, clock, busy, decode_steps,
-                              prefills, tokens, self.arena.denials,
+        while True:
+            # Drive the GPU until it goes idle at the current instant.
+            while True:
+                # 1. KV-aware admission: fold every admissible queued
+                #    request into one prefill pass (chunked-prefill
+                #    simplification).
+                admitted: List[GenRequest] = []
+                while queue and slots_free(len(admitted)):
+                    limit = self.config.admit_per_step
+                    if limit is not None and len(admitted) >= limit:
+                        break
+                    r = queue[0]
+                    if not self.arena.admit(r.req_id, r.seq_len,
+                                            r.seq_len + r.max_new_tokens):
+                        break  # high-watermark holds the FIFO head
+                    queue.popleft()
+                    admitted.append(r)
+                if admitted:
+                    b = len(admitted)
+                    prompt = max(r.seq_len for r in admitted)
+                    started = engine.now
+                    prefill_s = self.runtime.prefill_latency(b, prompt)
+                    self.runtime.trace_prefill(self.tracer, started,
+                                               prefill_s, b, prompt)
+                    busy += _window_overlap(started, prefill_s, horizon)
+                    clock = engine.advance(prefill_s)
+                    prefills += 1
+                    for r in admitted:
+                        r.start_s = started
+                        r.generated = 1  # prefill yields the first token
+                        r.first_token_s = clock
+                        tokens += 1
+                        if r.generated >= r.max_new_tokens:
+                            self._complete(r, clock)
+                            self.arena.release(r.req_id)
+                        else:
+                            active.append(r)
+                    if self.metrics is not None:
+                        self.metrics.counter("gen_prefill_batches_total",
+                                             system=self.system_name).inc()
+                    continue
+                # 2. One decode step over the live batch: width = live
+                #    slots only (finished requests already exited), KV
+                #    padded to the longest live cache.
+                if active:
+                    b = len(active)
+                    past = max(r.seq_len + r.generated for r in active)
+                    started = engine.now
+                    step_s = self.runtime.decode_step_latency(b, past)
+                    self.runtime.trace_decode_stride(self.tracer, started,
+                                                     step_s, b, past,
+                                                     tokens=b)
+                    busy += _window_overlap(started, step_s, horizon)
+                    clock = engine.advance(step_s)
+                    decode_steps += 1
+                    tokens += b
+                    survivors: List[GenRequest] = []
+                    for r in active:
+                        r.generated += 1
+                        if r.generated >= r.max_new_tokens:
+                            self._complete(r, clock)
+                            self.arena.release(r.req_id)
+                        else:
+                            # The token just produced joins the KV cache
+                            # and is attended to from the next step on.
+                            self.arena.append(r.req_id, 1)
+                            survivors.append(r)
+                    active = survivors
+                    if self._trace_on:
+                        self.tracer.counter("kv_arena", clock, {
+                            "used_mb":
+                                self.arena.used_bytes / (1024.0 * 1024.0),
+                            "slots": float(len(active)),
+                        })
+                    if self.metrics is not None:
+                        self.metrics.counter("gen_decode_steps_total",
+                                             system=self.system_name).inc()
+                        self.metrics.counter("gen_tokens_total",
+                                             system=self.system_name).inc(b)
+                    continue
+                # 3. Nothing runnable right now.  (queue non-empty here is
+                #    impossible: an empty arena admits anything that
+                #    passed fits_at_all at ingest.)
+                assert not queue, "admission stalled with an empty arena"
+                break
+            if not engine.pending:
+                break
+            # Idle: dispatch the next instant in full so simultaneous
+            # arrivals all join the queue before the next admission pass.
+            engine.step_due()
+
+        return self._finalize(arrivals, horizon, engine.now, busy,
+                              decode_steps, prefills, tokens,
+                              self.arena.denials,
                               self.arena.peak_used_bytes)
 
 
@@ -445,78 +460,77 @@ class RequestLevelGenerationServer(_GenLoopBase):
         if self._trace_on:
             self.tracer.thread_name("gpu", "gpu (prefill + decode steps)")
 
+        engine = Engine(instrumentation=EngineInstrumentation(
+            self.tracer, self.metrics))
         queue: List[GenRequest] = []
-        clock = 0.0
-        next_arrival = 0
-        n = len(arrivals)
         busy = 0.0
         decode_steps = prefills = tokens = 0
 
-        def ingest(now: float) -> None:
-            nonlocal next_arrival
-            while next_arrival < n and arrivals[next_arrival].arrival_s <= now:
-                r = arrivals[next_arrival]
-                next_arrival += 1
-                self._begin_request(r)
-                queue.append(r)
+        def on_arrival(event) -> None:
+            r = event.payload
+            self._begin_request(r)
+            queue.append(r)
 
-        ingest(clock)
-        while next_arrival < n or queue:
-            if not queue:
-                clock = max(clock, arrivals[next_arrival].arrival_s)
-                ingest(clock)
-                continue
-            # One scheduling round over the whole queue (hungry policy).
-            taken, queue[:] = list(queue), []
-            batches = self.scheduler.schedule(taken, self.cost_fn,
-                                              self.max_batch)
-            for batch in batches:
-                b = batch.size
-                padded = batch.padded_len
-                started = clock
-                prefill_s = self.runtime.prefill_latency(b, padded)
-                self.runtime.trace_prefill(self.tracer, clock, prefill_s,
-                                           b, padded)
-                busy += _window_overlap(clock, prefill_s, horizon)
-                clock += prefill_s
-                prefills += 1
-                survivors: List[GenRequest] = []
-                for r in batch.requests:
-                    r.start_s = started
-                    r.generated = 1
-                    r.first_token_s = clock
-                    tokens += 1
-                    if r.generated >= r.max_new_tokens:
-                        self._complete(r, clock)
-                    else:
-                        survivors.append(r)
-                # Decode to the longest member at FULL width: finished
-                # slots idle but are still paid for.
-                step = 1
-                while survivors:
-                    past = padded + step
-                    step_s = self.runtime.decode_step_latency(b, past)
-                    self.runtime.trace_decode_stride(
-                        self.tracer, clock, step_s, b, past,
-                        tokens=len(survivors),
-                    )
-                    busy += _window_overlap(clock, step_s, horizon)
-                    clock += step_s
-                    decode_steps += 1
-                    tokens += len(survivors)
-                    step += 1
-                    nxt: List[GenRequest] = []
-                    for r in survivors:
-                        r.generated += 1
+        for r in arrivals:
+            engine.schedule(r.arrival_s, EventKind.ARRIVAL, on_arrival, r)
+
+        while True:
+            while queue:
+                # One scheduling round over the whole queue (hungry policy).
+                taken, queue[:] = list(queue), []
+                batches = self.scheduler.schedule(taken, self.cost_fn,
+                                                  self.max_batch)
+                for batch in batches:
+                    b = batch.size
+                    padded = batch.padded_len
+                    started = engine.now
+                    prefill_s = self.runtime.prefill_latency(b, padded)
+                    self.runtime.trace_prefill(self.tracer, started,
+                                               prefill_s, b, padded)
+                    busy += _window_overlap(started, prefill_s, horizon)
+                    clock = engine.advance(prefill_s)
+                    prefills += 1
+                    survivors: List[GenRequest] = []
+                    for r in batch.requests:
+                        r.start_s = started
+                        r.generated = 1
+                        r.first_token_s = clock
+                        tokens += 1
                         if r.generated >= r.max_new_tokens:
                             self._complete(r, clock)
                         else:
-                            nxt.append(r)
-                    survivors = nxt
-                # Arrivals during this batch queue up for the NEXT round —
-                # the head-of-line blocking continuous batching removes.
-                ingest(clock)
+                            survivors.append(r)
+                    # Decode to the longest member at FULL width: finished
+                    # slots idle but are still paid for.
+                    step = 1
+                    while survivors:
+                        past = padded + step
+                        step_start = engine.now
+                        step_s = self.runtime.decode_step_latency(b, past)
+                        self.runtime.trace_decode_stride(
+                            self.tracer, step_start, step_s, b, past,
+                            tokens=len(survivors),
+                        )
+                        busy += _window_overlap(step_start, step_s, horizon)
+                        clock = engine.advance(step_s)
+                        decode_steps += 1
+                        tokens += len(survivors)
+                        step += 1
+                        nxt: List[GenRequest] = []
+                        for r in survivors:
+                            r.generated += 1
+                            if r.generated >= r.max_new_tokens:
+                                self._complete(r, clock)
+                            else:
+                                nxt.append(r)
+                        survivors = nxt
+                    # Arrivals during this batch queued up for the NEXT
+                    # round — the head-of-line blocking continuous
+                    # batching removes.
+            if not engine.pending:
+                break
+            engine.step_due()
 
-        return self._finalize(arrivals, horizon, clock, busy, decode_steps,
-                              prefills, tokens, kv_denials=0,
+        return self._finalize(arrivals, horizon, engine.now, busy,
+                              decode_steps, prefills, tokens, kv_denials=0,
                               kv_peak_bytes=0)

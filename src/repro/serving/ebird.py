@@ -24,14 +24,23 @@ uniformly also keeps the progress-rate function continuous at the
 ``k = 1 -> 2`` boundary; a discontinuity there would let the simulator
 flip between regimes on ties and make results knife-edge sensitive to
 arrival jitter.
+
+Migration note (event engine): the loop now runs on
+:class:`repro.engine.Engine`.  Arrivals are ARRIVAL events; the earliest
+co-resident batch completion is a single WAKE timer that is cancelled and
+rescheduled whenever the processor-sharing rate changes (a batch joins or
+leaves).  Every event applies the elapsed progress since the previous
+event before mutating the active set, so the piecewise-linear
+remaining-work trajectories are identical to the old hand-rolled
+``min(next_arrival, next_completion)`` loop.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..engine import Engine, EventKind
 from .metrics import LatencyStats, ServingMetrics, response_throughput
 from .request import Request, make_batch
 from .scheduler import CostFn
@@ -69,16 +78,28 @@ def simulate_ebird_serving(
     if horizon <= 0:
         raise ValueError(f"duration must be positive, got {horizon}")
 
-    clock = 0.0
-    next_arrival = 0
+    engine = Engine()
     n = len(arrivals)
     queue: List[Request] = []
     active: List[_ActiveBatch] = []
     backlog_at_horizon: Optional[float] = None
+    arrivals_left = n
+    last_progress_t = 0.0
+    completion_event = None
 
     def progress_rate() -> float:
         """Per-batch progress in device-seconds per wall-second."""
         return efficiency / len(active)
+
+    def apply_progress(now: float) -> None:
+        """Charge the elapsed wall time against every resident batch."""
+        nonlocal last_progress_t
+        if active and now > last_progress_t:
+            elapsed = now - last_progress_t
+            rate = progress_rate()
+            for batch in active:
+                batch.remaining_work_s -= elapsed * rate
+        last_progress_t = now
 
     def dispatch(now: float) -> None:
         while queue and len(active) < max_streams:
@@ -91,40 +112,59 @@ def simulate_ebird_serving(
                              cost_fn(batch.padded_len, batch.size))
             )
 
-    while next_arrival < n or queue or active:
-        next_arrival_t = (
-            arrivals[next_arrival].arrival_s if next_arrival < n else math.inf
-        )
-        if active:
-            rate = progress_rate()
-            min_remaining = min(b.remaining_work_s for b in active)
-            next_completion_t = clock + min_remaining / rate
-        else:
-            next_completion_t = math.inf
-        now = min(next_arrival_t, next_completion_t)
-        assert now < math.inf, "simulation stalled"
-        if active:
-            elapsed = now - clock
-            rate = progress_rate()
-            for batch in active:
-                batch.remaining_work_s -= elapsed * rate
-        clock = now
+    def reschedule_completion() -> None:
+        """Keep one WAKE at the earliest completion under the current rate."""
+        nonlocal completion_event
+        if completion_event is not None:
+            engine.cancel(completion_event)
+            completion_event = None
+        if not active:
+            return
+        min_remaining = min(b.remaining_work_s for b in active)
+        at = engine.now + min_remaining / progress_rate()
+        completion_event = engine.schedule(at, EventKind.WAKE, on_event)
 
+    def sync(now: float) -> None:
+        """Shared per-event body: progress, completions, dispatch."""
+        apply_progress(now)
         finished = [b for b in active if b.remaining_work_s <= 1e-12]
         if finished:
             for batch in finished:
                 for r in batch.requests:
-                    r.completion_s = clock
+                    r.completion_s = now
             active[:] = [b for b in active if b.remaining_work_s > 1e-12]
-        while next_arrival < n and arrivals[next_arrival].arrival_s <= clock:
-            queue.append(arrivals[next_arrival])
-            next_arrival += 1
-        dispatch(clock)
-        if (backlog_at_horizon is None and next_arrival >= n
-                and clock >= horizon):
+        dispatch(now)
+
+    def on_event(_event) -> None:
+        sync(engine.now)
+        reschedule_completion()
+
+    def on_arrival(event) -> None:
+        nonlocal arrivals_left
+        apply_progress(engine.now)
+        queue.append(event.payload)
+        arrivals_left -= 1
+        nxt = engine.peek()
+        if (nxt is not None and nxt.time == engine.now
+                and nxt.kind is EventKind.ARRIVAL):
+            # Coalesce simultaneous arrivals into one dispatch pass so
+            # they can share a batch, as the merged-iteration loop did.
+            return
+        sync(engine.now)
+        reschedule_completion()
+
+    def snapshot_backlog(_event) -> None:
+        nonlocal backlog_at_horizon
+        if (backlog_at_horizon is None and arrivals_left == 0
+                and engine.now >= horizon):
             backlog_at_horizon = len(queue) + sum(
                 len(b.requests) for b in active
             )
+
+    for r in arrivals:
+        engine.schedule(r.arrival_s, EventKind.ARRIVAL, on_arrival, r)
+    engine.add_dispatch_hook(snapshot_backlog)
+    engine.run()
 
     if backlog_at_horizon is None:
         backlog_at_horizon = 0

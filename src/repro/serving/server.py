@@ -6,6 +6,22 @@ the trigger policy fires, the batch scheduler partitions the queued
 requests and the batches execute back-to-back, each costing its profiled
 latency.  Everything is deterministic given the workload.
 
+Migration note (event engine): this loop now runs on
+:class:`repro.engine.Engine` — arrivals, retry wake-ups and trigger-policy
+decision points are heap events dispatched in the engine's documented
+``ARRIVAL < RETRY < WAKE < TRIGGER`` same-time order, and batch execution
+occupies the GPU through ``engine.advance`` so arrivals land in the queue
+at their true timestamps instead of at batch boundaries.  The port
+removed the private ``while``/``heapq`` loop and with it three bugs: the
+DP scheduler and the LazyPolicy estimate now price rounds with the
+**active degradation rung's** cost function (they used the base
+``cost_fn`` while execution charged the rung's), the queue-depth trace
+counter and metrics gauge both report the **pre-drain** depth (the trace
+sampled after ``queue.drain`` and always showed ~0), and the
+``clock + 1e-9`` anti-stall nudge is gone — the engine only ever advances
+to real event timestamps, so zero-progress rounds are impossible by
+construction.
+
 Observability: pass a :class:`repro.observability.Tracer` and/or a
 :class:`repro.observability.MetricsRegistry` to get per-request spans
 (enqueue → scheduled → execute → complete), per-batch timeline events with
@@ -25,10 +41,10 @@ zero-overhead-when-disabled guarantee the tracer gives.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from ..engine import Engine, EngineInstrumentation, Event, EventKind
 from ..observability import NULL_TRACER, MetricsRegistry, Tracer
 from .metrics import (
     LatencyStats,
@@ -111,17 +127,16 @@ def simulate_serving(
         from ..resilience.retry import RetryState  # deferred: avoids cycle
 
         retry_state = RetryState(res.retry)
-    # (time, tiebreak, request) of failed attempts waiting out their backoff.
-    retry_heap: List[Tuple[float, int, Request]] = []
-    retry_seq = 0
 
+    instrumentation = (EngineInstrumentation(tracer, metrics)
+                       if (trace_on or metrics is not None) else None)
+    engine = Engine(instrumentation=instrumentation)
     queue = MessageQueue(capacity=res.queue_capacity if res is not None else None)
-    clock = 0.0
-    next_arrival = 0
     n = len(arrivals)
     backlog_at_horizon: Optional[int] = None
     busy_in_horizon = 0.0
     batches_executed = 0
+    trigger_event: Optional[Event] = None
     if trace_on:
         tracer.thread_name("gpu", "gpu (batch execution)")
         tracer.thread_name("scheduler", "batch scheduler")
@@ -151,36 +166,44 @@ def simulate_serving(
         if not queue.push(r):
             drop_request(r, RequestState.SHED, now)
 
-    def ingest(now: float) -> None:
-        nonlocal next_arrival, backlog_at_horizon
-        ingested = 0
-        while next_arrival < n and arrivals[next_arrival].arrival_s <= now:
-            request = arrivals[next_arrival]
-            next_arrival += 1
-            ingested += 1
-            if trace_on:
-                tracer.async_begin(
-                    "request", request.arrival_s, request.req_id,
-                    cat="request", seq_len=request.seq_len,
-                )
-            if (cache is not None and request.payload is not None
-                    and cache.get(request.payload) is not None):
-                # Resp Cache hit: answered without evaluating the model.
-                request.start_s = request.arrival_s
-                request.completion_s = request.arrival_s
-                request.state = RequestState.COMPLETED
-                complete_request(request, "cache")
-                continue
+    def on_arrival(event: Event) -> None:
+        """An offered request enters the system at its true timestamp."""
+        request = event.payload
+        now = engine.now
+        if trace_on:
+            tracer.async_begin(
+                "request", request.arrival_s, request.req_id,
+                cat="request", seq_len=request.seq_len,
+            )
+        if (cache is not None and request.payload is not None
+                and cache.get(request.payload) is not None):
+            # Resp Cache hit: answered without evaluating the model.
+            request.start_s = request.arrival_s
+            request.completion_s = request.arrival_s
+            request.state = RequestState.COMPLETED
+            complete_request(request, "cache")
+        else:
             enqueue(request, now)
-        # Failed attempts whose backoff has elapsed re-enter the queue.
-        while retry_heap and retry_heap[0][0] <= now:
-            _, _, request = heapq.heappop(retry_heap)
-            ingested += 1
-            if trace_on:
-                tracer.async_instant("request", now, request.req_id,
-                                     cat="request", stage="requeue",
-                                     attempt=request.attempt)
-            enqueue(request, now)
+        if trace_on:
+            tracer.counter("queue", now, {"depth": len(queue)})
+        if metrics is not None:
+            metrics.counter("serving_requests_ingested_total").inc()
+
+    def on_retry(event: Event) -> None:
+        """A failed attempt re-enters the queue after its backoff."""
+        request = event.payload
+        now = engine.now
+        if trace_on:
+            tracer.async_instant("request", now, request.req_id,
+                                 cat="request", stage="requeue",
+                                 attempt=request.attempt)
+        enqueue(request, now)
+        if trace_on:
+            tracer.counter("queue", now, {"depth": len(queue)})
+        if metrics is not None:
+            metrics.counter("serving_requests_ingested_total").inc()
+
+    def snapshot_backlog(_event: Event) -> None:
         # Snapshot the backlog at the first event crossing the horizon —
         # regardless of how many arrivals remain.  (Waiting for all
         # arrivals, as this once did, takes the snapshot long after the
@@ -190,16 +213,13 @@ def simulate_serving(
         # depth alone undercounts because a scheduling round drains the
         # whole queue into batches long before they execute, and arrivals
         # after the horizon are not backlog of the measured load.
-        if backlog_at_horizon is None and now >= horizon:
+        nonlocal backlog_at_horizon
+        if backlog_at_horizon is None and engine.now >= horizon:
             backlog_at_horizon = sum(
                 1 for r in arrivals
                 if r.arrival_s <= horizon
                 and (r.start_s is None or r.start_s > horizon)
             )
-        if ingested and trace_on:
-            tracer.counter("queue", now, {"depth": len(queue)})
-        if ingested and metrics is not None:
-            metrics.counter("serving_requests_ingested_total").inc(ingested)
 
     def active_cost_fn() -> CostFn:
         """Cost function of the current degradation rung (base if none)."""
@@ -224,34 +244,44 @@ def simulate_serving(
                 alive.append(r)
         return alive
 
-    def execute(batches, with_ingest: bool = True) -> None:
-        nonlocal clock, busy_in_horizon, batches_executed
+    def execute(batches) -> None:
+        nonlocal busy_in_horizon, batches_executed
         for batch in batches:
             if res is not None:
                 # Re-check deadlines at dispatch (as shedding does): members
                 # that went stale while earlier batches of this round
                 # executed are dropped rather than served hopelessly late.
-                alive = [r for r in batch.requests if not r.expired(clock)]
+                alive = [r for r in batch.requests
+                         if not r.expired(engine.now)]
                 if len(alive) < batch.size:
                     for r in batch.requests:
-                        if r.expired(clock):
-                            drop_request(r, RequestState.TIMED_OUT, clock)
+                        if r.expired(engine.now):
+                            drop_request(r, RequestState.TIMED_OUT, engine.now)
                     if not alive:
                         continue
                     batch = make_batch(alive)
             exec_s = batch_execution_cost(batch, active_cost_fn())
-            started = clock
+            started = engine.now
             if faults is not None:
                 factor = faults.latency_multiplier(0, started)
                 if factor != 1.0:
                     exec_s *= factor
             for r in batch.requests:
-                r.start_s = clock
+                r.start_s = started
             busy_in_horizon += max(
-                0.0, min(clock + exec_s, horizon) - min(clock, horizon)
+                0.0, min(started + exec_s, horizon) - min(started, horizon)
             )
-            clock += exec_s
+            # Occupy the GPU: arrivals and retry wake-ups due inside the
+            # window land in the queue at their true timestamps; the span
+            # for the batch is emitted by the engine.
+            engine.advance(
+                exec_s, label=f"batch x{batch.size}" if trace_on else None,
+                tid="gpu", cat="batch", size=batch.size,
+                padded_len=batch.padded_len,
+                padding_waste_tokens=batch.padding_waste,
+            )
             batches_executed += 1
+            now = engine.now
             failed: List[Request] = []
             if faults is not None and faults.failure_rate(0, started) > 0.0:
                 failed = [r for r in batch.requests
@@ -260,19 +290,13 @@ def simulate_serving(
             for r in batch.requests:
                 if id(r) in failed_set:
                     continue
-                r.completion_s = clock
+                r.completion_s = now
                 r.state = RequestState.COMPLETED
                 if breaker is not None:
-                    breaker.record(True, clock)
+                    breaker.record(True, now)
                 if cache is not None and r.payload is not None:
                     cache.put(r.payload, r.req_id)
             if trace_on:
-                tracer.complete(
-                    f"batch x{batch.size}", started, exec_s, tid="gpu",
-                    cat="batch", size=batch.size,
-                    padded_len=batch.padded_len,
-                    padding_waste_tokens=batch.padding_waste,
-                )
                 for r in batch.requests:
                     tracer.async_instant(
                         "request", started, r.req_id, cat="request",
@@ -283,7 +307,7 @@ def simulate_serving(
                 if id(r) not in failed_set:
                     complete_request(r, "model")
             for r in failed:
-                _handle_failure(r, clock)
+                _handle_failure(r, now)
             if metrics is not None:
                 metrics.counter("serving_batches_executed_total").inc()
                 metrics.counter("serving_padded_tokens_total").inc(
@@ -292,17 +316,14 @@ def simulate_serving(
                 metrics.counter("serving_padding_waste_tokens_total").inc(
                     batch.padding_waste
                 )
-                metrics.gauge("serving_gpu_busy_s").set(busy_in_horizon, t=clock)
+                metrics.gauge("serving_gpu_busy_s").set(busy_in_horizon, t=now)
             # Feedback hook for adaptive (Clipper-style AIMD) schedulers.
             observe = getattr(scheduler, "observe", None)
             if observe is not None:
                 observe(batch, exec_s)
-            if with_ingest:
-                ingest(clock)
 
     def _handle_failure(r: Request, now: float) -> None:
         """One attempt failed: retry after backoff or give up."""
-        nonlocal retry_seq
         if breaker is not None:
             breaker.record(False, now)
         if metrics is not None:
@@ -313,72 +334,86 @@ def simulate_serving(
             drop_request(r, RequestState.FAILED, now)
             return
         r.attempt += 1
-        heapq.heappush(retry_heap, (retry_at, retry_seq, r))
-        retry_seq += 1
+        engine.schedule(retry_at, EventKind.RETRY, on_retry, r)
         if metrics is not None:
             metrics.counter("serving_retries_total").inc()
 
-    ingest(clock)
-    while next_arrival < n or queue or retry_heap:
-        if queue and config.policy.should_schedule(queue, clock):
-            if isinstance(config.policy, LazyPolicy) and queue:
+    def run_rounds() -> None:
+        """Chain scheduling rounds at the current instant while the
+        trigger policy keeps firing."""
+        while queue and config.policy.should_schedule(queue, engine.now):
+            now = engine.now
+            if isinstance(config.policy, LazyPolicy):
                 front = queue.front()
                 assert front is not None
-                config.policy.estimated_exec_s = cost_fn(front.seq_len, 1)
+                config.policy.estimated_exec_s = \
+                    active_cost_fn()(front.seq_len, 1)
             depth = len(queue)
             taken = queue.drain(config.round_limit)
             if res is not None:
                 if degradation is not None:
                     breaker_open = (breaker is not None
-                                    and not breaker.allow(clock))
-                    degradation.on_round(depth, breaker_open, clock)
-                taken = admit(taken, clock)
+                                    and not breaker.allow(now))
+                    degradation.on_round(depth, breaker_open, now)
+                taken = admit(taken, now)
                 if not taken:
                     continue
-            batches = scheduler.schedule(taken, cost_fn, config.max_batch)
-            if metrics is not None or trace_on:
-                if metrics is not None:
-                    metrics.gauge("serving_queue_depth").set(depth, t=clock)
-                if trace_on:
-                    tracer.counter("queue", clock, {"depth": len(queue)})
-                observe_round(batches, clock, scheduler.name,
+            # The round is priced with the rung chosen for *this* round,
+            # so the DP partition optimizes the cost model execution will
+            # actually charge.
+            batches = scheduler.schedule(taken, active_cost_fn(),
+                                         config.max_batch)
+            if instrumentation is not None:
+                # Pre-drain depth to trace counter and gauge alike.
+                instrumentation.queue_depth(now, depth)
+                observe_round(batches, now, scheduler.name,
                               metrics=metrics,
                               tracer=tracer if trace_on else None)
             execute(batches)
-            continue
-        # Idle: jump to the next arrival, retry wake-up, or policy trigger.
-        next_times = []
-        if next_arrival < n:
-            next_times.append(arrivals[next_arrival].arrival_s)
-        if retry_heap:
-            next_times.append(retry_heap[0][0])
-        trigger = config.policy.next_decision_time(queue, clock)
-        if trigger != float("inf"):
-            next_times.append(trigger)
-        if not next_times:
+
+    def ensure_trigger() -> None:
+        """Keep exactly one pending TRIGGER event at the policy's next
+        decision time (if that time is real and in the future)."""
+        nonlocal trigger_event
+        t = config.policy.next_decision_time(queue, engine.now)
+        if trigger_event is not None and not trigger_event.cancelled:
+            if t == trigger_event.time:
+                return
+            engine.cancel(trigger_event)
+        trigger_event = None
+        if t == float("inf") or t <= engine.now:
+            # No future decision point: either the policy never fires
+            # again (the flush path handles the remainder) or it already
+            # declined at ``now`` — the next real event re-evaluates it.
+            return
+        trigger_event = engine.schedule(t, EventKind.TRIGGER)
+
+    for request in arrivals:
+        engine.schedule(request.arrival_s, EventKind.ARRIVAL, on_arrival,
+                        request)
+    engine.add_dispatch_hook(snapshot_backlog)
+
+    while True:
+        run_rounds()
+        # Arm the trigger *before* judging idleness: a future policy
+        # decision point is a real pending event, not a reason to flush.
+        ensure_trigger()
+        if not engine.pending:
             if queue:
                 # Policy will never fire again (e.g. degenerate config):
                 # flush the remainder so the simulation terminates.
-                flush = queue.drain(None)
+                flush = queue.drain(config.round_limit)
                 if res is not None:
-                    flush = admit(flush, clock)
+                    flush = admit(flush, engine.now)
                 if flush:
-                    execute(scheduler.schedule(flush, cost_fn,
-                                               config.max_batch),
-                            with_ingest=False)
+                    execute(scheduler.schedule(flush, active_cost_fn(),
+                                               config.max_batch))
+                continue
             break
-        advance = max(min(next_times), clock)
-        if advance == clock and next_arrival >= n and not retry_heap:
-            # No time progress possible: force a flush round.
-            flush = queue.drain(config.round_limit)
-            if res is not None:
-                flush = admit(flush, clock)
-                if not flush:
-                    continue
-            execute(scheduler.schedule(flush, cost_fn, config.max_batch))
-            continue
-        clock = advance if advance > clock else clock + 1e-9
-        ingest(clock)
+        # Dispatch the next instant in full (all simultaneous events)
+        # before re-evaluating the policy, so a round sees every arrival
+        # of its timestamp — the clock only ever lands on event times.
+        engine.step_due()
 
     if backlog_at_horizon is None:
         backlog_at_horizon = 0

@@ -7,6 +7,13 @@ happen: they shed load.  This module adds the standard mechanism — drop any
 request whose age already exceeds its deadline when it reaches the
 scheduler — so an overloaded server keeps serving *fresh* requests at
 bounded latency instead of serving everyone infinitely late.
+
+Migration note (event engine): the loop runs on
+:class:`repro.engine.Engine` — arrivals are ARRIVAL events and batch
+execution occupies the window through ``engine.advance``.  As before, the
+trigger policy is only re-evaluated at event times (no TRIGGER timers
+here: a lazy policy fires at the next arrival, exactly as the old
+jump-to-next-arrival loop behaved).
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..engine import Engine, EventKind
 from .metrics import LatencyStats, ServingMetrics, response_throughput
 from .mq import MessageQueue
 from .policies import HungryPolicy, TriggerPolicy
@@ -65,17 +73,10 @@ def simulate_serving_with_shedding(
     if horizon <= 0:
         raise ValueError(f"duration must be positive, got {horizon}")
 
+    engine = Engine()
     queue = MessageQueue()
-    clock = 0.0
-    next_arrival = 0
     n = len(arrivals)
     dropped: List[Request] = []
-
-    def ingest(now: float) -> None:
-        nonlocal next_arrival
-        while next_arrival < n and arrivals[next_arrival].arrival_s <= now:
-            queue.push(arrivals[next_arrival])
-            next_arrival += 1
 
     def take_fresh(now: float) -> List[Request]:
         """Drain the queue, shedding requests already past their deadline."""
@@ -90,41 +91,41 @@ def simulate_serving_with_shedding(
 
     from .request import make_batch
 
-    ingest(clock)
-    while next_arrival < n or queue:
-        if queue and policy.should_schedule(queue, clock):
-            fresh = take_fresh(clock)
-            if fresh:
-                for batch in scheduler.schedule(fresh, cost_fn, max_batch):
-                    # Re-check freshness at dispatch: members that went
-                    # stale while earlier batches of this round executed
-                    # are shed rather than served hopelessly late.
-                    alive: List[Request] = []
-                    for r in batch.requests:
-                        if clock - r.arrival_s > deadline_s:
-                            r.state = RequestState.SHED
-                            dropped.append(r)
-                        else:
-                            alive.append(r)
-                    if not alive:
-                        continue
-                    live_batch = (
-                        batch if len(alive) == len(batch.requests)
-                        else make_batch(alive)
-                    )
-                    exec_s = batch_execution_cost(live_batch, cost_fn)
-                    for r in live_batch.requests:
-                        r.start_s = clock
-                    clock += exec_s
-                    for r in live_batch.requests:
-                        r.resolve(RequestState.COMPLETED, clock)
-                    ingest(clock)
-            continue
-        if next_arrival < n:
-            clock = max(clock, arrivals[next_arrival].arrival_s)
-            ingest(clock)
-        else:
+    for request in arrivals:
+        engine.schedule(request.arrival_s, EventKind.ARRIVAL,
+                        lambda event: queue.push(event.payload), request)
+
+    while True:
+        while queue and policy.should_schedule(queue, engine.now):
+            fresh = take_fresh(engine.now)
+            for batch in scheduler.schedule(fresh, cost_fn, max_batch) \
+                    if fresh else ():
+                # Re-check freshness at dispatch: members that went
+                # stale while earlier batches of this round executed
+                # are shed rather than served hopelessly late.
+                now = engine.now
+                alive: List[Request] = []
+                for r in batch.requests:
+                    if now - r.arrival_s > deadline_s:
+                        r.state = RequestState.SHED
+                        dropped.append(r)
+                    else:
+                        alive.append(r)
+                if not alive:
+                    continue
+                live_batch = (
+                    batch if len(alive) == len(batch.requests)
+                    else make_batch(alive)
+                )
+                exec_s = batch_execution_cost(live_batch, cost_fn)
+                for r in live_batch.requests:
+                    r.start_s = now
+                engine.advance(exec_s)
+                for r in live_batch.requests:
+                    r.resolve(RequestState.COMPLETED, engine.now)
+        if not engine.pending:
             break
+        engine.step_due()
 
     served = [r for r in arrivals if r.completion_s is not None]
     throughput = response_throughput(arrivals, horizon * 0.1, horizon)

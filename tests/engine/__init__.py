@@ -1,0 +1,1 @@
+"""Tests for the discrete-event engine core."""

@@ -1,0 +1,247 @@
+"""The discrete-event core: ordering, invariants, busy windows, tasks."""
+
+import pytest
+
+from repro.engine import (
+    Engine,
+    EngineError,
+    EngineInstrumentation,
+    EventKind,
+    VirtualClock,
+)
+from repro.observability import MetricsRegistry, Tracer
+
+
+class TestEventOrdering:
+    def _run_scrambled(self):
+        """Schedule one event of each kind at the same instant, in an
+        order that disagrees with the documented dispatch order."""
+        engine = Engine()
+        order = []
+        for kind in (EventKind.TRIGGER, EventKind.WAKE,
+                     EventKind.ARRIVAL, EventKind.RETRY):
+            engine.schedule(1.0, kind,
+                            lambda e: order.append(e.kind))
+        engine.run()
+        return order
+
+    def test_same_time_kinds_dispatch_in_documented_order(self):
+        assert self._run_scrambled() == [
+            EventKind.ARRIVAL, EventKind.RETRY,
+            EventKind.WAKE, EventKind.TRIGGER,
+        ]
+
+    def test_ordering_is_identical_across_runs(self):
+        assert self._run_scrambled() == self._run_scrambled()
+
+    def test_seq_breaks_ties_in_schedule_order(self):
+        engine = Engine()
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(2.0, EventKind.ARRIVAL,
+                            lambda e: order.append(e.payload), tag)
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_earlier_time_beats_priority(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, EventKind.TRIGGER,
+                        lambda e: order.append("early-trigger"))
+        engine.schedule(2.0, EventKind.ARRIVAL,
+                        lambda e: order.append("late-arrival"))
+        engine.run()
+        assert order == ["early-trigger", "late-arrival"]
+
+
+class TestClockInvariants:
+    """Virtual time only ever advances to real event timestamps — the
+    invariant that makes the old ``clock + 1e-9`` anti-stall nudge
+    unnecessary by construction."""
+
+    def test_clock_lands_exactly_on_event_timestamps(self):
+        engine = Engine()
+        times = [0.125, 0.125, 0.75, 2.5]
+        for t in times:
+            engine.schedule(t, EventKind.WAKE)
+        seen = []
+        engine.add_dispatch_hook(
+            lambda event: seen.append((engine.now, event.time)))
+        engine.run()
+        # The clock at each dispatch is the event's own timestamp, no
+        # epsilon offsets, and it never lands anywhere else.
+        assert [now for now, _ in seen] == times
+        assert all(now == t for now, t in seen)
+        assert engine.now == times[-1]
+
+    def test_clock_is_monotone(self):
+        engine = Engine()
+        for t in (0.5, 0.1, 0.3, 0.1):
+            engine.schedule(t, EventKind.WAKE)
+        trajectory = []
+        engine.add_dispatch_hook(lambda _e: trajectory.append(engine.now))
+        engine.run()
+        assert trajectory == sorted(trajectory)
+
+    def test_scheduling_into_the_past_raises(self):
+        engine = Engine()
+        engine.schedule(1.0, EventKind.WAKE)
+        engine.run()
+        assert engine.now == 1.0
+        with pytest.raises(EngineError):
+            engine.schedule(0.5, EventKind.ARRIVAL)
+
+    def test_scheduling_at_now_is_allowed(self):
+        engine = Engine()
+        engine.schedule(1.0, EventKind.WAKE)
+        engine.run()
+        fired = []
+        engine.schedule(1.0, EventKind.WAKE, lambda e: fired.append(engine.now))
+        engine.run()
+        assert fired == [1.0]
+
+    def test_virtual_clock_refuses_to_move_backwards(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        with pytest.raises(EngineError):
+            clock.advance_to(2.9)
+
+
+class TestAdvance:
+    def test_advance_dispatches_window_events_at_true_times(self):
+        engine = Engine()
+        landed = []
+        engine.schedule(0.25, EventKind.ARRIVAL,
+                        lambda e: landed.append(engine.now))
+        engine.schedule(0.75, EventKind.ARRIVAL,
+                        lambda e: landed.append(engine.now))
+        end = engine.advance(1.0)
+        assert landed == [0.25, 0.75]
+        assert end == 1.0
+        assert engine.now == 1.0
+
+    def test_advance_leaves_post_window_events_pending(self):
+        engine = Engine()
+        engine.schedule(5.0, EventKind.ARRIVAL)
+        engine.advance(1.0)
+        assert engine.now == 1.0
+        assert engine.pending
+
+    def test_advance_by_zero_stays_put(self):
+        engine = Engine()
+        assert engine.advance(0.0) == 0.0
+
+    def test_advance_negative_raises(self):
+        with pytest.raises(EngineError):
+            Engine().advance(-0.1)
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(1.0, EventKind.WAKE,
+                                lambda e: fired.append("no"))
+        engine.cancel(event)
+        engine.run()
+        assert fired == []
+        assert not engine.pending
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        keep = engine.schedule(1.0, EventKind.WAKE)
+        drop = engine.schedule(2.0, EventKind.WAKE)
+        engine.cancel(drop)
+        engine.cancel(drop)
+        assert engine.pending  # ``keep`` is still live
+        assert engine.peek() is keep
+
+    def test_peek_skips_cancelled(self):
+        engine = Engine()
+        drop = engine.schedule(1.0, EventKind.WAKE)
+        keep = engine.schedule(2.0, EventKind.WAKE)
+        engine.cancel(drop)
+        assert engine.peek() is keep
+
+
+class TestStepDue:
+    def test_step_due_drains_one_instant_in_full(self):
+        engine = Engine()
+        for _ in range(3):
+            engine.schedule(1.0, EventKind.ARRIVAL)
+        engine.schedule(2.0, EventKind.ARRIVAL)
+        dispatched = engine.step_due()
+        assert len(dispatched) == 3
+        assert engine.now == 1.0
+        assert engine.pending
+
+    def test_step_due_on_empty_heap(self):
+        assert Engine().step_due() == []
+
+
+class TestTasks:
+    def test_task_first_segment_runs_synchronously(self):
+        engine = Engine()
+        log = []
+
+        def work():
+            log.append(("start", engine.now))
+            yield 0.5
+            log.append(("mid", engine.now))
+            yield 0.25
+            log.append(("end", engine.now))
+
+        task = engine.spawn(work())
+        assert log == [("start", 0.0)]  # ran before any dispatch
+        engine.run()
+        assert log == [("start", 0.0), ("mid", 0.5), ("end", 0.75)]
+        assert task.done
+
+    def test_task_negative_delay_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield -1.0
+
+        with pytest.raises(EngineError):
+            engine.spawn(bad())
+
+
+class TestInstrumentation:
+    def test_dispatch_counter_labelled_by_kind(self):
+        metrics = MetricsRegistry()
+        engine = Engine(
+            instrumentation=EngineInstrumentation(Tracer(), metrics))
+        engine.schedule(1.0, EventKind.ARRIVAL)
+        engine.schedule(1.0, EventKind.TRIGGER)
+        engine.schedule(2.0, EventKind.ARRIVAL)
+        engine.run()
+        assert engine.events_dispatched == 3
+        assert metrics.counter(
+            "engine_events_dispatched_total", kind="arrival").value == 2
+        assert metrics.counter(
+            "engine_events_dispatched_total", kind="trigger").value == 1
+
+    def test_queue_depth_fans_out_to_trace_and_gauge(self):
+        """One sample feeds both the trace counter and the metrics gauge,
+        so the two can never disagree again (the pre-engine loop sampled
+        them at different points and the trace showed ~0)."""
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        inst = EngineInstrumentation(tracer, metrics)
+        inst.queue_depth(1.5, 7)
+        counters = [e for e in tracer.events if e.get("ph") == "C"]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "queue"
+        assert counters[0]["args"] == {"depth": 7.0}
+        assert metrics.gauge("serving_queue_depth").series == [(1.5, 7.0)]
+
+    def test_advance_emits_span_for_labelled_window(self):
+        tracer = Tracer()
+        engine = Engine(
+            instrumentation=EngineInstrumentation(tracer, None))
+        engine.advance(0.5, label="batch x3", tid="gpu", cat="batch", size=3)
+        spans = [e for e in tracer.events if e.get("ph") == "X"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "batch x3"
+        assert spans[0]["args"]["size"] == 3
