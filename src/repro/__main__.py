@@ -17,12 +17,16 @@ Commands
     metrics JSON (counters/gauges/histograms).  ``--scheduler continuous``
     traces the iteration-level generative loop instead (GPT model, one
     span per decode step, KV-arena counters on the track).
-``chaos [--scenario smoke|blackout|storm] [--seed N]
-        [--metrics-out chaos_metrics.json] [--no-check]``
+``chaos [--scenario smoke|blackout|storm|gen-blackout|gen-storm]
+        [--seed N] [--metrics-out chaos_metrics.json] [--no-check]``
     Run one scripted fault-injection scenario (baseline + chaos pair over
     the same workload), print resilience metrics (retries, deadline
     misses, breaker transitions, post-fault goodput vs. baseline) and exit
-    non-zero unless goodput recovers to >= 95% of the fault-free baseline.
+    non-zero unless goodput recovers past the scenario threshold.  The
+    ``gen-*`` scenarios exercise generation serving — replica crashes with
+    KV loss and recompute-on-resume (``gen-blackout``), KV-pressure
+    preemption under a transient-failure storm (``gen-storm``) — and
+    additionally require a clean end-of-run KV leak audit.
     Deterministic given the seed: two runs write byte-identical metrics.
 ``bench [--profile smoke|full|gen] [--seed N] [--out BENCH_host.json]``
     Wall-clock benchmarks of the host fast path (compiled cost models,
@@ -137,8 +141,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from .resilience.chaos import SCENARIOS, format_report, run_chaos
+    from .resilience.chaos import (
+        GEN_SCENARIOS,
+        SCENARIOS,
+        format_gen_report,
+        format_report,
+        run_chaos,
+        run_gen_chaos,
+    )
 
+    if args.scenario in GEN_SCENARIOS:
+        report = run_gen_chaos(scenario_name=args.scenario, seed=args.seed)
+        print(format_gen_report(report))
+        if args.metrics_out:
+            report.registry.save(args.metrics_out)
+            print(f"metrics:   {args.metrics_out} "
+                  f"({len(report.registry)} series)")
+        if args.no_check:
+            return 0
+        return 0 if report.recovered and report.leak_free else 1
     if args.scenario not in SCENARIOS:  # argparse choices guard; belt and braces
         print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
         return 2
@@ -264,7 +285,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos",
         help="run a scripted fault scenario and check goodput recovery",
     )
-    chaos.add_argument("--scenario", choices=("smoke", "blackout", "storm"),
+    chaos.add_argument("--scenario",
+                       choices=("smoke", "blackout", "storm",
+                                "gen-blackout", "gen-storm"),
                        default="smoke")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--metrics-out", default="chaos_metrics.json",

@@ -133,7 +133,9 @@ def run_memory_checks(
 
 def _kv_arena_diags(report: DiagnosticReport) -> int:
     """Scripted KV-arena episode: verify the arena's allocation plan after
-    every mutation kind (admit / grow across a page boundary / release).
+    every mutation kind (admit / grow across a page boundary / release /
+    preempt / restore), then audit the leak invariant — no region may
+    outlive its request (MEM221).
 
     Returns the number of plans verified; any MEM2xx diagnostic the arena
     plan trips lands in ``report`` like a regular plan check.
@@ -144,10 +146,11 @@ def _kv_arena_diags(report: DiagnosticReport) -> int:
                          page_tokens=8)
     verified = 0
 
-    def verify(stage: str) -> None:
+    def verify(stage: str, live=None) -> None:
         nonlocal verified
-        for problem in arena.verify():
-            report.add(diag("MEM220", f"[{stage}] {problem}",
+        for problem in arena.verify(live_req_ids=live):
+            code = "MEM221" if "leak" in problem else "MEM220"
+            report.add(diag(code, f"[{stage}] {problem}",
                             graph="kv-arena"))
         verified += 1
 
@@ -161,6 +164,15 @@ def _kv_arena_diags(report: DiagnosticReport) -> int:
     for req_id in (1, 3, 5):
         arena.release(req_id)
     verify("release")
+    # Preemption churn: evict a survivor, restore it with its grown
+    # prefix, and audit that exactly the live set holds regions.
+    arena.preempt(4)
+    verify("preempt", live=[0, 2])
+    arena.restore(4, tokens=16 + 8 * 4 + 9, max_total_tokens=64 + 8 * 4)
+    verify("restore", live=[0, 2, 4])
+    for req_id in (0, 2, 4):
+        arena.release(req_id)
+    verify("drain", live=[])
     return verified
 
 

@@ -53,6 +53,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "MEM210": (Severity.INFO, "chunk fragmentation report"),
     "MEM211": (Severity.WARNING, "chunk utilization below threshold"),
     "MEM220": (Severity.ERROR, "KV-cache arena plan violation"),
+    "MEM221": (Severity.ERROR, "KV region outlives its request (leak)"),
     # -- schedule race detector (SCHED3xx) ---------------------------------
     "SCHED301": (Severity.ERROR, "read-after-write hazard across streams"),
     "SCHED302": (Severity.ERROR, "write-after-read hazard across streams"),

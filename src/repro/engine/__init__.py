@@ -6,11 +6,13 @@ See :mod:`repro.engine.core` for the event vocabulary, the documented
 """
 
 from .core import Engine, EngineError, Event, EventKind, Task, VirtualClock
+from .faults import EngineFaultInjector
 from .instrument import EngineInstrumentation
 
 __all__ = [
     "Engine",
     "EngineError",
+    "EngineFaultInjector",
     "EngineInstrumentation",
     "Event",
     "EventKind",

@@ -50,9 +50,12 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Tuple
 
 from .instrument import EngineInstrumentation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import EngineFaultInjector
 
 
 class EngineError(RuntimeError):
@@ -139,14 +142,24 @@ class Engine:
     def __init__(
         self,
         instrumentation: Optional[EngineInstrumentation] = None,
+        faults: Optional["EngineFaultInjector"] = None,
     ) -> None:
         self.clock = VirtualClock()
         self.instrumentation = instrumentation
+        #: Optional fault injector (see :mod:`repro.engine.faults`).  When
+        #: set, ``advance`` stretches its busy windows under the injector's
+        #: active latency spikes / kernel stalls; crash windows and
+        #: transient-failure verdicts stay dispatch-layer queries the
+        #: hosted server makes through the same object.
+        self.faults = faults
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._live = 0
         self._dispatch_hooks: List[Callable[[Event], None]] = []
         self.events_dispatched = 0
+        #: Actual duration of the last ``advance`` window (after fault
+        #: stretching) — what busy/utilization accounting should charge.
+        self.last_advance_s = 0.0
 
     # -- clock -----------------------------------------------------------
     @property
@@ -276,6 +289,12 @@ class Engine:
         """
         if delay < 0:
             raise EngineError(f"cannot advance by a negative delay: {delay}")
+        if self.faults is not None:
+            # Latency spikes / kernel stalls become engine effects here:
+            # the busy window itself is longer, so in-window arrivals,
+            # spans and busy accounting all see the stretched duration.
+            delay = self.faults.stretch(delay, self.now, label)
+        self.last_advance_s = delay
         started = self.now
         marker = self.schedule(started + delay, EventKind.WAKE)
         while True:
@@ -286,6 +305,25 @@ class Engine:
         if label is not None and self.instrumentation is not None:
             self.instrumentation.span(label, started, delay, tid=tid,
                                       cat=cat, **attrs)
+        return self.now
+
+    def run_until(self, t: float) -> float:
+        """Dispatch every event due up to absolute time ``t`` and land the
+        clock exactly there.
+
+        Unlike :meth:`advance` this is not a busy window: no fault
+        stretching, no span.  Serving loops use it to sleep out a crash
+        outage — arrivals and retries due inside still land in queues at
+        their true timestamps.
+        """
+        if t < self.now:
+            raise EngineError(f"cannot run_until {t} < now {self.now}")
+        marker = self.schedule(t, EventKind.WAKE)
+        while True:
+            event = self.step()
+            assert event is not None, "marker guarantees progress"
+            if event is marker:
+                break
         return self.now
 
     # -- tasks -----------------------------------------------------------

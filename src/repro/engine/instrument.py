@@ -56,6 +56,11 @@ class EngineInstrumentation:
         if self.tracer is not None:
             self.tracer.counter(name, now, {"depth": depth})
 
+    def fault(self, kind: str) -> None:
+        """Count one injected fault effect (stretch, attempt_failure, ...)."""
+        if self.metrics is not None:
+            self.metrics.counter("engine_faults_total", kind=kind).inc()
+
     def span(self, name: str, start_s: float, dur_s: float,
              tid: str = "gpu", cat: str = "event", **attrs: object) -> None:
         if self.tracer is not None:

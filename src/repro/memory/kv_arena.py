@@ -126,6 +126,8 @@ class KVCacheArena:
         self.denials = 0
         self.releases = 0
         self.replans = 0
+        self.preemptions = 0
+        self.restores = 0
         self.peak_used_bytes = 0
 
     # -- capacity accounting --------------------------------------------------
@@ -251,6 +253,54 @@ class KVCacheArena:
             self.metrics.counter("kv_arena_releases_total").inc()
         self._replan()
 
+    # -- preemption / recovery ------------------------------------------------
+
+    def preempt(self, req_id: int) -> int:
+        """Evict a live region under pressure; returns the tokens dropped.
+
+        The KV state is *gone* — the serving loop must re-queue the victim
+        and recompute (prefill over prompt + already-generated tokens) when
+        it is re-admitted via :meth:`restore`.  Counted separately from
+        :meth:`release` so chaos reports can distinguish completions from
+        evictions.
+        """
+        region = self.region_of(req_id)
+        tokens = region.tokens
+        del self._regions[req_id]
+        self.preemptions += 1
+        if self.metrics is not None:
+            self.metrics.counter("kv_arena_preemptions_total").inc()
+        self._replan()
+        return tokens
+
+    def restore(self, req_id: int, tokens: int,
+                max_total_tokens: int) -> bool:
+        """Re-admit a preempted (or crash-evicted) request's region.
+
+        ``tokens`` is the recompute length (prompt + tokens generated
+        before eviction); the same dual admission gate applies, so a
+        successful restore re-establishes the append-never-fails
+        guarantee.  False means the gate still holds it — retry later.
+        """
+        if req_id in self._regions:
+            raise KVArenaError(f"request {req_id} already has a KV region")
+        if not self.can_admit(tokens, max_total_tokens):
+            self.denials += 1
+            if self.metrics is not None:
+                self.metrics.counter("kv_arena_denials_total").inc()
+            return False
+        self._regions[req_id] = KVRegion(
+            req_id=req_id,
+            tokens=tokens,
+            reserved_tokens=self._pages(tokens),
+            worst_case_tokens=self._pages(max_total_tokens),
+        )
+        self.restores += 1
+        if self.metrics is not None:
+            self.metrics.counter("kv_arena_restores_total").inc()
+        self._replan()
+        return True
+
     # -- planning -------------------------------------------------------------
 
     def _replan(self) -> None:
@@ -287,15 +337,31 @@ class KVCacheArena:
                 self.used_bytes, t=self.replans
             )
 
-    def verify(self) -> List[str]:
-        """Memory-plan verifier over the latest plan (empty == clean)."""
-        if self.last_plan is None:
-            return []
-        # Imported lazily: repro.analysis depends on repro.memory.
-        from ..analysis.memory_checks import check_plan
+    def verify(self, live_req_ids: Optional[List[int]] = None) -> List[str]:
+        """Memory-plan verifier over the latest plan (empty == clean).
 
-        return [d.message for d in check_plan(self.last_plan,
-                                              self.last_records)]
+        With ``live_req_ids`` given, also enforces the leak invariant: no
+        region may outlive its request (after a completion, crash or
+        preemption the region must be gone).  Chaos runs pass the set of
+        requests still legitimately in flight — an empty set at end of run
+        asserts the arena drained completely.
+        """
+        messages: List[str] = []
+        if self.last_plan is not None:
+            # Imported lazily: repro.analysis depends on repro.memory.
+            from ..analysis.memory_checks import check_plan
+
+            messages.extend(d.message for d in check_plan(self.last_plan,
+                                                          self.last_records))
+        if live_req_ids is not None:
+            live = set(live_req_ids)
+            for req_id in self._regions:
+                if req_id not in live:
+                    messages.append(
+                        f"KV region for request {req_id} outlives its "
+                        f"request (leak)"
+                    )
+        return messages
 
     def stats(self) -> Dict[str, object]:
         """Deterministic counters (read by ``repro bench`` and tests)."""
@@ -304,6 +370,8 @@ class KVCacheArena:
             "denials": self.denials,
             "releases": self.releases,
             "replans": self.replans,
+            "preemptions": self.preemptions,
+            "restores": self.restores,
             "live": self.live_requests,
             "used_bytes": self.used_bytes,
             "peak_used_bytes": self.peak_used_bytes,

@@ -57,6 +57,11 @@ __all__ = [
     "SCENARIOS",
     "run_chaos",
     "format_report",
+    "GenChaosReport",
+    "GenChaosScenario",
+    "GEN_SCENARIOS",
+    "run_gen_chaos",
+    "format_gen_report",
 ]
 
 
@@ -64,7 +69,8 @@ def __getattr__(name: str):
     # The chaos harness imports the serving layer; loading it lazily keeps
     # ``repro.serving`` free to import this package without a cycle.
     if name in ("ChaosReport", "ChaosScenario", "SCENARIOS", "run_chaos",
-                "format_report"):
+                "format_report", "GenChaosReport", "GenChaosScenario",
+                "GEN_SCENARIOS", "run_gen_chaos", "format_gen_report"):
         from . import chaos
 
         return getattr(chaos, name)

@@ -76,6 +76,7 @@ class CircuitBreaker:
         self._outcomes: Deque[bool] = deque(maxlen=window)  # True = success
         self._opened_at = 0.0
         self._probes_allowed = 0
+        self._probes_inflight = 0
         self._probe_successes = 0
         #: (time, from_state, to_state) of every transition, in order.
         self.transitions: List[Tuple[float, BreakerState, BreakerState]] = []
@@ -92,6 +93,7 @@ class CircuitBreaker:
             self._opened_at = now_s
         elif to is BreakerState.HALF_OPEN:
             self._probes_allowed = self.half_open_probes
+            self._probes_inflight = 0
             self._probe_successes = 0
         elif to is BreakerState.CLOSED:
             self._outcomes.clear()
@@ -110,11 +112,12 @@ class CircuitBreaker:
             self._transition(BreakerState.HALF_OPEN, self._opened_at + self.cooldown_s)
         return self._state
 
-    def allow(self, now_s: float) -> bool:
-        """May the router send (more) work to this replica right now?
+    def probe_available(self, now_s: float) -> bool:
+        """Pure query: would :meth:`allow` admit work right now?
 
-        Half-open admits a limited number of probes; asking consumes
-        nothing — probes are accounted when their outcome is recorded.
+        Consumes nothing — safe to call once per candidate per routing
+        decision (health scans, degradation checks).  Call :meth:`allow`
+        only at the moment work is actually committed to this replica.
         """
         state = self.state(now_s)
         if state is BreakerState.CLOSED:
@@ -123,15 +126,35 @@ class CircuitBreaker:
             return False
         return self._probes_allowed > 0
 
+    def allow(self, now_s: float) -> bool:
+        """Commit (more) work to this replica right now?
+
+        Half-open admits a limited number of probes and **reserves the
+        probe slot on admission**: a True return in half-open decrements
+        ``_probes_allowed`` immediately, so N concurrent callers cannot
+        all launch probes and exceed ``half_open_probes``.  The outcome
+        recorded later settles the reservation.
+        """
+        state = self.state(now_s)
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        if self._probes_allowed <= 0:
+            return False
+        self._probes_allowed -= 1
+        self._probes_inflight += 1
+        return True
+
     def record(self, success: bool, now_s: float) -> None:
         """Feed one attempt outcome observed at ``now_s``."""
         state = self.state(now_s)
         if state is BreakerState.HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
             if not success:
                 self._transition(BreakerState.OPEN, now_s)
                 return
             self._probe_successes += 1
-            self._probes_allowed = max(0, self._probes_allowed - 1)
             if self._probe_successes >= self.half_open_probes:
                 self._transition(BreakerState.CLOSED, now_s)
             return

@@ -24,6 +24,7 @@ from ..observability import MetricsRegistry, Tracer
 from ..serving import (
     ClusterMetrics,
     DPBatchScheduler,
+    GenServingMetrics,
     Request,
     RoutingPolicy,
     generate_requests,
@@ -294,6 +295,332 @@ def run_chaos(
         breaker_transitions=transitions,
         registry=registry,
     )
+
+
+# ---------------------------------------------------------------------------
+# Generation chaos: KV-loss failover and preemption under memory pressure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenChaosScenario:
+    """One scripted fault scenario over a *generation* workload.
+
+    ``num_replicas == 1`` runs a single
+    :class:`~repro.serving.ContinuousBatchingServer` (watermark preemption
+    exercised when ``max_victims_per_event`` is set); ``num_replicas > 1``
+    runs :func:`~repro.serving.simulate_generation_cluster` (crash
+    failover with KV loss and recompute-on-resume).
+    """
+
+    name: str
+    rate_per_s: float
+    duration_s: float
+    num_replicas: int
+    faults: FaultPlan
+    retry: RetryPolicy
+    capacity_tokens: int = 4096
+    page_tokens: int = 16
+    prompt_lo: int = 4
+    prompt_hi: int = 32
+    mean_new_tokens: float = 8.0
+    max_new_tokens: int = 32
+    deadline_s: Optional[float] = None
+    #: Enables KV-pressure preemption on the single-replica loop.
+    max_victims_per_event: Optional[int] = None
+    breaker_window: int = 10
+    breaker_threshold: float = 0.5
+    breaker_cooldown_s: float = 0.2
+    recovery_threshold: float = 0.9
+    settle_s: float = 0.2
+
+    def post_fault_window(self) -> Tuple[float, float]:
+        start = min(self.faults.last_fault_end_s() + self.settle_s,
+                    self.duration_s * 0.9)
+        return (start, self.duration_s)
+
+
+def _gen_blackout(seed: int) -> GenChaosScenario:
+    """2 continuous-batching replicas; one crashes mid-run.
+
+    In-flight requests on the dead replica lose their KV regions, re-route
+    to the survivor through the retry path, and pay an honest
+    recompute-on-resume prefill (``tokens_recomputed``).
+    """
+    return GenChaosScenario(
+        name="gen-blackout",
+        rate_per_s=600.0,
+        duration_s=2.0,
+        num_replicas=2,
+        faults=FaultPlan(
+            seed=seed,
+            crashes=(ServerCrash(start_s=0.8, end_s=1.2, server_id=0),),
+        ),
+        retry=RetryPolicy(max_attempts=5, base_backoff_s=0.005,
+                          multiplier=2.0, max_backoff_s=0.1,
+                          jitter=0.2, budget=4000, seed=seed),
+        capacity_tokens=8192,
+    )
+
+
+def _gen_storm(seed: int) -> GenChaosScenario:
+    """One replica, a modest KV arena, a latency spike + failure window.
+
+    The spike slows decode so live requests hold their KV regions longer
+    and the high watermark starts denying the queue head — the preemption
+    policy fires (victims evicted, restored, recompute charged) — while
+    the failure window tests that dropped prefill attempts re-enter
+    within the retry budget.  Fault-free the arena never saturates, so
+    every preemption is fault-driven.
+    """
+    return GenChaosScenario(
+        name="gen-storm",
+        rate_per_s=250.0,
+        duration_s=2.5,
+        num_replicas=1,
+        faults=FaultPlan(
+            seed=seed,
+            spikes=(LatencySpike(start_s=0.6, end_s=1.0, multiplier=4.0,
+                                 server_id=0),),
+            failures=(TransientFailures(start_s=0.6, end_s=1.0,
+                                        failure_rate=0.3, server_id=0),),
+        ),
+        retry=RetryPolicy(max_attempts=6, base_backoff_s=0.005,
+                          multiplier=2.0, max_backoff_s=0.1,
+                          jitter=0.2, budget=4000, seed=seed),
+        capacity_tokens=512,
+        max_victims_per_event=2,
+    )
+
+
+GEN_SCENARIOS = {
+    "gen-blackout": _gen_blackout,
+    "gen-storm": _gen_storm,
+}
+
+
+@dataclass(frozen=True)
+class GenChaosReport:
+    """One generation chaos run, baseline and chaos side by side.
+
+    ``kv_leaks`` is the end-of-run arena audit across every replica: a
+    non-empty list means some KV region outlived its request through a
+    crash or preemption (the MEM221 invariant, violated)."""
+
+    scenario: GenChaosScenario
+    seed: int
+    baseline: "GenServingMetrics"
+    chaos: "GenServingMetrics"
+    goodput_baseline: float
+    goodput_chaos: float
+    kv_leaks: List[str]
+    registry: MetricsRegistry = field(repr=False)
+
+    @property
+    def recovery_ratio(self) -> float:
+        if self.goodput_baseline <= 0:
+            return 1.0
+        return self.goodput_chaos / self.goodput_baseline
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_ratio >= self.scenario.recovery_threshold
+
+    @property
+    def leak_free(self) -> bool:
+        return not self.kv_leaks
+
+
+def _gen_workload(scenario: GenChaosScenario, seed: int):
+    """Fresh GenRequest objects (same values every call), with deadlines."""
+    from ..serving import (
+        GenRequest,
+        generate_generation_requests,
+        geometric_output_lengths,
+        uniform_lengths,
+    )
+
+    def prompts(rng, n):
+        return uniform_lengths(rng, n, lo=scenario.prompt_lo,
+                               hi=scenario.prompt_hi)
+
+    def outputs(rng, n):
+        return geometric_output_lengths(rng, n,
+                                        mean=scenario.mean_new_tokens,
+                                        hi=scenario.max_new_tokens)
+
+    requests = generate_generation_requests(
+        scenario.rate_per_s, scenario.duration_s, seed=seed,
+        prompt_sampler=prompts, output_sampler=outputs,
+    )
+    if scenario.deadline_s is None:
+        return requests
+    return [
+        GenRequest(req_id=r.req_id, seq_len=r.seq_len,
+                   arrival_s=r.arrival_s, deadline_s=scenario.deadline_s,
+                   max_new_tokens=r.max_new_tokens)
+        for r in requests
+    ]
+
+
+def run_gen_chaos(
+    scenario_name: str = "gen-blackout",
+    seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> GenChaosReport:
+    """Run one generation scenario's baseline + chaos pair."""
+    if scenario_name not in GEN_SCENARIOS:
+        raise ValueError(
+            f"unknown gen scenario {scenario_name!r}; "
+            f"pick from {sorted(GEN_SCENARIOS)}"
+        )
+    scenario = GEN_SCENARIOS[scenario_name](seed)
+    registry = metrics if metrics is not None else MetricsRegistry()
+
+    # Heavy imports deferred: the chaos module stays importable without
+    # dragging the model/runtime stack in at package-import time.
+    from ..gpusim.device import RTX_2060
+    from ..memory import KVCacheArena, kv_bytes_per_token
+    from ..models.gpt import (
+        build_decode_step_graph,
+        build_prefill_graph,
+        tiny_gpt,
+    )
+    from ..runtime import TURBO_CHARACTERISTICS, GenerationRuntime
+    from ..serving import (
+        ContinuousBatchingConfig,
+        ContinuousBatchingServer,
+        KVPreemptionPolicy,
+        simulate_generation_cluster,
+    )
+
+    config = tiny_gpt()
+    runtime = GenerationRuntime(
+        build_prefill_graph(config), build_decode_step_graph(config),
+        TURBO_CHARACTERISTICS, RTX_2060, stride=1,
+    )
+    bytes_per_token = kv_bytes_per_token(
+        config.num_layers, config.num_heads, config.head_size
+    )
+
+    def arena_factory(_replica_id: int, reg=None) -> KVCacheArena:
+        return KVCacheArena(
+            capacity_bytes=scenario.capacity_tokens * bytes_per_token,
+            bytes_per_token=bytes_per_token,
+            page_tokens=scenario.page_tokens,
+            metrics=reg,
+        )
+
+    def breaker_factory(server_id: int) -> CircuitBreaker:
+        return CircuitBreaker(
+            window=scenario.breaker_window,
+            failure_threshold=scenario.breaker_threshold,
+            cooldown_s=scenario.breaker_cooldown_s,
+            name=f"replica{server_id}",
+            metrics=registry,
+        )
+
+    preemption = (KVPreemptionPolicy(scenario.max_victims_per_event)
+                  if scenario.max_victims_per_event is not None else None)
+    server_config = ContinuousBatchingConfig(preemption=preemption)
+    chaos_config = ResilienceConfig(
+        faults=scenario.faults,
+        retry=scenario.retry,
+        breaker_factory=(breaker_factory if scenario.num_replicas > 1
+                         else None),
+    )
+
+    def run(requests, resilience, reg):
+        """One full run; returns (metrics, kv_leaks)."""
+        if scenario.num_replicas == 1:
+            arena = arena_factory(0, reg=reg)
+            server = ContinuousBatchingServer(
+                runtime, arena, server_config, tracer=tracer, metrics=reg,
+                resilience=resilience,
+            )
+            result = server.serve(requests,
+                                  duration_s=scenario.duration_s)
+            return result, list(arena.verify(live_req_ids=[]))
+        cluster = simulate_generation_cluster(
+            requests, scenario.num_replicas, runtime,
+            lambda i: arena_factory(i, reg=reg),
+            duration_s=scenario.duration_s, resilience=resilience,
+            tracer=tracer, metrics=reg,
+        )
+        return cluster.serving, list(cluster.kv_leaks)
+
+    baseline_requests = _gen_workload(scenario, seed)
+    baseline, _ = run(baseline_requests, None, None)
+    chaos_requests = _gen_workload(scenario, seed)
+    chaos, kv_leaks = run(chaos_requests, chaos_config, registry)
+
+    window = scenario.post_fault_window()
+    goodput_baseline = response_throughput(baseline_requests, *window)
+    goodput_chaos = response_throughput(chaos_requests, *window)
+    registry.gauge("chaos_goodput_baseline",
+                   scenario=scenario.name).set(goodput_baseline)
+    registry.gauge("chaos_goodput_post_fault",
+                   scenario=scenario.name).set(goodput_chaos)
+    registry.gauge("chaos_recovery_ratio", scenario=scenario.name).set(
+        goodput_chaos / goodput_baseline if goodput_baseline > 0 else 1.0
+    )
+    registry.counter("chaos_preemptions_total",
+                     scenario=scenario.name).inc(chaos.preemptions)
+    registry.counter("chaos_tokens_recomputed_total",
+                     scenario=scenario.name).inc(chaos.tokens_recomputed)
+    registry.counter("chaos_retries_total",
+                     scenario=scenario.name).inc(chaos.retries)
+    registry.counter("chaos_attempts_failed_total",
+                     scenario=scenario.name).inc(chaos.attempts_failed)
+    registry.gauge("chaos_kv_leaks",
+                   scenario=scenario.name).set(len(kv_leaks))
+
+    return GenChaosReport(
+        scenario=scenario,
+        seed=seed,
+        baseline=baseline,
+        chaos=chaos,
+        goodput_baseline=goodput_baseline,
+        goodput_chaos=goodput_chaos,
+        kv_leaks=kv_leaks,
+        registry=registry,
+    )
+
+
+def format_gen_report(report: GenChaosReport) -> str:
+    """Human-readable summary of one generation chaos run."""
+    s = report.scenario
+    c = report.chaos
+    window = s.post_fault_window()
+    ttft = (f"{c.ttft.avg_ms:.2f} ms" if c.ttft.count else "—")
+    tpot = (f"{c.tpot_ms_avg:.3f} ms"
+            if c.tpot_ms_avg != float("inf") else "—")
+    lines = [
+        f"gen chaos scenario '{s.name}' (seed {report.seed}): "
+        f"{c.offered} requests @ {s.rate_per_s:.0f} req/s over "
+        f"{s.duration_s:.1f}s on {s.num_replicas} replica(s)",
+        f"faults:    {len(s.faults.crashes)} crash(es), "
+        f"{len(s.faults.spikes)} latency spike(s), "
+        f"{len(s.faults.failures)} failure window(s); all clear by "
+        f"t={s.faults.last_fault_end_s():.1f}s",
+        f"outcome:   {c.completed} completed, {c.retries} retries, "
+        f"{c.attempts_failed} attempts failed, "
+        f"ttft {ttft}, tpot {tpot}",
+        f"kv:        {c.preemptions} preemption(s), "
+        f"{c.tokens_recomputed} tokens recomputed, "
+        f"{c.kv_denials} denial(s); leak audit: "
+        + (f"{len(report.kv_leaks)} LEAKED REGION(S)" if report.kv_leaks
+           else "clean"),
+        f"goodput:   post-fault window [{window[0]:.1f}s, {window[1]:.1f}s]: "
+        f"{report.goodput_chaos:.1f} resp/s vs baseline "
+        f"{report.goodput_baseline:.1f} resp/s "
+        f"({report.recovery_ratio:.1%} of baseline)",
+        f"recovery:  "
+        f"{'OK' if report.recovered and report.leak_free else 'FAILED'} "
+        f"(threshold {s.recovery_threshold:.0%}, leak-free required)",
+    ]
+    return "\n".join(lines)
 
 
 def format_report(report: ChaosReport) -> str:

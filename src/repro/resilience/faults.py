@@ -23,6 +23,21 @@ Fault taxonomy
                            and in-flight work fails fast, new work must be
                            routed elsewhere, the server recovers at
                            ``end_s``.
+
+Migration note (engine-level injection)
+---------------------------------------
+A :class:`FaultPlan` used to be threaded through each simulator's private
+loop by hand (``simulate_serving`` multiplied batch costs inline,
+``simulate_cluster`` projected crash windows itself, the generation
+servers saw no faults at all).  Plans are now *bound* to a server through
+:class:`repro.engine.EngineFaultInjector`: installing the injector on an
+:class:`~repro.engine.Engine` makes every ``advance()`` busy window
+stretch under active spikes/stalls automatically, and crash windows and
+transient-failure verdicts are queried through the same object at
+dispatch points.  This module remains the pure *schedule*; the injector
+is the single place schedules become engine effects, so every
+engine-hosted server (one-shot, continuous batching, Ebird, cluster)
+experiences faults through one code path.
 """
 
 from __future__ import annotations
@@ -141,6 +156,27 @@ class FaultPlan:
                                       self.failures, self.crashes)
                 for w in group]
         return max(ends, default=0.0)
+
+    def boundaries(self, server_id: int) -> Tuple[float, ...]:
+        """Sorted unique window edges relevant to ``server_id``.
+
+        Rate-based simulators (e.g. the Ebird processor-sharing model)
+        schedule a wake-up at each boundary so piecewise-constant fault
+        multipliers are applied segment by segment.
+        """
+        times = set()
+        for spike in self.spikes:
+            if spike.server_id is None or spike.server_id == server_id:
+                times.update((spike.start_s, spike.end_s))
+        for window in self.failures:
+            if window.server_id is None or window.server_id == server_id:
+                times.update((window.start_s, window.end_s))
+        for crash in self.crashes:
+            if crash.server_id == server_id:
+                times.update((crash.start_s, crash.end_s))
+        for stall in self.stalls:  # name-keyed, not server-keyed
+            times.update((stall.start_s, stall.end_s))
+        return tuple(sorted(times))
 
     # -- per-server queries ----------------------------------------------------
 

@@ -79,14 +79,21 @@ class RetryState:
     def next_retry_at(self, request: Request, now_s: float) -> Optional[float]:
         """Re-enqueue time for a failed request, or None (give up).
 
-        Consumes one unit of budget when a retry is granted.  Does *not*
-        bump ``request.attempt`` — the caller owns request mutation.
+        Deadline-aware: a retry whose backoff lands past the request's
+        deadline could never complete in time, so it is refused *before*
+        any budget is consumed.  Consumes one unit of budget when a retry
+        is granted.  Does *not* bump ``request.attempt`` — the caller owns
+        request mutation.
         """
         next_attempt = request.attempt + 1
         if next_attempt >= self.policy.max_attempts:
+            return None
+        retry_at = now_s + self.policy.backoff_s(next_attempt, request.req_id)
+        if request.deadline_s is not None and \
+                retry_at > request.arrival_s + request.deadline_s:
             return None
         if self.policy.budget is not None and \
                 self.retries_used >= self.policy.budget:
             return None
         self.retries_used += 1
-        return now_s + self.policy.backoff_s(next_attempt, request.req_id)
+        return retry_at

@@ -7,6 +7,7 @@ from .continuous import (
     ContinuousBatchingServer,
     GenRequest,
     GenServingMetrics,
+    KVPreemptionPolicy,
     RequestLevelGenerationServer,
     request_level_cost_fn,
 )
@@ -14,9 +15,12 @@ from .ebird import simulate_ebird_serving
 from .cluster import (
     ClusterMetrics,
     ClusterRouter,
+    GenClusterMetrics,
+    GenReplicaState,
     RoutingPolicy,
     ServerState,
     simulate_cluster,
+    simulate_generation_cluster,
 )
 from .metrics import (
     LatencyStats,
@@ -76,8 +80,11 @@ __all__ = [
     "RoutingPolicy",
     "ClusterRouter",
     "ClusterMetrics",
+    "GenClusterMetrics",
+    "GenReplicaState",
     "ServerState",
     "simulate_cluster",
+    "simulate_generation_cluster",
     "PackedBatchScheduler",
     "PriorityBatchScheduler",
     "simulate_ebird_serving",
@@ -126,6 +133,7 @@ __all__ = [
     "geometric_output_lengths",
     "GenRequest",
     "GenServingMetrics",
+    "KVPreemptionPolicy",
     "ContinuousBatchingConfig",
     "ContinuousBatchingServer",
     "RequestLevelGenerationServer",

@@ -44,14 +44,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence
+from typing import TYPE_CHECKING, Deque, List, Optional, Sequence
 
-from ..engine import Engine, EngineInstrumentation, EventKind
+from ..engine import Engine, EngineFaultInjector, EngineInstrumentation, \
+    EventKind
 from ..memory.kv_arena import KVCacheArena
 from ..observability import MetricsRegistry, Tracer
 from .metrics import LatencyStats, ServingMetrics, response_throughput
 from .request import Request, RequestState
 from .scheduler import BatchScheduler, CostFn, PrunedDPBatchScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience import ResilienceConfig
 
 
 @dataclass
@@ -110,6 +114,44 @@ class GenServingMetrics(ServingMetrics):
     goodput_tokens_per_s: float = 0.0
     kv_denials: int = 0
     kv_peak_bytes: int = 0
+    # Resilience outcome (all zero on fault-free runs).
+    preemptions: int = 0
+    tokens_recomputed: int = 0
+    retries: int = 0
+    attempts_failed: int = 0
+
+
+@dataclass(frozen=True)
+class KVPreemptionPolicy:
+    """Victim selection for KV-pressure preemption.
+
+    When the arena watermark holds the queue head, the loop evicts up to
+    ``max_victims_per_event`` live requests and re-queues them with
+    recompute-on-resume pricing.  Victims are picked least-progress-first
+    (fewest generated tokens — the cheapest recompute), ties broken
+    deadline-aware (most slack preempted first, deadline-less requests
+    preferred over deadlined ones).
+    """
+
+    max_victims_per_event: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_victims_per_event < 1:
+            raise ValueError(
+                f"max_victims_per_event must be >= 1, "
+                f"got {self.max_victims_per_event}"
+            )
+
+    def victim_order(self, active: Sequence["GenRequest"],
+                     now_s: float) -> List["GenRequest"]:
+        """Candidates in eviction order (best victim first)."""
+
+        def key(r: "GenRequest"):
+            slack = float("inf") if r.deadline_s is None else \
+                (r.arrival_s + r.deadline_s) - now_s
+            return (r.generated, -slack, r.req_id)
+
+        return sorted(active, key=key)
 
 
 @dataclass
@@ -121,6 +163,9 @@ class ContinuousBatchingConfig:
     #: Cap on admissions folded into one prefill pass (None = unbounded).
     admit_per_step: Optional[int] = None
     warmup_fraction: float = 0.1
+    #: Optional KV-pressure preemption (None = watermark holds the head,
+    #: exactly the pre-resilience behaviour).
+    preemption: Optional[KVPreemptionPolicy] = None
 
     def __post_init__(self) -> None:
         if self.max_batch is not None and self.max_batch <= 0:
@@ -188,10 +233,22 @@ class _GenLoopBase:
             self.metrics.counter("serving_requests_dropped_total",
                                  reason="shed").inc()
 
+    def _fail(self, r: GenRequest, now: float) -> None:
+        """Terminal failure: retries exhausted (or recovery impossible)."""
+        r.resolve(RequestState.FAILED)
+        if self._trace_on:
+            self.tracer.async_end("request", now, r.req_id, cat="request",
+                                  path="failed")
+        if self.metrics is not None:
+            self.metrics.counter("serving_requests_dropped_total",
+                                 reason="failed").inc()
+
     def _finalize(self, arrivals: Sequence[GenRequest], horizon: float,
                   clock: float, busy_in_horizon: float, decode_steps: int,
                   prefills: int, tokens: int, kv_denials: int,
-                  kv_peak_bytes: int) -> GenServingMetrics:
+                  kv_peak_bytes: int, preemptions: int = 0,
+                  tokens_recomputed: int = 0, retries: int = 0,
+                  attempts_failed: int = 0) -> GenServingMetrics:
         completed = [r for r in arrivals if r.is_completed]
         ttft = LatencyStats.from_values(
             [(r.first_token_s - r.arrival_s) * 1e3 for r in completed
@@ -227,6 +284,10 @@ class _GenLoopBase:
             goodput_tokens_per_s=tokens / clock if clock > 0 else 0.0,
             kv_denials=kv_denials,
             kv_peak_bytes=kv_peak_bytes,
+            preemptions=preemptions,
+            tokens_recomputed=tokens_recomputed,
+            retries=retries,
+            attempts_failed=attempts_failed,
         )
         if self.metrics is not None:
             self.metrics.gauge("serving_response_throughput",
@@ -251,12 +312,16 @@ class ContinuousBatchingServer(_GenLoopBase):
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         system_name: str = "Turbo-Continuous",
+        resilience: Optional["ResilienceConfig"] = None,
+        server_id: int = 0,
     ) -> None:
         config = config or ContinuousBatchingConfig()
         super().__init__(runtime, tracer, metrics, system_name,
                          config.warmup_fraction)
         self.arena = arena
         self.config = config
+        self.resilience = resilience
+        self.server_id = server_id
 
     def serve(self, requests: Sequence[GenRequest],
               duration_s: Optional[float] = None) -> GenServingMetrics:
@@ -276,12 +341,22 @@ class ContinuousBatchingServer(_GenLoopBase):
         if self._trace_on:
             self.tracer.thread_name("gpu", "gpu (prefill + decode steps)")
 
-        engine = Engine(instrumentation=EngineInstrumentation(
-            self.tracer, self.metrics))
+        res = self.resilience
+        instrumentation = EngineInstrumentation(self.tracer, self.metrics)
+        faults: Optional[EngineFaultInjector] = None
+        if res is not None and not res.faults.empty:
+            faults = EngineFaultInjector(res.faults, self.server_id,
+                                         instrumentation)
+        retry_state = None
+        if res is not None and res.retry is not None:
+            from ..resilience.retry import RetryState
+            retry_state = RetryState(res.retry)
+        engine = Engine(instrumentation=instrumentation, faults=faults)
         queue: Deque[GenRequest] = deque()
         active: List[GenRequest] = []
         busy = 0.0
         decode_steps = prefills = tokens = 0
+        preemptions = tokens_recomputed = retries = attempts_failed = 0
 
         def on_arrival(event) -> None:
             r = event.payload
@@ -295,9 +370,42 @@ class ContinuousBatchingServer(_GenLoopBase):
                 return
             queue.append(r)
 
+        def on_retry(event) -> None:
+            queue.append(event.payload)
+
         def slots_free(pending: int) -> bool:
             cap = self.config.max_batch
             return cap is None or len(active) + pending < cap
+
+        def requeue(r: GenRequest, now: float) -> bool:
+            """Route an evicted/failed attempt through the retry path.
+
+            Returns True if a RETRY was scheduled; False resolves FAILED
+            (budget/attempts exhausted, or backoff past the deadline).
+            """
+            nonlocal retries
+            if retry_state is None:
+                # No retry policy: re-enter the queue at this instant.
+                engine.schedule(now, EventKind.RETRY, on_retry, r)
+                return True
+            retry_at = retry_state.next_retry_at(r, now)
+            if retry_at is None:
+                self._fail(r, now)
+                return False
+            r.attempt += 1
+            retries += 1
+            engine.schedule(retry_at, EventKind.RETRY, on_retry, r)
+            return True
+
+        def evict(r: GenRequest, now: float) -> None:
+            """Drop a live request's KV (preemption or crash) and re-queue."""
+            nonlocal preemptions
+            self.arena.preempt(r.req_id)
+            preemptions += 1
+            if self.metrics is not None:
+                self.metrics.counter("gen_preemptions_total",
+                                     system=self.system_name).inc()
+            requeue(r, now)
 
         for r in arrivals:
             engine.schedule(r.arrival_s, EventKind.ARRIVAL, on_arrival, r)
@@ -305,34 +413,110 @@ class ContinuousBatchingServer(_GenLoopBase):
         while True:
             # Drive the GPU until it goes idle at the current instant.
             while True:
+                # 0. Replica down?  Every in-flight request loses its KV
+                #    and re-enters through the retry path; the loop sleeps
+                #    out the outage (arrivals still land in the queue at
+                #    their true timestamps).
+                if faults is not None and faults.crashed(engine.now):
+                    outage_end = faults.crash_end(engine.now)
+                    for victim in active:
+                        evict(victim, engine.now)
+                    active = []
+                    engine.run_until(outage_end)
+                    continue
                 # 1. KV-aware admission: fold every admissible queued
                 #    request into one prefill pass (chunked-prefill
-                #    simplification).
+                #    simplification).  Resumed victims (generated > 0)
+                #    re-enter through arena.restore with their recompute
+                #    length (prompt + tokens generated before eviction).
                 admitted: List[GenRequest] = []
                 while queue and slots_free(len(admitted)):
                     limit = self.config.admit_per_step
                     if limit is not None and len(admitted) >= limit:
                         break
                     r = queue[0]
-                    if not self.arena.admit(r.req_id, r.seq_len,
-                                            r.seq_len + r.max_new_tokens):
+                    if r.generated > 0:
+                        ok = self.arena.restore(
+                            r.req_id, r.seq_len + r.generated,
+                            r.seq_len + r.max_new_tokens,
+                        )
+                        if not ok and not self.arena.fits_at_all(
+                            r.seq_len + r.generated,
+                            r.seq_len + r.max_new_tokens,
+                        ):
+                            # Grew past what an empty arena could restore:
+                            # unrecoverable, don't block the FIFO head.
+                            queue.popleft()
+                            self._fail(r, engine.now)
+                            continue
+                    else:
+                        ok = self.arena.admit(r.req_id, r.seq_len,
+                                              r.seq_len + r.max_new_tokens)
+                    if not ok:
                         break  # high-watermark holds the FIFO head
                     queue.popleft()
                     admitted.append(r)
+                # 1b. Watermark holds the head while others run: preempt
+                #     victims so the head can make progress (bounded by
+                #     the retry budget via requeue()).
+                if not admitted and queue and active and \
+                        self.config.preemption is not None:
+                    policy = self.config.preemption
+                    head = queue[0]
+                    evicted = 0
+                    for victim in policy.victim_order(active, engine.now):
+                        if evicted >= policy.max_victims_per_event:
+                            break
+                        if not self.arena.fits_at_all(
+                            victim.seq_len + victim.generated,
+                            victim.seq_len + victim.max_new_tokens,
+                        ):
+                            continue  # could never be restored: skip
+                        active.remove(victim)
+                        evict(victim, engine.now)
+                        evicted += 1
+                        if self.arena.can_admit(
+                            head.seq_len + head.generated,
+                            head.seq_len + head.max_new_tokens,
+                        ):
+                            break
+                    if evicted:
+                        continue  # retry admission with the freed pages
                 if admitted:
                     b = len(admitted)
-                    prompt = max(r.seq_len for r in admitted)
+                    prompt = max(r.seq_len + r.generated for r in admitted)
                     started = engine.now
                     prefill_s = self.runtime.prefill_latency(b, prompt)
                     self.runtime.trace_prefill(self.tracer, started,
                                                prefill_s, b, prompt)
-                    busy += _window_overlap(started, prefill_s, horizon)
                     clock = engine.advance(prefill_s)
+                    busy += _window_overlap(started, engine.last_advance_s,
+                                            horizon)
                     prefills += 1
                     for r in admitted:
-                        r.start_s = started
-                        r.generated = 1  # prefill yields the first token
-                        r.first_token_s = clock
+                        if faults is not None and faults.attempt_fails(
+                            r.req_id, r.attempt, started
+                        ):
+                            # Transient failure at the prefill commit: the
+                            # region is dropped, the attempt re-enters via
+                            # the retry path (or fails terminally).
+                            attempts_failed += 1
+                            self.arena.preempt(r.req_id)
+                            requeue(r, clock)
+                            continue
+                        if r.first_token_s is None:
+                            r.start_s = started
+                            r.generated = 1  # prefill yields the first token
+                            r.first_token_s = clock
+                        else:
+                            # Resumed after eviction: the prefix (prompt +
+                            # prior tokens) was recomputed and the pass
+                            # yields the next token.  The restored region
+                            # already holds the recomputed prefix — the
+                            # token just produced joins it at the next
+                            # decode step, as after a normal prefill.
+                            tokens_recomputed += r.seq_len + r.generated
+                            r.generated += 1
                         tokens += 1
                         if r.generated >= r.max_new_tokens:
                             self._complete(r, clock)
@@ -354,8 +538,9 @@ class ContinuousBatchingServer(_GenLoopBase):
                     self.runtime.trace_decode_stride(self.tracer, started,
                                                      step_s, b, past,
                                                      tokens=b)
-                    busy += _window_overlap(started, step_s, horizon)
                     clock = engine.advance(step_s)
+                    busy += _window_overlap(started, engine.last_advance_s,
+                                            horizon)
                     decode_steps += 1
                     tokens += b
                     survivors: List[GenRequest] = []
@@ -382,10 +567,13 @@ class ContinuousBatchingServer(_GenLoopBase):
                         self.metrics.counter("gen_tokens_total",
                                              system=self.system_name).inc(b)
                     continue
-                # 3. Nothing runnable right now.  (queue non-empty here is
-                #    impossible: an empty arena admits anything that
-                #    passed fits_at_all at ingest.)
-                assert not queue, "admission stalled with an empty arena"
+                # 3. Nothing runnable right now.  (Fault-free, queue
+                #    non-empty here is impossible: an empty arena admits
+                #    anything that passed fits_at_all at ingest.  Under
+                #    resilience the head may legitimately wait — e.g. for
+                #    a retry backoff or recovery.)
+                assert res is not None or not queue, \
+                    "admission stalled with an empty arena"
                 break
             if not engine.pending:
                 break
@@ -396,7 +584,11 @@ class ContinuousBatchingServer(_GenLoopBase):
         return self._finalize(arrivals, horizon, engine.now, busy,
                               decode_steps, prefills, tokens,
                               self.arena.denials,
-                              self.arena.peak_used_bytes)
+                              self.arena.peak_used_bytes,
+                              preemptions=preemptions,
+                              tokens_recomputed=tokens_recomputed,
+                              retries=retries,
+                              attempts_failed=attempts_failed)
 
 
 def request_level_cost_fn(runtime, est_new_tokens: int = 16) -> CostFn:

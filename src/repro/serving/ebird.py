@@ -38,12 +38,15 @@ remaining-work trajectories are identical to the old hand-rolled
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from ..engine import Engine, EventKind
+from ..engine import Engine, EngineFaultInjector, EventKind
 from .metrics import LatencyStats, ServingMetrics, response_throughput
-from .request import Request, make_batch
+from .request import Request, RequestState, make_batch
 from .scheduler import CostFn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultPlan
 
 
 @dataclass
@@ -60,12 +63,22 @@ def simulate_ebird_serving(
     efficiency: float = 0.95,
     duration_s: Optional[float] = None,
     system_name: str = "Ebird",
+    faults: Optional["FaultPlan"] = None,
+    server_id: int = 0,
 ) -> ServingMetrics:
     """Processor-sharing simulation of Ebird's elastic concurrent batches.
 
     Dispatch policy: whenever a stream is free, the queued requests (up to
     ``max_batch``, arrival order, padded to their longest) start
     immediately as a new concurrent batch.
+
+    With ``faults`` set (a :class:`~repro.resilience.FaultPlan`, bound
+    through the shared engine injector), latency spikes divide the
+    processor-sharing progress rate during their windows (applied segment
+    by segment via wake-ups at the plan's window boundaries), a server
+    crash fails queued and in-flight work fast and blocks dispatch until
+    recovery, and transient failures strike at batch completion.  Ebird
+    has no retry machinery, so failed requests are terminal.
     """
     if not requests:
         raise ValueError("need at least one request to simulate")
@@ -79,6 +92,8 @@ def simulate_ebird_serving(
         raise ValueError(f"duration must be positive, got {horizon}")
 
     engine = Engine()
+    inj = (EngineFaultInjector(faults, server_id)
+           if faults is not None and not faults.empty else None)
     n = len(arrivals)
     queue: List[Request] = []
     active: List[_ActiveBatch] = []
@@ -88,8 +103,20 @@ def simulate_ebird_serving(
     completion_event = None
 
     def progress_rate() -> float:
-        """Per-batch progress in device-seconds per wall-second."""
-        return efficiency / len(active)
+        """Per-batch progress in device-seconds per wall-second.
+
+        Sampled at the current segment start (``last_progress_t``); the
+        boundary wake-ups guarantee the fault multiplier is constant
+        within each applied segment.
+        """
+        rate = efficiency / len(active)
+        if inj is not None:
+            if inj.crashed(last_progress_t):
+                return 0.0
+            factor = inj.multiplier(last_progress_t)
+            if factor != 1.0:
+                rate = rate / factor
+        return rate
 
     def apply_progress(now: float) -> None:
         """Charge the elapsed wall time against every resident batch."""
@@ -102,6 +129,8 @@ def simulate_ebird_serving(
         last_progress_t = now
 
     def dispatch(now: float) -> None:
+        if inj is not None and inj.crashed(now):
+            return  # down: nothing dispatches until recovery
         while queue and len(active) < max_streams:
             taken, queue[:] = queue[:max_batch], queue[max_batch:]
             batch = make_batch(taken)
@@ -120,18 +149,36 @@ def simulate_ebird_serving(
             completion_event = None
         if not active:
             return
+        rate = progress_rate()
+        if rate <= 0.0:
+            return  # crashed: the recovery boundary wake-up reschedules
         min_remaining = min(b.remaining_work_s for b in active)
-        at = engine.now + min_remaining / progress_rate()
+        at = engine.now + min_remaining / rate
         completion_event = engine.schedule(at, EventKind.WAKE, on_event)
 
     def sync(now: float) -> None:
         """Shared per-event body: progress, completions, dispatch."""
         apply_progress(now)
+        if inj is not None and inj.crashed(now):
+            # The crash takes queued and in-flight work down fast
+            # (Ebird has no retries — terminal failures).
+            for batch in active:
+                for r in batch.requests:
+                    r.resolve(RequestState.FAILED)
+            active.clear()
+            for r in queue:
+                r.resolve(RequestState.FAILED)
+            queue.clear()
         finished = [b for b in active if b.remaining_work_s <= 1e-12]
         if finished:
             for batch in finished:
                 for r in batch.requests:
-                    r.completion_s = now
+                    if inj is not None and inj.attempt_fails(
+                        r.req_id, r.attempt, now
+                    ):
+                        r.resolve(RequestState.FAILED)
+                    else:
+                        r.completion_s = now
             active[:] = [b for b in active if b.remaining_work_s > 1e-12]
         dispatch(now)
 
@@ -163,6 +210,13 @@ def simulate_ebird_serving(
 
     for r in arrivals:
         engine.schedule(r.arrival_s, EventKind.ARRIVAL, on_arrival, r)
+    if inj is not None:
+        # One wake-up per fault window edge: progress segments between
+        # events see a constant multiplier, and crash recovery re-arms
+        # dispatch and the completion timer.
+        for t in inj.plan.boundaries(server_id):
+            if t >= 0.0:
+                engine.schedule(t, EventKind.WAKE, on_event)
     engine.add_dispatch_hook(snapshot_backlog)
     engine.run()
 

@@ -44,7 +44,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from ..engine import Engine, EngineInstrumentation, Event, EventKind
+from ..engine import Engine, EngineFaultInjector, EngineInstrumentation, \
+    Event, EventKind
 from ..observability import NULL_TRACER, MetricsRegistry, Tracer
 from .metrics import (
     LatencyStats,
@@ -130,7 +131,12 @@ def simulate_serving(
 
     instrumentation = (EngineInstrumentation(tracer, metrics)
                        if (trace_on or metrics is not None) else None)
-    engine = Engine(instrumentation=instrumentation)
+    # Faults are injected at the engine layer: the injector stretches
+    # advance() busy windows under active spikes and answers transient
+    # verdicts, one code path shared with every other engine-based server.
+    injector = (EngineFaultInjector(faults, 0, instrumentation)
+                if faults is not None and not faults.empty else None)
+    engine = Engine(instrumentation=instrumentation, faults=injector)
     queue = MessageQueue(capacity=res.queue_capacity if res is not None else None)
     n = len(arrivals)
     backlog_at_horizon: Optional[int] = None
@@ -262,30 +268,29 @@ def simulate_serving(
                     batch = make_batch(alive)
             exec_s = batch_execution_cost(batch, active_cost_fn())
             started = engine.now
-            if faults is not None:
-                factor = faults.latency_multiplier(0, started)
-                if factor != 1.0:
-                    exec_s *= factor
             for r in batch.requests:
                 r.start_s = started
-            busy_in_horizon += max(
-                0.0, min(started + exec_s, horizon) - min(started, horizon)
-            )
             # Occupy the GPU: arrivals and retry wake-ups due inside the
             # window land in the queue at their true timestamps; the span
-            # for the batch is emitted by the engine.
+            # for the batch is emitted by the engine.  Active latency
+            # spikes stretch the window inside advance() (the injector);
+            # last_advance_s is the duration actually charged.
             engine.advance(
                 exec_s, label=f"batch x{batch.size}" if trace_on else None,
                 tid="gpu", cat="batch", size=batch.size,
                 padded_len=batch.padded_len,
                 padding_waste_tokens=batch.padding_waste,
             )
+            exec_s = engine.last_advance_s
+            busy_in_horizon += max(
+                0.0, min(started + exec_s, horizon) - min(started, horizon)
+            )
             batches_executed += 1
             now = engine.now
             failed: List[Request] = []
-            if faults is not None and faults.failure_rate(0, started) > 0.0:
+            if injector is not None and faults.failure_rate(0, started) > 0.0:
                 failed = [r for r in batch.requests
-                          if faults.attempt_fails(r.req_id, r.attempt, 0, started)]
+                          if injector.attempt_fails(r.req_id, r.attempt, started)]
             failed_set = set(id(r) for r in failed)
             for r in batch.requests:
                 if id(r) in failed_set:
@@ -352,8 +357,10 @@ def simulate_serving(
             taken = queue.drain(config.round_limit)
             if res is not None:
                 if degradation is not None:
+                    # Pure query — allow() reserves a half-open probe slot
+                    # and is only called where work is actually committed.
                     breaker_open = (breaker is not None
-                                    and not breaker.allow(now))
+                                    and not breaker.probe_available(now))
                     degradation.on_round(depth, breaker_open, now)
                 taken = admit(taken, now)
                 if not taken:

@@ -123,6 +123,89 @@ class TestGrowthAndRelease:
         assert a.used_bytes <= a.capacity_bytes
 
 
+class TestPreemptionChurn:
+    def test_preempt_frees_bytes_and_reports_dropped_tokens(self):
+        a = arena(page_tokens=8)
+        a.admit(0, prompt_tokens=8, max_total_tokens=24)
+        a.append(0, 9)  # 17 tokens live
+        dropped = a.preempt(0)
+        assert dropped == 17
+        assert a.used_bytes == 0
+        assert a.live_requests == 0
+        with pytest.raises(KVArenaError):
+            a.preempt(0)  # region is gone
+
+    def test_restore_recreates_grown_region(self):
+        a = arena(page_tokens=8)
+        a.admit(0, prompt_tokens=8, max_total_tokens=32)
+        a.append(0, 9)
+        a.preempt(0)
+        assert a.restore(0, tokens=17, max_total_tokens=32)
+        assert a.used_bytes == 24 * BPT  # 17 tokens -> 3 pages
+        a.append(0, 15)  # grow to the full budget; must not raise
+        with pytest.raises(KVArenaError):
+            a.restore(0, tokens=17, max_total_tokens=32)  # already live
+
+    def test_restore_respects_dual_admission_gate(self):
+        a = arena(capacity_tokens=100, page_tokens=1, watermark=0.5)
+        a.admit(0, prompt_tokens=40, max_total_tokens=45)
+        a.admit(1, prompt_tokens=5, max_total_tokens=10)
+        a.preempt(1)
+        # Watermark gate: restoring at a grown length that would cross
+        # 50 tokens reserved is denied and counted.
+        denials_before = a.denials
+        assert not a.restore(1, tokens=11, max_total_tokens=55)
+        assert a.denials == denials_before + 1
+        a.release(0)
+        assert a.restore(1, tokens=11, max_total_tokens=55)
+
+    def test_churn_cycles_leak_nothing(self):
+        """admit -> append -> preempt -> restore cycles preserve both
+        admission-gate guarantees and leave zero regions at the end."""
+        a = arena(capacity_tokens=256, page_tokens=8, watermark=0.8)
+        live = {}
+        for i in range(4):
+            assert a.admit(i, prompt_tokens=8, max_total_tokens=48)
+            live[i] = 8
+        for cycle in range(6):
+            victim = cycle % 4
+            a.append(victim, 4)
+            live[victim] += 4
+            a.preempt(victim)
+            assert a.verify(live_req_ids=[r for r in live if r != victim]) == []
+            assert a.restore(victim, tokens=live[victim],
+                             max_total_tokens=48)
+            assert a.used_bytes <= a.watermark_bytes
+            assert a.verify(live_req_ids=list(live)) == []
+        # Every survivor can still grow to its full budget (gate held
+        # through the churn), then everything releases cleanly.
+        for i in live:
+            a.append(i, 48 - live[i])
+        assert a.used_bytes <= a.capacity_bytes
+        for i in live:
+            a.release(i)
+        assert a.used_bytes == 0
+        assert a.verify(live_req_ids=[]) == []
+        assert a.stats()["preemptions"] == 6
+        assert a.stats()["restores"] == 6
+
+    def test_verify_flags_region_outliving_its_request(self):
+        a = arena()
+        a.admit(0, 8, 16)
+        a.admit(1, 8, 16)
+        problems = a.verify(live_req_ids=[0])
+        assert any("leak" in p for p in problems)
+        assert a.verify(live_req_ids=[0, 1]) == []
+
+    def test_restore_unknown_vs_denied_are_distinct(self):
+        a = arena(capacity_tokens=16, page_tokens=8)
+        a.admit(0, 8, 16)
+        with pytest.raises(KVArenaError):
+            a.restore(0, tokens=8, max_total_tokens=16)  # still live
+        # Denied restore (no capacity) returns False, never raises.
+        assert not a.restore(99, tokens=16, max_total_tokens=16)
+
+
 class TestPlansAndVerify:
     def test_plans_verify_clean_through_lifecycle(self):
         a = arena(capacity_tokens=512, page_tokens=8)

@@ -88,6 +88,48 @@ class TestRecovery:
         assert b.state(2.0) is BreakerState.CLOSED
 
 
+class TestProbeReservation:
+    """Half-open probe slots are reserved at allow() time, so concurrent
+    callers (N allow() calls before any outcome is recorded) can never
+    launch more than ``half_open_probes`` probes."""
+
+    def trip(self, b, t0=0.0):
+        for i in range(4):
+            b.record(False, t0 + i * 0.01)
+        assert b.state(t0 + 0.05) is BreakerState.OPEN
+
+    def test_concurrent_allows_cannot_exceed_probe_limit(self):
+        b = breaker(half_open_probes=2)
+        self.trip(b)
+        assert b.state(2.0) is BreakerState.HALF_OPEN
+        # Three callers race before any records: only two admitted.
+        verdicts = [b.allow(2.0) for _ in range(3)]
+        assert verdicts == [True, True, False]
+        # The two reserved probes settle and close the breaker.
+        b.record(True, 2.1)
+        b.record(True, 2.2)
+        assert b.state(2.2) is BreakerState.CLOSED
+
+    def test_probe_available_is_pure(self):
+        b = breaker(half_open_probes=1)
+        self.trip(b)
+        # Scanning health N times must not consume the probe slot.
+        for _ in range(5):
+            assert b.probe_available(2.0)
+        assert b.allow(2.0)       # the actual commit takes it
+        assert not b.probe_available(2.0)
+        assert not b.allow(2.0)
+
+    def test_failed_probe_reopens_even_with_reservations_out(self):
+        b = breaker(half_open_probes=2)
+        self.trip(b)
+        assert b.state(2.0) is BreakerState.HALF_OPEN
+        assert b.allow(2.0) and b.allow(2.0)
+        b.record(False, 2.1)  # first probe fails: re-open immediately
+        assert b.state(2.1) is BreakerState.OPEN
+        assert not b.allow(2.2)
+
+
 class TestReporting:
     def test_metrics_published_on_transitions(self):
         registry = MetricsRegistry()

@@ -80,3 +80,39 @@ class TestRetryState:
         state = RetryState(RetryPolicy(max_attempts=2, budget=5))
         assert state.next_retry_at(req(0, attempt=1), now_s=0.0) is None
         assert state.retries_used == 0
+
+
+class TestDeadlineAwareRetry:
+    def policy(self, backoff=1.0):
+        return RetryPolicy(max_attempts=10, base_backoff_s=backoff,
+                           multiplier=2.0, max_backoff_s=backoff * 8,
+                           jitter=0.0, budget=5)
+
+    def test_backoff_past_deadline_denies_without_burning_budget(self):
+        state = RetryState(self.policy(backoff=1.0))
+        r = Request(req_id=0, seq_len=10, arrival_s=0.0, deadline_s=0.5)
+        # Retry would land at t=1.0, past arrival + deadline = 0.5: the
+        # attempt is doomed, so no grant and no budget spent.
+        assert state.next_retry_at(r, now_s=0.0) is None
+        assert state.retries_used == 0
+
+    def test_backoff_within_deadline_granted(self):
+        state = RetryState(self.policy(backoff=1.0))
+        r = Request(req_id=0, seq_len=10, arrival_s=0.0, deadline_s=2.0)
+        assert state.next_retry_at(r, now_s=0.0) == pytest.approx(1.0)
+        assert state.retries_used == 1
+
+    def test_deadline_less_requests_unaffected(self):
+        state = RetryState(self.policy(backoff=1.0))
+        r = Request(req_id=0, seq_len=10, arrival_s=0.0)
+        assert state.next_retry_at(r, now_s=100.0) == pytest.approx(101.0)
+
+    def test_deadline_denial_applies_per_attempt_growth(self):
+        # First retry fits (t=1.0 <= 3.0); the grown second backoff
+        # (2.0s from now=2.5 -> 4.5) does not.
+        state = RetryState(self.policy(backoff=1.0))
+        r = Request(req_id=0, seq_len=10, arrival_s=0.0, deadline_s=3.0)
+        assert state.next_retry_at(r, now_s=0.0) is not None
+        r.attempt = 1
+        assert state.next_retry_at(r, now_s=2.5) is None
+        assert state.retries_used == 1

@@ -236,3 +236,98 @@ class TestContinuousBeatsRequestLevel:
             duration_s=duration)
         assert cont.response_throughput > rl.response_throughput
         assert cont.ttft.avg_ms < rl.ttft.avg_ms
+
+
+class TestResilientContinuous:
+    """Fault injection through the engine layer: crash eviction with
+    recompute-on-resume, KV-pressure preemption, retry exhaustion."""
+
+    def resilience(self, faults=None, **retry_kw):
+        from repro.resilience import FaultPlan, ResilienceConfig, RetryPolicy
+
+        defaults = dict(max_attempts=5, base_backoff_s=0.005, multiplier=2.0,
+                        max_backoff_s=0.1, jitter=0.2, budget=1000)
+        defaults.update(retry_kw)
+        return ResilienceConfig(faults=faults or FaultPlan(),
+                                retry=RetryPolicy(**defaults))
+
+    def test_crash_evicts_then_recovers_with_recompute(self, runtime):
+        from repro.resilience import FaultPlan, ServerCrash
+
+        requests = workload(200.0, 0.5)
+        arena = make_arena()
+        plan = FaultPlan(crashes=(ServerCrash(0.1, 0.2, server_id=0),))
+        m = ContinuousBatchingServer(
+            runtime, arena, resilience=self.resilience(plan)
+        ).serve(requests, duration_s=0.5)
+        assert m.completed == len(requests)
+        assert not any(r.state is RequestState.FAILED for r in requests)
+        assert m.preemptions > 0          # in-flight KV lost to the crash
+        assert m.tokens_recomputed > 0    # resumes recomputed the prefix
+        assert m.retries > 0
+        assert arena.verify(live_req_ids=[]) == []  # no region leaked
+
+    def test_preemption_relieves_watermark_pressure(self, runtime):
+        """Two requests, KV room for one worst case: the watermark holds
+        the head, so the loop preempts the active request, runs the head,
+        and resumes the victim with its prefix recomputed."""
+        from repro.serving import ContinuousBatchingConfig, KVPreemptionPolicy
+
+        arena = make_arena(capacity_tokens=48)
+        config = ContinuousBatchingConfig(
+            preemption=KVPreemptionPolicy(max_victims_per_event=1))
+        requests = gen_reqs([(8, 0.0, 24), (8, 0.0, 24)])
+        # Backoff long enough that the admitted request finishes before
+        # the victim's retry lands — no eviction ping-pong.
+        m = ContinuousBatchingServer(
+            runtime, arena, config=config,
+            resilience=self.resilience(base_backoff_s=1.0, max_backoff_s=8.0,
+                                       jitter=0.0),
+        ).serve(requests, duration_s=0.1)
+        assert m.completed == 2
+        assert m.preemptions == 1
+        # Victim held prompt (8) + 1 generated token when evicted.
+        assert m.tokens_recomputed == 9
+        assert m.retries == 1
+        assert arena.verify(live_req_ids=[]) == []
+
+    def test_fault_free_resilience_config_is_identity(self, runtime):
+        """An empty plan with no retry policy must not perturb a single
+        float: the resilient loop is byte-identical to the plain one."""
+        from repro.resilience import ResilienceConfig
+
+        base = ContinuousBatchingServer(runtime, make_arena()).serve(
+            workload(300.0, 0.3), duration_s=0.3)
+        res = ContinuousBatchingServer(
+            runtime, make_arena(), resilience=ResilienceConfig()
+        ).serve(workload(300.0, 0.3), duration_s=0.3)
+        assert res == base
+
+    def test_transient_failures_exhaust_attempts_to_failed(self, runtime):
+        from repro.resilience import FaultPlan, TransientFailures
+
+        arena = make_arena()
+        plan = FaultPlan(failures=(TransientFailures(0.0, 100.0, 1.0),))
+        requests = gen_reqs([(8, 0.0, 4), (8, 0.0, 4), (16, 0.0, 8)])
+        m = ContinuousBatchingServer(
+            runtime, arena, resilience=self.resilience(plan, max_attempts=2)
+        ).serve(requests, duration_s=0.1)
+        assert m.completed == 0
+        assert all(r.state is RequestState.FAILED for r in requests)
+        assert m.attempts_failed == 2 * len(requests)  # initial + one retry
+        assert arena.verify(live_req_ids=[]) == []
+
+    def test_deterministic_under_faults(self, runtime):
+        from repro.resilience import FaultPlan, ServerCrash, TransientFailures
+
+        plan = FaultPlan(
+            crashes=(ServerCrash(0.1, 0.15, server_id=0),),
+            failures=(TransientFailures(0.2, 0.3, 0.25, server_id=0),),
+        )
+
+        def run():
+            return ContinuousBatchingServer(
+                runtime, make_arena(), resilience=self.resilience(plan)
+            ).serve(workload(200.0, 0.4, seed=3), duration_s=0.4)
+
+        assert run() == run()
