@@ -41,12 +41,22 @@ Commands
     exits non-zero on any divergence.  ``--diff A B`` compares the
     deterministic fields of two payloads (CI determinism gate).
 ``check [--format text|json] [--out PATH] [--seed N]
-        [--family graph|memory|schedule|determinism ...] [--lint-root DIR]``
+        [--family graph|memory|schedule|determinism|engine|lifecycle ...]
+        [--families A,B] [--lint-root DIR] [--select CODE] [--ignore CODE]
+        [--max-warnings N] [--sanitize SCENARIO]``
     Static analysis: graph shape/dtype/fusion verification over every
     built-in model builder, memory-plan bounds/aliasing + fragmentation
     verification, happens-before race detection over a seeded serving
-    schedule, and the determinism lint over the ``repro`` sources.  Exits
-    non-zero if any ERROR-severity diagnostic is found.
+    schedule, the determinism + engine-API lint over the ``repro``
+    sources and tests, and (``engine``/``lifecycle`` families) the
+    engine-trace sanitizer over seeded runs of every serving loop.
+    ``--sanitize <scenario>`` instead executes one named serving or
+    chaos scenario under the trace recorder and verifies clock,
+    lifecycle and KV-conservation invariants over the real execution.
+    ``--select``/``--ignore`` filter diagnostics by code or code prefix;
+    ``--max-warnings N`` turns an otherwise-clean run with more than N
+    warnings into a non-zero exit.  Exits non-zero if any
+    ERROR-severity diagnostic is found.
 """
 
 from __future__ import annotations
@@ -222,25 +232,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if payload["equivalence_ok"] else 1
 
 
-def _cmd_check(args: argparse.Namespace) -> int:
-    from .analysis import run_check
+def _split_codes(values: Optional[List[str]]) -> List[str]:
+    """Flatten repeatable, comma-separated code/prefix filter options."""
+    out: List[str] = []
+    for value in values or ():
+        out.extend(token.strip() for token in value.split(",")
+                   if token.strip())
+    return out
 
-    report = run_check(
-        families=args.family or None,
-        seed=args.seed,
-        lint_root=args.lint_root,
-    )
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import run_check, run_sanitized
+
+    families = list(args.family or [])
+    families.extend(_split_codes([args.families] if args.families else []))
+    try:
+        if args.sanitize:
+            report = run_sanitized(args.sanitize, seed=args.seed)
+        else:
+            report = run_check(
+                families=families or None,
+                seed=args.seed,
+                lint_root=args.lint_root,
+            )
+    except ValueError as exc:
+        print(f"check: {exc}", file=sys.stderr)
+        return 2
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    if select or ignore:
+        def keep(d) -> bool:
+            if select and not any(d.code.startswith(p) for p in select):
+                return False
+            return not any(d.code.startswith(p) for p in ignore)
+
+        report.diagnostics[:] = [d for d in report.diagnostics if keep(d)]
     rendered = (report.render_json() if args.format == "json"
                 else report.render_text())
+    counts = report.counts()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(rendered + "\n")
-        counts = report.counts()
         print(f"check: wrote {args.out} ({counts['error']} error(s), "
               f"{counts['warning']} warning(s), {counts['info']} info)")
     else:
         print(rendered)
-    return 1 if report.has_errors else 0
+    if report.has_errors:
+        return 1
+    if args.max_warnings is not None and counts["warning"] > args.max_warnings:
+        print(f"check: {counts['warning']} warning(s) exceed "
+              f"--max-warnings {args.max_warnings}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -331,12 +374,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     check.add_argument("--seed", type=int, default=0,
                        help="seed for the serving-schedule scenario")
     check.add_argument("--family", action="append",
-                       choices=("graph", "memory", "schedule", "determinism"),
+                       choices=("graph", "memory", "schedule", "determinism",
+                                "engine", "lifecycle"),
                        help="run only the named checker family (repeatable; "
                             "default: all)")
+    check.add_argument("--families", default=None, metavar="A,B",
+                       help="comma-separated checker families (combines "
+                            "with --family)")
     check.add_argument("--lint-root", default=None,
                        help="directory or file for the determinism lint "
-                            "(default: the installed repro package)")
+                            "(default: the repro package plus the repo "
+                            "tests/ tree)")
+    check.add_argument("--select", action="append", default=None,
+                       metavar="CODE",
+                       help="keep only diagnostics matching these codes or "
+                            "prefixes (comma-separated, repeatable)")
+    check.add_argument("--ignore", action="append", default=None,
+                       metavar="CODE",
+                       help="drop diagnostics matching these codes or "
+                            "prefixes (comma-separated, repeatable)")
+    check.add_argument("--max-warnings", type=int, default=None, metavar="N",
+                       help="exit non-zero when more than N warnings remain "
+                            "after filtering")
+    check.add_argument("--sanitize", default=None, metavar="SCENARIO",
+                       help="run one serving/chaos scenario under the "
+                            "engine-trace sanitizer instead of the static "
+                            "families (see repro.analysis.sanitize_scenarios)")
     check.set_defaults(func=_cmd_check)
 
     args = parser.parse_args(argv)

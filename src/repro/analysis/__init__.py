@@ -1,8 +1,10 @@
-"""Static analysis: graph/plan/schedule verifiers + determinism linter.
+"""Static analysis: graph/plan/schedule verifiers, determinism linter,
+and the engine-trace sanitizer.
 
-Four checker families behind one CLI (``python -m repro check``), all
+Six checker families behind one CLI (``python -m repro check``), all
 reporting through the unified :class:`Diagnostic` framework with stable
-codes (``GRAPH1xx``/``MEM2xx``/``SCHED3xx``/``DET4xx``):
+codes (``GRAPH1xx``/``MEM2xx``/``SCHED3xx``/``DET4xx``/``ENG5xx``/
+``LIFE6xx``):
 
 * :mod:`.graph_checks` — shape/dtype propagation, dead code, and
   fusion-legality (IO-equivalence) verification;
@@ -10,32 +12,59 @@ codes (``GRAPH1xx``/``MEM2xx``/``SCHED3xx``/``DET4xx``):
   cross-request aliasing, fragmentation reporting;
 * :mod:`.schedule_checks` — happens-before race detection over
   multi-stream :class:`~repro.gpusim.multistream.StreamSchedule` programs;
-* :mod:`.determinism` — AST lint for unseeded RNG, wall-clock reads and
-  unordered-set iteration, with ``# repro: allow(<code>)`` pragmas.
+* :mod:`.determinism` — AST lint for unseeded RNG, wall-clock reads,
+  unordered-set iteration and engine-API misuse, with
+  ``# repro: allow(<code>)`` pragmas;
+* :mod:`.engine_checks` — the :class:`EngineTraceRecorder` (hooks into
+  the live engine/request/KV-arena/breaker layers) plus trace verifiers
+  for clock/dispatch sanity (ENG5xx), request-lifecycle invariants
+  (LIFE6xx) and KV token conservation (MEM22x);
+* :mod:`.sanitizer` — seeded serving and chaos scenarios executed under
+  the recorder (``repro check --sanitize <scenario>``).
 """
 
 from .check import (
     FAMILIES,
     build_serving_schedule,
     builtin_graphs,
+    default_lint_root,
+    default_lint_roots,
     plan_double_buffered,
     run_check,
     run_determinism_checks,
+    run_engine_lifecycle_checks,
     run_graph_checks,
     run_memory_checks,
     run_schedule_checks,
 )
 from .determinism import lint_file, lint_paths, lint_source, parse_pragmas
 from .diagnostics import (
+    CATALOG_FAMILIES,
     CODES,
     Diagnostic,
     DiagnosticReport,
     Location,
     Severity,
+    catalog_family,
     code_title,
     default_severity,
     diag,
+    render_code_catalog,
     report_from_dicts,
+)
+from .engine_checks import (
+    EngineTraceRecorder,
+    verify_engine_trace,
+    verify_kv_ledger,
+    verify_lifecycle,
+    verify_trace,
+)
+from .sanitizer import (
+    TRACE_SCENARIOS,
+    run_sanitized,
+    run_scenario_trace,
+    run_trace_checks,
+    sanitize_scenarios,
 )
 from .graph_checks import check_fusion, check_graph, fusion_invariant_holds
 from .memory_checks import (
@@ -79,7 +108,23 @@ __all__ = [
     "run_memory_checks",
     "run_schedule_checks",
     "run_determinism_checks",
+    "run_engine_lifecycle_checks",
     "builtin_graphs",
     "build_serving_schedule",
     "plan_double_buffered",
+    "default_lint_root",
+    "default_lint_roots",
+    "CATALOG_FAMILIES",
+    "catalog_family",
+    "render_code_catalog",
+    "EngineTraceRecorder",
+    "verify_engine_trace",
+    "verify_lifecycle",
+    "verify_kv_ledger",
+    "verify_trace",
+    "TRACE_SCENARIOS",
+    "run_scenario_trace",
+    "run_sanitized",
+    "run_trace_checks",
+    "sanitize_scenarios",
 ]

@@ -14,7 +14,15 @@ One call sweeps:
 3. **Schedule** — a seeded two-stream copy/compute serving schedule
    (H2D -> compute -> D2H per request, event-synced, double-buffered
    across two compute streams) through the happens-before race detector.
-4. **Determinism** — the AST linter over the ``repro`` source tree.
+4. **Determinism** — the AST linter (unseeded RNG, wall-clock reads,
+   unordered iteration, engine-API misuse) over the ``repro`` package
+   *and* the repo ``tests/`` tree.
+5. **Engine / lifecycle** — the trace sanitizer
+   (:mod:`repro.analysis.sanitizer`): real seeded serving runs on every
+   loop (one-shot, Ebird, cluster, continuous) recorded through
+   :class:`~repro.analysis.engine_checks.EngineTraceRecorder` and
+   verified for clock/dispatch sanity (ENG5xx), request-lifecycle
+   invariants (LIFE6xx) and KV token conservation (MEM22x).
 
 Everything is deterministic given ``seed``: two runs of
 ``repro check --format json`` produce byte-identical documents.
@@ -41,8 +49,9 @@ from .memory_checks import (
 )
 from .schedule_checks import check_schedule
 
-#: Checker families accepted by ``--family``.
-FAMILIES = ("graph", "memory", "schedule", "determinism")
+#: Checker families accepted by ``--family``/``--families``.
+FAMILIES = ("graph", "memory", "schedule", "determinism", "engine",
+            "lifecycle")
 
 
 def builtin_graphs() -> List[Tuple[str, ComputationGraph, Dict[str, int]]]:
@@ -284,26 +293,74 @@ def default_lint_root() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
+def default_lint_roots() -> Tuple[Path, ...]:
+    """The package directory plus the repo ``tests/`` tree when present
+    (a pip-installed package has no tests checkout — lint what exists)."""
+    package = default_lint_root()
+    roots = [package]
+    tests = package.parent.parent / "tests"
+    if tests.is_dir():
+        roots.append(tests)
+    return tuple(roots)
+
+
 def run_determinism_checks(root: Optional[Path] = None) -> DiagnosticReport:
     report = DiagnosticReport()
-    root = default_lint_root() if root is None else Path(root)
-    diags = lint_paths(root)
-    # Report package-relative paths so output does not depend on the
-    # checkout location (keeps the JSON artifact byte-stable across CI
-    # runners and the golden tests meaningful).
-    base = root if root.is_dir() else root.parent
-    for d in diags:
-        file = d.location.file
-        if file is not None:
-            try:
-                file = str(Path(file).resolve().relative_to(base.resolve()))
-            except ValueError:
-                pass
-        report.add(diag(d.code, d.message, severity=d.severity,
-                        file=file, line=d.location.line))
-    report.checked["linted_files"] = (
-        1 if root.is_file() else len(list(root.rglob("*.py")))
-    )
+    roots = default_lint_roots() if root is None else (Path(root),)
+    linted = 0
+    for lint_root in roots:
+        diags = lint_paths(lint_root)
+        # Report checkout-independent relative paths (keeps the JSON
+        # artifact byte-stable across CI runners).  The package root keeps
+        # its historical base (``serving/server.py``); any other root is
+        # prefixed with its own directory name (``tests/engine/...``).
+        if lint_root.is_dir() and lint_root.name == "repro":
+            base = lint_root
+        else:
+            base = lint_root.parent
+        for d in diags:
+            file = d.location.file
+            if file is not None:
+                try:
+                    file = str(
+                        Path(file).resolve().relative_to(base.resolve())
+                    )
+                except ValueError:
+                    pass
+            report.add(diag(d.code, d.message, severity=d.severity,
+                            file=file, line=d.location.line))
+        linted += (
+            1 if lint_root.is_file() else len(list(lint_root.rglob("*.py")))
+        )
+    report.checked["linted_files"] = linted
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Engine-trace sweep
+# ---------------------------------------------------------------------------
+
+
+def run_engine_lifecycle_checks(
+    families: Sequence[str] = ("engine", "lifecycle"),
+    seed: int = 0,
+) -> DiagnosticReport:
+    """Run the light trace-sanitizer sweep and keep the selected slices.
+
+    One recorded execution per :data:`~repro.analysis.sanitizer.
+    TRACE_SCENARIOS` entry backs both families: ENG5xx diagnostics belong
+    to ``engine``; LIFE6xx and the MEM22x conservation codes belong to
+    ``lifecycle``.
+    """
+    from .sanitizer import run_trace_checks
+
+    diagnostics, totals = run_trace_checks(seed=seed)
+    report = DiagnosticReport()
+    for d in diagnostics:
+        family = "engine" if d.code.startswith("ENG") else "lifecycle"
+        if family in families:
+            report.add(d)
+    report.checked.update(totals)
     return report
 
 
@@ -317,7 +374,7 @@ def run_check(
     seed: int = 0,
     lint_root: Optional[Path] = None,
 ) -> DiagnosticReport:
-    """Run the selected checker families (default: all four)."""
+    """Run the selected checker families (default: all of them)."""
     selected = tuple(families) if families else FAMILIES
     unknown = set(selected) - set(FAMILIES)
     if unknown:
@@ -335,4 +392,6 @@ def run_check(
         report.merge(run_schedule_checks(seed=seed))
     if "determinism" in selected:
         report.merge(run_determinism_checks(lint_root))
+    if "engine" in selected or "lifecycle" in selected:
+        report.merge(run_engine_lifecycle_checks(selected, seed=seed))
     return report

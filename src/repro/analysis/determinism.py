@@ -17,6 +17,21 @@ bug classes that historically break that property:
   *variable* that happens to hold a set is not flagged (no type
   inference), and ``sorted(...)`` wrapping suppresses the pattern.
 
+Since every serving loop runs on the shared discrete-event engine, the
+pass also lints **engine-API misuse** — hand-rolled event plumbing that
+bypasses :class:`repro.engine.Engine` and breaks the trace sanitizer's
+invariants:
+
+* **DET405 direct heapq use** — calling ``heapq.*`` outside the engine
+  re-implements the event queue; schedule through ``Engine.schedule``.
+* **DET406 clock mutation** — calling ``.advance_to(...)`` or assigning
+  ``._now`` moves simulated time behind the engine's back; only the
+  dispatch loop may advance the clock.
+* **DET407 raw TRIGGER scheduling** (warning) — scheduling
+  ``EventKind.TRIGGER`` outside a function named ``ensure_trigger``
+  risks duplicate or lost scheduler wakeups; route through the
+  dedup-guarded helper.
+
 Legitimate uses are suppressed with a same-line pragma::
 
     started = time.time()  # repro: allow(DET402) wall time for the report
@@ -76,14 +91,14 @@ class _ImportMap:
     def visit_import(self, node: ast.Import) -> None:
         for alias in node.names:
             root = alias.name.split(".")[0]
-            if root in ("random", "time", "datetime", "numpy"):
+            if root in ("random", "time", "datetime", "numpy", "heapq"):
                 self.module_alias[alias.asname or root] = root
 
     def visit_import_from(self, node: ast.ImportFrom) -> None:
         if node.module is None:
             return
         root = node.module.split(".")[0]
-        if root not in ("random", "time", "datetime", "numpy"):
+        if root not in ("random", "time", "datetime", "numpy", "heapq"):
             return
         for alias in node.names:
             local = alias.asname or alias.name
@@ -128,6 +143,7 @@ class _Linter(ast.NodeVisitor):
         self.file = file
         self.imports = _ImportMap()
         self.found: List[Diagnostic] = []
+        self._func_stack: List[str] = []
 
     def _emit(self, code: str, message: str, node: ast.AST) -> None:
         self.found.append(diag(
@@ -169,7 +185,9 @@ class _Linter(ast.NodeVisitor):
         if qualified:
             self._check_rng(qualified, node)
             self._check_wall_clock(qualified, node)
+            self._check_heapq(qualified, node)
         self._check_list_of_set(node)
+        self._check_engine_api(node)
         self.generic_visit(node)
 
     def _check_rng(self, qualified: str, node: ast.Call) -> None:
@@ -217,6 +235,40 @@ class _Linter(ast.NodeVisitor):
                 node,
             )
 
+    def _check_heapq(self, qualified: str, node: ast.Call) -> None:
+        if qualified.startswith("heapq."):
+            func = qualified.split(".", 1)[1]
+            self._emit(
+                "DET405",
+                f"heapq.{func}() re-implements the event queue by hand; "
+                f"schedule through Engine.schedule so the trace sanitizer "
+                f"sees every event",
+                node,
+            )
+
+    def _check_engine_api(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "advance_to":
+            self._emit(
+                "DET406",
+                "advance_to() mutates the virtual clock directly; only the "
+                "engine's dispatch loop may move simulated time",
+                node,
+            )
+        if "ensure_trigger" in self._func_stack:
+            return
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            dotted = _dotted(arg)
+            if dotted is not None \
+                    and dotted.split(".")[-2:] == ["EventKind", "TRIGGER"]:
+                self._emit(
+                    "DET407",
+                    "EventKind.TRIGGER scheduled outside ensure_trigger(); "
+                    "raw TRIGGER events risk duplicate or lost scheduler "
+                    "wakeups",
+                    node,
+                )
+
     def _check_list_of_set(self, node: ast.Call) -> None:
         """``list(set(...))`` / ``tuple(set(...))`` / ``"".join(set(...))``
         bake set order into a sequence."""
@@ -236,6 +288,39 @@ class _Linter(ast.NodeVisitor):
                     "output; wrap it in sorted()",
                     node,
                 )
+
+    # -- assignments -------------------------------------------------------
+
+    def _check_clock_write(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, ast.Attribute) and target.attr == "_now":
+            self._emit(
+                "DET406",
+                "assigning ._now rewrites the virtual clock behind the "
+                "engine's back; only the dispatch loop may move time",
+                node,
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_clock_write(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_clock_write(node.target, node)
+        self.generic_visit(node)
+
+    # -- function-name stack (for DET407 scoping) --------------------------
+
+    def _visit_function(self, node) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
 
     # -- iteration ---------------------------------------------------------
 

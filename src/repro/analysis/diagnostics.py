@@ -54,6 +54,8 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "MEM211": (Severity.WARNING, "chunk utilization below threshold"),
     "MEM220": (Severity.ERROR, "KV-cache arena plan violation"),
     "MEM221": (Severity.ERROR, "KV region outlives its request (leak)"),
+    "MEM222": (Severity.ERROR, "KV token-conservation ledger divergence"),
+    "MEM223": (Severity.ERROR, "KV restore without a matching preempt"),
     # -- schedule race detector (SCHED3xx) ---------------------------------
     "SCHED301": (Severity.ERROR, "read-after-write hazard across streams"),
     "SCHED302": (Severity.ERROR, "write-after-read hazard across streams"),
@@ -65,7 +67,64 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "DET402": (Severity.ERROR, "wall-clock read in a simulation path"),
     "DET403": (Severity.WARNING, "iteration over an unordered set"),
     "DET404": (Severity.WARNING, "pragma references an unknown code"),
+    "DET405": (Severity.ERROR, "direct heapq use outside the engine"),
+    "DET406": (Severity.ERROR, "VirtualClock mutated outside the engine"),
+    "DET407": (Severity.WARNING, "TRIGGER scheduled outside ensure_trigger"),
+    # -- engine-trace sanitizer (ENG5xx) -----------------------------------
+    "ENG501": (Severity.ERROR, "virtual clock moved backwards in trace"),
+    "ENG502": (Severity.ERROR, "event dispatched off its scheduled time"),
+    "ENG503": (Severity.ERROR, "lost wakeup: engine quiescent with live requests"),
+    # -- request-lifecycle sanitizer (LIFE6xx) -----------------------------
+    "LIFE601": (Severity.ERROR, "admitted request never reached a terminal state"),
+    "LIFE602": (Severity.ERROR, "request resolved terminally more than once"),
+    "LIFE603": (Severity.ERROR, "completion inside its replica's crash window"),
+    "LIFE604": (Severity.ERROR, "retries exceed the attempt/budget limits"),
+    "LIFE605": (Severity.ERROR, "completion before arrival"),
+    "LIFE606": (Severity.ERROR, "illegal circuit-breaker transition"),
 }
+
+#: Code-prefix → catalog family, in rendering order.  Drives
+#: :func:`render_code_catalog`, which regenerates the ``docs/API.md``
+#: table so the documentation is derived from (not parallel to) the
+#: registry; ``tests/analysis/test_code_catalog.py`` pins the two.
+CATALOG_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
+    # (family label, first code inclusive, last code inclusive)
+    ("graph", "GRAPH101", "GRAPH109"),
+    ("fusion", "GRAPH110", "GRAPH199"),
+    ("memory", "MEM200", "MEM299"),
+    ("schedule", "SCHED300", "SCHED399"),
+    ("determinism", "DET400", "DET499"),
+    ("engine", "ENG500", "ENG599"),
+    ("lifecycle", "LIFE600", "LIFE699"),
+)
+
+
+def catalog_family(code: str) -> str:
+    """The docs-catalog family a code belongs to."""
+    for family, lo, hi in CATALOG_FAMILIES:
+        if lo <= code <= hi:
+            return family
+    raise ValueError(f"code {code!r} fits no catalog family")
+
+
+def render_code_catalog() -> str:
+    """Render the stable-code catalog as a markdown table.
+
+    One row per family, codes in registry order; non-error severities are
+    tagged ``(warn)`` / ``(info)`` like the hand-written table this
+    replaces.  The output is embedded verbatim in ``docs/API.md`` between
+    ``CODE CATALOG`` markers and pinned by a drift test.
+    """
+    tags = {Severity.WARNING: " (warn)", Severity.INFO: " (info)"}
+    rows: Dict[str, List[str]] = {family: [] for family, _, _ in
+                                  CATALOG_FAMILIES}
+    for code, (severity, title) in CODES.items():
+        rows[catalog_family(code)].append(
+            f"`{code}` {title}{tags.get(severity, '')}")
+    lines = ["| family | codes |", "|---|---|"]
+    for family, _, _ in CATALOG_FAMILIES:
+        lines.append(f"| {family} | " + ", ".join(rows[family]) + " |")
+    return "\n".join(lines)
 
 
 def default_severity(code: str) -> Severity:

@@ -90,7 +90,7 @@ class VirtualClock:
     __slots__ = ("_now",)
 
     def __init__(self) -> None:
-        self._now = 0.0
+        self._now = 0.0  # repro: allow(DET406)
 
     @property
     def now(self) -> float:
@@ -101,7 +101,7 @@ class VirtualClock:
             raise EngineError(
                 f"clock cannot move backwards: {t} < {self._now}"
             )
-        self._now = t
+        self._now = t  # repro: allow(DET406)
 
 
 class Task:
@@ -136,6 +136,13 @@ class Task:
                              self._resume)
 
 
+#: Observers notified with every newly constructed :class:`Engine`.
+#: :class:`repro.analysis.engine_checks.EngineTraceRecorder` appends here
+#: while attached; the list is empty — and the notification a no-op — in
+#: every normal run, so bench equivalence baselines are unaffected.
+_engine_hooks: List[Callable[["Engine"], None]] = []
+
+
 class Engine:
     """Virtual clock + deterministic event heap + cooperative timers."""
 
@@ -160,6 +167,9 @@ class Engine:
         #: Actual duration of the last ``advance`` window (after fault
         #: stretching) — what busy/utilization accounting should charge.
         self.last_advance_s = 0.0
+        if _engine_hooks:
+            for hook in list(_engine_hooks):
+                hook(self)
 
     # -- clock -----------------------------------------------------------
     @property
@@ -189,8 +199,8 @@ class Engine:
             payload=payload,
         )
         self._seq += 1
-        heapq.heappush(self._heap, (event.time, event.priority, event.seq,
-                                    event))
+        heapq.heappush(self._heap, (event.time, event.priority,  # repro: allow(DET405)
+                                    event.seq, event))
         self._live += 1
         return event
 
@@ -220,7 +230,7 @@ class Engine:
         while self._heap:
             event = self._heap[0][3]
             if event.cancelled:
-                heapq.heappop(self._heap)
+                heapq.heappop(self._heap)  # repro: allow(DET405)
                 continue
             return event
         return None
@@ -236,9 +246,9 @@ class Engine:
         event = self.peek()
         if event is None:
             return None
-        heapq.heappop(self._heap)
+        heapq.heappop(self._heap)  # repro: allow(DET405)
         self._live -= 1
-        self.clock.advance_to(event.time)
+        self.clock.advance_to(event.time)  # repro: allow(DET406)
         self.events_dispatched += 1
         if event.callback is not None:
             event.callback(event)

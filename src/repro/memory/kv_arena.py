@@ -33,7 +33,7 @@ plan; ``python -m repro check`` drives a scripted arena episode through it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..gpusim.memory import DeviceMemory
 from .chunk import DEFAULT_CHUNK_SIZE
@@ -44,6 +44,20 @@ from .turbo import TurboAllocator
 
 class KVArenaError(RuntimeError):
     """An arena invariant was violated (unknown request, capacity breach)."""
+
+
+#: Observers notified after every successful arena mutation, as
+#: ``hook(arena, op, req_id, tokens)`` with ``op`` one of ``admit`` /
+#: ``append`` / ``release`` / ``preempt`` / ``restore`` and ``tokens``
+#: the operation's token delta (region size for release/preempt).  The
+#: engine-trace sanitizer's conservation ledger attaches here; the list
+#: is empty — a no-op — in normal runs.
+_arena_hooks: List[Callable[["KVCacheArena", str, int, int], None]] = []
+
+
+def _notify(arena: "KVCacheArena", op: str, req_id: int, tokens: int) -> None:
+    for hook in list(_arena_hooks):
+        hook(arena, op, req_id, tokens)
 
 
 def kv_bytes_per_token(num_layers: int, num_heads: int, head_size: int,
@@ -216,6 +230,8 @@ class KVCacheArena:
         if self.metrics is not None:
             self.metrics.counter("kv_arena_admissions_total").inc()
         self._replan()
+        if _arena_hooks:
+            _notify(self, "admit", req_id, prompt_tokens)
         return True
 
     # -- growth / release -----------------------------------------------------
@@ -243,15 +259,19 @@ class KVCacheArena:
                     "KV arena overflow — admission invariant violated"
                 )
             self._replan()
+        if _arena_hooks:
+            _notify(self, "append", req_id, tokens)
 
     def release(self, req_id: int) -> None:
         """Free a completed request's region and re-plan the survivors."""
-        self.region_of(req_id)
+        tokens = self.region_of(req_id).tokens
         del self._regions[req_id]
         self.releases += 1
         if self.metrics is not None:
             self.metrics.counter("kv_arena_releases_total").inc()
         self._replan()
+        if _arena_hooks:
+            _notify(self, "release", req_id, tokens)
 
     # -- preemption / recovery ------------------------------------------------
 
@@ -271,6 +291,8 @@ class KVCacheArena:
         if self.metrics is not None:
             self.metrics.counter("kv_arena_preemptions_total").inc()
         self._replan()
+        if _arena_hooks:
+            _notify(self, "preempt", req_id, tokens)
         return tokens
 
     def restore(self, req_id: int, tokens: int,
@@ -299,6 +321,8 @@ class KVCacheArena:
         if self.metrics is not None:
             self.metrics.counter("kv_arena_restores_total").inc()
         self._replan()
+        if _arena_hooks:
+            _notify(self, "restore", req_id, tokens)
         return True
 
     # -- planning -------------------------------------------------------------

@@ -209,8 +209,7 @@ class _GenLoopBase:
             )
 
     def _complete(self, r: GenRequest, now: float) -> None:
-        r.completion_s = now
-        r.state = RequestState.COMPLETED
+        r.resolve(RequestState.COMPLETED, now)
         self.runtime.publish_request_metrics(
             self.metrics, r.req_id, r.ttft_s, r.tpot_s,
             system=self.system_name,

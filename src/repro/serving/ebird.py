@@ -178,7 +178,7 @@ def simulate_ebird_serving(
                     ):
                         r.resolve(RequestState.FAILED)
                     else:
-                        r.completion_s = now
+                        r.resolve(RequestState.COMPLETED, now)
             active[:] = [b for b in active if b.remaining_work_s > 1e-12]
         dispatch(now)
 

@@ -4,11 +4,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 
 class RequestNotCompleted(ValueError):
     """Raised when latency is read off a request that never completed."""
+
+
+#: Observers notified on every :meth:`Request.resolve` call (used by the
+#: engine-trace sanitizer; empty — a no-op — in normal runs).
+_resolve_hooks: List[Callable[["Request", "RequestState"], None]] = []
 
 
 class RequestState(enum.Enum):
@@ -106,6 +111,9 @@ class Request:
             if completion_s is None:
                 raise ValueError("COMPLETED requires a completion time")
             self.completion_s = completion_s
+        if _resolve_hooks:
+            for hook in list(_resolve_hooks):
+                hook(self, state)
 
 
 @dataclass(frozen=True)

@@ -185,8 +185,7 @@ def simulate_serving(
                 and cache.get(request.payload) is not None):
             # Resp Cache hit: answered without evaluating the model.
             request.start_s = request.arrival_s
-            request.completion_s = request.arrival_s
-            request.state = RequestState.COMPLETED
+            request.resolve(RequestState.COMPLETED, request.arrival_s)
             complete_request(request, "cache")
         else:
             enqueue(request, now)
@@ -288,15 +287,20 @@ def simulate_serving(
             batches_executed += 1
             now = engine.now
             failed: List[Request] = []
-            if injector is not None and faults.failure_rate(0, started) > 0.0:
+            if (injector is not None
+                    and injector.crashed_during(started, now) is not None):
+                # The server died mid-execution: the whole attempt is
+                # lost.  Members re-enter through the retry path and the
+                # scheduling loop sleeps out the remaining outage.
+                failed = list(batch.requests)
+            elif injector is not None and faults.failure_rate(0, started) > 0.0:
                 failed = [r for r in batch.requests
                           if injector.attempt_fails(r.req_id, r.attempt, started)]
             failed_set = set(id(r) for r in failed)
             for r in batch.requests:
                 if id(r) in failed_set:
                     continue
-                r.completion_s = now
-                r.state = RequestState.COMPLETED
+                r.resolve(RequestState.COMPLETED, now)
                 if breaker is not None:
                     breaker.record(True, now)
                 if cache is not None and r.payload is not None:
@@ -347,6 +351,12 @@ def simulate_serving(
         """Chain scheduling rounds at the current instant while the
         trigger policy keeps firing."""
         while queue and config.policy.should_schedule(queue, engine.now):
+            if injector is not None and injector.crashed(engine.now):
+                # Server down: no round starts until recovery.  Arrivals
+                # and retries due during the outage still land in the
+                # queue at their true timestamps.
+                engine.run_until(injector.crash_end(engine.now))
+                continue
             now = engine.now
             if isinstance(config.policy, LazyPolicy):
                 front = queue.front()
@@ -407,6 +417,9 @@ def simulate_serving(
         ensure_trigger()
         if not engine.pending:
             if queue:
+                if injector is not None and injector.crashed(engine.now):
+                    engine.run_until(injector.crash_end(engine.now))
+                    continue
                 # Policy will never fire again (e.g. degenerate config):
                 # flush the remainder so the simulation terminates.
                 flush = queue.drain(config.round_limit)

@@ -1,0 +1,76 @@
+"""Docs <-> registry drift: the docs/API.md code catalog is generated.
+
+``render_code_catalog`` is the single source of truth for the table
+between the CODE CATALOG markers in docs/API.md; regenerate it with::
+
+    python -m tests.analysis.test_code_catalog
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CATALOG_FAMILIES,
+    CODES,
+    catalog_family,
+    render_code_catalog,
+)
+
+API_MD = Path(__file__).resolve().parents[2] / "docs" / "API.md"
+BLOCK_RE = re.compile(
+    r"<!-- BEGIN CODE CATALOG[^\n]*-->\n(.*?)\n<!-- END CODE CATALOG -->",
+    re.S,
+)
+
+
+def docs_catalog() -> str:
+    match = BLOCK_RE.search(API_MD.read_text(encoding="utf-8"))
+    assert match, "CODE CATALOG markers missing from docs/API.md"
+    return match.group(1)
+
+
+class TestCatalogDrift:
+    def test_docs_table_matches_the_registry(self):
+        assert docs_catalog() == render_code_catalog(), (
+            "docs/API.md code catalog is stale; regenerate with "
+            "python -m tests.analysis.test_code_catalog"
+        )
+
+    def test_every_registered_code_is_documented(self):
+        rendered = docs_catalog()
+        for code in CODES:
+            assert f"`{code}`" in rendered, code
+
+    def test_every_documented_code_is_registered(self):
+        mentioned = set(re.findall(r"\b(?:GRAPH|MEM|SCHED|DET|ENG|LIFE)\d{3}\b",
+                                   docs_catalog()))
+        assert mentioned == set(CODES)
+
+
+class TestCatalogFamilies:
+    def test_every_code_maps_to_exactly_one_family(self):
+        names = [name for name, _lo, _hi in CATALOG_FAMILIES]
+        for code in CODES:
+            assert catalog_family(code) in names, code
+
+    def test_catalog_renders_one_row_per_family(self):
+        rendered = render_code_catalog()
+        for name, _lo, _hi in CATALOG_FAMILIES:
+            assert f"| {name} |" in rendered, name
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(ValueError):
+            catalog_family("ZZZ999")
+
+
+if __name__ == "__main__":  # regenerate the docs/API.md catalog block
+    text = API_MD.read_text(encoding="utf-8")
+    updated = BLOCK_RE.sub(
+        lambda m: m.group(0).replace(m.group(1), render_code_catalog()),
+        text,
+        count=1,
+    )
+    API_MD.write_text(updated, encoding="utf-8")
+    print(f"regenerated catalog block in {API_MD}")

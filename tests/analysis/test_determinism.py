@@ -3,7 +3,7 @@
 import textwrap
 
 from repro.analysis import lint_paths, lint_source, parse_pragmas
-from repro.analysis.check import default_lint_root
+from repro.analysis.check import default_lint_root, default_lint_roots
 from repro.analysis.diagnostics import Severity
 
 
@@ -119,6 +119,83 @@ class TestSetIteration:
         """) == []
 
 
+class TestEngineApiMisuse:
+    def test_direct_heapq_call_flagged(self):
+        assert codes(lint("""
+            import heapq
+            heap = []
+            heapq.heappush(heap, (1.0, 0))
+            item = heapq.heappop(heap)
+        """)) == ["DET405", "DET405"]
+
+    def test_from_import_heapq_flagged(self):
+        assert codes(lint("""
+            from heapq import heappush
+            heappush([], 1)
+        """)) == ["DET405"]
+
+    def test_heapq_alias_flagged(self):
+        assert codes(lint("""
+            import heapq as hq
+            hq.heapify([])
+        """)) == ["DET405"]
+
+    def test_advance_to_call_flagged(self):
+        assert codes(lint("""
+            clock.advance_to(5.0)
+        """)) == ["DET406"]
+
+    def test_now_attribute_assignment_flagged(self):
+        assert codes(lint("""
+            clock._now = 7.5
+        """)) == ["DET406"]
+
+    def test_now_augmented_assignment_flagged(self):
+        assert codes(lint("""
+            self.clock._now += 0.5
+        """)) == ["DET406"]
+
+    def test_local_now_variable_ok(self):
+        assert lint("""
+            _now = 7.5
+        """) == []
+
+    def test_trigger_outside_ensure_trigger_warns(self):
+        diags = lint("""
+            def schedule_round(engine):
+                engine.schedule(1.0, EventKind.TRIGGER, run_round)
+        """)
+        assert codes(diags) == ["DET407"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_trigger_inside_ensure_trigger_ok(self):
+        assert lint("""
+            def ensure_trigger(engine, at):
+                engine.schedule(at, EventKind.TRIGGER, run_round)
+        """) == []
+
+    def test_trigger_in_closure_under_ensure_trigger_ok(self):
+        assert lint("""
+            def ensure_trigger(engine, at):
+                def arm():
+                    engine.schedule(at, EventKind.TRIGGER, run_round)
+                arm()
+        """) == []
+
+    def test_trigger_keyword_argument_flagged(self):
+        assert codes(lint("""
+            def go(engine):
+                engine.schedule(1.0, kind=EventKind.TRIGGER)
+        """)) == ["DET407"]
+
+    def test_other_event_kinds_ok(self):
+        assert lint("""
+            def go(engine):
+                engine.schedule(1.0, EventKind.WAKE, cb)
+                engine.schedule(2.0, EventKind.ARRIVAL, cb)
+        """) == []
+
+
 class TestPragmas:
     def test_parse_pragmas(self):
         pragmas = parse_pragmas(
@@ -147,9 +224,9 @@ class TestPragmas:
         """)) == ["DET402"]
 
     def test_unknown_code_in_pragma_is_det404(self):
-        diags = lint("""
-            x = 1  # repro: allow(DET999)
-        """)
+        # The fixture pragma is assembled at runtime so linting *this*
+        # test file does not see a literal unknown-code pragma.
+        diags = lint("x = 1  # repro: " + "allow(DET" + "999)")
         assert codes(diags) == ["DET404"]
 
 
@@ -163,3 +240,13 @@ class TestFiles:
         # (every legitimate wall-clock use carries an allow pragma).
         diags = lint_paths(default_lint_root())
         assert [d for d in diags if d.severity is Severity.ERROR] == []
+
+    def test_default_roots_cover_tests_and_lint_clean(self):
+        # The default sweep also lints the repo tests/ tree (engine-API
+        # misuse in test fixtures carries pragmas, not exemptions).
+        roots = default_lint_roots()
+        assert any(root.name == "tests" for root in roots)
+        for root in roots:
+            diags = lint_paths(root)
+            assert [d for d in diags if d.severity is Severity.ERROR] == [], \
+                root

@@ -1,0 +1,291 @@
+"""Engine-trace recorder + verifiers.
+
+Two kinds of coverage: the recorder's hook plumbing over *real* engine /
+arena / breaker executions, and seeded mutations — each invariant is
+broken on purpose and must produce exactly the matching stable code.
+"""
+
+import pytest
+
+from repro.analysis.engine_checks import (
+    EngineTraceRecorder,
+    verify_engine_trace,
+    verify_kv_ledger,
+    verify_lifecycle,
+    verify_trace,
+)
+from repro.engine import Engine, EventKind
+from repro.engine.faults import EngineFaultInjector
+from repro.memory import KVCacheArena
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.faults import FaultPlan, ServerCrash
+from repro.resilience.retry import RetryPolicy
+from repro.serving.request import Request, RequestState
+
+
+def make_request(req_id: int = 0, arrival_s: float = 0.0) -> Request:
+    return Request(req_id=req_id, seq_len=8, arrival_s=arrival_s)
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+class TestRecorder:
+    def test_detached_recorder_sees_nothing(self):
+        rec = EngineTraceRecorder()
+        engine = Engine()
+        engine.schedule(0.0, EventKind.ARRIVAL, payload=make_request())
+        engine.run()
+        assert rec.stats() == {
+            "engines": 0, "dispatches": 0, "requests": 0,
+            "resolves": 0, "arena_events": 0, "breaker_transitions": 0,
+        }
+
+    def test_records_dispatches_and_attributes_arrivals(self):
+        with EngineTraceRecorder() as rec:
+            engine = Engine()
+            r = make_request(req_id=7)
+            engine.schedule(
+                0.5, EventKind.ARRIVAL,
+                lambda e: e.payload.resolve(RequestState.COMPLETED, 0.5),
+                r,
+            )
+            engine.run()
+        stats = rec.stats()
+        assert stats["engines"] == 1
+        assert stats["dispatches"] == 1
+        assert stats["requests"] == 1
+        assert stats["resolves"] == 1
+        (idx, attributed), = rec.requests.values()
+        assert idx == 0 and attributed is r
+        assert verify_trace(rec) == []
+
+    def test_detach_stops_recording(self):
+        rec = EngineTraceRecorder().attach()
+        rec.detach()
+        Engine()  # constructed after detach: must not be recorded
+        assert rec.stats()["engines"] == 0
+
+    def test_double_attach_rejected(self):
+        with EngineTraceRecorder() as rec:
+            with pytest.raises(RuntimeError):
+                rec.attach()
+
+    def test_sequence_numbers_order_cross_layer_events(self):
+        with EngineTraceRecorder() as rec:
+            engine = Engine()
+            arena = KVCacheArena(capacity_bytes=4096, bytes_per_token=16,
+                                 page_tokens=4)
+
+            def work(event):
+                arena.admit(1, prompt_tokens=4, max_total_tokens=8)
+                event.payload.resolve(RequestState.COMPLETED, engine.now)
+                arena.release(1)
+
+            engine.schedule(0.1, EventKind.ARRIVAL, work, make_request(1))
+            engine.run()
+        seqs = ([s for s, *_ in rec.dispatches]
+                + [s for s, *_ in rec.resolves]
+                + [s for s, *_ in rec.arena_events])
+        assert sorted(seqs) == list(range(1, len(seqs) + 1))
+
+
+class TestEngineTraceMutations:
+    def test_clock_regression_is_eng501(self):
+        rec = EngineTraceRecorder()
+        rec.dispatches = [(1, 0, 1.0, 1.0, 0), (2, 0, 0.5, 0.5, 0)]
+        assert codes(verify_engine_trace(rec)) == ["ENG501"]
+
+    def test_past_dispatch_is_eng502(self):
+        rec = EngineTraceRecorder()
+        rec.dispatches = [(1, 0, 0.5, 1.0, 0)]
+        assert codes(verify_engine_trace(rec)) == ["ENG502"]
+
+    def test_eng501_and_eng502_deduplicate_per_engine(self):
+        rec = EngineTraceRecorder()
+        rec.dispatches = [(1, 0, 1.0, 2.0, 0), (2, 0, 0.4, 2.0, 0),
+                          (3, 0, 0.2, 2.0, 0)]
+        assert codes(verify_engine_trace(rec)) == ["ENG501", "ENG502"]
+
+    def test_lost_wakeup_is_eng503_plus_life601(self):
+        # The scheduler "forgets" the request: its ARRIVAL is dispatched
+        # but nothing ever resolves it, and the engine drains.
+        with EngineTraceRecorder() as rec:
+            engine = Engine()
+            engine.schedule(0.0, EventKind.ARRIVAL, payload=make_request(3))
+            engine.run()
+        found = codes(verify_trace(rec))
+        assert "ENG503" in found and "LIFE601" in found
+
+
+class TestLifecycleMutations:
+    def test_double_terminal_resolve_is_life602(self):
+        with EngineTraceRecorder() as rec:
+            r = make_request(5)
+            r.resolve(RequestState.COMPLETED, 1.0)
+            r.resolve(RequestState.FAILED)
+        assert codes(verify_lifecycle(rec)) == ["LIFE602"]
+
+    def test_completion_before_arrival_is_life605(self):
+        with EngineTraceRecorder() as rec:
+            r = make_request(6, arrival_s=1.0)
+            r.resolve(RequestState.COMPLETED, 0.25)
+        assert codes(verify_lifecycle(rec)) == ["LIFE605"]
+
+    def test_completion_inside_crash_window_is_life603(self):
+        plan = FaultPlan(
+            crashes=(ServerCrash(start_s=1.0, end_s=2.0, server_id=0),)
+        )
+        with EngineTraceRecorder() as rec:
+            injector = EngineFaultInjector(plan, 0)
+            engine = Engine(faults=injector)
+            engine.schedule(
+                1.5, EventKind.ARRIVAL,
+                lambda e: e.payload.resolve(RequestState.COMPLETED,
+                                            engine.now),
+                make_request(9),
+            )
+            engine.run()
+        assert codes(verify_lifecycle(rec)) == ["LIFE603"]
+
+    def test_crash_window_boundary_completion_is_legal(self):
+        plan = FaultPlan(
+            crashes=(ServerCrash(start_s=1.0, end_s=2.0, server_id=0),)
+        )
+        with EngineTraceRecorder() as rec:
+            injector = EngineFaultInjector(plan, 0)
+            engine = Engine(faults=injector)
+            engine.schedule(
+                2.0, EventKind.ARRIVAL,
+                lambda e: e.payload.resolve(RequestState.COMPLETED,
+                                            engine.now),
+                make_request(9),
+            )
+            engine.run()
+        assert verify_lifecycle(rec) == []
+
+    def test_retry_storm_past_max_attempts_is_life604(self):
+        retry = RetryPolicy(max_attempts=2, budget=100)
+        with EngineTraceRecorder() as rec:
+            engine = Engine()
+            r = make_request(4)
+            for i in range(3):  # max_attempts=2 allows a single retry
+                engine.schedule(0.1 * (i + 1), EventKind.RETRY, payload=r)
+            engine.run()
+            r.resolve(RequestState.FAILED)
+        assert codes(verify_lifecycle(rec, retry=retry)) == ["LIFE604"]
+
+    def test_retries_past_global_budget_is_life604(self):
+        retry = RetryPolicy(max_attempts=10, budget=2)
+        with EngineTraceRecorder() as rec:
+            engine = Engine()
+            reqs = [make_request(i) for i in range(3)]
+            for r in reqs:
+                engine.schedule(0.1, EventKind.RETRY, payload=r)
+            engine.run()
+            for r in reqs:
+                r.resolve(RequestState.FAILED)
+        assert codes(verify_lifecycle(rec, retry=retry)) == ["LIFE604"]
+
+    def test_retries_within_limits_are_clean(self):
+        retry = RetryPolicy(max_attempts=3, budget=100)
+        with EngineTraceRecorder() as rec:
+            engine = Engine()
+            r = make_request(4)
+            engine.schedule(0.1, EventKind.RETRY, payload=r)
+            engine.schedule(0.2, EventKind.RETRY, payload=r)
+            engine.run()
+            r.resolve(RequestState.COMPLETED, 0.3)
+        assert verify_lifecycle(rec, retry=retry) == []
+
+    def test_illegal_breaker_transition_is_life606(self):
+        with EngineTraceRecorder() as rec:
+            breaker = CircuitBreaker(name="mutant")
+            # closed -> half_open skips the open state entirely.
+            breaker._transition(BreakerState.HALF_OPEN, 0.5)
+        assert codes(verify_lifecycle(rec)) == ["LIFE606"]
+
+    def test_legal_breaker_cycle_is_clean(self):
+        with EngineTraceRecorder() as rec:
+            breaker = CircuitBreaker(window=4, min_samples=2, cooldown_s=0.1,
+                                     half_open_probes=1, name="ok")
+            breaker.record(False, 0.0)
+            breaker.record(False, 0.01)      # trips open
+            breaker.state(0.2)               # cooldown: half-open
+            assert breaker.allow(0.2)
+            breaker.record(True, 0.25)       # probe success: closed
+        assert len(rec.breaker_events) == 3
+        assert verify_lifecycle(rec) == []
+
+
+class TestKVLedgerMutations:
+    def arena(self):
+        return KVCacheArena(capacity_bytes=8192, bytes_per_token=16,
+                            page_tokens=4)
+
+    def test_full_episode_is_clean(self):
+        with EngineTraceRecorder() as rec:
+            arena = self.arena()
+            arena.admit(1, prompt_tokens=8, max_total_tokens=32)
+            arena.append(1, 4)
+            dropped = arena.preempt(1)
+            arena.restore(1, tokens=dropped, max_total_tokens=32)
+            arena.release(1)
+        assert verify_kv_ledger(rec) == []
+
+    def test_suppressed_release_leaks_mem221(self):
+        # Mutation: the completion path "forgets" to release the region.
+        with EngineTraceRecorder() as rec:
+            arena = self.arena()
+            arena.admit(2, prompt_tokens=8, max_total_tokens=32)
+        found = codes(verify_kv_ledger(rec))
+        assert "MEM221" in found  # ledger side and arena.verify agree
+
+    def test_expected_live_suppresses_mem221(self):
+        with EngineTraceRecorder() as rec:
+            arena = self.arena()
+            arena.admit(2, prompt_tokens=8, max_total_tokens=32)
+        assert verify_kv_ledger(rec, expected_live=[2]) == []
+
+    def test_op_on_dead_region_is_mem222(self):
+        rec = EngineTraceRecorder()
+        rec.arena_events = [(1, 0, "append", 7, 1)]
+        assert codes(verify_kv_ledger(rec)) == ["MEM222"]
+
+    def test_token_count_divergence_is_mem222(self):
+        rec = EngineTraceRecorder()
+        rec.arena_events = [(1, 0, "admit", 7, 16), (2, 0, "release", 7, 99)]
+        assert codes(verify_kv_ledger(rec)) == ["MEM222"]
+
+    def test_restore_without_preempt_is_mem223(self):
+        rec = EngineTraceRecorder()
+        rec.arena_events = [(1, 0, "restore", 7, 16), (2, 0, "release", 7, 16)]
+        assert codes(verify_kv_ledger(rec)) == ["MEM223"]
+
+    def test_shrinking_restore_is_mem223(self):
+        rec = EngineTraceRecorder()
+        rec.arena_events = [
+            (1, 0, "admit", 7, 16), (2, 0, "preempt", 7, 16),
+            (3, 0, "restore", 7, 8), (4, 0, "release", 7, 8),
+        ]
+        assert codes(verify_kv_ledger(rec)) == ["MEM223"]
+
+    def test_failover_restore_on_other_arena_is_legal(self):
+        # gen-blackout shape: preempted on the crashed replica's arena,
+        # restored (recompute-on-resume) on the failover replica's.
+        rec = EngineTraceRecorder()
+        rec.arena_events = [
+            (1, 0, "admit", 7, 16), (2, 0, "preempt", 7, 16),
+            (3, 1, "restore", 7, 16), (4, 1, "release", 7, 16),
+        ]
+        assert verify_kv_ledger(rec) == []
+
+    def test_failover_preempt_claimed_only_once(self):
+        rec = EngineTraceRecorder()
+        rec.arena_events = [
+            (1, 0, "admit", 7, 16), (2, 0, "preempt", 7, 16),
+            (3, 1, "restore", 7, 16), (4, 1, "release", 7, 16),
+            (5, 2, "restore", 7, 16), (6, 2, "release", 7, 16),
+        ]
+        assert codes(verify_kv_ledger(rec)) == ["MEM223"]

@@ -278,3 +278,76 @@ class TestValidation:
         prompt, total = args
         with pytest.raises(ValueError):
             arena().admit(0, prompt, total)
+
+
+class TestCrashRecoveryEdges:
+    """Edge cases the engine-trace sanitizer leans on: crash-evictions of
+    already-restored regions, restores denied by each admission gate, and
+    the leak audit under interleaved (non-cyclic) preemption churn."""
+
+    def test_restore_then_crash_double_evicts_cleanly(self):
+        a = arena(page_tokens=8)
+        a.admit(0, prompt_tokens=8, max_total_tokens=48)
+        a.append(0, 9)
+        first = a.preempt(0)                      # watermark eviction
+        assert first == 17
+        assert a.restore(0, tokens=17, max_total_tokens=48)
+        a.append(0, 7)                            # progress after resume
+        second = a.preempt(0)                     # crash evicts it again
+        assert second == 24
+        assert a.used_bytes == 0
+        with pytest.raises(KVArenaError):
+            a.preempt(0)                          # already evicted: gone
+        assert a.restore(0, tokens=24, max_total_tokens=48)
+        a.release(0)
+        assert a.verify(live_req_ids=[]) == []
+        assert a.stats()["preemptions"] == 2
+        assert a.stats()["restores"] == 2
+
+    def test_restore_denied_by_each_admission_gate(self):
+        # Gate 1 (watermark): the recompute length itself does not fit
+        # under high_watermark * capacity next to the resident request.
+        a = arena(capacity_tokens=100, page_tokens=1, watermark=0.5)
+        a.admit(0, prompt_tokens=40, max_total_tokens=41)
+        a.admit(1, prompt_tokens=8, max_total_tokens=20)
+        a.preempt(1)
+        assert not a.restore(1, tokens=11, max_total_tokens=20)
+        # Gate 2 (worst case): the grown budget cannot fit within raw
+        # capacity even though the recompute length is under watermark.
+        assert not a.restore(1, tokens=9, max_total_tokens=61)
+        assert a.denials == 2
+        # A restore respecting both gates still succeeds afterwards.
+        assert a.restore(1, tokens=9, max_total_tokens=20)
+        assert a.verify(live_req_ids=[0, 1]) == []
+
+    def test_verify_tracks_interleaved_preemption_churn(self):
+        a = arena(capacity_tokens=256, page_tokens=8, watermark=0.9)
+        for i in range(3):
+            a.admit(i, prompt_tokens=16, max_total_tokens=48)
+        live = {0, 1, 2}
+
+        def audit():
+            assert a.verify(live_req_ids=sorted(live)) == []
+
+        a.preempt(0); live.discard(0); audit()
+        a.preempt(1); live.discard(1); audit()
+        # A new request admits into the freed space mid-churn.
+        a.admit(3, prompt_tokens=16, max_total_tokens=48)
+        live.add(3); audit()
+        assert a.restore(1, tokens=16, max_total_tokens=48)
+        live.add(1); audit()
+        a.preempt(3); live.discard(3); audit()
+        assert a.restore(0, tokens=16, max_total_tokens=48)
+        live.add(0); audit()
+        assert a.restore(3, tokens=16, max_total_tokens=48)
+        live.add(3); audit()
+        # An evicted-but-not-restored region counts as a leak candidate:
+        # verify() against the wrong live set must say so.
+        a.preempt(2); live.discard(2)
+        problems = a.verify(live_req_ids=sorted(live - {0}))
+        assert any("leak" in p and "request 0" in p for p in problems)
+        audit()
+        for i in sorted(live):
+            a.release(i)
+        assert a.verify(live_req_ids=[]) == []
+        assert a.used_bytes == 0
