@@ -33,8 +33,13 @@ Commands
     plan cache, pruned DP scheduler) against the seed baselines, written
     as a JSON payload whose counter fields are deterministic.  The
     ``gen`` profile instead benchmarks generative serving — iteration-
-    level continuous batching vs the request-level DP baseline — and
-    writes ``BENCH_gen.json`` by default.
+    level continuous batching (plain and with chunked prefill +
+    dual-stream overlap) vs the request-level DP baseline — and writes
+    ``BENCH_gen.json`` by default.
+    ``--verify-overlap`` runs the chunked-overlap equivalence gate:
+    the gen workload with chunking off vs on must produce identical
+    per-request token streams and completion sets, and TTFT p99 must
+    not regress.
     ``--verify`` instead runs the cross-layer equivalence verifier
     (compiled vs. interpretive pricing, fast vs. reference ``latency()``,
     pruned vs. reference DP partitions, cached vs. uncached plans) and
@@ -191,6 +196,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
         save_bench,
         verify_host_fast_path,
+        verify_overlap_equivalence,
     )
 
     if args.diff:
@@ -216,6 +222,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print("bench --verify: fast path is equivalent to the reference "
               "path (compiled pricing, latency, partitions, plans)")
+        return 0
+
+    if args.verify_overlap:
+        problems = verify_overlap_equivalence(
+            seed=args.seed, progress=lambda msg: print(f"bench: {msg}"))
+        if problems:
+            for p in problems[:20]:
+                print(f"overlap-equivalence: {p}", file=sys.stderr)
+            print(f"bench --verify-overlap: {len(problems)} divergence(s)",
+                  file=sys.stderr)
+            return 1
+        print("bench --verify-overlap: chunked prefill + dual-stream "
+              "overlap preserves per-request token streams and completion "
+              "sets; TTFT p99 does not regress")
         return 0
 
     payload = run_bench(args.profile, seed=args.seed,
@@ -353,6 +373,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--out", default=None,
                        help="write the JSON payload here "
                             "(e.g. BENCH_host.json)")
+    bench.add_argument("--verify-overlap", action="store_true",
+                       help="verify the chunked-prefill overlap "
+                            "equivalence gate (gen profile): token "
+                            "streams identical, TTFT p99 no worse")
     bench.add_argument("--verify", action="store_true",
                        help="run the fast-path equivalence verifier "
                             "instead of timing")

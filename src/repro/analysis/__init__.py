@@ -61,6 +61,7 @@ from .engine_checks import (
 )
 from .sanitizer import (
     TRACE_SCENARIOS,
+    ScenarioOutcome,
     run_sanitized,
     run_scenario_trace,
     run_trace_checks,
@@ -75,7 +76,11 @@ from .memory_checks import (
     check_plan,
     fragmentation_report,
 )
-from .schedule_checks import check_schedule, schedule_is_race_free
+from .schedule_checks import (
+    check_emitted_schedules,
+    check_schedule,
+    schedule_is_race_free,
+)
 
 __all__ = [
     "CODES",
@@ -97,7 +102,9 @@ __all__ = [
     "FragmentationReport",
     "ChunkStats",
     "check_schedule",
+    "check_emitted_schedules",
     "schedule_is_race_free",
+    "ScenarioOutcome",
     "lint_source",
     "lint_file",
     "lint_paths",

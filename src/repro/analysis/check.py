@@ -348,16 +348,18 @@ def run_engine_lifecycle_checks(
     """Run the light trace-sanitizer sweep and keep the selected slices.
 
     One recorded execution per :data:`~repro.analysis.sanitizer.
-    TRACE_SCENARIOS` entry backs both families: ENG5xx diagnostics belong
-    to ``engine``; LIFE6xx and the MEM22x conservation codes belong to
-    ``lifecycle``.
+    TRACE_SCENARIOS` entry backs both families: ENG5xx diagnostics — and
+    SCHED311, the race audit of the stream schedules the chunked
+    continuous round loop actually emitted — belong to ``engine``;
+    LIFE6xx and the MEM22x conservation codes belong to ``lifecycle``.
     """
     from .sanitizer import run_trace_checks
 
     diagnostics, totals = run_trace_checks(seed=seed)
     report = DiagnosticReport()
     for d in diagnostics:
-        family = "engine" if d.code.startswith("ENG") else "lifecycle"
+        family = "engine" if d.code.startswith(("ENG", "SCHED")) \
+            else "lifecycle"
         if family in families:
             report.add(d)
     report.checked.update(totals)

@@ -61,6 +61,8 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "SCHED302": (Severity.ERROR, "write-after-read hazard across streams"),
     "SCHED303": (Severity.ERROR, "write-after-write hazard across streams"),
     "SCHED310": (Severity.ERROR, "wait on an event that was never recorded"),
+    "SCHED311": (Severity.ERROR,
+                 "chunked-prefill round schedule race/missing-sync"),
     # -- determinism linter (DET4xx) ---------------------------------------
     "DET400": (Severity.ERROR, "source file failed to parse"),
     "DET401": (Severity.ERROR, "unseeded random number generation"),

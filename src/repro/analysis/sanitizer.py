@@ -20,6 +20,7 @@ byte-identical diagnostic JSON.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..resilience.breaker import CircuitBreaker
@@ -49,11 +50,27 @@ from ..serving import (
 )
 from .diagnostics import Diagnostic, DiagnosticReport
 from .engine_checks import EngineTraceRecorder, verify_trace
+from .schedule_checks import check_emitted_schedules
+
+
+@dataclass
+class ScenarioOutcome:
+    """What a scenario runner hands back to the verifier.
+
+    ``retry`` is the retry policy in force (LIFE604); ``diagnostics``
+    are findings the runner produced itself — e.g. the SCHED311 audit of
+    the stream schedules the chunked continuous server emitted; entries
+    in ``checked`` are merged into the report's coverage stats.
+    """
+
+    retry: Optional[RetryPolicy] = None
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    checked: Dict[str, int] = field(default_factory=dict)
+
 
 #: A scenario runner executes one seeded workload (while a recorder is
-#: attached) and returns the retry policy in force, if any, so the
-#: verifier can enforce LIFE604.
-ScenarioRunner = Callable[[int], Optional[RetryPolicy]]
+#: attached) and returns a :class:`ScenarioOutcome`.
+ScenarioRunner = Callable[[int], ScenarioOutcome]
 
 
 def _breaker_factory(server_id: int) -> CircuitBreaker:
@@ -61,7 +78,7 @@ def _breaker_factory(server_id: int) -> CircuitBreaker:
                           cooldown_s=0.2, name=f"server{server_id}")
 
 
-def _run_oneshot(seed: int) -> Optional[RetryPolicy]:
+def _run_oneshot(seed: int) -> ScenarioOutcome:
     """One-shot serving: crash + transient failures on the single server."""
     requests = [replace_deadline(r, 2.0)
                 for r in generate_requests(120.0, 1.2, seed=seed)]
@@ -80,10 +97,10 @@ def _run_oneshot(seed: int) -> Optional[RetryPolicy]:
     simulate_serving(requests, DPBatchScheduler(), _linear_cost,
                      config=ServingConfig(max_batch=8), duration_s=1.2,
                      resilience=resilience)
-    return retry
+    return ScenarioOutcome(retry=retry)
 
 
-def _run_ebird(seed: int) -> Optional[RetryPolicy]:
+def _run_ebird(seed: int) -> ScenarioOutcome:
     """Ebird processor sharing: a crash plus a latency spike, no retries."""
     requests = generate_requests(100.0, 1.0, seed=seed)
     simulate_ebird_serving(
@@ -95,10 +112,10 @@ def _run_ebird(seed: int) -> Optional[RetryPolicy]:
                                  server_id=0),),
         ),
     )
-    return None
+    return ScenarioOutcome()
 
 
-def _run_cluster(seed: int) -> Optional[RetryPolicy]:
+def _run_cluster(seed: int) -> ScenarioOutcome:
     """Two-server cluster: one replica crashes, work fails over."""
     requests = [replace_deadline(r, 2.0)
                 for r in generate_requests(100.0, 2.0, seed=seed)]
@@ -115,12 +132,14 @@ def _run_cluster(seed: int) -> Optional[RetryPolicy]:
     simulate_cluster(requests, 2, DPBatchScheduler, _linear_cost,
                      max_batch=8, duration_s=2.0, max_len=200,
                      resilience=resilience)
-    return retry
+    return ScenarioOutcome(retry=retry)
 
 
-def _run_continuous(seed: int) -> Optional[RetryPolicy]:
-    """Continuous batching on a tight KV arena: spike + failures force
-    watermark preemptions, evictions and restores through the ledger."""
+def _run_continuous(seed: int) -> ScenarioOutcome:
+    """Chunked continuous batching on a tight KV arena: spike + failures
+    force watermark preemptions, evictions and restores through the
+    ledger, and every overlapped round's emitted ``StreamSchedule`` runs
+    through the SCHED3xx race detector (findings re-raised as SCHED311)."""
     # Heavy imports deferred, mirroring resilience.chaos: the analysis
     # package stays importable without the model/runtime stack.
     from ..gpusim.device import RTX_2060
@@ -168,11 +187,17 @@ def _run_continuous(seed: int) -> Optional[RetryPolicy]:
     )
     server = ContinuousBatchingServer(
         runtime, arena,
-        ContinuousBatchingConfig(preemption=KVPreemptionPolicy(2)),
+        ContinuousBatchingConfig(preemption=KVPreemptionPolicy(2),
+                                 chunk_tokens=8),
         resilience=resilience,
     )
     server.serve(requests, duration_s=0.8)
-    return retry
+    return ScenarioOutcome(
+        retry=retry,
+        diagnostics=check_emitted_schedules(server.emitted_schedules,
+                                            context="continuous"),
+        checked={"round_schedules": len(server.emitted_schedules)},
+    )
 
 
 #: The light sweep behind ``repro check --families engine,lifecycle``.
@@ -188,17 +213,17 @@ _LIGHT_RUNNERS: Dict[str, ScenarioRunner] = {
 
 
 def _chaos_runner(name: str) -> ScenarioRunner:
-    def run(seed: int) -> Optional[RetryPolicy]:
+    def run(seed: int) -> ScenarioOutcome:
         run_chaos(name, seed=seed)
-        return SCENARIOS[name](seed).retry
+        return ScenarioOutcome(retry=SCENARIOS[name](seed).retry)
 
     return run
 
 
 def _gen_chaos_runner(name: str) -> ScenarioRunner:
-    def run(seed: int) -> Optional[RetryPolicy]:
+    def run(seed: int) -> ScenarioOutcome:
         run_gen_chaos(name, seed=seed)
-        return GEN_SCENARIOS[name](seed).retry
+        return ScenarioOutcome(retry=GEN_SCENARIOS[name](seed).retry)
 
     return run
 
@@ -226,9 +251,13 @@ def run_scenario_trace(
     runner = _runner_for(name)
     recorder = EngineTraceRecorder()
     with recorder:
-        retry = runner(seed)
-    return (verify_trace(recorder, retry=retry, context=name),
-            recorder.stats())
+        outcome = runner(seed)
+    diagnostics = verify_trace(recorder, retry=outcome.retry, context=name)
+    diagnostics.extend(outcome.diagnostics)
+    stats = recorder.stats()
+    for key, value in outcome.checked.items():
+        stats[key] = stats.get(key, 0) + value
+    return diagnostics, stats
 
 
 def run_sanitized(scenario: str, seed: int = 0) -> DiagnosticReport:

@@ -19,7 +19,7 @@ almost always a lost-sync bug — SCHED310.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..gpusim.multistream import (
     DeviceSync,
@@ -151,3 +151,28 @@ def check_schedule(schedule: StreamSchedule) -> List[Diagnostic]:
 def schedule_is_race_free(schedule: StreamSchedule) -> bool:
     """Convenience for tests and serving assertions."""
     return not check_schedule(schedule)
+
+
+def check_emitted_schedules(schedules: Sequence[StreamSchedule],
+                            context: str = "continuous") -> List[Diagnostic]:
+    """Audit the per-round schedules a serving loop actually emitted.
+
+    The chunked continuous server logs one :class:`StreamSchedule` per
+    overlapped round (prefill chunks on one stream, decode steps on the
+    other, an EventRecord/EventWait join before the batch re-forms).
+    Every hazard or sync misuse the per-schedule detector finds is
+    re-raised as **SCHED311** — a race in a schedule the server *ran*,
+    not a hypothetical program — with the underlying code preserved in
+    the message.
+    """
+    out: List[Diagnostic] = []
+    for schedule in schedules:
+        for found in check_schedule(schedule):
+            out.append(diag(
+                "SCHED311",
+                f"[{context}] round schedule {schedule.name!r}: "
+                f"{found.message} (underlying {found.code})",
+                graph=f"{context}:{schedule.name}",
+                node=found.location.node,
+            ))
+    return out

@@ -79,6 +79,7 @@ PROFILES: Dict[str, Dict[str, object]] = {
         "gen_mix_max": 96,
         "gen_capacity_tokens": 4096,
         "gen_max_batch": 8,
+        "gen_chunk_tokens": 512,
     },
 }
 
@@ -392,12 +393,87 @@ def _gen_point_summary(m) -> Dict[str, object]:
         "response_throughput": m.response_throughput,
         "ttft_avg_ms": getattr(m, "ttft", None).avg_ms
         if hasattr(m, "ttft") else None,
+        "ttft_p99_ms": getattr(m, "ttft", None).p99_ms
+        if hasattr(m, "ttft") else None,
         "tpot_ms_avg": getattr(m, "tpot_ms_avg", None),
         "tokens": getattr(m, "tokens_generated", None),
         "decode_steps": getattr(m, "decode_steps", None),
         "kv_denials": getattr(m, "kv_denials", None),
+        "prefill_chunks": getattr(m, "prefill_chunks", None),
+        "overlap_saved_s": getattr(m, "overlap_saved_s", None),
+        "stall_s": getattr(m, "stall_s", None),
         "saturated": m.saturated,
     }
+
+
+def _gen_token_stream(requests) -> List[tuple]:
+    """Per-request outcome triples — the byte-identity unit of the
+    chunked-overlap equivalence gate (timing may differ, tokens may not)."""
+    return [(r.req_id, r.state.name, r.generated)
+            for r in sorted(requests, key=lambda r: r.req_id)]
+
+
+def verify_overlap_equivalence(profile_name: str = "gen", seed: int = 0,
+                               progress: Optional[Callable[[str], None]] = None,
+                               ) -> List[str]:
+    """``bench --verify-overlap``: the chunked-overlap equivalence gate.
+
+    Runs the gen profile workload through the continuous server twice per
+    rate — chunking off vs ``gen_chunk_tokens`` — and checks that
+
+    * per-request token streams are identical (same req_id/state/token
+      count triples — overlap moves timing, never tokens);
+    * completion sets are identical;
+    * TTFT p99 does not regress with overlap on.
+
+    Returns a list of problems (empty = gate passed).
+    """
+    from .experiments.gen_serving_throughput import GenServingBench, OutputMix
+
+    profile = PROFILES[profile_name]
+    if "gen_rates" not in profile:
+        raise ValueError(
+            f"profile {profile_name!r} has no generative serving section"
+        )
+    say = progress or (lambda _msg: None)
+    bench = GenServingBench(
+        model=profile["gen_model"],
+        capacity_tokens=profile["gen_capacity_tokens"],
+        max_batch=profile["gen_max_batch"],
+        chunk_tokens=profile["gen_chunk_tokens"],
+    )
+    mix = OutputMix("bench", mean_new_tokens=profile["gen_mix_mean"],
+                    max_new_tokens=profile["gen_mix_max"])
+    duration_s = profile["gen_duration_s"]
+    problems: List[str] = []
+    for rate in profile["gen_rates"]:
+        off = bench.workload(rate, duration_s, seed, mix)
+        m_off = bench.run_continuous(off, duration_s)
+        on = bench.workload(rate, duration_s, seed, mix)
+        m_on = bench.run_continuous(on, duration_s,
+                                    chunk_tokens=bench.chunk_tokens)
+        if _gen_token_stream(off) != _gen_token_stream(on):
+            problems.append(
+                f"rate {rate:g}: per-request token streams differ with "
+                f"chunking on"
+            )
+        done_off = sorted(r.req_id for r in off if r.is_completed)
+        done_on = sorted(r.req_id for r in on if r.is_completed)
+        if done_off != done_on:
+            problems.append(f"rate {rate:g}: completion sets differ")
+        # Tiny relative slack: chunk costs telescope to the unchunked
+        # pass only up to float association.
+        if m_on.ttft.p99_ms > m_off.ttft.p99_ms * (1.0 + 1e-9):
+            problems.append(
+                f"rate {rate:g}: TTFT p99 regressed with overlap on "
+                f"({m_off.ttft.p99_ms:.4f} ms -> {m_on.ttft.p99_ms:.4f} ms)"
+            )
+        say(f"  rate {rate:g}: streams identical="
+            f"{done_off == done_on and _gen_token_stream(off) == _gen_token_stream(on)}, "
+            f"ttft p99 {m_off.ttft.p99_ms:.3f} -> {m_on.ttft.p99_ms:.3f} ms, "
+            f"chunks {m_on.prefill_chunks}, "
+            f"overlap saved {m_on.overlap_saved_s * 1e3:.1f} ms")
+    return problems
 
 
 def _gen_sweep(bench, mix, rates, duration_s: float, seed: int,
@@ -420,6 +496,7 @@ def _bench_gen(profile: Dict[str, object], seed: int) -> Dict[str, Dict[str, obj
         model=profile["gen_model"],
         capacity_tokens=profile["gen_capacity_tokens"],
         max_batch=profile["gen_max_batch"],
+        chunk_tokens=profile["gen_chunk_tokens"],
     )
     mix = OutputMix("bench", mean_new_tokens=profile["gen_mix_mean"],
                     max_new_tokens=profile["gen_mix_max"])
@@ -438,22 +515,46 @@ def _bench_gen(profile: Dict[str, object], seed: int) -> Dict[str, Dict[str, obj
     # must reproduce the sweep bit for bit (fresh arena per run).
     rerun = _gen_sweep(bench, mix, rates, duration_s, seed, "continuous")
 
+    # Chunked prefill + dual-stream overlap over the same workloads: token
+    # streams must be identical to the unchunked sweep (checked per rate
+    # below); timing — the TTFT tail in particular — is where it wins.
+    t0 = _now()
+    chunked = _gen_sweep(bench, mix, rates, duration_s, seed,
+                         "continuous-chunked")
+    chunked_s = _now() - t0
+
+    identical_streams = True
+    for rate in rates:
+        off = bench.workload(rate, duration_s, seed, mix)
+        bench.run_continuous(off, duration_s)
+        on = bench.workload(rate, duration_s, seed, mix)
+        bench.run_continuous(on, duration_s, chunk_tokens=bench.chunk_tokens)
+        identical_streams = identical_streams and \
+            _gen_token_stream(off) == _gen_token_stream(on)
+
     top = str(max(rates))
     gain = (fast["points"][top]["response_throughput"]
             / max(baseline["points"][top]["response_throughput"], 1e-9))
+    p99_gain = (fast["points"][top]["ttft_p99_ms"]
+                / max(chunked["points"][top]["ttft_p99_ms"], 1e-9))
     return {
         "counters": {
             "rates": list(map(float, rates)),
             "identical_reruns": fast == rerun,
+            "identical_token_streams": identical_streams,
             "request_level": baseline["points"],
             "continuous": fast["points"],
+            "continuous_chunked": chunked["points"],
             "continuous_digest": fast["digest"],
             "request_level_digest": baseline["digest"],
+            "continuous_chunked_digest": chunked["digest"],
             "throughput_gain_at_top_rate": gain,
+            "ttft_p99_gain_at_top_rate": p99_gain,
         },
         "wallclock": {
             "baseline_s": baseline_s,
             "fast_s": fast_s,
+            "chunked_s": chunked_s,
             "speedup": baseline_s / fast_s,
         },
     }
@@ -585,6 +686,12 @@ def format_bench(payload: Dict[str, object]) -> str:
             f"{max(gen['rates']):,.0f} req/s: "
             f"{gen['throughput_gain_at_top_rate']:.2f}x"
         )
+        if "ttft_p99_gain_at_top_rate" in gen:
+            lines.append(
+                f"  gen        chunked-overlap TTFT p99 at "
+                f"{max(gen['rates']):,.0f} req/s: "
+                f"{gen['ttft_p99_gain_at_top_rate']:.2f}x lower"
+            )
     lines.append(f"  equivalence checks: "
                  f"{'ok' if payload['equivalence_ok'] else 'FAILED'}")
     return "\n".join(lines)

@@ -19,6 +19,12 @@ geometric output budgets) on the simulated RTX 2060:
 * ``Turbo-Continuous``   — iteration-level: the decode batch re-forms at
   every step, finished requests exit immediately, admission is gated by
   the simulated KV-cache arena.
+* ``Turbo-Chunked``      — the continuous loop with chunked prefill and
+  dual-stream overlap: prefill chunks run on a second simulated stream
+  concurrently with decode steps, so a round costs its critical-path
+  makespan instead of the serial sum.  Token streams are bit-identical
+  to ``Turbo-Continuous``; only the timing (and thus the TTFT tail at
+  high rates) changes.
 
 The sweep crosses arrival rates with output-length mixes; the claim under
 test is that continuous batching beats request-level DP on *both*
@@ -65,7 +71,8 @@ GEN_RATES: Tuple[float, ...] = (200.0, 800.0, 1500.0, 3000.0)
 
 DEFAULT_DURATION_S = 1.0
 
-SYSTEMS = ("request-level", "ebird", "continuous")
+SYSTEMS = ("request-level", "ebird", "continuous",
+           "continuous-chunked")
 
 
 @dataclass(frozen=True)
@@ -98,6 +105,7 @@ class GenServingBench:
         page_tokens: int = 16,
         max_batch: int = 8,
         warmup_fraction: float = 0.1,
+        chunk_tokens: int = 512,
     ) -> None:
         if model not in ("tiny", "small"):
             raise ValueError(f"model must be 'tiny' or 'small', got {model!r}")
@@ -119,6 +127,8 @@ class GenServingBench:
         self.prompt_hi = prompt_hi
         self.max_batch = max_batch
         self.warmup_fraction = warmup_fraction
+        #: Chunk bound used by the ``continuous-chunked`` system.
+        self.chunk_tokens = chunk_tokens
 
     # -- workload -------------------------------------------------------------
 
@@ -148,11 +158,13 @@ class GenServingBench:
     # -- systems --------------------------------------------------------------
 
     def run_continuous(self, requests: Sequence[GenRequest],
-                       duration_s: float, tracer=None,
-                       metrics=None) -> GenServingMetrics:
+                       duration_s: float, tracer=None, metrics=None,
+                       chunk_tokens: "Optional[int]" = None,
+                       ) -> GenServingMetrics:
         server = ContinuousBatchingServer(
             self.runtime, self.make_arena(metrics=metrics),
-            ContinuousBatchingConfig(warmup_fraction=self.warmup_fraction),
+            ContinuousBatchingConfig(warmup_fraction=self.warmup_fraction,
+                                     chunk_tokens=chunk_tokens),
             tracer=tracer, metrics=metrics,
         )
         return server.serve(requests, duration_s=duration_s)
@@ -189,6 +201,9 @@ class GenServingBench:
         requests = self.workload(rate, duration_s, seed, mix)
         if system == "continuous":
             return self.run_continuous(requests, duration_s)
+        if system == "continuous-chunked":
+            return self.run_continuous(requests, duration_s,
+                                       chunk_tokens=self.chunk_tokens)
         if system == "request-level":
             return self.run_request_level(requests, duration_s, mix)
         if system == "ebird":

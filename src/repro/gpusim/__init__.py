@@ -28,7 +28,10 @@ from .multistream import (
     EventRecord,
     EventWait,
     KernelLaunch,
+    OpTiming,
+    ScheduleTiming,
     StreamSchedule,
+    execute_schedule,
 )
 from .roofline import RooflinePoint, RooflineReport, ridge_point, roofline_report
 from .reduction import (
@@ -82,6 +85,9 @@ __all__ = [
     "EventRecord",
     "EventWait",
     "DeviceSync",
+    "OpTiming",
+    "ScheduleTiming",
+    "execute_schedule",
     "warp_allreduce_cycles",
     "warp_allreduce_cycles_per_row",
     "smem_tree_reduce_cycles",

@@ -9,14 +9,16 @@ wait, device-wide sync) that order work across streams.
 
 The schedule is pure data — building one does not advance any clock.  Its
 consumers are the happens-before race detector in
-:mod:`repro.analysis.schedule_checks` and tests that assert a serving
-policy issues the syncs it claims to.
+:mod:`repro.analysis.schedule_checks`, the stream-timing executor
+:func:`execute_schedule` (which plays the issue-order program against
+per-stream virtual clocks and returns the critical-path makespan), and
+tests that assert a serving policy issues the syncs it claims to.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -116,3 +118,113 @@ class StreamSchedule:
 
     def __len__(self) -> int:
         return len(self.ops)
+
+
+# -- stream-timing executor -------------------------------------------------
+
+#: Per-kernel durations: either a mapping from kernel name to seconds or a
+#: callable receiving the :class:`KernelLaunch` itself.
+DurationModel = Union[Mapping[str, float], Callable[[KernelLaunch], float]]
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """One executed kernel launch placed on the virtual timeline."""
+
+    op: KernelLaunch
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class ScheduleTiming:
+    """Outcome of playing a :class:`StreamSchedule` on per-stream clocks.
+
+    ``makespan_s`` is the critical-path wall time (what a GPU with truly
+    concurrent streams would take); ``serial_s`` is the sum of every
+    launch's duration (what a single stream would take).  The difference
+    is the time the overlap saved.
+    """
+
+    makespan_s: float
+    serial_s: float
+    per_stream_busy: Dict[str, float]
+    spans: Tuple[OpTiming, ...]
+
+    @property
+    def overlap_saved_s(self) -> float:
+        return self.serial_s - self.makespan_s
+
+
+def execute_schedule(schedule: StreamSchedule,
+                     durations: DurationModel) -> ScheduleTiming:
+    """Play ``schedule`` against per-stream virtual clocks.
+
+    Semantics mirror the CUDA stream model the schedule encodes:
+
+    * a :class:`KernelLaunch` starts at its stream's clock and advances it
+      by the kernel's duration (streams are serial);
+    * :class:`EventRecord` captures the recording stream's progress —
+      every launch issued on that stream so far has completed at the
+      captured instant;
+    * :class:`EventWait` raises the waiting stream's clock to the most
+      recent prior record of that event.  A wait with **no** prior record
+      is a no-op, exactly like ``cudaStreamWaitEvent`` on an unrecorded
+      event (the race detector flags it as SCHED310 — the executor does
+      not hide the bug, it just refuses to deadlock on it);
+    * :class:`DeviceSync` raises every stream — including streams first
+      used *after* the sync — to the global maximum.
+
+    Durations come from ``durations`` (mapping or callable); an unknown
+    kernel or a negative duration raises :class:`ValueError`.
+    """
+    if callable(durations):
+        dur_of = durations
+    else:
+        table = durations
+
+        def dur_of(op: KernelLaunch) -> float:
+            try:
+                return table[op.kernel]
+            except KeyError:
+                raise ValueError(
+                    f"schedule {schedule.name!r}: no duration for kernel "
+                    f"{op.kernel!r}"
+                ) from None
+
+    clocks: Dict[str, float] = {}
+    busy: Dict[str, float] = {}
+    events: Dict[str, float] = {}
+    spans: List[OpTiming] = []
+    floor = 0.0  # DeviceSync barrier: streams first used later start here
+    serial = 0.0
+    for op in schedule.ops:
+        if isinstance(op, DeviceSync):
+            floor = max([floor, *clocks.values()]) if clocks else floor
+            for stream in clocks:
+                clocks[stream] = floor
+            continue
+        clock = clocks.setdefault(op.stream, floor)
+        if isinstance(op, EventRecord):
+            events[op.event] = clock
+        elif isinstance(op, EventWait):
+            if op.event in events:
+                clocks[op.stream] = max(clock, events[op.event])
+        else:  # KernelLaunch
+            dur = dur_of(op)
+            if dur < 0.0:
+                raise ValueError(
+                    f"schedule {schedule.name!r}: kernel {op.kernel!r} has "
+                    f"negative duration {dur!r}"
+                )
+            spans.append(OpTiming(op=op, start_s=clock, end_s=clock + dur))
+            clocks[op.stream] = clock + dur
+            busy[op.stream] = busy.get(op.stream, 0.0) + dur
+            serial += dur
+    makespan = max([floor, *clocks.values()]) if clocks else floor
+    return ScheduleTiming(makespan_s=makespan, serial_s=serial,
+                          per_stream_busy=busy, spans=tuple(spans))

@@ -8,6 +8,7 @@ from .compiled import (
     lower_product,
     verify_equivalence,
 )
+from .chunked import PrefillChunk, PrefillChunker
 from .cost import RuntimeCharacteristics, graph_cost, node_cost, resolve_product
 from .fastertransformer_like import (
     FASTER_TRANSFORMER_CHARACTERISTICS,
@@ -51,6 +52,8 @@ __all__ = [
     "CostTable",
     "GenerationRuntime",
     "GenerationTimeline",
+    "PrefillChunk",
+    "PrefillChunker",
     "PlannedGraphExecutor",
     "ExecutionError",
     "PackedRuntime",

@@ -44,12 +44,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, List, Optional, Sequence
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..engine import Engine, EngineFaultInjector, EngineInstrumentation, \
     EventKind
+from ..gpusim.multistream import StreamSchedule, execute_schedule
 from ..memory.kv_arena import KVCacheArena
 from ..observability import MetricsRegistry, Tracer
+from ..runtime.chunked import PrefillChunker
 from .metrics import LatencyStats, ServingMetrics, response_throughput
 from .request import Request, RequestState
 from .scheduler import BatchScheduler, CostFn, PrunedDPBatchScheduler
@@ -119,6 +121,13 @@ class GenServingMetrics(ServingMetrics):
     tokens_recomputed: int = 0
     retries: int = 0
     attempts_failed: int = 0
+    # Chunked-prefill / dual-stream overlap outcome (``prefill_chunks``
+    # and ``overlap_saved_s`` are zero with ``chunk_tokens=None``;
+    # ``stall_s`` is the decode-side head-of-line blocking — the seconds
+    # live decoders spent stalled behind prefill work).
+    prefill_chunks: int = 0
+    overlap_saved_s: float = 0.0
+    stall_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -166,6 +175,20 @@ class ContinuousBatchingConfig:
     #: Optional KV-pressure preemption (None = watermark holds the head,
     #: exactly the pre-resilience behaviour).
     preemption: Optional[KVPreemptionPolicy] = None
+    #: Chunked prefill + dual-stream overlap: split every prefill pass
+    #: into chunks of at most this many prompt positions and overlap the
+    #: chunks with decode steps on a second simulated stream.  ``None``
+    #: keeps the classic serial loop, byte-identical to the pre-chunking
+    #: behaviour.  Chunk boundaries are pure bookkeeping — generated
+    #: tokens are identical either way; only timing changes.
+    chunk_tokens: Optional[int] = None
+    #: Extra launch cost charged to every chunk after the first.
+    chunk_overhead_s: float = 0.0
+    #: Run every emitted round schedule through the vector-clock race
+    #: detector inline and raise on a racy round.  Off by default — the
+    #: ``repro check`` sanitizer and tests audit ``emitted_schedules``
+    #: after the fact instead.
+    verify_schedules: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch is not None and self.max_batch <= 0:
@@ -178,11 +201,40 @@ class ContinuousBatchingConfig:
             raise ValueError(
                 f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
             )
+        if self.chunk_tokens is not None and self.chunk_tokens <= 0:
+            raise ValueError(
+                f"chunk_tokens must be positive, got {self.chunk_tokens}"
+            )
+        if self.chunk_overhead_s < 0.0:
+            raise ValueError(
+                f"chunk_overhead_s must be >= 0, got {self.chunk_overhead_s}"
+            )
 
 
 def _window_overlap(start: float, dur: float, horizon: float) -> float:
     """Busy seconds a [start, start+dur] dispatch spends inside the horizon."""
     return max(0.0, min(start + dur, horizon) - min(start, horizon))
+
+
+def _merged_busy_in_horizon(spans: Sequence[Tuple[float, float]],
+                            horizon: float) -> float:
+    """Busy seconds a set of ``(start, end)`` spans covers inside the horizon.
+
+    The overlapped round runs chunks and decode steps on two streams at
+    once: charging each span's window separately would double-count the
+    concurrent seconds, and charging the whole pass as one window would
+    credit any idle gap between spans.  So clip **per chunk**: merge the
+    spans into disjoint intervals first, then clip each interval to the
+    horizon — a round straddling the horizon credits exactly the busy
+    seconds that lie inside it.
+    """
+    merged: List[List[float]] = []
+    for start, end in sorted(spans):
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return sum(_window_overlap(s, e - s, horizon) for s, e in merged)
 
 
 class _GenLoopBase:
@@ -247,7 +299,9 @@ class _GenLoopBase:
                   prefills: int, tokens: int, kv_denials: int,
                   kv_peak_bytes: int, preemptions: int = 0,
                   tokens_recomputed: int = 0, retries: int = 0,
-                  attempts_failed: int = 0) -> GenServingMetrics:
+                  attempts_failed: int = 0, prefill_chunks: int = 0,
+                  overlap_saved_s: float = 0.0,
+                  stall_s: float = 0.0) -> GenServingMetrics:
         completed = [r for r in arrivals if r.is_completed]
         ttft = LatencyStats.from_values(
             [(r.first_token_s - r.arrival_s) * 1e3 for r in completed
@@ -287,6 +341,9 @@ class _GenLoopBase:
             tokens_recomputed=tokens_recomputed,
             retries=retries,
             attempts_failed=attempts_failed,
+            prefill_chunks=prefill_chunks,
+            overlap_saved_s=overlap_saved_s,
+            stall_s=stall_s,
         )
         if self.metrics is not None:
             self.metrics.gauge("serving_response_throughput",
@@ -295,6 +352,11 @@ class _GenLoopBase:
                                system=result.system).set(
                 result.goodput_tokens_per_s
             )
+            if prefill_chunks or stall_s:
+                self.metrics.gauge("gen_overlap_saved_s",
+                                   system=result.system).set(overlap_saved_s)
+                self.metrics.gauge("gen_prefill_stall_s",
+                                   system=result.system).set(stall_s)
         return result
 
 
@@ -321,6 +383,10 @@ class ContinuousBatchingServer(_GenLoopBase):
         self.config = config
         self.resilience = resilience
         self.server_id = server_id
+        #: Per-round :class:`StreamSchedule` log of the last ``serve()``
+        #: call (chunked mode only) — audited by the SCHED3xx race
+        #: detector via ``repro check --sanitize continuous`` and tests.
+        self.emitted_schedules: List[StreamSchedule] = []
 
     def serve(self, requests: Sequence[GenRequest],
               duration_s: Optional[float] = None) -> GenServingMetrics:
@@ -337,8 +403,23 @@ class ContinuousBatchingServer(_GenLoopBase):
         horizon = duration_s if duration_s is not None else arrivals[-1].arrival_s
         if horizon <= 0:
             raise ValueError(f"duration must be positive, got {horizon}")
+        chunker: Optional[PrefillChunker] = None
+        if self.config.chunk_tokens is not None:
+            chunker = PrefillChunker(self.config.chunk_tokens,
+                                     self.config.chunk_overhead_s)
+        check_schedule = None
+        if self.config.verify_schedules:
+            # Lazy import: repro.analysis imports this module via the
+            # sanitizer, so a module-level import would be circular.
+            from ..analysis.schedule_checks import check_schedule
+        self.emitted_schedules = []
         if self._trace_on:
             self.tracer.thread_name("gpu", "gpu (prefill + decode steps)")
+            if chunker is not None:
+                self.tracer.thread_name("gpu:prefill",
+                                        "gpu stream: prefill chunks")
+                self.tracer.thread_name("gpu:decode",
+                                        "gpu stream: decode steps")
 
         res = self.resilience
         instrumentation = EngineInstrumentation(self.tracer, self.metrics)
@@ -356,6 +437,9 @@ class ContinuousBatchingServer(_GenLoopBase):
         busy = 0.0
         decode_steps = prefills = tokens = 0
         preemptions = tokens_recomputed = retries = attempts_failed = 0
+        chunks_total = 0
+        overlap_saved = stall = 0.0
+        round_idx = 0
 
         def on_arrival(event) -> None:
             r = event.payload
@@ -405,6 +489,202 @@ class ContinuousBatchingServer(_GenLoopBase):
                 self.metrics.counter("gen_preemptions_total",
                                      system=self.system_name).inc()
             requeue(r, now)
+
+        def _kv_pages(r: GenRequest, lo: int, hi: int) -> List[str]:
+            """Logical page-buffer names backing token positions [lo, hi)."""
+            page = self.arena.page_tokens
+            return [f"kv/{r.req_id:08d}/p{p}"
+                    for p in range(lo // page, (hi - 1) // page + 1)]
+
+        def overlapped_round(admitted: List[GenRequest]) -> None:
+            """One chunked round: prefill chunks on the ``prefill`` stream
+            overlapped with decode steps on the ``decode`` stream.
+
+            The round is planned first (chunk latencies, decode steps
+            starting strictly before the prefill finishes), encoded as a
+            :class:`StreamSchedule` with KV-page buffer annotations and
+            the chunk↔decode EventRecord/EventWait join, then *executed*
+            on per-stream virtual clocks — the resulting critical-path
+            makespan is what ``engine.advance`` charges, so the GPU is
+            busy for the overlapped window, not the serial sum.  Token
+            effects are identical to the serial path: the admitted set
+            commits at the prefill's end, each decode step at its own.
+            """
+            nonlocal active, busy, decode_steps, prefills, tokens
+            nonlocal attempts_failed, tokens_recomputed
+            nonlocal chunks_total, overlap_saved, stall, round_idx
+            round_idx += 1
+            b_p = len(admitted)
+            prompt = max(r.seq_len + r.generated for r in admitted)
+            started = engine.now
+            chunks = chunker.chunks(prompt)
+            chunk_lats = [chunker.chunk_latency(self.runtime, b_p, c)
+                          for c in chunks]
+            prefill_total = sum(chunk_lats)
+            # Plan the decode steps that overlap the prefill: a step is
+            # issued only if it fits **inside** the prefill window, so
+            # the round never outlasts the prefill pass — the next
+            # admission happens exactly when the serial loop would have
+            # re-checked the queue, and every overlapped step is pure
+            # profit (a straggling step would delay admissions and push
+            # the TTFT tail back up at light load).  ``extra`` tracks
+            # tokens produced within this round without mutating
+            # requests yet.
+            steps: List[Tuple[List[Tuple[GenRequest, int]], float]] = []
+            dec = list(active)
+            extra: Dict[int, int] = {}
+            dec_elapsed = 0.0
+            while dec:
+                b_d = len(dec)
+                past = max(r.seq_len + r.generated + extra.get(r.req_id, 0)
+                           for r in dec)
+                step_s = self.runtime.decode_step_latency(b_d, past)
+                if dec_elapsed + step_s > prefill_total:
+                    break
+                members = [(r, r.seq_len + r.generated
+                            + extra.get(r.req_id, 0)) for r in dec]
+                steps.append((members, step_s))
+                dec_elapsed += step_s
+                nxt: List[GenRequest] = []
+                for r in dec:
+                    extra[r.req_id] = extra.get(r.req_id, 0) + 1
+                    if r.generated + extra[r.req_id] < r.max_new_tokens:
+                        nxt.append(r)
+                dec = nxt
+            # Encode the round as an issue-order stream program.  Chunk
+            # launches write the admitted requests' KV pages; decode
+            # launches append to the live requests' pages (disjoint
+            # request sets — the overlap is race-free by construction);
+            # the EventRecord/EventWait pair is the chunk↔decode join:
+            # the decode stream may not re-form the batch around the
+            # newcomers (reading their freshly written KV) until every
+            # prefill chunk has completed.
+            sched = StreamSchedule(name=f"round{round_idx}")
+            durations: Dict[str, float] = {}
+            for c, lat in zip(chunks, chunk_lats):
+                writes: List[str] = []
+                for r in admitted:
+                    hi = min(c.end, r.seq_len + r.generated)
+                    if c.start < hi:
+                        writes.extend(_kv_pages(r, c.start, hi))
+                kernel = f"prefill.c{c.index}"
+                sched.launch(kernel, "prefill", reads=("weights",),
+                             writes=tuple(writes))
+                durations[kernel] = lat
+            done = f"prefill.done.{round_idx}"
+            sched.record(done, "prefill")
+            for j, (members, step_s) in enumerate(steps):
+                reads: List[str] = ["weights"]
+                writes = []
+                for r, cached in members:
+                    reads.extend(_kv_pages(r, max(0, cached - 1), cached))
+                    writes.extend(_kv_pages(r, cached, cached + 1))
+                kernel = f"decode.s{j}"
+                sched.launch(kernel, "decode", reads=tuple(reads),
+                             writes=tuple(writes))
+                durations[kernel] = step_s
+            sched.wait(done, "decode")
+            reform_reads = ["weights"]
+            for r in admitted:
+                length = r.seq_len + r.generated
+                reform_reads.extend(_kv_pages(r, length - 1, length))
+            sched.launch("batch.reform", "decode", reads=tuple(reform_reads))
+            durations["batch.reform"] = 0.0
+            self.emitted_schedules.append(sched)
+            if check_schedule is not None:
+                races = check_schedule(sched)
+                if races:
+                    raise RuntimeError(
+                        f"racy round schedule {sched.name}: "
+                        f"{races[0].code} {races[0].message}"
+                    )
+            # Execute on per-stream clocks: the makespan (critical path
+            # through the join) is the GPU's busy window for this round.
+            timing = execute_schedule(sched, durations)
+            makespan = timing.makespan_s
+            engine.advance(makespan)
+            # Faults may stretch the window; scale internal span times so
+            # commit timestamps stay inside [started, engine.now].
+            ratio = engine.last_advance_s / makespan if makespan > 0 else 1.0
+            busy += _merged_busy_in_horizon(
+                [(started + t.start_s * ratio, started + t.end_s * ratio)
+                 for t in timing.spans], horizon,
+            )
+            overlap_saved += timing.overlap_saved_s * ratio
+            if dec:
+                # Live decoders exhausted the overlap window and stalled
+                # from their last step to the join.
+                stall += max(0.0, prefill_total - dec_elapsed) * ratio
+            prefills += 1
+            chunks_total += len(chunks)
+            if self._trace_on:
+                for t in timing.spans:
+                    if t.op.kernel == "batch.reform":
+                        continue
+                    self.tracer.complete(
+                        t.op.kernel, started + t.start_s * ratio,
+                        t.duration_s * ratio, tid=f"gpu:{t.op.stream}",
+                        cat="prefill" if t.op.stream == "prefill"
+                        else "decode", round=round_idx,
+                    )
+            # Commit decode-step effects at each step's end time.
+            elapsed = 0.0
+            for members, step_s in steps:
+                elapsed += step_s
+                step_end = started + elapsed * ratio
+                decode_steps += 1
+                tokens += len(members)
+                for r, _cached in members:
+                    r.generated += 1
+                    if r.generated >= r.max_new_tokens:
+                        self._complete(r, step_end)
+                        self.arena.release(r.req_id)
+                    else:
+                        self.arena.append(r.req_id, 1)
+                if self.metrics is not None:
+                    self.metrics.counter("gen_decode_steps_total",
+                                         system=self.system_name).inc()
+                    self.metrics.counter(
+                        "gen_tokens_total", system=self.system_name
+                    ).inc(len(members))
+            active = [r for r in active if r.generated < r.max_new_tokens]
+            # Commit the prefill at the pass end (TTFT is unchanged by
+            # the overlap — the win is that the *round* only costs the
+            # makespan, so the queue drains sooner).
+            prefill_end = started + prefill_total * ratio
+            for r in admitted:
+                if faults is not None and faults.attempt_fails(
+                    r.req_id, r.attempt, started
+                ):
+                    attempts_failed += 1
+                    self.arena.preempt(r.req_id)
+                    requeue(r, engine.now)
+                    continue
+                if r.first_token_s is None:
+                    r.start_s = started
+                    r.generated = 1  # prefill yields the first token
+                    r.first_token_s = prefill_end
+                else:
+                    # Resumed after eviction: prefix recompute, as in the
+                    # serial path.
+                    tokens_recomputed += r.seq_len + r.generated
+                    r.generated += 1
+                tokens += 1
+                if r.generated >= r.max_new_tokens:
+                    self._complete(r, prefill_end)
+                    self.arena.release(r.req_id)
+                else:
+                    active.append(r)
+            if self._trace_on:
+                self.tracer.counter("kv_arena", engine.now, {
+                    "used_mb": self.arena.used_bytes / (1024.0 * 1024.0),
+                    "slots": float(len(active)),
+                })
+            if self.metrics is not None:
+                self.metrics.counter("gen_prefill_batches_total",
+                                     system=self.system_name).inc()
+                self.metrics.counter("gen_prefill_chunks_total",
+                                     system=self.system_name).inc(len(chunks))
 
         for r in arrivals:
             engine.schedule(r.arrival_s, EventKind.ARRIVAL, on_arrival, r)
@@ -482,6 +762,9 @@ class ContinuousBatchingServer(_GenLoopBase):
                     if evicted:
                         continue  # retry admission with the freed pages
                 if admitted:
+                    if chunker is not None:
+                        overlapped_round(admitted)
+                        continue
                     b = len(admitted)
                     prompt = max(r.seq_len + r.generated for r in admitted)
                     started = engine.now
@@ -491,6 +774,11 @@ class ContinuousBatchingServer(_GenLoopBase):
                     clock = engine.advance(prefill_s)
                     busy += _window_overlap(started, engine.last_advance_s,
                                             horizon)
+                    if active:
+                        # Serial loop: the whole pass blocks every live
+                        # decoder (the head-of-line stall chunking and
+                        # overlap exist to remove).
+                        stall += engine.last_advance_s
                     prefills += 1
                     for r in admitted:
                         if faults is not None and faults.attempt_fails(
@@ -587,7 +875,10 @@ class ContinuousBatchingServer(_GenLoopBase):
                               preemptions=preemptions,
                               tokens_recomputed=tokens_recomputed,
                               retries=retries,
-                              attempts_failed=attempts_failed)
+                              attempts_failed=attempts_failed,
+                              prefill_chunks=chunks_total,
+                              overlap_saved_s=overlap_saved,
+                              stall_s=stall)
 
 
 def request_level_cost_fn(runtime, est_new_tokens: int = 16) -> CostFn:

@@ -2,6 +2,7 @@
 
 from repro.analysis import (
     build_serving_schedule,
+    check_emitted_schedules,
     check_schedule,
     schedule_is_race_free,
 )
@@ -110,3 +111,38 @@ class TestServingSchedule:
         s.launch("enc.req0", "compute0", writes=("act0",))
         s.launch("enc.req2", "compute1", writes=("act0",))
         assert codes(check_schedule(s)) == ["SCHED303"]
+
+
+class TestEmittedSchedules:
+    def _racy_round(self, name="round-3"):
+        # A chunked round missing its prefill->decode join: the batch
+        # re-form reads a KV page the prefill stream is still writing.
+        s = StreamSchedule(name)
+        s.launch("prefill.chunk0", "prefill", writes=("kv/00000001/p0",))
+        s.launch("batch.reform", "decode", reads=("kv/00000001/p0",))
+        return s
+
+    def test_clean_rounds_produce_no_diagnostics(self):
+        s = StreamSchedule("round-0")
+        s.launch("prefill.chunk0", "prefill", writes=("kv/00000001/p0",))
+        s.record("prefill.done.0", "prefill")
+        s.wait("prefill.done.0", "decode")
+        s.launch("batch.reform", "decode", reads=("kv/00000001/p0",))
+        assert check_emitted_schedules([s]) == []
+
+    def test_race_in_emitted_round_is_sched311(self):
+        diags = check_emitted_schedules([self._racy_round()])
+        assert codes(diags) == ["SCHED311"]
+        assert "round-3" in diags[0].message
+        assert "SCHED301" in diags[0].message  # underlying code preserved
+        assert diags[0].location.graph == "continuous:round-3"
+
+    def test_context_prefixes_location(self):
+        diags = check_emitted_schedules([self._racy_round()], context="test")
+        assert diags[0].location.graph == "test:round-3"
+        assert "[test]" in diags[0].message
+
+    def test_one_diagnostic_per_hazard_across_rounds(self):
+        diags = check_emitted_schedules(
+            [self._racy_round("round-1"), self._racy_round("round-2")])
+        assert codes(diags) == ["SCHED311", "SCHED311"]

@@ -28,7 +28,8 @@ def sweep(bench):
 class TestSweep:
     def test_shape(self, sweep):
         mix = sweep["test-tail"]
-        assert set(mix) == {"request-level", "ebird", "continuous"}
+        assert set(mix) == {"request-level", "ebird", "continuous",
+                            "continuous-chunked"}
         for system in mix:
             assert len(mix[system]) == len(RATES)
 
@@ -90,3 +91,34 @@ class TestHarness:
             GenServingBench(model="huge")
         with pytest.raises(ValueError):
             bench.run_point("no-such-system", 100.0, 0.2)
+
+
+class TestChunkedOverlap:
+    """The PR's headline: chunked prefill + dual-stream overlap flattens
+    the TTFT tail at saturating rates without changing a single token."""
+
+    RATE = 3000.0
+    MIX = OutputMix("saturating", mean_new_tokens=16.0, max_new_tokens=96)
+
+    def _token_stream(self, requests):
+        return [(r.req_id, r.state.name, r.generated)
+                for r in sorted(requests, key=lambda r: r.req_id)]
+
+    def test_ttft_p99_improves_at_least_25pct(self, bench):
+        base = bench.run_point("continuous", self.RATE, duration_s=1.0,
+                               seed=0, mix=self.MIX)
+        chunked = bench.run_point("continuous-chunked", self.RATE,
+                                  duration_s=1.0, seed=0, mix=self.MIX)
+        assert chunked.completed == base.completed
+        assert chunked.tokens_generated == base.tokens_generated
+        assert chunked.ttft.p99_ms <= base.ttft.p99_ms * 0.75
+        assert chunked.prefill_chunks > 0
+        assert chunked.overlap_saved_s > 0.0
+
+    def test_token_streams_bit_identical(self, bench):
+        reqs_base = bench.workload(self.RATE, 0.5, seed=0, mix=self.MIX)
+        reqs_chunk = bench.workload(self.RATE, 0.5, seed=0, mix=self.MIX)
+        bench.run_continuous(reqs_base, 0.5)
+        bench.run_continuous(reqs_chunk, 0.5,
+                             chunk_tokens=bench.chunk_tokens)
+        assert self._token_stream(reqs_chunk) == self._token_stream(reqs_base)

@@ -1,0 +1,148 @@
+"""Stream-timing executor: playing StreamSchedules on virtual clocks."""
+
+import pytest
+
+from repro.gpusim import (
+    KernelLaunch,
+    StreamSchedule,
+    execute_schedule,
+)
+
+
+def sched(name="s"):
+    return StreamSchedule(name=name)
+
+
+class TestSingleStream:
+    def test_makespan_equals_serial_sum_bitwise(self):
+        # One stream is a serial device: the makespan must be *bit*
+        # identical to the serial sum (both are the same left-fold).
+        s = sched()
+        durs = {}
+        vals = [0.1, 0.2, 0.3, 1e-7, 0.040000000000000001]
+        for i, d in enumerate(vals):
+            s.launch(f"k{i}", "main")
+            durs[f"k{i}"] = d
+        t = execute_schedule(s, durs)
+        acc = 0.0
+        for d in vals:
+            acc += d
+        assert t.makespan_s == acc
+        assert t.serial_s == acc
+        assert t.overlap_saved_s == 0.0
+        assert t.per_stream_busy == {"main": acc}
+
+    def test_spans_are_contiguous(self):
+        s = sched()
+        s.launch("a", "main")
+        s.launch("b", "main")
+        t = execute_schedule(s, {"a": 1.0, "b": 2.0})
+        assert [(sp.start_s, sp.end_s) for sp in t.spans] == [(0.0, 1.0),
+                                                              (1.0, 3.0)]
+        assert t.spans[1].duration_s == 2.0
+
+
+class TestTwoStreams:
+    def test_independent_streams_overlap(self):
+        s = sched()
+        s.launch("p", "prefill")
+        s.launch("d", "decode")
+        t = execute_schedule(s, {"p": 3.0, "d": 2.0})
+        assert t.makespan_s == 3.0
+        assert t.serial_s == 5.0
+        assert t.overlap_saved_s == 2.0
+        assert t.per_stream_busy == {"prefill": 3.0, "decode": 2.0}
+
+    def test_event_wait_joins_streams(self):
+        s = sched()
+        s.launch("p", "prefill")
+        s.record("done", "prefill")
+        s.wait("done", "decode")
+        s.launch("d", "decode")
+        t = execute_schedule(s, {"p": 3.0, "d": 2.0})
+        # decode starts only after the prefill's record.
+        (_, d_span) = t.spans
+        assert d_span.start_s == 3.0
+        assert t.makespan_s == 5.0
+
+    def test_record_captures_progress_at_record_time(self):
+        s = sched()
+        s.launch("p1", "prefill")
+        s.record("mid", "prefill")
+        s.launch("p2", "prefill")
+        s.wait("mid", "decode")
+        s.launch("d", "decode")
+        t = execute_schedule(s, {"p1": 1.0, "p2": 5.0, "d": 1.0})
+        d_span = t.spans[-1]
+        assert d_span.start_s == 1.0  # waits for p1 only, not p2
+
+
+class TestEdgeCases:
+    def test_wait_without_record_is_noop(self):
+        # cudaStreamWaitEvent on an unrecorded event does not block; the
+        # race detector flags it, but the executor must not deadlock or
+        # shift clocks.
+        s = sched()
+        s.launch("p", "prefill")
+        s.wait("never-recorded", "decode")
+        s.launch("d", "decode")
+        t = execute_schedule(s, {"p": 3.0, "d": 2.0})
+        assert t.spans[-1].start_s == 0.0
+        assert t.makespan_s == 3.0
+
+    def test_back_to_back_device_sync(self):
+        s = sched()
+        s.launch("a", "s0")
+        s.launch("b", "s1")
+        s.sync()
+        s.sync()  # second barrier is a no-op at the same instant
+        s.launch("c", "s0")
+        t = execute_schedule(s, {"a": 1.0, "b": 4.0, "c": 1.0})
+        assert t.spans[-1].start_s == 4.0
+        assert t.makespan_s == 5.0
+
+    def test_sync_floors_streams_first_used_after_it(self):
+        s = sched()
+        s.launch("a", "s0")
+        s.sync()
+        s.launch("b", "s1")  # s1 never seen before the sync
+        t = execute_schedule(s, {"a": 2.0, "b": 1.0})
+        assert t.spans[-1].start_s == 2.0
+        assert t.makespan_s == 3.0
+
+    def test_sync_only_schedule(self):
+        s = sched()
+        s.sync()
+        t = execute_schedule(s, {})
+        assert t.makespan_s == 0.0
+        assert t.serial_s == 0.0
+        assert t.spans == ()
+
+    def test_empty_schedule(self):
+        t = execute_schedule(sched(), {})
+        assert t.makespan_s == 0.0
+        assert t.per_stream_busy == {}
+
+
+class TestDurations:
+    def test_unknown_kernel_raises(self):
+        s = sched()
+        s.launch("mystery", "main")
+        with pytest.raises(ValueError, match="no duration for kernel"):
+            execute_schedule(s, {"other": 1.0})
+
+    def test_negative_duration_raises(self):
+        s = sched()
+        s.launch("k", "main")
+        with pytest.raises(ValueError, match="negative duration"):
+            execute_schedule(s, {"k": -1.0})
+
+    def test_callable_duration_model(self):
+        s = sched()
+        s.launch("k7", "main")
+
+        def model(op: KernelLaunch) -> float:
+            return int(op.kernel[1:]) * 0.5
+
+        t = execute_schedule(s, model)
+        assert t.makespan_s == 3.5

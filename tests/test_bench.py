@@ -36,6 +36,7 @@ def micro_profile():
         "gen_mix_max": 64,
         "gen_capacity_tokens": 4096,
         "gen_max_batch": 8,
+        "gen_chunk_tokens": 512,
     }
     yield
     bench.PROFILES.pop("micro", None)
@@ -153,6 +154,21 @@ class TestGenProfile:
         text = bench.format_bench(gen_payload)
         assert "gen" in text
         assert "throughput" in text
+
+    def test_chunked_sweep_in_payload(self, gen_payload):
+        gen = gen_payload["counters"]["gen"]
+        assert set(gen["continuous_chunked"]) == {"200.0", "1200.0"}
+        assert gen["identical_token_streams"]
+        for rate, point in gen["continuous_chunked"].items():
+            assert point["completed"] == gen["continuous"][rate]["completed"]
+            assert point["prefill_chunks"] > 0
+
+    def test_verify_overlap_gate_passes(self):
+        assert bench.verify_overlap_equivalence("micro-gen", seed=0) == []
+
+    def test_verify_overlap_rejects_hostless_profile(self):
+        with pytest.raises(ValueError):
+            bench.verify_overlap_equivalence("smoke")
 
 
 class TestDiffDeltas:
