@@ -39,7 +39,10 @@ Commands
     ``--verify-overlap`` runs the chunked-overlap equivalence gate:
     the gen workload with chunking off vs on must produce identical
     per-request token streams and completion sets, and TTFT p99 must
-    not regress.
+    not regress.  ``--verify-prefix`` runs the analogous prefix-cache
+    gate over multi-tenant prefix-population workloads: cache on vs
+    off must produce identical token streams, admission orders and
+    completion sets, and TTFT p99 must not regress.
     ``--verify`` instead runs the cross-layer equivalence verifier
     (compiled vs. interpretive pricing, fast vs. reference ``latency()``,
     pruned vs. reference DP partitions, cached vs. uncached plans) and
@@ -197,6 +200,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         save_bench,
         verify_host_fast_path,
         verify_overlap_equivalence,
+        verify_prefix_equivalence,
     )
 
     if args.diff:
@@ -235,6 +239,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print("bench --verify-overlap: chunked prefill + dual-stream "
               "overlap preserves per-request token streams and completion "
+              "sets; TTFT p99 does not regress")
+        return 0
+
+    if args.verify_prefix:
+        problems = verify_prefix_equivalence(
+            seed=args.seed, progress=lambda msg: print(f"bench: {msg}"))
+        if problems:
+            for p in problems[:20]:
+                print(f"prefix-equivalence: {p}", file=sys.stderr)
+            print(f"bench --verify-prefix: {len(problems)} divergence(s)",
+                  file=sys.stderr)
+            return 1
+        print("bench --verify-prefix: radix prefix caching preserves "
+              "per-request token streams, admission order and completion "
               "sets; TTFT p99 does not regress")
         return 0
 
@@ -377,6 +395,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="verify the chunked-prefill overlap "
                             "equivalence gate (gen profile): token "
                             "streams identical, TTFT p99 no worse")
+    bench.add_argument("--verify-prefix", action="store_true",
+                       help="verify the prefix-cache equivalence gate "
+                            "(gen profile): token streams, admission "
+                            "order and completion sets identical with "
+                            "the cache on, TTFT p99 no worse")
     bench.add_argument("--verify", action="store_true",
                        help="run the fast-path equivalence verifier "
                             "instead of timing")

@@ -144,12 +144,17 @@ def _kv_arena_diags(report: DiagnosticReport) -> int:
     """Scripted KV-arena episode: verify the arena's allocation plan after
     every mutation kind (admit / grow across a page boundary / release /
     preempt / restore), then audit the leak invariant — no region may
-    outlive its request (MEM221).
+    outlive its request (MEM221) — and run the page-sharing stages:
+    prefix-index attach, copy-on-write fork, preemption of a region whose
+    pages siblings still reference, and index eviction, each followed by
+    the MEM224 refcount-conservation audit (every live page's refcount
+    equals the number of regions + index entries referencing it; no page
+    freed — or resident — without a reference).
 
     Returns the number of plans verified; any MEM2xx diagnostic the arena
     plan trips lands in ``report`` like a regular plan check.
     """
-    from ..memory import KVCacheArena
+    from ..memory import KVCacheArena, RadixPrefixIndex
 
     arena = KVCacheArena(capacity_bytes=64 * 1024, bytes_per_token=64,
                          page_tokens=8)
@@ -158,7 +163,12 @@ def _kv_arena_diags(report: DiagnosticReport) -> int:
     def verify(stage: str, live=None) -> None:
         nonlocal verified
         for problem in arena.verify(live_req_ids=live):
-            code = "MEM221" if "leak" in problem else "MEM220"
+            if "leak" in problem:
+                code = "MEM221"
+            elif "refcount" in problem:
+                code = "MEM224"
+            else:
+                code = "MEM220"
             report.add(diag(code, f"[{stage}] {problem}",
                             graph="kv-arena"))
         verified += 1
@@ -179,8 +189,29 @@ def _kv_arena_diags(report: DiagnosticReport) -> int:
     verify("preempt", live=[0, 2])
     arena.restore(4, tokens=16 + 8 * 4 + 9, max_total_tokens=64 + 8 * 4)
     verify("restore", live=[0, 2, 4])
-    for req_id in (0, 2, 4):
+    # Page sharing: publish request 0's full prompt pages to a prefix
+    # index, admit a newcomer attaching that cached prefix, and CoW-fork
+    # request 2 — three regions plus the index now share pages.
+    index = RadixPrefixIndex(arena)
+    ids = tuple(range(16 + 9))  # request 0's 25-token prompt+growth
+    index.insert(ids, arena.region_of(0).pages[:2])
+    matched, pages = index.lookup(ids)
+    arena.admit(6, prompt_tokens=len(ids), max_total_tokens=48,
+                shared_pages=pages)
+    arena.fork(2, 7, max_total_tokens=64 + 8 * 2)
+    verify("share", live=[0, 2, 4, 6, 7])
+    # Preempting the publisher must keep the shared pages resident (index
+    # + newcomer still reference them); releasing the fork parent must
+    # keep the child's shared pages alive.
+    arena.preempt(0)
+    arena.release(2)
+    verify("cow-release", live=[4, 6, 7])
+    # Drain the regions, then evict the cached pages from the index: the
+    # arena must end empty with every refcount at zero.
+    for req_id in (4, 6, 7):
         arena.release(req_id)
+    verify("index-only", live=[])
+    index.clear()
     verify("drain", live=[])
     return verified
 

@@ -56,6 +56,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "MEM221": (Severity.ERROR, "KV region outlives its request (leak)"),
     "MEM222": (Severity.ERROR, "KV token-conservation ledger divergence"),
     "MEM223": (Severity.ERROR, "KV restore without a matching preempt"),
+    "MEM224": (Severity.ERROR, "KV page refcount diverges from its references"),
     # -- schedule race detector (SCHED3xx) ---------------------------------
     "SCHED301": (Severity.ERROR, "read-after-write hazard across streams"),
     "SCHED302": (Severity.ERROR, "write-after-read hazard across streams"),

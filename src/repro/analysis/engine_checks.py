@@ -458,8 +458,14 @@ def verify_kv_ledger(rec: EngineTraceRecorder,
     # … cross-checked against the arenas' own plan verifier.
     for idx, arena in enumerate(rec.arenas):
         for message in arena.verify(live_req_ids=sorted(live)):
+            if "leak" in message:
+                code = "MEM221"
+            elif "refcount" in message:
+                code = "MEM224"
+            else:
+                code = "MEM220"
             out.append(diag(
-                "MEM221" if "leak" in message else "MEM220",
+                code,
                 f"{context}: arena #{idx}: {message}",
                 node=f"arena{idx}",
             ))

@@ -136,10 +136,12 @@ def _run_cluster(seed: int) -> ScenarioOutcome:
 
 
 def _run_continuous(seed: int) -> ScenarioOutcome:
-    """Chunked continuous batching on a tight KV arena: spike + failures
-    force watermark preemptions, evictions and restores through the
-    ledger, and every overlapped round's emitted ``StreamSchedule`` runs
-    through the SCHED3xx race detector (findings re-raised as SCHED311)."""
+    """Chunked continuous batching with prefix caching on a tight KV
+    arena: spike + failures force watermark preemptions, evictions and
+    restores through the ledger while shared-prefix admissions exercise
+    the CoW page refcounts (MEM224), and every overlapped round's emitted
+    ``StreamSchedule`` runs through the SCHED3xx race detector (findings
+    re-raised as SCHED311)."""
     # Heavy imports deferred, mirroring resilience.chaos: the analysis
     # package stays importable without the model/runtime stack.
     from ..gpusim.device import RTX_2060
@@ -151,9 +153,8 @@ def _run_continuous(seed: int) -> ScenarioOutcome:
         ContinuousBatchingConfig,
         ContinuousBatchingServer,
         KVPreemptionPolicy,
-        generate_generation_requests,
+        generate_prefix_population_requests,
         geometric_output_lengths,
-        uniform_lengths,
     )
 
     config = tiny_gpt()
@@ -179,16 +180,17 @@ def _run_continuous(seed: int) -> ScenarioOutcome:
         ),
         retry=retry,
     )
-    requests = generate_generation_requests(
-        150.0, 0.8, seed=seed,
-        prompt_sampler=lambda rng, n: uniform_lengths(rng, n, lo=4, hi=32),
+    requests = generate_prefix_population_requests(
+        150.0, 0.8, seed=seed, sharing_ratio=0.6,
+        system_prompt_tokens=16, fewshot_tokens=16, suffix_lo=4,
+        suffix_hi=16,
         output_sampler=lambda rng, n: geometric_output_lengths(
             rng, n, mean=8.0, hi=32),
     )
     server = ContinuousBatchingServer(
         runtime, arena,
         ContinuousBatchingConfig(preemption=KVPreemptionPolicy(2),
-                                 chunk_tokens=8),
+                                 chunk_tokens=8, prefix_cache=True),
         resilience=resilience,
     )
     server.serve(requests, duration_s=0.8)
@@ -196,7 +198,9 @@ def _run_continuous(seed: int) -> ScenarioOutcome:
         retry=retry,
         diagnostics=check_emitted_schedules(server.emitted_schedules,
                                             context="continuous"),
-        checked={"round_schedules": len(server.emitted_schedules)},
+        checked={"round_schedules": len(server.emitted_schedules),
+                 "prefix_index_nodes": server.prefix_index.stats()["nodes"],
+                 "prefix_index_hits": server.prefix_index.stats()["hits"]},
     )
 
 

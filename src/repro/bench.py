@@ -402,6 +402,9 @@ def _gen_point_summary(m) -> Dict[str, object]:
         "prefill_chunks": getattr(m, "prefill_chunks", None),
         "overlap_saved_s": getattr(m, "overlap_saved_s", None),
         "stall_s": getattr(m, "stall_s", None),
+        "prefix_hits": getattr(m, "prefix_hits", None),
+        "prefix_tokens_reused": getattr(m, "prefix_tokens_reused", None),
+        "prefill_flops_saved": getattr(m, "prefill_flops_saved", None),
         "saturated": m.saturated,
     }
 
@@ -476,6 +479,103 @@ def verify_overlap_equivalence(profile_name: str = "gen", seed: int = 0,
     return problems
 
 
+#: Sharing ratios for the prefix-cache sweep and its equivalence gate.
+PREFIX_SHARING_RATIOS: Tuple[float, ...] = (0.0, 0.5, 0.9)
+
+
+def _prefix_workload(rate: float, duration_s: float, seed: int, mix,
+                     sharing_ratio: float):
+    """Multi-tenant prefix-population workload with the profile's output
+    mix; lengths are identical across sharing ratios by construction."""
+    from .serving import (
+        generate_prefix_population_requests,
+        geometric_output_lengths,
+    )
+
+    return generate_prefix_population_requests(
+        rate, duration_s, seed=seed, sharing_ratio=sharing_ratio,
+        output_sampler=lambda rng, n: geometric_output_lengths(
+            rng, n, mean=mix.mean_new_tokens, hi=mix.max_new_tokens),
+    )
+
+
+def verify_prefix_equivalence(profile_name: str = "gen", seed: int = 0,
+                              progress: Optional[Callable[[str], None]] = None,
+                              ) -> List[str]:
+    """``bench --verify-prefix``: the prefix-cache equivalence gate.
+
+    Runs multi-tenant prefix-population workloads through the continuous
+    server three ways per (rate, sharing ratio) — cache off, cache on,
+    cache on + chunked prefill — and checks that
+
+    * per-request token streams are identical in all three runs (the
+      cache skips *work*, never changes *tokens*);
+    * admission orders and completion sets are identical;
+    * TTFT p99 does not regress with the cache on.
+
+    Returns a list of problems (empty = gate passed).
+    """
+    from .experiments.gen_serving_throughput import GenServingBench, OutputMix
+
+    profile = PROFILES[profile_name]
+    if "gen_rates" not in profile:
+        raise ValueError(
+            f"profile {profile_name!r} has no generative serving section"
+        )
+    say = progress or (lambda _msg: None)
+    bench = GenServingBench(
+        model=profile["gen_model"],
+        capacity_tokens=profile["gen_capacity_tokens"],
+        max_batch=profile["gen_max_batch"],
+        chunk_tokens=profile["gen_chunk_tokens"],
+    )
+    mix = OutputMix("bench", mean_new_tokens=profile["gen_mix_mean"],
+                    max_new_tokens=profile["gen_mix_max"])
+    duration_s = profile["gen_duration_s"]
+    problems: List[str] = []
+    for rate in profile["gen_rates"]:
+        for sharing in PREFIX_SHARING_RATIOS:
+            tag = f"rate {rate:g} sharing {sharing:g}"
+            runs = {}
+            orders = {}
+            metrics = {}
+            for label, cache, chunk in (
+                ("off", False, None),
+                ("on", True, None),
+                ("on-chunked", True, bench.chunk_tokens),
+            ):
+                reqs = _prefix_workload(rate, duration_s, seed, mix, sharing)
+                srv = bench.make_continuous_server(chunk_tokens=chunk,
+                                                   prefix_cache=cache)
+                metrics[label] = srv.serve(reqs, duration_s=duration_s)
+                runs[label] = _gen_token_stream(reqs)
+                orders[label] = list(srv.admission_order)
+            for label in ("on", "on-chunked"):
+                if runs[label] != runs["off"]:
+                    problems.append(
+                        f"{tag}: token streams differ with cache on "
+                        f"({label})"
+                    )
+                if orders[label] != orders["off"]:
+                    problems.append(
+                        f"{tag}: admission order differs with cache on "
+                        f"({label})"
+                    )
+            p99_off = metrics["off"].ttft.p99_ms
+            p99_on = metrics["on"].ttft.p99_ms
+            if p99_on > p99_off * (1.0 + 1e-9):
+                problems.append(
+                    f"{tag}: TTFT p99 regressed with prefix cache on "
+                    f"({p99_off:.4f} ms -> {p99_on:.4f} ms)"
+                )
+            say(f"  {tag}: streams identical="
+                f"{runs['on'] == runs['off'] == runs['on-chunked']}, "
+                f"ttft p99 {p99_off:.3f} -> {p99_on:.3f} ms, "
+                f"hits {metrics['on'].prefix_hits}, "
+                f"reused {metrics['on'].prefix_tokens_reused} tok")
+    return problems
+
+
 def _gen_sweep(bench, mix, rates, duration_s: float, seed: int,
                system: str) -> Dict[str, object]:
     points = {
@@ -532,6 +632,25 @@ def _bench_gen(profile: Dict[str, object], seed: int) -> Dict[str, Dict[str, obj
         identical_streams = identical_streams and \
             _gen_token_stream(off) == _gen_token_stream(on)
 
+    # Prefix-cache sweep: multi-tenant prefix-population workloads at the
+    # top rate, cache off vs on per sharing ratio.  Token streams must be
+    # byte-identical — the cache skips prefill work, never changes tokens.
+    t0 = _now()
+    top_rate = max(rates)
+    prefix_points: Dict[str, object] = {}
+    identical_prefix_streams = True
+    for sharing in PREFIX_SHARING_RATIOS:
+        off = _prefix_workload(top_rate, duration_s, seed, mix, sharing)
+        m_off = bench.run_continuous(off, duration_s)
+        on = _prefix_workload(top_rate, duration_s, seed, mix, sharing)
+        m_on = bench.run_continuous(on, duration_s, prefix_cache=True)
+        identical_prefix_streams = identical_prefix_streams and \
+            _gen_token_stream(off) == _gen_token_stream(on)
+        point = _gen_point_summary(m_on)
+        point["ttft_p99_ms_cache_off"] = m_off.ttft.p99_ms
+        prefix_points[str(sharing)] = point
+    prefix_s = _now() - t0
+
     top = str(max(rates))
     gain = (fast["points"][top]["response_throughput"]
             / max(baseline["points"][top]["response_throughput"], 1e-9))
@@ -542,12 +661,15 @@ def _bench_gen(profile: Dict[str, object], seed: int) -> Dict[str, Dict[str, obj
             "rates": list(map(float, rates)),
             "identical_reruns": fast == rerun,
             "identical_token_streams": identical_streams,
+            "identical_prefix_streams": identical_prefix_streams,
             "request_level": baseline["points"],
             "continuous": fast["points"],
             "continuous_chunked": chunked["points"],
+            "continuous_prefix": prefix_points,
             "continuous_digest": fast["digest"],
             "request_level_digest": baseline["digest"],
             "continuous_chunked_digest": chunked["digest"],
+            "continuous_prefix_digest": _digest(prefix_points),
             "throughput_gain_at_top_rate": gain,
             "ttft_p99_gain_at_top_rate": p99_gain,
         },
@@ -555,6 +677,7 @@ def _bench_gen(profile: Dict[str, object], seed: int) -> Dict[str, Dict[str, obj
             "baseline_s": baseline_s,
             "fast_s": fast_s,
             "chunked_s": chunked_s,
+            "prefix_s": prefix_s,
             "speedup": baseline_s / fast_s,
         },
     }

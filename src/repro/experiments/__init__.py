@@ -12,6 +12,7 @@ from . import (
     fig11_fixed_length,
     fig12_serving_throughput,
     gen_serving_throughput,
+    prefix_cache_sweep,
     table1_runtime_matrix,
     table2_reduction_share,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "fig11_fixed_length",
     "fig12_serving_throughput",
     "gen_serving_throughput",
+    "prefix_cache_sweep",
     "profile_breakdown",
     "report",
 ]

@@ -157,15 +157,26 @@ class GenServingBench:
 
     # -- systems --------------------------------------------------------------
 
+    def make_continuous_server(self, tracer=None, metrics=None,
+                               chunk_tokens: "Optional[int]" = None,
+                               prefix_cache: bool = False,
+                               ) -> ContinuousBatchingServer:
+        return ContinuousBatchingServer(
+            self.runtime, self.make_arena(metrics=metrics),
+            ContinuousBatchingConfig(warmup_fraction=self.warmup_fraction,
+                                     chunk_tokens=chunk_tokens,
+                                     prefix_cache=prefix_cache),
+            tracer=tracer, metrics=metrics,
+        )
+
     def run_continuous(self, requests: Sequence[GenRequest],
                        duration_s: float, tracer=None, metrics=None,
                        chunk_tokens: "Optional[int]" = None,
+                       prefix_cache: bool = False,
                        ) -> GenServingMetrics:
-        server = ContinuousBatchingServer(
-            self.runtime, self.make_arena(metrics=metrics),
-            ContinuousBatchingConfig(warmup_fraction=self.warmup_fraction,
-                                     chunk_tokens=chunk_tokens),
-            tracer=tracer, metrics=metrics,
+        server = self.make_continuous_server(
+            tracer=tracer, metrics=metrics, chunk_tokens=chunk_tokens,
+            prefix_cache=prefix_cache,
         )
         return server.serve(requests, duration_s=duration_s)
 

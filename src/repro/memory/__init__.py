@@ -4,9 +4,16 @@ from .base import BaseAllocator, RequestAllocation
 from .caching import CachingAllocator, round_block_size
 from .chunk import DEFAULT_CHUNK_SIZE, K_SCALE, Chunk, ChunkAssignment, new_chunk_size
 from .gsoc import GsocAllocator, gsoc_offsets
-from .kv_arena import KVArenaError, KVCacheArena, KVRegion, kv_bytes_per_token
+from .kv_arena import (
+    KVArenaError,
+    KVCacheArena,
+    KVPage,
+    KVRegion,
+    kv_bytes_per_token,
+)
 from .naive import NaiveAllocator
 from .plan import AllocationPlan, Placement, PlanError, plan_from_chunks, validate_plan
+from .prefix_index import RadixPrefixIndex
 from .plan_cache import (
     CachedPlan,
     PlanCache,
@@ -39,9 +46,11 @@ __all__ = [
     "chunk_fingerprint",
     "TurboAllocator",
     "KVCacheArena",
+    "KVPage",
     "KVRegion",
     "KVArenaError",
     "kv_bytes_per_token",
+    "RadixPrefixIndex",
     "GsocAllocator",
     "gsoc_offsets",
     "CachingAllocator",

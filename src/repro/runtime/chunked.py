@@ -71,33 +71,52 @@ class PrefillChunker:
                 f"got {self.per_chunk_overhead_s}"
             )
 
-    def chunks(self, prompt_len: int) -> List[PrefillChunk]:
-        """Chunks tiling ``[0, prompt_len)`` in order (last one may be short)."""
+    def chunks(self, prompt_len: int, start: int = 0) -> List[PrefillChunk]:
+        """Chunks tiling ``[start, prompt_len)`` in order (last may be short).
+
+        A nonzero ``start`` is the prefix-cache case: positions before it
+        are already resident in the KV arena, so the pass covers only the
+        uncached suffix (attending over the cached prefix — the pricing
+        below accounts for that naturally).
+        """
         if prompt_len <= 0:
             raise ValueError(f"prompt_len must be positive, got {prompt_len}")
+        if not 0 <= start < prompt_len:
+            raise ValueError(
+                f"start must be in [0, prompt_len), got {start} of {prompt_len}"
+            )
         out: List[PrefillChunk] = []
-        start = 0
         while start < prompt_len:
             tokens = min(self.chunk_tokens, prompt_len - start)
             out.append(PrefillChunk(index=len(out), start=start, tokens=tokens))
             start += tokens
         return out
 
-    def chunk_latency(self, runtime, batch: int, chunk: PrefillChunk) -> float:
-        """Incremental cost of one chunk at the given batch width."""
+    def chunk_latency(self, runtime, batch: int, chunk: PrefillChunk,
+                      pass_start: int = 0) -> float:
+        """Incremental cost of one chunk at the given batch width.
+
+        ``pass_start`` marks where this pass's *first* chunk begins: that
+        chunk pays the full ``prefill_latency(batch, end)`` (launch
+        overhead included) minus the cached prefix's cost, and later
+        chunks pay the telescoping difference plus the per-chunk launch
+        overhead.
+        """
         cost = runtime.prefill_latency(batch, chunk.end)
         if chunk.start > 0:
-            # Marginal cost over the already-cached prefix.  The runtime's
-            # fixed overhead cancels in the difference; clamp defensively
-            # so a non-monotone cost model can never produce negative time.
+            # Marginal cost over the already-computed (or cached) prefix.
+            # The runtime's fixed overhead cancels in the difference;
+            # clamp defensively so a non-monotone cost model can never
+            # produce negative time.
             cost = max(0.0, cost - runtime.prefill_latency(batch, chunk.start))
+        if chunk.start > pass_start:
             cost += self.per_chunk_overhead_s
         return cost
 
     def pass_latencies(self, runtime, batch: int,
-                       prompt_len: int) -> List[float]:
+                       prompt_len: int, start: int = 0) -> List[float]:
         """Per-chunk latencies for one pass; sums (telescopes) to the
         unchunked ``prefill_latency(batch, prompt_len)`` when
-        ``per_chunk_overhead_s`` is zero."""
-        return [self.chunk_latency(runtime, batch, c)
-                for c in self.chunks(prompt_len)]
+        ``per_chunk_overhead_s`` is zero and ``start`` is zero."""
+        return [self.chunk_latency(runtime, batch, c, pass_start=start)
+                for c in self.chunks(prompt_len, start=start)]

@@ -68,6 +68,7 @@ from .workload import (
     MIN_LEN,
     bursty_arrivals,
     generate_generation_requests,
+    generate_prefix_population_requests,
     generate_requests,
     geometric_output_lengths,
     normal_lengths,
@@ -130,6 +131,7 @@ __all__ = [
     "completed_requests",
     "generate_requests",
     "generate_generation_requests",
+    "generate_prefix_population_requests",
     "geometric_output_lengths",
     "GenRequest",
     "GenServingMetrics",

@@ -15,22 +15,41 @@ V = TypeVar("V")
 
 
 class ResponseCache(Generic[V]):
-    """Bounded LRU cache keyed by request payload."""
+    """Bounded LRU cache keyed by request payload.
 
-    def __init__(self, capacity: int = 1024) -> None:
+    When a :class:`~repro.observability.metrics.MetricsRegistry` is
+    attached, every lookup updates ``{name}_cache_hits_total`` /
+    ``{name}_cache_misses_total`` counters and a
+    ``{name}_cache_hit_rate`` gauge, so dashboards see cache
+    effectiveness without polling the object.
+    """
+
+    def __init__(self, capacity: int = 1024, metrics=None,
+                 name: str = "response") -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.metrics = metrics
+        self.name = name
+
+    def _record(self, hit: bool) -> None:
+        if self.metrics is None:
+            return
+        which = "hits" if hit else "misses"
+        self.metrics.counter(f"{self.name}_cache_{which}_total").inc()
+        self.metrics.gauge(f"{self.name}_cache_hit_rate").set(self.hit_rate)
 
     def get(self, key: Hashable) -> Optional[V]:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            self._record(hit=True)
             return self._entries[key]
         self.misses += 1
+        self._record(hit=False)
         return None
 
     def put(self, key: Hashable, value: V) -> None:

@@ -68,17 +68,28 @@ class GenRequest(Request):
     ``generated`` counts produced tokens (the prefill pass yields the
     first); ``first_token_s`` is stamped when that first token appears —
     TTFT is ``first_token_s - arrival_s``.
+
+    ``prompt_ids`` optionally carries the actual prompt token ids (with
+    ``len(prompt_ids) == seq_len``) so prefix caching can match shared
+    prompt heads; ``None`` means content-less (no prefix matching — the
+    pre-caching behaviour).
     """
 
     max_new_tokens: int = 1
     generated: int = 0
     first_token_s: Optional[float] = None
+    prompt_ids: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.max_new_tokens <= 0:
             raise ValueError(
                 f"max_new_tokens must be positive, got {self.max_new_tokens}"
+            )
+        if self.prompt_ids is not None and len(self.prompt_ids) != self.seq_len:
+            raise ValueError(
+                f"prompt_ids length {len(self.prompt_ids)} != seq_len "
+                f"{self.seq_len}"
             )
 
     @property
@@ -128,6 +139,13 @@ class GenServingMetrics(ServingMetrics):
     prefill_chunks: int = 0
     overlap_saved_s: float = 0.0
     stall_s: float = 0.0
+    # Prefix-cache outcome (all zero with ``prefix_cache=False`` or a
+    # workload without prompt ids).  ``prefill_flops_saved`` converts the
+    # skipped prefill seconds into device FLOPs at the runtime device's
+    # fp32 peak — a hardware-independent "work not done" figure.
+    prefix_hits: int = 0
+    prefix_tokens_reused: int = 0
+    prefill_flops_saved: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -184,6 +202,14 @@ class ContinuousBatchingConfig:
     chunk_tokens: Optional[int] = None
     #: Extra launch cost charged to every chunk after the first.
     chunk_overhead_s: float = 0.0
+    #: Radix-tree prefix caching over CoW KV pages: admission consults a
+    #: :class:`~repro.memory.prefix_index.RadixPrefixIndex`, attaches the
+    #: longest cached page-aligned prompt prefix by refcount, and runs
+    #: prefill only over the uncached suffix.  Requires the workload to
+    #: carry ``GenRequest.prompt_ids``; a pure timing/accounting change —
+    #: token streams, admission order and completion sets are identical
+    #: to ``False`` (the ``--verify-prefix`` gate enforces it).
+    prefix_cache: bool = False
     #: Run every emitted round schedule through the vector-clock race
     #: detector inline and raise on a racy round.  Off by default — the
     #: ``repro check`` sanitizer and tests audit ``emitted_schedules``
@@ -301,7 +327,9 @@ class _GenLoopBase:
                   tokens_recomputed: int = 0, retries: int = 0,
                   attempts_failed: int = 0, prefill_chunks: int = 0,
                   overlap_saved_s: float = 0.0,
-                  stall_s: float = 0.0) -> GenServingMetrics:
+                  stall_s: float = 0.0, prefix_hits: int = 0,
+                  prefix_tokens_reused: int = 0,
+                  prefill_flops_saved: float = 0.0) -> GenServingMetrics:
         completed = [r for r in arrivals if r.is_completed]
         ttft = LatencyStats.from_values(
             [(r.first_token_s - r.arrival_s) * 1e3 for r in completed
@@ -344,6 +372,9 @@ class _GenLoopBase:
             prefill_chunks=prefill_chunks,
             overlap_saved_s=overlap_saved_s,
             stall_s=stall_s,
+            prefix_hits=prefix_hits,
+            prefix_tokens_reused=prefix_tokens_reused,
+            prefill_flops_saved=prefill_flops_saved,
         )
         if self.metrics is not None:
             self.metrics.gauge("serving_response_throughput",
@@ -357,6 +388,11 @@ class _GenLoopBase:
                                    system=result.system).set(overlap_saved_s)
                 self.metrics.gauge("gen_prefill_stall_s",
                                    system=result.system).set(stall_s)
+            if prefix_hits:
+                self.metrics.gauge("gen_prefill_flops_saved",
+                                   system=result.system).set(
+                    prefill_flops_saved
+                )
         return result
 
 
@@ -387,6 +423,17 @@ class ContinuousBatchingServer(_GenLoopBase):
         #: call (chunked mode only) — audited by the SCHED3xx race
         #: detector via ``repro check --sanitize continuous`` and tests.
         self.emitted_schedules: List[StreamSchedule] = []
+        #: Successful admissions of the last ``serve()`` call, in order
+        #: (req_ids; restores included).  The ``--verify-prefix`` gate
+        #: compares this log cache-on vs cache-off.
+        self.admission_order: List[int] = []
+        self.prefix_index = None
+        if config.prefix_cache:
+            # Lazy import keeps repro.memory's import graph acyclic when
+            # prefix caching is off.
+            from ..memory.prefix_index import RadixPrefixIndex
+
+            self.prefix_index = RadixPrefixIndex(arena)
 
     def serve(self, requests: Sequence[GenRequest],
               duration_s: Optional[float] = None) -> GenServingMetrics:
@@ -440,6 +487,47 @@ class ContinuousBatchingServer(_GenLoopBase):
         chunks_total = 0
         overlap_saved = stall = 0.0
         round_idx = 0
+        self.admission_order = []
+        prefix_hits = prefix_reused = 0
+        prefill_saved_s = 0.0
+        #: Cached-prefix tokens attached at this admission, consumed at
+        #: the prefill commit (publish + recompute accounting).
+        cached_len: Dict[int, int] = {}
+
+        def prefix_lookup(r: GenRequest) -> Tuple[int, Sequence]:
+            """Longest cached page-aligned prefix for an arriving/resumed
+            request: ``(matched_tokens, pages)`` — ``(0, ())`` with the
+            cache off or a content-less workload."""
+            if self.prefix_index is None or r.prompt_ids is None:
+                return 0, ()
+            return self.prefix_index.lookup(r.prompt_ids)
+
+        def count_hit(matched: int) -> None:
+            """Account a cache hit once its admission succeeded (a denied
+            head retries its lookup next pass — don't double-count it)."""
+            nonlocal prefix_hits, prefix_reused
+            if not matched:
+                return
+            prefix_hits += 1
+            prefix_reused += matched
+            if self.metrics is not None:
+                self.metrics.counter("gen_prefix_hits_total",
+                                     system=self.system_name).inc()
+                self.metrics.counter(
+                    "gen_prefix_tokens_reused_total",
+                    system=self.system_name,
+                ).inc(matched)
+
+        def publish_prefix(r: GenRequest) -> None:
+            """Index the request's full prompt pages after a successful
+            prefill commit (first-publisher-wins; shared pages converge
+            on one physical page per distinct prefix)."""
+            if self.prefix_index is None or r.prompt_ids is None:
+                return
+            n_full = r.seq_len // self.arena.page_tokens
+            if n_full:
+                region = self.arena.region_of(r.req_id)
+                self.prefix_index.insert(r.prompt_ids, region.pages[:n_full])
 
         def on_arrival(event) -> None:
             r = event.payload
@@ -513,14 +601,24 @@ class ContinuousBatchingServer(_GenLoopBase):
             nonlocal active, busy, decode_steps, prefills, tokens
             nonlocal attempts_failed, tokens_recomputed
             nonlocal chunks_total, overlap_saved, stall, round_idx
+            nonlocal prefill_saved_s
             round_idx += 1
             b_p = len(admitted)
             prompt = max(r.seq_len + r.generated for r in admitted)
+            # Prefix-cache credit, as in the serial path: chunk only the
+            # positions past the shortest attached prefix.
+            pass_start = min(cached_len[r.req_id] for r in admitted)
             started = engine.now
-            chunks = chunker.chunks(prompt)
-            chunk_lats = [chunker.chunk_latency(self.runtime, b_p, c)
+            chunks = chunker.chunks(prompt, start=pass_start)
+            chunk_lats = [chunker.chunk_latency(self.runtime, b_p, c,
+                                                pass_start=pass_start)
                           for c in chunks]
             prefill_total = sum(chunk_lats)
+            if pass_start > 0:
+                prefill_saved_s += min(
+                    self.runtime.prefill_latency(b_p, prompt),
+                    self.runtime.prefill_latency(b_p, pass_start),
+                )
             # Plan the decode steps that overlap the prefill: a step is
             # issued only if it fits **inside** the prefill window, so
             # the round never outlasts the prefill pass — the next
@@ -564,9 +662,12 @@ class ContinuousBatchingServer(_GenLoopBase):
             for c, lat in zip(chunks, chunk_lats):
                 writes: List[str] = []
                 for r in admitted:
+                    # Cached-prefix positions are already resident (the
+                    # attached pages) — the pass never writes them.
+                    lo = max(c.start, cached_len[r.req_id])
                     hi = min(c.end, r.seq_len + r.generated)
-                    if c.start < hi:
-                        writes.extend(_kv_pages(r, c.start, hi))
+                    if lo < hi:
+                        writes.extend(_kv_pages(r, lo, hi))
                 kernel = f"prefill.c{c.index}"
                 sched.launch(kernel, "prefill", reads=("weights",),
                              writes=tuple(writes))
@@ -653,6 +754,7 @@ class ContinuousBatchingServer(_GenLoopBase):
             # makespan, so the queue drains sooner).
             prefill_end = started + prefill_total * ratio
             for r in admitted:
+                matched = cached_len.pop(r.req_id, 0)
                 if faults is not None and faults.attempt_fails(
                     r.req_id, r.attempt, started
                 ):
@@ -660,14 +762,15 @@ class ContinuousBatchingServer(_GenLoopBase):
                     self.arena.preempt(r.req_id)
                     requeue(r, engine.now)
                     continue
+                publish_prefix(r)
                 if r.first_token_s is None:
                     r.start_s = started
                     r.generated = 1  # prefill yields the first token
                     r.first_token_s = prefill_end
                 else:
-                    # Resumed after eviction: prefix recompute, as in the
-                    # serial path.
-                    tokens_recomputed += r.seq_len + r.generated
+                    # Resumed after eviction: prefix recompute past any
+                    # still-cached head, as in the serial path.
+                    tokens_recomputed += r.seq_len + r.generated - matched
                     r.generated += 1
                 tokens += 1
                 if r.generated >= r.max_new_tokens:
@@ -714,10 +817,12 @@ class ContinuousBatchingServer(_GenLoopBase):
                     if limit is not None and len(admitted) >= limit:
                         break
                     r = queue[0]
+                    matched, shared = prefix_lookup(r)
                     if r.generated > 0:
                         ok = self.arena.restore(
                             r.req_id, r.seq_len + r.generated,
                             r.seq_len + r.max_new_tokens,
+                            shared_pages=shared,
                         )
                         if not ok and not self.arena.fits_at_all(
                             r.seq_len + r.generated,
@@ -730,11 +835,15 @@ class ContinuousBatchingServer(_GenLoopBase):
                             continue
                     else:
                         ok = self.arena.admit(r.req_id, r.seq_len,
-                                              r.seq_len + r.max_new_tokens)
+                                              r.seq_len + r.max_new_tokens,
+                                              shared_pages=shared)
                     if not ok:
                         break  # high-watermark holds the FIFO head
                     queue.popleft()
                     admitted.append(r)
+                    count_hit(matched)
+                    cached_len[r.req_id] = matched
+                    self.admission_order.append(r.req_id)
                 # 1b. Watermark holds the head while others run: preempt
                 #     victims so the head can make progress (bounded by
                 #     the retry budget via requeue()).
@@ -767,8 +876,18 @@ class ContinuousBatchingServer(_GenLoopBase):
                         continue
                     b = len(admitted)
                     prompt = max(r.seq_len + r.generated for r in admitted)
+                    # Prefix-cache credit: the batched pass only runs
+                    # positions past the shortest attached prefix (the
+                    # telescoping difference — the cached head's cost,
+                    # launch overhead cancelled, is skipped work).
+                    pass_start = min(cached_len[r.req_id] for r in admitted)
                     started = engine.now
-                    prefill_s = self.runtime.prefill_latency(b, prompt)
+                    full_s = self.runtime.prefill_latency(b, prompt)
+                    prefill_s = full_s
+                    if pass_start > 0:
+                        prefill_s = max(0.0, full_s - self.runtime
+                                        .prefill_latency(b, pass_start))
+                        prefill_saved_s += full_s - prefill_s
                     self.runtime.trace_prefill(self.tracer, started,
                                                prefill_s, b, prompt)
                     clock = engine.advance(prefill_s)
@@ -781,6 +900,7 @@ class ContinuousBatchingServer(_GenLoopBase):
                         stall += engine.last_advance_s
                     prefills += 1
                     for r in admitted:
+                        matched = cached_len.pop(r.req_id, 0)
                         if faults is not None and faults.attempt_fails(
                             r.req_id, r.attempt, started
                         ):
@@ -791,18 +911,21 @@ class ContinuousBatchingServer(_GenLoopBase):
                             self.arena.preempt(r.req_id)
                             requeue(r, clock)
                             continue
+                        publish_prefix(r)
                         if r.first_token_s is None:
                             r.start_s = started
                             r.generated = 1  # prefill yields the first token
                             r.first_token_s = clock
                         else:
                             # Resumed after eviction: the prefix (prompt +
-                            # prior tokens) was recomputed and the pass
-                            # yields the next token.  The restored region
-                            # already holds the recomputed prefix — the
-                            # token just produced joins it at the next
-                            # decode step, as after a normal prefill.
-                            tokens_recomputed += r.seq_len + r.generated
+                            # prior tokens) past any still-cached head was
+                            # recomputed and the pass yields the next
+                            # token.  The restored region already holds
+                            # the recomputed prefix — the token just
+                            # produced joins it at the next decode step,
+                            # as after a normal prefill.
+                            tokens_recomputed += r.seq_len + r.generated \
+                                - matched
                             r.generated += 1
                         tokens += 1
                         if r.generated >= r.max_new_tokens:
@@ -868,6 +991,8 @@ class ContinuousBatchingServer(_GenLoopBase):
             # arrivals all join the queue before the next admission pass.
             engine.step_due()
 
+        device = getattr(self.runtime, "device", None)
+        peak_flops = device.peak_fp32_flops if device is not None else 0.0
         return self._finalize(arrivals, horizon, engine.now, busy,
                               decode_steps, prefills, tokens,
                               self.arena.denials,
@@ -878,7 +1003,11 @@ class ContinuousBatchingServer(_GenLoopBase):
                               attempts_failed=attempts_failed,
                               prefill_chunks=chunks_total,
                               overlap_saved_s=overlap_saved,
-                              stall_s=stall)
+                              stall_s=stall,
+                              prefix_hits=prefix_hits,
+                              prefix_tokens_reused=prefix_reused,
+                              prefill_flops_saved=prefill_saved_s
+                              * peak_flops)
 
 
 def request_level_cost_fn(runtime, est_new_tokens: int = 16) -> CostFn:

@@ -132,12 +132,15 @@ class InferenceService:
         scheduler: Optional[BatchScheduler] = None,
         cache_capacity: int = 4096,
         max_batch: int = 20,
+        metrics=None,
     ) -> None:
         self.registry = registry
         self.model_name = model_name
         self.registry.get(model_name)  # validate early
         self.scheduler = scheduler if scheduler is not None else DPBatchScheduler()
-        self.cache: ResponseCache = ResponseCache(capacity=cache_capacity)
+        self.metrics = metrics
+        self.cache: ResponseCache = ResponseCache(capacity=cache_capacity,
+                                                  metrics=metrics)
         self.max_batch = max_batch
 
     @property

@@ -140,6 +140,81 @@ def generate_generation_requests(
     ]
 
 
+def generate_prefix_population_requests(
+    rate_per_s: float,
+    duration_s: float,
+    seed: int = 0,
+    sharing_ratio: float = 0.5,
+    num_tenants: int = 4,
+    system_prompt_tokens: int = 64,
+    fewshot_tokens: int = 32,
+    suffix_lo: int = 4,
+    suffix_hi: int = 16,
+    vocab: int = 50_000,
+    output_sampler: Callable[[np.random.Generator, int], np.ndarray] = None,
+) -> List["GenRequest"]:
+    """Multi-tenant prompt population with shared prefixes (prefix caching).
+
+    Real serving traffic is dominated by templated prompts: one
+    deployment-wide *system prompt*, a per-tenant *few-shot template*,
+    then a short unique user suffix.  This generator emits actual prompt
+    **token ids** (``GenRequest.prompt_ids``) so a prefix cache can match
+    them:
+
+    * with probability ``sharing_ratio`` a request is *templated* —
+      ``system prompt ‖ tenant template ‖ fresh suffix`` — sharing its
+      first ``system_prompt_tokens + fewshot_tokens`` ids with every
+      other templated request of the same tenant;
+    * otherwise it is fully unique (fresh ids of the same total length,
+      so the sharing knob changes *content overlap only*, never the
+      length/arrival distributions — cache-on/off comparisons stay
+      apples-to-apples).
+
+    ``seq_len`` is ``len(prompt_ids)``; output budgets default to the
+    heavy-tailed geometric mix.  Deterministic given ``seed``.
+    """
+    from .continuous import GenRequest  # deferred: continuous imports workload
+
+    if not 0.0 <= sharing_ratio <= 1.0:
+        raise ValueError(f"sharing_ratio must be in [0, 1], got {sharing_ratio}")
+    if num_tenants < 1:
+        raise ValueError(f"num_tenants must be >= 1, got {num_tenants}")
+    if min(system_prompt_tokens, fewshot_tokens) < 0 or suffix_lo < 1 \
+            or suffix_hi < suffix_lo:
+        raise ValueError("invalid prompt geometry")
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrivals(rng, rate_per_s, duration_s)
+    n = arrivals.size
+    system_prompt = rng.integers(0, vocab, size=system_prompt_tokens)
+    templates = rng.integers(0, vocab, size=(num_tenants, fewshot_tokens))
+    templated = rng.random(n) < sharing_ratio
+    tenants = rng.integers(0, num_tenants, size=n)
+    suffix_lens = rng.integers(suffix_lo, suffix_hi + 1, size=n)
+    if output_sampler is None:
+        outputs = geometric_output_lengths(rng, n, mean=16.0)
+    else:
+        outputs = output_sampler(rng, n)
+    requests: List["GenRequest"] = []
+    for i in range(n):
+        suffix = rng.integers(0, vocab, size=int(suffix_lens[i]))
+        if templated[i]:
+            ids = np.concatenate([system_prompt, templates[tenants[i]], suffix])
+        else:
+            unique_len = system_prompt_tokens + fewshot_tokens
+            ids = np.concatenate(
+                [rng.integers(0, vocab, size=unique_len), suffix]
+            )
+        prompt_ids = tuple(int(t) for t in ids)
+        requests.append(GenRequest(
+            req_id=i,
+            seq_len=len(prompt_ids),
+            arrival_s=float(arrivals[i]),
+            max_new_tokens=int(outputs[i]),
+            prompt_ids=prompt_ids,
+        ))
+    return requests
+
+
 def bursty_arrivals(
     rng: np.random.Generator,
     rate_per_s: float,

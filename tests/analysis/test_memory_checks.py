@@ -172,9 +172,10 @@ class TestKvArenaScenario:
         from repro.analysis.check import run_memory_checks
 
         report = run_memory_checks(graphs=[])
-        assert report.checked["kv_arena_plans"] == 6
+        assert report.checked["kv_arena_plans"] == 9
         assert not [d for d in report.diagnostics if d.code == "MEM220"]
         assert not [d for d in report.diagnostics if d.code == "MEM221"]
+        assert not [d for d in report.diagnostics if d.code == "MEM224"]
 
     def test_corrupted_arena_plan_is_caught(self):
         """The arena's verify() hook catches a bad plan: alias two live

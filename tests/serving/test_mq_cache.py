@@ -125,3 +125,40 @@ class TestResponseCache:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             ResponseCache(capacity=0)
+
+    def test_metrics_registry_wiring(self):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ResponseCache(capacity=4, metrics=registry)
+        cache.put("x", 1)
+        cache.get("x")
+        cache.get("y")
+        cache.get("x")
+        assert registry.value("response_cache_hits_total") == 2
+        assert registry.value("response_cache_misses_total") == 1
+        assert registry.value("response_cache_hit_rate") == \
+            pytest.approx(2 / 3)
+
+    def test_metrics_name_prefix(self):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ResponseCache(capacity=4, metrics=registry, name="plan")
+        cache.get("missing")
+        assert registry.value("plan_cache_misses_total") == 1
+
+    def test_service_threads_registry_to_cache(self):
+        from repro.observability import MetricsRegistry
+        from repro.serving import (
+            InferenceService,
+            ModelRegistry,
+            ModelVersion,
+        )
+
+        models = ModelRegistry()
+        models.register(ModelVersion("m", 1, lambda seq_len, batch: 1.0,
+                                     "initial"))
+        registry = MetricsRegistry()
+        service = InferenceService(models, "m", metrics=registry)
+        assert service.cache.metrics is registry
